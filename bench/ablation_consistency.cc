@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation: relaxing consistency under the persistency models (paper
+ * Section 4.3). The same queue workload executes under SC and under
+ * TSO (per-thread store buffers), with and without consistency
+ * fences at persist barriers; the table reports the persist critical
+ * path and the persist-epoch race count the decoupling introduces.
+ *
+ * The headline: TSO without fences silently *rearranges* the queue's
+ * epoch structure — persists enter epochs in drain order, not program
+ * order, so the aggregate critical path looks plausible while the
+ * specific data-before-head edges recovery depends on are gone
+ * (tests/integration/tso_recovery_test demonstrates the resulting
+ * crash corruption). Fencing at persist barriers restores the SC
+ * epoch structure exactly.
+ */
+
+#include <iostream>
+
+#include "bench_util/table.hh"
+#include "persistency/timing_engine.hh"
+#include "queue/payload.hh"
+#include "queue/queue.hh"
+
+using namespace persim;
+
+namespace {
+
+InMemoryTrace
+runQueue(ConsistencyModel consistency, bool fences)
+{
+    InMemoryTrace trace;
+    EngineConfig config;
+    config.seed = 17;
+    config.quantum = 4;
+    config.consistency = consistency;
+    config.max_events = 20'000'000;
+    ExecutionEngine engine(config, &trace);
+
+    QueueOptions options;
+    options.capacity = 128 * 2048;
+    options.conservative_barriers = false;
+    options.fence_with_barriers = fences;
+    std::unique_ptr<PersistentQueue> queue;
+    engine.runSetup([&](ThreadCtx &ctx) {
+        queue = CwlQueue::create(ctx, options, 2);
+    });
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    for (int t = 0; t < 2; ++t) {
+        workers.push_back([&queue, t](ThreadCtx &ctx) {
+            for (std::uint64_t i = 1; i <= 800; ++i) {
+                const std::uint64_t op = t * 10000 + i;
+                const auto payload = makePayload(op, 100);
+                queue->insert(ctx, t, payload.data(), 100, op);
+            }
+        });
+    }
+    engine.run(workers);
+    return trace;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout <<
+        "================================================================\n"
+        "Ablation: consistency relaxation vs. persistency "
+        "(CWL, 2 threads,\nracing epochs, epoch persistency analysis)\n"
+        "================================================================\n\n";
+
+    TextTable table;
+    table.header({"execution", "fences", "cp/insert", "races",
+                  "events"});
+    struct Case
+    {
+        const char *name;
+        ConsistencyModel consistency;
+        bool fences;
+    };
+    for (const Case &c : {Case{"SC", ConsistencyModel::SC, false},
+                          Case{"TSO", ConsistencyModel::TSO, false},
+                          Case{"TSO", ConsistencyModel::TSO, true}}) {
+        const auto trace = runQueue(c.consistency, c.fences);
+        TimingConfig config;
+        config.model = ModelConfig::epoch();
+        config.detect_races = true;
+        PersistTimingEngine engine(config);
+        trace.replay(engine);
+        table.row({
+            c.name,
+            c.fences ? "yes" : "no",
+            formatDouble(engine.result().criticalPathPerOp(), 3),
+            std::to_string(engine.result().races),
+            std::to_string(engine.result().events),
+        });
+    }
+    std::cout << table.render()
+              << "\nUnder unfenced TSO, persists enter epochs in drain "
+              << "order rather than\nprogram order: the aggregate path "
+              << "shifts while the data-before-head\nedges recovery "
+              << "needs are silently lost (failure injection shows "
+              << "real\ncorruption). Fencing at persist barriers "
+              << "restores the SC structure\nat a small event-count "
+              << "cost.\n";
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Ablation: persist concurrency across durability protocols.
+ *
+ * Three recoverable structures with three different commit protocols,
+ * all under the same models, per operation:
+ *
+ *  - queue (pointer-publish): data persists, barrier, head persist;
+ *  - hash map (publish flag + atomic in-place updates): insert needs
+ *    one barrier, updates and erases need none at all (strong persist
+ *    atomicity versions single cells);
+ *  - checksummed log: appends need no barrier for integrity, one
+ *    ordering annotation for bounded loss.
+ *
+ * The table reports persist critical path per operation and the
+ * coalescing rate: how much ordering each protocol actually requires
+ * under each persistency model.
+ */
+
+#include <iostream>
+
+#include "bench_util/table.hh"
+#include "bench_util/queue_workload.hh"
+#include "persistency/timing_engine.hh"
+#include "pstruct/hash_map.hh"
+#include "pstruct/log.hh"
+#include "queue/payload.hh"
+
+using namespace persim;
+
+namespace {
+
+constexpr std::uint32_t threads = 4;
+constexpr std::uint64_t ops_per_thread = 500;
+
+InMemoryTrace
+queueTrace()
+{
+    QueueWorkloadConfig config;
+    config.kind = QueueKind::CopyWhileLocked;
+    config.variant = AnnotationVariant::Strand;
+    config.threads = threads;
+    config.inserts_per_thread = ops_per_thread;
+    InMemoryTrace trace;
+    std::vector<TraceSink *> sinks{&trace};
+    runQueueWorkload(config, sinks);
+    return trace;
+}
+
+InMemoryTrace
+mapTrace()
+{
+    InMemoryTrace trace;
+    EngineConfig config;
+    config.quantum = 6;
+    ExecutionEngine engine(config, &trace);
+    auto map = std::make_shared<PersistentHashMap>();
+    engine.runSetup([&map](ThreadCtx &ctx) {
+        *map = PersistentHashMap::create(ctx, {.buckets = 8192}, threads);
+    });
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        workers.push_back([map, t](ThreadCtx &ctx) {
+            for (std::uint64_t i = 1; i <= ops_per_thread; ++i) {
+                const std::uint64_t key =
+                    t * ops_per_thread + 1 + (i % (ops_per_thread / 2));
+                ctx.marker(MarkerCode::OpBegin, t * 10000 + i);
+                map->put(ctx, t, key, key * 3 + i);
+                ctx.marker(MarkerCode::OpEnd, t * 10000 + i);
+            }
+        });
+    }
+    engine.run(workers);
+    return trace;
+}
+
+InMemoryTrace
+logTrace()
+{
+    InMemoryTrace trace;
+    EngineConfig config;
+    config.quantum = 6;
+    ExecutionEngine engine(config, &trace);
+    auto log = std::make_shared<PersistentLog>();
+    engine.runSetup([&log](ThreadCtx &ctx) {
+        LogOptions options;
+        options.capacity = 1 << 22;
+        *log = PersistentLog::create(ctx, options, threads);
+    });
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        workers.push_back([log, t](ThreadCtx &ctx) {
+            std::uint8_t payload[64];
+            for (std::uint64_t i = 1; i <= ops_per_thread; ++i) {
+                for (std::uint64_t b = 0; b < sizeof(payload); ++b)
+                    payload[b] = static_cast<std::uint8_t>(t + i + b);
+                ctx.marker(MarkerCode::OpBegin, t * 10000 + i);
+                log->append(ctx, t, payload, sizeof(payload));
+                ctx.marker(MarkerCode::OpEnd, t * 10000 + i);
+            }
+        });
+    }
+    engine.run(workers);
+    return trace;
+}
+
+void
+analyze(TextTable &table, const char *name, const InMemoryTrace &trace)
+{
+    for (const auto &model : {ModelConfig::strict(), ModelConfig::epoch(),
+                              ModelConfig::strand()}) {
+        TimingConfig config;
+        config.model = model;
+        PersistTimingEngine engine(config);
+        trace.replay(engine);
+        const auto &result = engine.result();
+        const double ops = static_cast<double>(
+            result.ops > 0 ? result.ops : threads * ops_per_thread);
+        table.row({
+            name,
+            model.name(),
+            formatDouble(result.critical_path / ops, 4),
+            formatDouble(100.0 * static_cast<double>(result.coalesced) /
+                         static_cast<double>(result.persists), 1),
+        });
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout <<
+        "================================================================\n"
+        "Ablation: persist concurrency by durability protocol\n"
+        "================================================================\n"
+        "Pointer-publish (queue), publish-flag + atomic update (map),\n"
+        "and checksummed records (log), per persistency model.\n\n";
+
+    TextTable table;
+    table.header({"structure", "model", "cp/op", "coalesced%"});
+    analyze(table, "queue", queueTrace());
+    analyze(table, "hashmap", mapTrace());
+    analyze(table, "log", logTrace());
+    std::cout << table.render()
+              << "\nLess ordering demanded (map updates, checksummed "
+              << "appends) means the\nrelaxed models turn more of it "
+              << "into concurrency.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches.
+ *
+ * Every binary in bench/ regenerates one table or figure of the
+ * paper's evaluation (Section 8) and prints (a) what the paper
+ * reports, (b) what this run measured, in a shape that EXPERIMENTS.md
+ * can quote directly.
+ */
+
+#ifndef PERSIM_BENCH_BENCH_COMMON_HH
+#define PERSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bench_util/queue_workload.hh"
+#include "persistency/timing_engine.hh"
+
+namespace persim::bench {
+
+/** The paper's headline persist latency (500 ns, Section 8.1). */
+constexpr double paper_latency_ns = 500.0;
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const std::string &title, const std::string &paper_claim)
+{
+    std::cout << "==========================================================="
+              << "=====\n" << title << "\n"
+              << "Paper: " << paper_claim << "\n"
+              << "==========================================================="
+              << "=====\n";
+}
+
+/** Run one queue workload into a set of timing engines (fanout). */
+inline QueueWorkloadResult
+runInto(const QueueWorkloadConfig &config,
+        std::vector<PersistTimingEngine *> engines)
+{
+    std::vector<TraceSink *> sinks;
+    for (auto *engine : engines)
+        sinks.push_back(engine);
+    return runQueueWorkload(config, sinks);
+}
+
+/** Level-clock engine for a model. */
+inline TimingConfig
+levels(const ModelConfig &model)
+{
+    TimingConfig config;
+    config.model = model;
+    return config;
+}
+
+} // namespace persim::bench
+
+#endif // PERSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 2: persist dependence classes for the queue inserts.
+ *
+ * The paper's figure distinguishes the constraints *required* for
+ * recovery (entry data before the same insert's head update; head
+ * updates in insert order) from the unnecessary constraints a model
+ * introduces: class "A" — serialization of an entry's data persists
+ * (removed by epoch persistency) — and class "B" — serialization
+ * between inserts (removed between threads by racing epochs, and
+ * entirely by strand persistency).
+ *
+ * We reproduce it by classifying each persist's binding (argmax)
+ * dependence, so the counts below say which constraint class actually
+ * *determined* each persist's time under each model.
+ */
+
+#include "bench/bench_common.hh"
+#include "bench_util/table.hh"
+#include "persistency/classify.hh"
+
+using namespace persim;
+using namespace persim::bench;
+
+namespace {
+
+ConstraintCensus
+census(QueueKind kind, AnnotationVariant variant, const ModelConfig &model,
+       std::uint32_t threads)
+{
+    QueueWorkloadConfig config;
+    config.kind = kind;
+    config.variant = variant;
+    config.threads = threads;
+    config.inserts_per_thread = threads == 1 ? 4000 : 800;
+
+    TimingConfig timing = levels(model);
+    timing.record_log = true;
+    PersistTimingEngine engine(timing);
+    std::vector<TraceSink *> sinks{&engine};
+    runQueueWorkload(config, sinks);
+    return censusOf(engine.log());
+}
+
+void
+report(QueueKind kind, std::uint32_t threads)
+{
+    std::cout << "\n" << queueKindName(kind) << ", " << threads
+              << " thread(s) — binding dependence classes (% of "
+              << "persists):\n";
+    TextTable table;
+    table.header({"model", "required d->h", "required h->h",
+                  "A intra-op", "B inter-op", "coalesced", "none/other"});
+    const auto variants = table1Variants();
+    for (const auto &variant : variants) {
+        const auto counts =
+            census(kind, variant.trace_variant, variant.model, threads);
+        const double total = static_cast<double>(counts.total());
+        auto pct = [total](std::uint64_t n) {
+            return formatDouble(100.0 * static_cast<double>(n) / total, 1);
+        };
+        table.row({
+            variant.name,
+            pct(counts.of(ConstraintClass::RequiredDataToHead)),
+            pct(counts.of(ConstraintClass::RequiredHeadToHead)),
+            pct(counts.of(ConstraintClass::UnnecessaryIntraOp)),
+            pct(counts.of(ConstraintClass::UnnecessaryInterOp)),
+            pct(counts.of(ConstraintClass::Coalesced)),
+            pct(counts.of(ConstraintClass::Unconstrained) +
+                counts.of(ConstraintClass::Other)),
+        });
+    }
+    std::cout << table.render();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 2: queue persist dependences — required vs. "
+           "unnecessary constraints",
+           "strict incurs class A (intra-entry serialization) and B "
+           "(inter-insert); epoch removes A; racing epochs limit B to "
+           "same-thread; strand removes B entirely");
+    for (const auto kind :
+         {QueueKind::CopyWhileLocked, QueueKind::TwoLockConcurrent}) {
+        report(kind, 1);
+        report(kind, 4);
+    }
+    return 0;
+}

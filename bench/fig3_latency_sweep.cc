@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 3: achievable insert rate (million inserts/s) vs. persist
+ * latency, Copy While Locked with one thread, under strict / epoch /
+ * strand persistency.
+ *
+ * Paper shape: all models execute at instruction rate for small
+ * latencies (flat line at the top); each becomes persist-bound as
+ * latency grows — strict at ~17 ns, epoch at ~119 ns, strand only in
+ * the microsecond range — after which throughput decays as 1/latency.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_common.hh"
+#include "bench_util/table.hh"
+#include "bench_util/throughput.hh"
+#include "queue/native_queue.hh"
+
+using namespace persim;
+using namespace persim::bench;
+
+int
+main()
+{
+    banner("Figure 3: achievable rate vs. persist latency "
+           "(Copy While Locked, 1 thread)",
+           "break-even ~17 ns strict, ~119 ns epoch, >6 us strand; "
+           "persist-bound decay is 1/latency");
+
+    const double native_rate = measureNativeInsertRate(
+        QueueKind::CopyWhileLocked, 1, 400000, 100);
+
+    struct Series
+    {
+        const char *name;
+        AnnotationVariant variant;
+        ModelConfig model;
+        double critical_path = 0.0;
+        std::uint64_t ops = 0;
+    };
+    std::vector<Series> series{
+        {"strict", AnnotationVariant::Conservative, ModelConfig::strict()},
+        {"epoch", AnnotationVariant::Conservative, ModelConfig::epoch()},
+        {"strand", AnnotationVariant::Strand, ModelConfig::strand()},
+        // "strand/w64": strand persistency with a finite coalescing
+        // window (a pending persist drains after 64 issued persists),
+        // modeling bounded persist buffering instead of the
+        // unbounded best case.
+        {"strand/w64", AnnotationVariant::Strand, ModelConfig::strand()},
+    };
+
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        auto &entry = series[i];
+        QueueWorkloadConfig config;
+        config.kind = QueueKind::CopyWhileLocked;
+        config.variant = entry.variant;
+        config.threads = 1;
+        config.inserts_per_thread = 20000;
+        TimingConfig timing = levels(entry.model);
+        if (i == 3)
+            timing.coalesce_window = 64;
+        PersistTimingEngine engine(timing);
+        const auto workload = runInto(config, {&engine});
+        entry.critical_path = engine.result().critical_path;
+        entry.ops = workload.inserts;
+    }
+
+    std::cout << "\nnative instruction rate: " << formatRate(native_rate)
+              << "\n\n";
+    TextTable table;
+    table.header({"latency(ns)", "strict(M/s)", "epoch(M/s)",
+                  "strand(M/s)", "strand/w64(M/s)"});
+    // Log sweep, 10 ns .. 100 us, four points per decade.
+    for (double exponent = 1.0; exponent <= 5.01; exponent += 0.25) {
+        const double latency_ns = std::pow(10.0, exponent);
+        std::vector<std::string> row{formatDouble(latency_ns, 1)};
+        for (const auto &entry : series) {
+            const auto throughput = makeThroughput(
+                native_rate, entry.ops, entry.critical_path, latency_ns);
+            row.push_back(
+                formatDouble(throughput.achievable() / 1e6, 4));
+        }
+        table.row(row);
+    }
+    std::cout << table.render();
+
+    std::cout << "\nbreak-even persist latency (instruction rate == "
+              << "persist-bound rate):\n";
+    for (const auto &entry : series) {
+        const double breakeven_ns = static_cast<double>(entry.ops) * 1e9 /
+            (entry.critical_path * native_rate);
+        std::cout << "  " << entry.name << ": "
+                  << formatDouble(breakeven_ns, 1) << " ns"
+                  << "  (critical path/insert = "
+                  << formatDouble(entry.critical_path /
+                                  static_cast<double>(entry.ops), 4)
+                  << ")\n";
+    }
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library primitives: traced
+ * execution, timing analysis, locks, memory image, allocator, and
+ * trace serialization. These gate the framework's own overheads (the
+ * paper's methodology requires tracing not to distort workloads).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "memtrace/trace_io.hh"
+#include "persistency/timing_engine.hh"
+#include "queue/payload.hh"
+#include "queue/queue.hh"
+#include "sim/engine.hh"
+#include "sync/locks.hh"
+
+namespace persim {
+namespace {
+
+void
+BM_MemoryImageStoreLoad(benchmark::State &state)
+{
+    MemoryImage image;
+    Addr addr = volatile_base;
+    for (auto _ : state) {
+        image.store(addr, 8, addr);
+        benchmark::DoNotOptimize(image.load(addr, 8));
+        addr = volatile_base + ((addr + 8) % (1 << 20));
+    }
+}
+BENCHMARK(BM_MemoryImageStoreLoad);
+
+void
+BM_AllocatorAllocFree(benchmark::State &state)
+{
+    AddressAllocator alloc(volatile_base, 1ULL << 30);
+    for (auto _ : state) {
+        const Addr a = alloc.allocate(64);
+        alloc.free(a);
+    }
+}
+BENCHMARK(BM_AllocatorAllocFree);
+
+void
+BM_SerialEngineStore(benchmark::State &state)
+{
+    // Cost of one traced store on the single-thread fast path.
+    EngineConfig config;
+    ExecutionEngine engine(config, nullptr);
+    Addr addr = 0;
+    engine.runSetup([&addr](ThreadCtx &ctx) { addr = ctx.pmalloc(8); });
+    engine.runSetup([&state, addr](ThreadCtx &ctx) {
+        for (auto _ : state)
+            ctx.store(addr, 1);
+    });
+}
+BENCHMARK(BM_SerialEngineStore);
+
+void
+BM_TimingEngineEventThroughput(benchmark::State &state)
+{
+    const auto kind = static_cast<ModelKind>(state.range(0));
+    ModelConfig model;
+    model.kind = kind;
+    TimingConfig config;
+    config.model = model;
+    PersistTimingEngine engine(config);
+    TraceEvent event;
+    event.kind = EventKind::Store;
+    event.size = 8;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        event.addr = persistent_base + (i % 4096) * 8;
+        event.thread = static_cast<ThreadId>(i % 4);
+        event.seq = i++;
+        engine.onEvent(event);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_TimingEngineEventThroughput)
+    ->Arg(static_cast<int>(ModelKind::Strict))
+    ->Arg(static_cast<int>(ModelKind::Epoch))
+    ->Arg(static_cast<int>(ModelKind::Strand));
+
+void
+BM_McsLockHandoffSimulated(benchmark::State &state)
+{
+    EngineConfig config;
+    ExecutionEngine engine(config, nullptr);
+    engine.runSetup([&state](ThreadCtx &ctx) {
+        McsLock lock = McsLock::create(ctx);
+        const Addr qnode = McsLock::createQnode(ctx);
+        for (auto _ : state) {
+            lock.lock(ctx, qnode);
+            lock.unlock(ctx, qnode);
+        }
+    });
+}
+BENCHMARK(BM_McsLockHandoffSimulated);
+
+void
+BM_QueueInsertTraced(benchmark::State &state)
+{
+    EngineConfig config;
+    ExecutionEngine engine(config, nullptr);
+    QueueOptions options;
+    options.capacity = 128 * 8;
+    std::unique_ptr<PersistentQueue> queue;
+    engine.runSetup([&](ThreadCtx &ctx) {
+        queue = CwlQueue::create(ctx, options, 1);
+    });
+    const auto payload = makePayload(1, 100);
+    engine.runSetup([&](ThreadCtx &ctx) {
+        std::uint64_t op = 0;
+        std::vector<std::uint8_t> out;
+        for (auto _ : state) {
+            queue->insert(ctx, 0, payload.data(), 100, ++op);
+            queue->tryRemove(ctx, 0, out);
+        }
+    });
+}
+BENCHMARK(BM_QueueInsertTraced);
+
+void
+BM_TraceFileWrite(benchmark::State &state)
+{
+    const std::string path = "/tmp/persim_bench_trace.trc";
+    TraceEvent event;
+    event.kind = EventKind::Store;
+    event.addr = persistent_base;
+    event.size = 8;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        TraceFileWriter writer(path);
+        state.ResumeTiming();
+        for (int i = 0; i < 4096; ++i) {
+            event.seq = i;
+            writer.onEvent(event);
+        }
+        writer.onFinish();
+        n += 4096;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_TraceFileWrite);
+
+void
+BM_PayloadVerify(benchmark::State &state)
+{
+    const auto payload = makePayload(7, 100);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(verifyPayload(payload.data(),
+                                               payload.size()));
+}
+BENCHMARK(BM_PayloadVerify);
+
+} // namespace
+} // namespace persim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Methodology companion: native instruction execution rate of the
+ * volatile-optimized queues (paper Section 7 measured this on a Xeon
+ * E5645; we measure on the current host). These are the
+ * denominators used to normalize Table 1.
+ */
+
+#include <iostream>
+
+#include "bench_util/table.hh"
+#include "queue/native_queue.hh"
+
+using namespace persim;
+
+int
+main()
+{
+    std::cout <<
+        "================================================================\n"
+        "Native instruction execution rate (volatile-optimized queues)\n"
+        "================================================================\n"
+        "Note: this host schedules all threads on its available cores;\n"
+        "CWL is lock-serialized, so its rate is roughly flat in thread\n"
+        "count on any machine.\n\n";
+
+    TextTable table;
+    table.header({"queue", "threads", "inserts/s"});
+    for (const auto kind :
+         {QueueKind::CopyWhileLocked, QueueKind::TwoLockConcurrent}) {
+        for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+            const double rate = measureNativeInsertRate(
+                kind, threads, 400000 / threads, 100);
+            table.row({queueKindName(kind), std::to_string(threads),
+                       formatRate(rate)});
+        }
+    }
+    std::cout << table.render();
+    return 0;
+}

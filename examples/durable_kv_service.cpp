@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Durable key-value service: the classic WAL + checkpoint design,
+ * composed from the persim structure library.
+ *
+ * Writes go to a checksummed PersistentLog first (cheap, one ordering
+ * annotation per append) and are then applied to a PersistentHashMap
+ * (the "checkpoint": richer structure, publish-flag durability).
+ * Recovery loads the map and replays any log suffix past the map's
+ * applied watermark — the standard ARIES-flavored recipe, here with
+ * every persist-ordering obligation explicit and machine-checked.
+ *
+ * The demo runs concurrent writers, shows each component's persist
+ * concurrency under the three models, and crash-tests the end-to-end
+ * invariant: after recovery (map + log replay), the service state is
+ * a prefix-consistent view of the committed updates.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "persistency/timing_engine.hh"
+#include "pstruct/hash_map.hh"
+#include "pstruct/log.hh"
+#include "recovery/recovery.hh"
+#include "sim/engine.hh"
+
+using namespace persim;
+
+namespace {
+
+constexpr std::uint32_t threads = 3;
+constexpr std::uint64_t updates_per_thread = 40;
+constexpr std::uint64_t key_space = 24;
+
+/** A WAL record: set key -> value (value encodes key and a serial). */
+struct Update
+{
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+};
+
+std::uint64_t
+valueFor(std::uint64_t key, std::uint64_t serial)
+{
+    return serial * 1000 + key;
+}
+
+/** The durable service: WAL in front of a checkpoint map. */
+class DurableKv
+{
+  public:
+    static DurableKv
+    create(ThreadCtx &ctx, std::size_t writer_slots)
+    {
+        DurableKv kv;
+        LogOptions log_options;
+        log_options.capacity = 1 << 16;
+        log_options.use_strands = true;
+        kv.wal_ = PersistentLog::create(ctx, log_options, writer_slots);
+        HashMapOptions map_options;
+        map_options.buckets = 256;
+        map_options.use_strands = true;
+        kv.map_ = PersistentHashMap::create(ctx, map_options,
+                                            writer_slots);
+        return kv;
+    }
+
+    void
+    set(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
+        std::uint64_t value)
+    {
+        // 1. WAL append (commit point).
+        Update update{key, value};
+        wal_.append(ctx, slot, &update, sizeof(update));
+        // 2. Apply to the checkpoint structure.
+        map_.put(ctx, slot, key, value);
+    }
+
+    const PersistentLog &wal() const { return wal_; }
+    const PersistentHashMap &map() const { return map_; }
+
+    /** Recover the full service state from a crashed image. */
+    static std::map<std::uint64_t, std::uint64_t>
+    recover(const MemoryImage &image, const LogLayout &wal_layout,
+            const HashMapLayout &map_layout, std::string &error)
+    {
+        const auto checkpoint =
+            PersistentHashMap::recover(image, map_layout);
+        if (!checkpoint.ok) {
+            error = "checkpoint: " + checkpoint.error;
+            return {};
+        }
+        auto state = checkpoint.entries;
+        // Replay the WAL over the checkpoint. (Replaying records the
+        // map already applied is idempotent: same key -> same value.)
+        const auto wal = PersistentLog::recover(image, wal_layout);
+        for (const auto &record : wal.records) {
+            if (record.payload.size() != sizeof(Update)) {
+                error = "wal: malformed record";
+                return {};
+            }
+            Update update;
+            std::memcpy(&update, record.payload.data(), sizeof(update));
+            state[update.key] = update.value;
+        }
+        return state;
+    }
+
+  private:
+    PersistentLog wal_;
+    PersistentHashMap map_;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "persim example: durable KV service "
+              << "(WAL + checkpoint)\n\n";
+
+    PersistTimingEngine strict({.model = ModelConfig::strict()});
+    PersistTimingEngine epoch({.model = ModelConfig::epoch()});
+    PersistTimingEngine strand({.model = ModelConfig::strand()});
+    InMemoryTrace trace;
+    FanoutSink fanout;
+    for (TraceSink *sink : std::vector<TraceSink *>{&strict, &epoch,
+                                                    &strand, &trace})
+        fanout.addSink(sink);
+
+    EngineConfig config;
+    config.seed = 12;
+    config.quantum = 5;
+    ExecutionEngine engine(config, &fanout);
+
+    auto kv = std::make_shared<DurableKv>();
+    engine.runSetup([&kv](ThreadCtx &ctx) {
+        *kv = DurableKv::create(ctx, threads);
+    });
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+        workers.push_back([kv, t](ThreadCtx &ctx) {
+            for (std::uint64_t i = 1; i <= updates_per_thread; ++i) {
+                const std::uint64_t key = 1 + (t * 11 + i * 7) % key_space;
+                const std::uint64_t serial = t * 1000 + i;
+                kv->set(ctx, t, key, valueFor(key, serial));
+            }
+        });
+    }
+    engine.run(workers);
+
+    std::cout << "applied " << threads * updates_per_thread
+              << " updates over " << key_space << " keys\n\n"
+              << "service persist concurrency (critical path levels):\n";
+    for (const auto *analysis : {&strict, &epoch, &strand}) {
+        std::cout << "  " << analysis->config().model.name() << ": "
+                  << analysis->result().critical_path << "\n";
+    }
+
+    const LogLayout wal_layout = kv->wal().layout();
+    const HashMapLayout map_layout = kv->map().layout();
+
+    std::cout << "\ncrash-recovery check (strand persistency):\n";
+    InjectionConfig injection;
+    injection.model = ModelConfig::strand();
+    injection.realizations = 8;
+    injection.crashes_per_realization = 40;
+    const auto result = injectFailures(
+        trace, injection,
+        [&wal_layout, &map_layout](const MemoryImage &image) {
+            std::string error;
+            const auto state = DurableKv::recover(image, wal_layout,
+                                                  map_layout, error);
+            if (!error.empty())
+                return error;
+            for (const auto &[key, value] : state) {
+                if (key == 0 || key > key_space || value % 1000 != key)
+                    return std::string("recovered value no writer "
+                                       "wrote for key ") +
+                        std::to_string(key);
+            }
+            return std::string();
+        });
+    std::cout << "  " << result.samples << " crash states, "
+              << result.violations << " corrupt recoveries\n";
+    if (!result.ok())
+        std::cout << "  first: " << result.first_violation << "\n";
+
+    std::cout << (result.ok()
+                  ? "\nThe WAL's one ordering annotation per append "
+                    "plus the map's\npublish barrier are the only "
+                    "ordering the whole service needs;\nunder strand "
+                    "persistency everything else overlaps.\n"
+                  : "\nBUG in the service's durability protocol.\n");
+    return result.ok() ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace tooling example: record an execution to a trace file, then
+ * analyze the file offline — statistics, per-model critical paths,
+ * persist-epoch race detection, and an event dump.
+ *
+ * This mirrors the paper's methodology split: tracing happens once
+ * (their PIN tool), analyses run separately over the trace. It also
+ * demonstrates that persim's offline analysis is identical to the
+ * online (streaming) one.
+ *
+ * Usage: trace_inspect [path]   (default: a temp file)
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util/queue_workload.hh"
+#include "memtrace/trace_io.hh"
+#include "memtrace/trace_stats.hh"
+#include "persistency/timing_engine.hh"
+
+using namespace persim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string path =
+        argc > 1 ? argv[1] : "/tmp/persim_example_trace.trc";
+
+    std::cout << "persim example: trace recording and offline analysis\n\n";
+
+    // ---- Record: run a queue workload straight into a trace file,
+    // with an online analysis attached for cross-checking. ----
+    QueueWorkloadConfig config;
+    config.kind = QueueKind::TwoLockConcurrent;
+    config.variant = AnnotationVariant::Racing;
+    config.threads = 4;
+    config.inserts_per_thread = 200;
+    config.seed = 31;
+
+    double online_critical_path = 0.0;
+    {
+        TraceFileWriter writer(path);
+        TimingConfig timing;
+        timing.model = ModelConfig::epoch();
+        PersistTimingEngine online(timing);
+        std::vector<TraceSink *> sinks{&writer, &online};
+        runQueueWorkload(config, sinks);
+        online_critical_path = online.result().critical_path;
+        std::cout << "recorded " << writer.eventsWritten()
+                  << " events to " << path << "\n";
+    }
+
+    // ---- Inspect: header, stats, first events. ----
+    TraceFileReader reader(path);
+    std::cout << "header: " << reader.eventCount() << " events, "
+              << reader.threadCount() << " threads\n\nfirst events:\n";
+    TraceEvent event;
+    for (int i = 0; i < 8 && reader.readNext(event); ++i)
+        std::cout << "  " << formatEvent(event) << "\n";
+
+    const InMemoryTrace trace = readTraceFile(path);
+    TraceStats stats;
+    trace.replay(stats);
+    std::cout << "\n" << stats.render();
+
+    // ---- Analyze offline under every model. ----
+    std::cout << "\noffline persist-timing analysis:\n";
+    for (const auto &model :
+         {ModelConfig::strict(), ModelConfig::epoch(),
+          ModelConfig::strand(), ModelConfig::bpfs()}) {
+        TimingConfig timing;
+        timing.model = model;
+        timing.detect_races = true;
+        PersistTimingEngine engine(timing);
+        trace.replay(engine);
+        std::cout << "  " << model.name() << ": critical path "
+                  << engine.result().critical_path << " ("
+                  << engine.result().criticalPathPerOp() << "/insert), "
+                  << engine.result().coalesced << " coalesced, "
+                  << engine.result().races << " persist-epoch races\n";
+        if (model.kind == ModelKind::Epoch &&
+            model.conflict_scope == ConflictScope::AllAddresses &&
+            engine.result().critical_path != online_critical_path) {
+            std::cout << "  ERROR: offline != online analysis!\n";
+            return 1;
+        }
+    }
+
+    std::cout << "\nThe racing-epochs annotation races on purpose: "
+              << "head updates are\nserialized by strong persist "
+              << "atomicity instead of barriers, which\nis what the "
+              << "race counts above show. Offline analysis of the\n"
+              << "trace file matches the online result exactly.\n";
+    std::remove(path.c_str());
+    return 0;
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Write-ahead log example (the workload the paper's Section 6
+ * motivates: "several workloads require high-performance persistent
+ * queues, such as write ahead logs (WAL) in databases").
+ *
+ * A toy storage engine applies transactions to a volatile table but
+ * first appends a redo record to a persistent queue (the WAL). After
+ * a crash, the table is rebuilt by replaying the WAL. The demo:
+ *
+ *  1. runs concurrent transaction threads appending to the WAL
+ *     (Two-Lock Concurrent queue, racing epochs + strands),
+ *  2. measures how well each persistency model overlaps the WAL's
+ *     persists,
+ *  3. crashes at random points (recovery observer) and replays the
+ *     recovered WAL, checking that the rebuilt table is a prefix-
+ *     consistent version of the committed state.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "persistency/timing_engine.hh"
+#include "queue/queue.hh"
+#include "recovery/recovery.hh"
+#include "sim/engine.hh"
+
+using namespace persim;
+
+namespace {
+
+constexpr std::uint32_t thread_count = 4;
+constexpr std::uint64_t txns_per_thread = 40;
+constexpr std::uint64_t keys = 16;
+
+/** Redo record: fixed-size update "set key -> value by txn". */
+struct RedoRecord
+{
+    std::uint64_t txn = 0;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    std::uint64_t checksum = 0;
+
+    void
+    seal()
+    {
+        checksum = txn ^ (key * 0x9e3779b97f4a7c15ULL) ^ value;
+    }
+
+    bool
+    valid() const
+    {
+        return checksum == (txn ^ (key * 0x9e3779b97f4a7c15ULL) ^ value);
+    }
+};
+
+/** Deterministic transaction stream per thread. */
+RedoRecord
+makeTxn(std::uint32_t thread, std::uint64_t index)
+{
+    RedoRecord record;
+    record.txn = thread * 1000 + index + 1;
+    record.key = (thread * 7 + index * 13) % keys;
+    record.value = record.txn * 100 + record.key;
+    record.seal();
+    return record;
+}
+
+/** Replay a recovered WAL into a table image. */
+std::map<std::uint64_t, std::uint64_t>
+replay(const MemoryImage &image, const QueueLayout &layout,
+       std::string &error)
+{
+    std::map<std::uint64_t, std::uint64_t> table;
+    const auto report = recoverQueue(image, layout,
+                                     /*verify_content=*/false);
+    if (!report.ok) {
+        error = report.error;
+        return table;
+    }
+    // Parse each recovered entry back into a RedoRecord. The entry
+    // payload embeds the record after the 8-byte op id.
+    std::uint64_t pos = report.tail;
+    for (const auto &entry : report.entries) {
+        std::uint8_t buffer[8 + sizeof(RedoRecord)];
+        const std::uint64_t off =
+            (entry.offset + 8) % layout.capacity; // Skip length word.
+        image.readBytes(buffer, layout.data + off, sizeof(buffer));
+        RedoRecord record;
+        std::memcpy(&record, buffer + 8, sizeof(record));
+        if (!record.valid()) {
+            error = "corrupt redo record in recovered WAL";
+            return table;
+        }
+        table[record.key] = record.value;
+        pos += layout.slotBytes(entry.len);
+    }
+    return table;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "persim example: write-ahead logging on NVRAM\n\n";
+
+    // ---- Run the transaction workload over the persistent WAL. ----
+    QueueOptions options;
+    options.pad = 64;
+    options.capacity = 64 * 2048;
+    options.conservative_barriers = false; // Racing epochs + SPA.
+    options.use_strands = true;            // Txns are independent.
+
+    EngineConfig engine_config;
+    engine_config.seed = 2026;
+    engine_config.quantum = 6;
+
+    PersistTimingEngine strict({.model = ModelConfig::strict()});
+    PersistTimingEngine epoch({.model = ModelConfig::epoch()});
+    PersistTimingEngine strand({.model = ModelConfig::strand()});
+    InMemoryTrace trace;
+    FanoutSink fanout;
+    for (TraceSink *sink : std::vector<TraceSink *>{&strict, &epoch,
+                                                    &strand, &trace})
+        fanout.addSink(sink);
+
+    ExecutionEngine engine(engine_config, &fanout);
+    std::unique_ptr<PersistentQueue> wal;
+    engine.runSetup([&](ThreadCtx &ctx) {
+        wal = TlcQueue::create(ctx, options, thread_count);
+    });
+
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    for (std::uint32_t t = 0; t < thread_count; ++t) {
+        workers.push_back([&wal, t](ThreadCtx &ctx) {
+            for (std::uint64_t i = 0; i < txns_per_thread; ++i) {
+                const RedoRecord record = makeTxn(t, i);
+                // WAL entry payload: [8B op id][redo record].
+                std::uint8_t payload[8 + sizeof(RedoRecord)];
+                std::memcpy(payload, &record.txn, 8);
+                std::memcpy(payload + 8, &record, sizeof(record));
+                wal->insert(ctx, t, payload, sizeof(payload), record.txn);
+                // The volatile table update would go here; volatile
+                // state is lost on crash, so the demo only tracks the
+                // durable WAL.
+            }
+        });
+    }
+    engine.run(workers);
+
+    const std::uint64_t total_txns = thread_count * txns_per_thread;
+    std::cout << "committed " << total_txns
+              << " transactions from " << thread_count << " threads ("
+              << engine.eventCount() << " memory events)\n\n";
+
+    std::cout << "WAL persist concurrency (critical path, levels):\n";
+    for (const auto *analysis : {&strict, &epoch, &strand}) {
+        std::cout << "  " << analysis->config().model.name() << ": "
+                  << analysis->result().critical_path << " total, "
+                  << analysis->result().criticalPathPerOp()
+                  << " per commit\n";
+    }
+
+    // ---- Crash and recover. ----
+    std::cout << "\ncrash-recovery check (epoch persistency, random "
+              << "crash points):\n";
+    InjectionConfig injection;
+    injection.model = ModelConfig::epoch();
+    injection.realizations = 10;
+    injection.crashes_per_realization = 40;
+
+    const QueueLayout layout = wal->layout();
+    std::uint64_t best_recovered = 0;
+    const auto result = injectFailures(
+        trace, injection,
+        [&layout, &best_recovered](const MemoryImage &image) {
+            std::string error;
+            const auto table = replay(image, layout, error);
+            if (!error.empty())
+                return error;
+            // Prefix consistency: every recovered value must be one a
+            // committed transaction wrote for that key.
+            for (const auto &[key, value] : table) {
+                if (value % 100 != key)
+                    return std::string("impossible value recovered");
+            }
+            best_recovered = std::max<std::uint64_t>(best_recovered,
+                                                     table.size());
+            return std::string();
+        });
+    std::cout << "  " << result.samples << " crash states, "
+              << result.violations << " corrupt recoveries";
+    if (!result.ok())
+        std::cout << " — " << result.first_violation;
+    std::cout << "\n  largest recovered table: " << best_recovered
+              << "/" << keys << " keys\n";
+
+    std::cout << (result.ok()
+                  ? "\nThe WAL is the only durable state the engine "
+                    "needs: every crash\nstate replays to a consistent "
+                    "table.\n"
+                  : "\nBUG in the WAL annotations.\n");
+    return result.ok() ? 0 : 1;
+}

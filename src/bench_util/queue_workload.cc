@@ -1,0 +1,103 @@
+#include "bench_util/queue_workload.hh"
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+#include "queue/payload.hh"
+
+namespace persim {
+
+const char *
+annotationVariantName(AnnotationVariant variant)
+{
+    switch (variant) {
+      case AnnotationVariant::Conservative:
+        return "conservative";
+      case AnnotationVariant::Racing:
+        return "racing";
+      case AnnotationVariant::Strand:
+        return "strand";
+    }
+    return "unknown";
+}
+
+QueueOptions
+QueueWorkloadConfig::queueOptions() const
+{
+    QueueOptions options;
+    options.pad = 64;
+    const std::uint64_t slot = alignUp(8 + entry_bytes, options.pad);
+    if (wrap_slots > 0) {
+        // Fixed circular segment that wraps with overwrite, like the
+        // paper's 100M-insert microbenchmark.
+        options.capacity = slot * wrap_slots;
+        options.allow_overwrite = true;
+    } else {
+        // One extra slot of headroom so the overrun check never trips.
+        options.capacity = slot * (totalInserts() + 1);
+    }
+    options.conservative_barriers =
+        (variant == AnnotationVariant::Conservative);
+    options.use_strands = (variant == AnnotationVariant::Strand);
+    options.barrier_before_publish = true;
+    return options;
+}
+
+QueueWorkloadResult
+runQueueWorkload(const QueueWorkloadConfig &config,
+                 const std::vector<TraceSink *> &sinks)
+{
+    PERSIM_REQUIRE(config.threads >= 1, "need at least one thread");
+    PERSIM_REQUIRE(config.entry_bytes >= min_payload_bytes,
+                   "entry too small");
+
+    FanoutSink fanout;
+    for (auto *sink : sinks)
+        fanout.addSink(sink);
+
+    EngineConfig engine_config;
+    engine_config.seed = config.seed;
+    engine_config.quantum = config.quantum;
+    ExecutionEngine engine(engine_config, &fanout);
+
+    std::unique_ptr<PersistentQueue> queue;
+    engine.runSetup([&](ThreadCtx &ctx) {
+        queue = createQueue(ctx, config.kind, config.queueOptions(),
+                            config.threads);
+    });
+
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    const std::uint64_t per_thread = config.inserts_per_thread;
+    const std::uint64_t entry_bytes = config.entry_bytes;
+    for (std::uint32_t t = 0; t < config.threads; ++t) {
+        workers.push_back([&queue, t, per_thread, entry_bytes]
+                          (ThreadCtx &ctx) {
+            for (std::uint64_t i = 0; i < per_thread; ++i) {
+                const std::uint64_t op_id =
+                    static_cast<std::uint64_t>(t) * per_thread + i + 1;
+                const auto payload = makePayload(op_id, entry_bytes);
+                queue->insert(ctx, t, payload.data(), entry_bytes, op_id);
+            }
+        });
+    }
+    engine.run(workers);
+
+    QueueWorkloadResult result;
+    result.layout = queue->layout();
+    result.golden = queue->golden();
+    result.events = engine.eventCount();
+    result.inserts = config.totalInserts();
+    return result;
+}
+
+std::vector<AnalysisVariant>
+table1Variants()
+{
+    return {
+        {"Strict", AnnotationVariant::Conservative, ModelConfig::strict()},
+        {"Epoch", AnnotationVariant::Conservative, ModelConfig::epoch()},
+        {"RacingEpochs", AnnotationVariant::Racing, ModelConfig::epoch()},
+        {"Strand", AnnotationVariant::Strand, ModelConfig::strand()},
+    };
+}
+
+} // namespace persim

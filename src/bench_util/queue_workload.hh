@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared driver for the queue microbenchmark experiments.
+ *
+ * Builds the paper's workload (Section 7): N threads each insert
+ * entries of a fixed payload size into one persistent queue, with the
+ * annotation variant under study, while the resulting trace streams
+ * into caller-supplied analysis sinks.
+ */
+
+#ifndef PERSIM_BENCH_UTIL_QUEUE_WORKLOAD_HH
+#define PERSIM_BENCH_UTIL_QUEUE_WORKLOAD_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "memtrace/sink.hh"
+#include "persistency/model.hh"
+#include "queue/queue.hh"
+#include "sim/engine.hh"
+
+namespace persim {
+
+/**
+ * Which persist annotations the queue emits (paper Table 1 columns).
+ */
+enum class AnnotationVariant : std::uint8_t
+{
+    /** Persist barriers around lock operations ("Epoch"). */
+    Conservative,
+    /** No barriers around locks ("Racing Epochs"): inserts
+        synchronize via strong persist atomicity on the head. */
+    Racing,
+    /** Racing barriers plus NewStrand per insert (for strand
+        persistency). */
+    Strand,
+};
+
+/** Human-readable variant name. */
+const char *annotationVariantName(AnnotationVariant variant);
+
+/** Workload parameters. */
+struct QueueWorkloadConfig
+{
+    QueueKind kind = QueueKind::CopyWhileLocked;
+    AnnotationVariant variant = AnnotationVariant::Conservative;
+    std::uint32_t threads = 1;
+    std::uint64_t inserts_per_thread = 1000;
+    std::uint64_t entry_bytes = 100; //!< Payload size (paper: 100 B).
+    std::uint64_t seed = 1;
+    std::uint64_t quantum = 8;       //!< Scheduler timeslice (events).
+
+    /**
+     * Data segment size in slots. 0 sizes the segment to hold every
+     * insert (no wrap); a positive value fixes the segment and lets
+     * the buffer wrap with overwrite, as the paper's microbenchmark
+     * does (default 1024 slots).
+     */
+    std::uint64_t wrap_slots = 1024;
+
+    /** Total inserts across all threads. */
+    std::uint64_t totalInserts() const
+    {
+        return static_cast<std::uint64_t>(threads) * inserts_per_thread;
+    }
+
+    /** QueueOptions implementing this variant (capacity sized so the
+        data segment never wraps during the run). */
+    QueueOptions queueOptions() const;
+};
+
+/** What the driver hands back besides the sink contents. */
+struct QueueWorkloadResult
+{
+    QueueLayout layout;
+    std::map<std::uint64_t, GoldenEntry> golden;
+    std::uint64_t events = 0;
+    std::uint64_t inserts = 0;
+};
+
+/**
+ * Run the workload, streaming every event to each sink in @p sinks
+ * (all receive onFinish). Deterministic given config.seed.
+ */
+QueueWorkloadResult runQueueWorkload(const QueueWorkloadConfig &config,
+                                     const std::vector<TraceSink *> &sinks);
+
+/** Table-1 analysis rows: which trace variant + model each uses. */
+struct AnalysisVariant
+{
+    std::string name;
+    AnnotationVariant trace_variant;
+    ModelConfig model;
+};
+
+/** The paper's four Table-1 persistency configurations. */
+std::vector<AnalysisVariant> table1Variants();
+
+} // namespace persim
+
+#endif // PERSIM_BENCH_UTIL_QUEUE_WORKLOAD_HH

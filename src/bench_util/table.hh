@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fixed-width table rendering for experiment reports.
+ */
+
+#ifndef PERSIM_BENCH_UTIL_TABLE_HH
+#define PERSIM_BENCH_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace persim {
+
+/** Accumulates rows of cells and renders them column-aligned. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with columns padded to their widest cell. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits significant decimal places. */
+std::string formatDouble(double value, int digits = 3);
+
+/** Format a rate as "X.XX M/s" style. */
+std::string formatRate(double per_second);
+
+} // namespace persim
+
+#endif // PERSIM_BENCH_UTIL_TABLE_HH

@@ -1,0 +1,47 @@
+#include "bench_util/throughput.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hh"
+
+namespace persim {
+
+double
+Throughput::achievable() const
+{
+    return std::min(instruction_rate, persist_rate);
+}
+
+double
+Throughput::normalized() const
+{
+    PERSIM_REQUIRE(instruction_rate > 0.0,
+                   "instruction rate must be positive");
+    return persist_rate / instruction_rate;
+}
+
+double
+persistBoundRate(std::uint64_t ops, double critical_path,
+                 double persist_latency_ns)
+{
+    PERSIM_REQUIRE(persist_latency_ns > 0.0,
+                   "persist latency must be positive");
+    if (critical_path <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    const double seconds = critical_path * persist_latency_ns * 1e-9;
+    return static_cast<double>(ops) / seconds;
+}
+
+Throughput
+makeThroughput(double instruction_rate, std::uint64_t ops,
+               double critical_path, double persist_latency_ns)
+{
+    Throughput t;
+    t.instruction_rate = instruction_rate;
+    t.persist_rate = persistBoundRate(ops, critical_path,
+                                      persist_latency_ns);
+    return t;
+}
+
+} // namespace persim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The paper's throughput model (Section 8).
+ *
+ * System throughput is the lower of two rates: the instruction
+ * execution rate (measured natively, persists free) and the
+ * persist-bound rate (persists observing their ordering constraints,
+ * instruction execution free). The persist-bound rate for a workload
+ * of N operations whose persist critical path is C levels at persist
+ * latency L is N / (C * L).
+ */
+
+#ifndef PERSIM_BENCH_UTIL_THROUGHPUT_HH
+#define PERSIM_BENCH_UTIL_THROUGHPUT_HH
+
+#include <cstdint>
+
+namespace persim {
+
+/** Throughput assessment of one configuration. */
+struct Throughput
+{
+    double instruction_rate = 0.0;  //!< Ops/s, execution-bound.
+    double persist_rate = 0.0;      //!< Ops/s, persist-bound.
+
+    /** Achievable rate: min of the two bounds. */
+    double achievable() const;
+
+    /** Persist-bound rate normalized to instruction rate (Table 1:
+        >= 1 means persists keep up with execution). */
+    double normalized() const;
+
+    /** True when persists, not execution, limit throughput. */
+    bool persistBound() const { return persist_rate < instruction_rate; }
+};
+
+/**
+ * Persist-bound operation rate.
+ * @param ops Operations in the analyzed trace.
+ * @param critical_path Persist ordering critical path, in persists.
+ * @param persist_latency_ns Device persist latency.
+ * @return Operations per second.
+ */
+double persistBoundRate(std::uint64_t ops, double critical_path,
+                        double persist_latency_ns);
+
+/** Assemble a Throughput from its two bounds. */
+Throughput makeThroughput(double instruction_rate, std::uint64_t ops,
+                          double critical_path,
+                          double persist_latency_ns);
+
+} // namespace persim
+
+#endif // PERSIM_BENCH_UTIL_THROUGHPUT_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Alignment and bit-manipulation helpers used throughout persim.
+ *
+ * Granularity parameters (atomic persist size, dependence tracking
+ * size) are required to be powers of two, matching the aligned-block
+ * semantics the paper assumes for atomic persists and conflict
+ * detection.
+ */
+
+#ifndef PERSIM_COMMON_BITOPS_HH
+#define PERSIM_COMMON_BITOPS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace persim {
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True iff @p v is a multiple of power-of-two @p align. */
+constexpr bool
+isAligned(std::uint64_t v, std::uint64_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/**
+ * Block index of @p addr for power-of-two block size @p block_size.
+ * Two addresses conflict at a given granularity iff they map to the
+ * same block index.
+ */
+constexpr std::uint64_t
+blockIndex(Addr addr, std::uint64_t block_size)
+{
+    return addr / block_size;
+}
+
+/** Base address of the block containing @p addr. */
+constexpr Addr
+blockBase(Addr addr, std::uint64_t block_size)
+{
+    return alignDown(addr, block_size);
+}
+
+/**
+ * True iff the byte range [addr, addr+size) lies within a single
+ * aligned block of @p block_size bytes, i.e. it could persist
+ * atomically at that granularity.
+ */
+constexpr bool
+fitsInBlock(Addr addr, std::uint64_t size, std::uint64_t block_size)
+{
+    return size > 0 &&
+        blockIndex(addr, block_size) ==
+        blockIndex(addr + size - 1, block_size);
+}
+
+} // namespace persim
+
+#endif // PERSIM_COMMON_BITOPS_HH

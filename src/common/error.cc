@@ -1,0 +1,29 @@
+#include "common/error.hh"
+
+namespace persim {
+namespace detail {
+
+std::string
+formatError(const char *kind, const char *file, int line,
+            const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": " << kind << ": " << msg;
+    return oss.str();
+}
+
+} // namespace detail
+
+void
+fatal(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(detail::formatError("fatal", file, line, msg));
+}
+
+void
+panic(const char *file, int line, const std::string &msg)
+{
+    throw PanicError(detail::formatError("panic", file, line, msg));
+}
+
+} // namespace persim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error reporting for persim.
+ *
+ * Following the gem5 convention, we distinguish two failure classes:
+ *   - fatal(): the condition is the caller's fault (bad configuration,
+ *     invalid arguments). Raised as FatalError.
+ *   - panic(): the condition indicates a bug in persim itself (a
+ *     broken invariant). Raised as PanicError.
+ *
+ * Both are exceptions rather than process aborts so that unit tests
+ * can assert on misuse without forking.
+ */
+
+#ifndef PERSIM_COMMON_ERROR_HH
+#define PERSIM_COMMON_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace persim {
+
+/** Base class for all persim errors. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** User-caused error: bad configuration or invalid arguments. */
+class FatalError : public Error
+{
+  public:
+    explicit FatalError(const std::string &msg) : Error(msg) {}
+};
+
+/** Internal invariant violation: a bug in persim. */
+class PanicError : public Error
+{
+  public:
+    explicit PanicError(const std::string &msg) : Error(msg) {}
+};
+
+namespace detail {
+
+/** Build "file:line: what: message" for error text. */
+std::string formatError(const char *kind, const char *file, int line,
+                        const std::string &msg);
+
+} // namespace detail
+
+/** Raise a FatalError with file/line context. */
+[[noreturn]] void fatal(const char *file, int line, const std::string &msg);
+
+/** Raise a PanicError with file/line context. */
+[[noreturn]] void panic(const char *file, int line, const std::string &msg);
+
+} // namespace persim
+
+/** Raise FatalError: the user misconfigured or misused the library. */
+#define PERSIM_FATAL(msg)                                                  \
+    do {                                                                   \
+        std::ostringstream oss_;                                           \
+        oss_ << msg;                                                       \
+        ::persim::fatal(__FILE__, __LINE__, oss_.str());                   \
+    } while (0)
+
+/** Raise PanicError: persim itself is broken. */
+#define PERSIM_PANIC(msg)                                                  \
+    do {                                                                   \
+        std::ostringstream oss_;                                           \
+        oss_ << msg;                                                       \
+        ::persim::panic(__FILE__, __LINE__, oss_.str());                   \
+    } while (0)
+
+/** Check an internal invariant; panics with the condition text. */
+#define PERSIM_ASSERT(cond, msg)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream oss_;                                       \
+            oss_ << "assertion '" #cond "' failed: " << msg;               \
+            ::persim::panic(__FILE__, __LINE__, oss_.str());               \
+        }                                                                  \
+    } while (0)
+
+/** Check a user-facing precondition; fatals with the condition text. */
+#define PERSIM_REQUIRE(cond, msg)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream oss_;                                       \
+            oss_ << "requirement '" #cond "' violated: " << msg;           \
+            ::persim::fatal(__FILE__, __LINE__, oss_.str());               \
+        }                                                                  \
+    } while (0)
+
+#endif // PERSIM_COMMON_ERROR_HH

@@ -1,0 +1,50 @@
+#include "common/log.hh"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace persim {
+
+namespace {
+
+std::atomic<LogLevel> global_level{LogLevel::Warn};
+std::mutex emit_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      default:
+        return "?";
+    }
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> guard(emit_mutex);
+    std::cerr << "persim [" << levelName(level) << "] " << msg << "\n";
+}
+
+} // namespace persim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal leveled logging to stderr.
+ *
+ * persim is a library; by default only warnings are printed. Tools
+ * and benches may raise the level for progress reporting.
+ */
+
+#ifndef PERSIM_COMMON_LOG_HH
+#define PERSIM_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace persim {
+
+/** Severity of a log message. */
+enum class LogLevel : int {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Silent = 3,
+};
+
+/** Global minimum severity that will be emitted. */
+LogLevel logLevel();
+
+/** Set the global minimum severity. */
+void setLogLevel(LogLevel level);
+
+/** Emit @p msg at @p level if the global threshold permits. */
+void logMessage(LogLevel level, const std::string &msg);
+
+} // namespace persim
+
+#define PERSIM_LOG(level, msg)                                             \
+    do {                                                                   \
+        if (static_cast<int>(level) >=                                     \
+            static_cast<int>(::persim::logLevel())) {                      \
+            std::ostringstream oss_;                                       \
+            oss_ << msg;                                                   \
+            ::persim::logMessage(level, oss_.str());                       \
+        }                                                                  \
+    } while (0)
+
+#define PERSIM_DEBUG(msg) PERSIM_LOG(::persim::LogLevel::Debug, msg)
+#define PERSIM_INFO(msg) PERSIM_LOG(::persim::LogLevel::Info, msg)
+#define PERSIM_WARN(msg) PERSIM_LOG(::persim::LogLevel::Warn, msg)
+
+#endif // PERSIM_COMMON_LOG_HH

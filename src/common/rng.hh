@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in persim (schedulers, workload generators, failure
+ * injection) flows through Rng so that every experiment is exactly
+ * reproducible from its seed. The generator is xoshiro256**, which is
+ * fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef PERSIM_COMMON_RNG_HH
+#define PERSIM_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.hh"
+
+namespace persim {
+
+/** Seeded xoshiro256** pseudo-random number generator. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound), bound > 0, without modulo bias. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Exponentially distributed double with the given mean. */
+    double nextExponential(double mean);
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool nextBool(double p = 0.5);
+
+    /** Fork an independent stream (for per-thread determinism). */
+    Rng split();
+
+  private:
+    static std::uint64_t splitmix64(std::uint64_t &state);
+    static std::uint64_t rotl(std::uint64_t x, int k);
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace persim
+
+#endif // PERSIM_COMMON_RNG_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lightweight statistics accumulators for experiment reporting.
+ */
+
+#ifndef PERSIM_COMMON_STATS_HH
+#define PERSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace persim {
+
+/**
+ * Streaming scalar statistic: count, min, max, mean, and variance via
+ * Welford's online algorithm.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the statistic. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double sum() const { return sum_; }
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over a [lo, hi) range with uniform buckets,
+ * plus underflow/overflow counts.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x);
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+    double bucketLo(std::size_t i) const;
+    double bucketHi(std::size_t i) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Render a compact textual summary, one line per nonempty bucket. */
+    std::string render() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Named counter set, used by engines and devices to expose internal
+ * event counts (persists issued, coalesced, conflicts detected, ...).
+ */
+class CounterSet
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if new. */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+
+    /** Value of @p name, or 0 if never incremented. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All counters in name order. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Merge another counter set into this one (summing). */
+    void merge(const CounterSet &other);
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace persim
+
+#endif // PERSIM_COMMON_STATS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared across all persim modules.
+ */
+
+#ifndef PERSIM_COMMON_TYPES_HH
+#define PERSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace persim {
+
+/** Simulated virtual address. The simulator owns a flat 64-bit space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a simulated thread (dense, starting at 0). */
+using ThreadId = std::uint32_t;
+
+/** Sequence number of an event in the global (SC) memory order. */
+using SeqNum = std::uint64_t;
+
+/**
+ * Persist level. Persist timing is measured in discrete levels: a
+ * persist at level L may begin only after every persist at level < L
+ * that it depends on has completed. The critical path of a trace is
+ * the maximum level assigned to any persist (paper Section 7).
+ */
+using Level = std::uint64_t;
+
+/** Identifier of a persist node in a dependence graph. */
+using PersistId = std::uint64_t;
+
+/** Sentinel for "no thread". */
+constexpr ThreadId invalid_thread = std::numeric_limits<ThreadId>::max();
+
+/** Sentinel for "no persist". */
+constexpr PersistId invalid_persist = std::numeric_limits<PersistId>::max();
+
+/** Sentinel for "no address". */
+constexpr Addr invalid_addr = std::numeric_limits<Addr>::max();
+
+/**
+ * Largest access the traced memory API issues as a single event.
+ * Matches the paper's assumption that NVRAM persists are atomic at
+ * (at least) eight-byte granularity; larger copies are split.
+ */
+constexpr std::uint32_t max_access_size = 8;
+
+} // namespace persim
+
+#endif // PERSIM_COMMON_TYPES_HH

@@ -1,0 +1,63 @@
+#include "memtrace/event.hh"
+
+#include <sstream>
+
+namespace persim {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Load:
+        return "load";
+      case EventKind::Store:
+        return "store";
+      case EventKind::Rmw:
+        return "rmw";
+      case EventKind::PersistBarrier:
+        return "persist_barrier";
+      case EventKind::NewStrand:
+        return "new_strand";
+      case EventKind::PersistSync:
+        return "persist_sync";
+      case EventKind::PMalloc:
+        return "pmalloc";
+      case EventKind::PFree:
+        return "pfree";
+      case EventKind::ThreadStart:
+        return "thread_start";
+      case EventKind::ThreadEnd:
+        return "thread_end";
+      case EventKind::Marker:
+        return "marker";
+      case EventKind::Fence:
+        return "fence";
+    }
+    return "unknown";
+}
+
+std::string
+formatEvent(const TraceEvent &event)
+{
+    std::ostringstream oss;
+    oss << "#" << event.seq << " t" << event.thread << " "
+        << eventKindName(event.kind);
+    if (event.isAccess()) {
+        oss << " addr=0x" << std::hex << event.addr << std::dec
+            << " size=" << static_cast<int>(event.size);
+        if (event.isWrite())
+            oss << " value=0x" << std::hex << event.value << std::dec;
+        if (event.isPersist())
+            oss << " [persist]";
+    } else if (event.kind == EventKind::PMalloc) {
+        oss << " addr=0x" << std::hex << event.addr << std::dec
+            << " size=" << event.value;
+    } else if (event.kind == EventKind::PFree) {
+        oss << " addr=0x" << std::hex << event.addr << std::dec;
+    } else if (event.kind == EventKind::Marker) {
+        oss << " code=" << event.marker << " arg=" << event.value;
+    }
+    return oss.str();
+}
+
+} // namespace persim

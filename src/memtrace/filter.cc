@@ -1,0 +1,91 @@
+#include "memtrace/filter.hh"
+
+#include <utility>
+
+#include "common/error.hh"
+
+namespace persim {
+
+FilterSink::FilterSink(TraceSink *downstream, EventPredicate predicate)
+    : downstream_(downstream), predicate_(std::move(predicate))
+{
+    PERSIM_REQUIRE(downstream_ != nullptr, "filter needs a downstream");
+    PERSIM_REQUIRE(predicate_ != nullptr, "filter needs a predicate");
+}
+
+void
+FilterSink::onEvent(const TraceEvent &event)
+{
+    ++seen_;
+    if (predicate_(event)) {
+        ++forwarded_;
+        downstream_->onEvent(event);
+    }
+}
+
+void
+FilterSink::onFinish()
+{
+    downstream_->onFinish();
+}
+
+EventPredicate
+byThread(ThreadId tid)
+{
+    return [tid](const TraceEvent &event) { return event.thread == tid; };
+}
+
+EventPredicate
+byKind(EventKind kind)
+{
+    return [kind](const TraceEvent &event) { return event.kind == kind; };
+}
+
+EventPredicate
+byAddressRange(Addr lo, Addr hi)
+{
+    return [lo, hi](const TraceEvent &event) {
+        return event.isAccess() && event.addr < hi &&
+            event.addr + event.size > lo;
+    };
+}
+
+EventPredicate
+persistsOnly()
+{
+    return [](const TraceEvent &event) { return event.isPersist(); };
+}
+
+EventPredicate
+bySeqWindow(SeqNum lo, SeqNum hi)
+{
+    return [lo, hi](const TraceEvent &event) {
+        return event.seq >= lo && event.seq < hi;
+    };
+}
+
+EventPredicate
+both(EventPredicate a, EventPredicate b)
+{
+    return [a = std::move(a), b = std::move(b)](const TraceEvent &event) {
+        return a(event) && b(event);
+    };
+}
+
+EventPredicate
+either(EventPredicate a, EventPredicate b)
+{
+    return [a = std::move(a), b = std::move(b)](const TraceEvent &event) {
+        return a(event) || b(event);
+    };
+}
+
+EventPredicate
+negate(EventPredicate a)
+{
+    return [a = std::move(a)](const TraceEvent &event) {
+        return !a(event);
+    };
+}
+
+} // namespace persim

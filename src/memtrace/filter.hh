@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace filtering and slicing sinks.
+ *
+ * Analyses sometimes want a subset of an execution: one thread's
+ * program, only the persistent-space accesses, or a window of the
+ * global order. FilterSink forwards the events matching a predicate
+ * to a downstream sink; the predicate combinators cover the common
+ * cases. Note that a filtered trace is generally *not* a legal SC
+ * execution on its own — persistency analyses should consume full
+ * traces — but filters are invaluable for inspection and statistics.
+ */
+
+#ifndef PERSIM_MEMTRACE_FILTER_HH
+#define PERSIM_MEMTRACE_FILTER_HH
+
+#include <functional>
+
+#include "memtrace/sink.hh"
+
+namespace persim {
+
+/** Predicate deciding whether an event passes a filter. */
+using EventPredicate = std::function<bool(const TraceEvent &)>;
+
+/** Forwards matching events to a downstream sink. */
+class FilterSink : public TraceSink
+{
+  public:
+    /**
+     * @param downstream Receiver of matching events (not owned).
+     * @param predicate Keep events for which this returns true.
+     */
+    FilterSink(TraceSink *downstream, EventPredicate predicate);
+
+    void onEvent(const TraceEvent &event) override;
+    void onFinish() override;
+
+    /** Events seen / events forwarded. */
+    std::uint64_t seen() const { return seen_; }
+    std::uint64_t forwarded() const { return forwarded_; }
+
+  private:
+    TraceSink *downstream_;
+    EventPredicate predicate_;
+    std::uint64_t seen_ = 0;
+    std::uint64_t forwarded_ = 0;
+};
+
+/** @name Predicate combinators */
+///@{
+
+/** Keep only events of thread @p tid. */
+EventPredicate byThread(ThreadId tid);
+
+/** Keep only events of kind @p kind. */
+EventPredicate byKind(EventKind kind);
+
+/** Keep only accesses touching [lo, hi). */
+EventPredicate byAddressRange(Addr lo, Addr hi);
+
+/** Keep only writes to the persistent address space. */
+EventPredicate persistsOnly();
+
+/** Keep only events with seq in [lo, hi). */
+EventPredicate bySeqWindow(SeqNum lo, SeqNum hi);
+
+/** Conjunction of two predicates. */
+EventPredicate both(EventPredicate a, EventPredicate b);
+
+/** Disjunction of two predicates. */
+EventPredicate either(EventPredicate a, EventPredicate b);
+
+/** Negation of a predicate. */
+EventPredicate negate(EventPredicate a);
+
+///@}
+
+} // namespace persim
+
+#endif // PERSIM_MEMTRACE_FILTER_HH

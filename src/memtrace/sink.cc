@@ -1,0 +1,42 @@
+#include "memtrace/sink.hh"
+
+#include <algorithm>
+
+namespace persim {
+
+void
+FanoutSink::addSink(TraceSink *sink)
+{
+    sinks_.push_back(sink);
+}
+
+void
+FanoutSink::onEvent(const TraceEvent &event)
+{
+    for (auto *sink : sinks_)
+        sink->onEvent(event);
+}
+
+void
+FanoutSink::onFinish()
+{
+    for (auto *sink : sinks_)
+        sink->onFinish();
+}
+
+void
+InMemoryTrace::onEvent(const TraceEvent &event)
+{
+    events_.push_back(event);
+    thread_count_ = std::max(thread_count_, event.thread + 1);
+}
+
+void
+InMemoryTrace::replay(TraceSink &sink) const
+{
+    for (const auto &event : events_)
+        sink.onEvent(event);
+    sink.onFinish();
+}
+
+} // namespace persim

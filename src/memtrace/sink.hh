@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Trace consumers.
+ *
+ * The execution engine pushes every event to a TraceSink as it
+ * happens; analyses are sinks, so large experiments can run without
+ * materializing the trace in memory. FanoutSink broadcasts one
+ * execution to several analyses at once.
+ */
+
+#ifndef PERSIM_MEMTRACE_SINK_HH
+#define PERSIM_MEMTRACE_SINK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "memtrace/event.hh"
+
+namespace persim {
+
+/** Abstract consumer of a stream of trace events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once per event, in global (SC) order. */
+    virtual void onEvent(const TraceEvent &event) = 0;
+
+    /** Called after the last event of the execution. */
+    virtual void onFinish() {}
+};
+
+/** Broadcasts each event to a list of downstream sinks, in order. */
+class FanoutSink : public TraceSink
+{
+  public:
+    /** Append a downstream sink; not owned. */
+    void addSink(TraceSink *sink);
+
+    void onEvent(const TraceEvent &event) override;
+    void onFinish() override;
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+/** Materializes the event stream into a vector. */
+class InMemoryTrace : public TraceSink
+{
+  public:
+    void onEvent(const TraceEvent &event) override;
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::vector<TraceEvent> &events() { return events_; }
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+
+    /** Number of distinct threads seen (max thread id + 1). */
+    ThreadId threadCount() const { return thread_count_; }
+
+    /** Replay all stored events into @p sink, then finish it. */
+    void replay(TraceSink &sink) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+    ThreadId thread_count_ = 0;
+};
+
+} // namespace persim
+
+#endif // PERSIM_MEMTRACE_SINK_HH

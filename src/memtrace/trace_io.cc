@@ -1,0 +1,180 @@
+#include "memtrace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.hh"
+
+namespace persim {
+
+namespace {
+
+constexpr std::array<char, 8> trace_magic =
+    {'P', 'S', 'I', 'M', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t trace_version = 1;
+constexpr std::size_t header_size = 8 + 4 + 4 + 8;
+constexpr std::size_t record_size = 32;
+
+/** Pack one event into a 32-byte little-endian record. */
+void
+packEvent(const TraceEvent &event, unsigned char *out)
+{
+    auto put = [&out](std::uint64_t v, int bytes) {
+        for (int i = 0; i < bytes; ++i)
+            *out++ = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+    };
+    put(event.seq, 8);
+    put(event.addr, 8);
+    put(event.value, 8);
+    put(event.thread, 4);
+    put(static_cast<std::uint64_t>(event.kind), 1);
+    put(event.size, 1);
+    put(event.marker, 2);
+}
+
+/** Unpack one 32-byte record into an event. */
+void
+unpackEvent(const unsigned char *in, TraceEvent &event)
+{
+    auto get = [&in](int bytes) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < bytes; ++i)
+            v |= static_cast<std::uint64_t>(*in++) << (8 * i);
+        return v;
+    };
+    event.seq = get(8);
+    event.addr = get(8);
+    event.value = get(8);
+    event.thread = static_cast<ThreadId>(get(4));
+    event.kind = static_cast<EventKind>(get(1));
+    event.size = static_cast<std::uint8_t>(get(1));
+    event.marker = static_cast<std::uint16_t>(get(2));
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    PERSIM_REQUIRE(file_ != nullptr,
+                   "cannot open trace file for writing: " << path);
+    writeHeader();
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    onFinish();
+}
+
+void
+TraceFileWriter::writeHeader()
+{
+    unsigned char header[header_size] = {};
+    std::memcpy(header, trace_magic.data(), trace_magic.size());
+    std::uint32_t version = trace_version;
+    std::memcpy(header + 8, &version, 4);
+    std::uint32_t threads = thread_count_;
+    std::memcpy(header + 12, &threads, 4);
+    std::uint64_t count = event_count_;
+    std::memcpy(header + 16, &count, 8);
+    std::fseek(file_, 0, SEEK_SET);
+    const std::size_t written =
+        std::fwrite(header, 1, header_size, file_);
+    PERSIM_REQUIRE(written == header_size,
+                   "short write to trace file: " << path_);
+}
+
+void
+TraceFileWriter::onEvent(const TraceEvent &event)
+{
+    PERSIM_REQUIRE(file_ != nullptr && !finished_,
+                   "write to a finished trace file: " << path_);
+    unsigned char record[record_size];
+    packEvent(event, record);
+    const std::size_t written = std::fwrite(record, 1, record_size, file_);
+    PERSIM_REQUIRE(written == record_size,
+                   "short write to trace file: " << path_);
+    ++event_count_;
+    if (event.thread + 1 > thread_count_)
+        thread_count_ = event.thread + 1;
+}
+
+void
+TraceFileWriter::onFinish()
+{
+    if (finished_ || file_ == nullptr)
+        return;
+    finished_ = true;
+    writeHeader();
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    PERSIM_REQUIRE(file_ != nullptr,
+                   "cannot open trace file for reading: " << path);
+    unsigned char header[header_size];
+    const std::size_t got = std::fread(header, 1, header_size, file_);
+    PERSIM_REQUIRE(got == header_size, "trace file too short: " << path);
+    PERSIM_REQUIRE(
+        std::memcmp(header, trace_magic.data(), trace_magic.size()) == 0,
+        "bad trace file magic: " << path);
+    std::uint32_t version = 0;
+    std::memcpy(&version, header + 8, 4);
+    PERSIM_REQUIRE(version == trace_version,
+                   "unsupported trace version " << version << ": " << path);
+    std::uint32_t threads = 0;
+    std::memcpy(&threads, header + 12, 4);
+    thread_count_ = threads;
+    std::memcpy(&event_count_, header + 16, 8);
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+bool
+TraceFileReader::readNext(TraceEvent &event)
+{
+    if (events_read_ >= event_count_)
+        return false;
+    unsigned char record[record_size];
+    const std::size_t got = std::fread(record, 1, record_size, file_);
+    PERSIM_REQUIRE(got == record_size, "truncated trace file");
+    unpackEvent(record, event);
+    ++events_read_;
+    return true;
+}
+
+void
+TraceFileReader::readAll(TraceSink &sink)
+{
+    TraceEvent event;
+    while (readNext(event))
+        sink.onEvent(event);
+    sink.onFinish();
+}
+
+void
+writeTraceFile(const std::string &path, const InMemoryTrace &trace)
+{
+    TraceFileWriter writer(path);
+    for (const auto &event : trace.events())
+        writer.onEvent(event);
+    writer.onFinish();
+}
+
+InMemoryTrace
+readTraceFile(const std::string &path)
+{
+    TraceFileReader reader(path);
+    InMemoryTrace trace;
+    reader.readAll(trace);
+    return trace;
+}
+
+} // namespace persim

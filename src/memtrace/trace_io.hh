@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Binary trace file format.
+ *
+ * Layout (little-endian):
+ *   - 8-byte magic "PSIMTRC1"
+ *   - u32 version (currently 1)
+ *   - u32 thread count
+ *   - u64 event count
+ *   - event count packed records of 32 bytes each
+ *     (seq u64, addr u64, value u64, thread u32, kind u8, size u8,
+ *      marker u16)
+ *
+ * Traces are self-contained: persistent vs. volatile address space
+ * membership is determined by the fixed region layout in event.hh,
+ * and allocations appear as PMalloc/PFree events.
+ */
+
+#ifndef PERSIM_MEMTRACE_TRACE_IO_HH
+#define PERSIM_MEMTRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <string>
+
+#include "memtrace/sink.hh"
+
+namespace persim {
+
+/** Streaming trace writer; also usable directly as a TraceSink. */
+class TraceFileWriter : public TraceSink
+{
+  public:
+    /** Open @p path for writing; fatals if the file cannot be opened. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter() override;
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void onEvent(const TraceEvent &event) override;
+
+    /** Patch header counts and close the file. Idempotent. */
+    void onFinish() override;
+
+    std::uint64_t eventsWritten() const { return event_count_; }
+
+  private:
+    void writeHeader();
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint64_t event_count_ = 0;
+    ThreadId thread_count_ = 0;
+    bool finished_ = false;
+};
+
+/** Reads a trace file, streaming events into a sink. */
+class TraceFileReader
+{
+  public:
+    /** Open @p path; fatals on a missing or malformed file. */
+    explicit TraceFileReader(const std::string &path);
+    ~TraceFileReader();
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    std::uint64_t eventCount() const { return event_count_; }
+    ThreadId threadCount() const { return thread_count_; }
+
+    /** Stream every event into @p sink and call its onFinish. */
+    void readAll(TraceSink &sink);
+
+    /** Read the next event; returns false at end of trace. */
+    bool readNext(TraceEvent &event);
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::uint64_t event_count_ = 0;
+    std::uint64_t events_read_ = 0;
+    ThreadId thread_count_ = 0;
+};
+
+/** Convenience: write a whole in-memory trace to @p path. */
+void writeTraceFile(const std::string &path, const InMemoryTrace &trace);
+
+/** Convenience: load a whole trace file into memory. */
+InMemoryTrace readTraceFile(const std::string &path);
+
+} // namespace persim
+
+#endif // PERSIM_MEMTRACE_TRACE_IO_HH

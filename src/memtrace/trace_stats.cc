@@ -1,0 +1,78 @@
+#include "memtrace/trace_stats.hh"
+
+#include <sstream>
+
+namespace persim {
+
+void
+TraceStats::onEvent(const TraceEvent &event)
+{
+    ++total_events_;
+    if (event.thread >= per_thread_.size())
+        per_thread_.resize(event.thread + 1, 0);
+    ++per_thread_[event.thread];
+
+    switch (event.kind) {
+      case EventKind::Load:
+        ++loads_;
+        break;
+      case EventKind::Store:
+        ++stores_;
+        break;
+      case EventKind::Rmw:
+        ++rmws_;
+        break;
+      case EventKind::PersistBarrier:
+        ++persist_barriers_;
+        break;
+      case EventKind::NewStrand:
+        ++new_strands_;
+        break;
+      case EventKind::PersistSync:
+        ++persist_syncs_;
+        break;
+      case EventKind::PMalloc:
+        ++pmallocs_;
+        break;
+      case EventKind::PFree:
+        ++pfrees_;
+        break;
+      case EventKind::Marker:
+        ++markers_;
+        if (event.markerCode() == MarkerCode::OpBegin)
+            ++op_begins_;
+        break;
+      default:
+        break;
+    }
+    if (event.isPersist()) {
+        ++persists_;
+        persisted_bytes_ += event.size;
+    }
+}
+
+std::uint64_t
+TraceStats::threadEvents(ThreadId tid) const
+{
+    return tid < per_thread_.size() ? per_thread_[tid] : 0;
+}
+
+std::string
+TraceStats::render() const
+{
+    std::ostringstream oss;
+    oss << "trace: " << total_events_ << " events, "
+        << per_thread_.size() << " threads\n"
+        << "  loads=" << loads_ << " stores=" << stores_
+        << " rmws=" << rmws_ << "\n"
+        << "  persists=" << persists_
+        << " (" << persisted_bytes_ << " bytes)\n"
+        << "  persist_barriers=" << persist_barriers_
+        << " new_strands=" << new_strands_
+        << " persist_syncs=" << persist_syncs_ << "\n"
+        << "  pmallocs=" << pmallocs_ << " pfrees=" << pfrees_
+        << " operations=" << op_begins_ << "\n";
+    return oss.str();
+}
+
+} // namespace persim

@@ -1,0 +1,54 @@
+#include "nvram/endurance.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+
+namespace persim {
+
+EnduranceTracker::EnduranceTracker(std::uint64_t block_bytes)
+    : block_bytes_(block_bytes)
+{
+    PERSIM_REQUIRE(isPowerOfTwo(block_bytes), "block size must be 2^k");
+}
+
+void
+EnduranceTracker::onEvent(const TraceEvent &event)
+{
+    if (!event.isPersist())
+        return;
+    ++total_writes_;
+    const std::uint64_t count =
+        ++counts_[blockIndex(event.addr, block_bytes_)];
+    max_block_writes_ = std::max(max_block_writes_, count);
+}
+
+std::uint64_t
+EnduranceTracker::writesTo(Addr addr) const
+{
+    auto it = counts_.find(blockIndex(addr, block_bytes_));
+    return it == counts_.end() ? 0 : it->second;
+}
+
+double
+EnduranceTracker::imbalance() const
+{
+    if (counts_.empty())
+        return 1.0;
+    const double mean = static_cast<double>(total_writes_) /
+        static_cast<double>(counts_.size());
+    return static_cast<double>(max_block_writes_) / mean;
+}
+
+std::uint64_t
+countDeviceWrites(const PersistLog &log)
+{
+    std::uint64_t writes = 0;
+    for (const auto &record : log)
+        if (record.binding_source != DepSource::Coalesced)
+            ++writes;
+    return writes;
+}
+
+} // namespace persim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * NVRAM write-endurance accounting.
+ *
+ * NVRAM cells tolerate a limited number of writes (Section 2.1); the
+ * paper notes that persist coalescing "reduces the total number of
+ * NVRAM writes, which may be important for NVRAM devices that are
+ * subject to wear" (Section 3). EnduranceTracker counts raw persist
+ * traffic per cell block from a trace; countDeviceWrites counts the
+ * writes that actually reach the device after coalescing, from a
+ * persist log, so the two can be compared.
+ */
+
+#ifndef PERSIM_NVRAM_ENDURANCE_HH
+#define PERSIM_NVRAM_ENDURANCE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "memtrace/sink.hh"
+#include "persistency/persist_log.hh"
+
+namespace persim {
+
+/** Per-block persistent write counts over a trace (pre-coalescing). */
+class EnduranceTracker : public TraceSink
+{
+  public:
+    /** @param block_bytes Wear-tracking block size (power of two). */
+    explicit EnduranceTracker(std::uint64_t block_bytes = 64);
+
+    void onEvent(const TraceEvent &event) override;
+
+    /** Total persistent-space write events. */
+    std::uint64_t totalWrites() const { return total_writes_; }
+
+    /** Writes to the most-written block. */
+    std::uint64_t maxBlockWrites() const { return max_block_writes_; }
+
+    /** Distinct blocks ever written. */
+    std::size_t blocksTouched() const { return counts_.size(); }
+
+    /** Write count of the block containing @p addr. */
+    std::uint64_t writesTo(Addr addr) const;
+
+    /**
+     * Wear imbalance: max block writes / mean block writes (1.0 is
+     * perfectly even; large values motivate wear leveling [24]).
+     */
+    double imbalance() const;
+
+  private:
+    std::uint64_t block_bytes_;
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+    std::uint64_t total_writes_ = 0;
+    std::uint64_t max_block_writes_ = 0;
+};
+
+/** Device writes after coalescing (coalesced pieces merge). */
+std::uint64_t countDeviceWrites(const PersistLog &log);
+
+} // namespace persim
+
+#endif // PERSIM_NVRAM_ENDURANCE_HH

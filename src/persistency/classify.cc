@@ -1,0 +1,110 @@
+#include "persistency/classify.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace persim {
+
+const char *
+constraintClassName(ConstraintClass cls)
+{
+    switch (cls) {
+      case ConstraintClass::Unconstrained:
+        return "unconstrained";
+      case ConstraintClass::RequiredDataToHead:
+        return "required_data_to_head";
+      case ConstraintClass::RequiredHeadToHead:
+        return "required_head_to_head";
+      case ConstraintClass::UnnecessaryIntraOp:
+        return "unnecessary_intra_op (A)";
+      case ConstraintClass::UnnecessaryInterOp:
+        return "unnecessary_inter_op (B)";
+      case ConstraintClass::Coalesced:
+        return "coalesced";
+      case ConstraintClass::Other:
+        return "other";
+    }
+    return "unknown";
+}
+
+ConstraintClass
+classifyBinding(const PersistLog &log, const PersistRecord &record)
+{
+    if (record.binding == invalid_persist)
+        return ConstraintClass::Unconstrained;
+    if (record.binding_source == DepSource::Coalesced)
+        return ConstraintClass::Coalesced;
+    PERSIM_REQUIRE(record.binding < log.size(),
+                   "binding id out of range; log incomplete?");
+    const PersistRecord &pred = log[record.binding];
+
+    const bool same_op =
+        record.op != no_operation && record.op == pred.op;
+    const bool head_to_head = pred.role == PersistRole::Head &&
+        record.role == PersistRole::Head;
+
+    if (head_to_head)
+        return ConstraintClass::RequiredHeadToHead;
+    if (same_op) {
+        if (pred.role == PersistRole::Data &&
+            record.role == PersistRole::Head)
+            return ConstraintClass::RequiredDataToHead;
+        if (pred.role == PersistRole::Data &&
+            record.role == PersistRole::Data)
+            return ConstraintClass::UnnecessaryIntraOp;
+        return ConstraintClass::Other;
+    }
+    if (record.op != no_operation && pred.op != no_operation)
+        return ConstraintClass::UnnecessaryInterOp;
+    return ConstraintClass::Other;
+}
+
+ConstraintCensus
+censusOf(const PersistLog &log)
+{
+    ConstraintCensus census;
+    for (const auto &record : log) {
+        const auto cls = classifyBinding(log, record);
+        ++census.counts[static_cast<std::size_t>(cls)];
+    }
+    return census;
+}
+
+std::uint64_t
+ConstraintCensus::total() const
+{
+    std::uint64_t sum = 0;
+    for (auto c : counts)
+        sum += c;
+    return sum;
+}
+
+std::uint64_t
+ConstraintCensus::required() const
+{
+    return of(ConstraintClass::RequiredDataToHead) +
+        of(ConstraintClass::RequiredHeadToHead);
+}
+
+std::uint64_t
+ConstraintCensus::unnecessary() const
+{
+    return of(ConstraintClass::UnnecessaryIntraOp) +
+        of(ConstraintClass::UnnecessaryInterOp);
+}
+
+std::string
+ConstraintCensus::render() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < 7; ++i) {
+        if (counts[i] == 0)
+            continue;
+        oss << "  " << constraintClassName(static_cast<ConstraintClass>(i))
+            << ": " << counts[i] << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace persim

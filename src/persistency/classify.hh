@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Classification of binding persist dependences (Figure 2).
+ *
+ * Figure 2 of the paper divides the persist-order constraints of the
+ * queue workloads into constraints *required* for recovery (entry
+ * data before the same insert's head update; head updates in insert
+ * order) and *unnecessary* constraints a persistency model introduces:
+ * class "A" (serialization of data persists within one insert,
+ * removed by epoch persistency) and class "B" (serialization between
+ * different inserts' data, removed by strand persistency).
+ *
+ * The timing engine records, for each persist, its binding (argmax)
+ * dependence; classifying those bindings by the roles and operations
+ * of the two endpoint persists reproduces the figure's taxonomy.
+ */
+
+#ifndef PERSIM_PERSISTENCY_CLASSIFY_HH
+#define PERSIM_PERSISTENCY_CLASSIFY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "persistency/persist_log.hh"
+
+namespace persim {
+
+/** Category of one binding persist dependence. */
+enum class ConstraintClass : std::uint8_t {
+    /** No predecessor (first-level persist). */
+    Unconstrained,
+    /** Required: same operation, data persist before head persist. */
+    RequiredDataToHead,
+    /** Required: head persists serialize in insert order. */
+    RequiredHeadToHead,
+    /** Class A: data persists of one operation serialized. */
+    UnnecessaryIntraOp,
+    /** Class B: persists of different operations serialized
+        (other than head-to-head). */
+    UnnecessaryInterOp,
+    /** Coalesced into an earlier persist (no delay contributed). */
+    Coalesced,
+    /** Anything not attributable (missing role/op annotations). */
+    Other,
+};
+
+/** Human-readable name of a constraint class. */
+const char *constraintClassName(ConstraintClass cls);
+
+/** Per-class counts of binding dependences over a persist log. */
+struct ConstraintCensus
+{
+    std::uint64_t counts[7] = {};
+
+    std::uint64_t total() const;
+    std::uint64_t required() const;
+    std::uint64_t unnecessary() const;
+
+    std::uint64_t
+    of(ConstraintClass cls) const
+    {
+        return counts[static_cast<std::size_t>(cls)];
+    }
+
+    /** Multi-line report. */
+    std::string render() const;
+};
+
+/** Classify one record's binding dependence within its log. */
+ConstraintClass classifyBinding(const PersistLog &log,
+                                const PersistRecord &record);
+
+/** Census of all binding dependences in @p log. */
+ConstraintCensus censusOf(const PersistLog &log);
+
+} // namespace persim
+
+#endif // PERSIM_PERSISTENCY_CLASSIFY_HH

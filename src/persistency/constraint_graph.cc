@@ -1,0 +1,120 @@
+#include "persistency/constraint_graph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace persim {
+
+ConstraintGraph::NodeId
+ConstraintGraph::addNode(const std::string &label)
+{
+    labels_.push_back(label);
+    adjacency_.emplace_back();
+    return labels_.size() - 1;
+}
+
+void
+ConstraintGraph::addEdge(NodeId from, NodeId to, const std::string &why)
+{
+    PERSIM_REQUIRE(from < labels_.size() && to < labels_.size(),
+                   "edge references unknown node");
+    adjacency_[from].push_back(Edge{to, why});
+    ++edge_count_;
+}
+
+std::vector<ConstraintGraph::NodeId>
+ConstraintGraph::findCycle() const
+{
+    enum class Mark : std::uint8_t { White, Grey, Black };
+    std::vector<Mark> mark(labels_.size(), Mark::White);
+    std::vector<NodeId> parent(labels_.size(), 0);
+
+    // Iterative DFS carrying an explicit stack of (node, next-edge).
+    for (NodeId root = 0; root < labels_.size(); ++root) {
+        if (mark[root] != Mark::White)
+            continue;
+        std::vector<std::pair<NodeId, std::size_t>> stack;
+        stack.emplace_back(root, 0);
+        mark[root] = Mark::Grey;
+        while (!stack.empty()) {
+            auto &[node, next] = stack.back();
+            if (next < adjacency_[node].size()) {
+                const NodeId to = adjacency_[node][next].to;
+                ++next;
+                if (mark[to] == Mark::White) {
+                    mark[to] = Mark::Grey;
+                    parent[to] = node;
+                    stack.emplace_back(to, 0);
+                } else if (mark[to] == Mark::Grey) {
+                    // Found a back edge: reconstruct the cycle.
+                    std::vector<NodeId> cycle{to};
+                    NodeId cur = node;
+                    while (cur != to) {
+                        cycle.push_back(cur);
+                        cur = parent[cur];
+                    }
+                    cycle.push_back(to);
+                    std::reverse(cycle.begin() + 1, cycle.end() - 1);
+                    return cycle;
+                }
+            } else {
+                mark[node] = Mark::Black;
+                stack.pop_back();
+            }
+        }
+    }
+    return {};
+}
+
+bool
+ConstraintGraph::satisfiable() const
+{
+    return findCycle().empty();
+}
+
+std::vector<ConstraintGraph::NodeId>
+ConstraintGraph::topologicalOrder() const
+{
+    std::vector<std::size_t> indegree(labels_.size(), 0);
+    for (const auto &edges : adjacency_)
+        for (const auto &edge : edges)
+            ++indegree[edge.to];
+
+    std::vector<NodeId> ready;
+    for (NodeId node = 0; node < labels_.size(); ++node)
+        if (indegree[node] == 0)
+            ready.push_back(node);
+
+    std::vector<NodeId> order;
+    while (!ready.empty()) {
+        const NodeId node = ready.back();
+        ready.pop_back();
+        order.push_back(node);
+        for (const auto &edge : adjacency_[node])
+            if (--indegree[edge.to] == 0)
+                ready.push_back(edge.to);
+    }
+    PERSIM_REQUIRE(order.size() == labels_.size(),
+                   "constraint graph has a cycle; no persist order exists");
+    return order;
+}
+
+std::string
+ConstraintGraph::explain() const
+{
+    const auto cycle = findCycle();
+    if (cycle.empty())
+        return "satisfiable: a persist order exists";
+    std::ostringstream oss;
+    oss << "unsatisfiable constraint cycle: ";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        if (i > 0)
+            oss << " -> ";
+        oss << labels_[cycle[i]];
+    }
+    return oss.str();
+}
+
+} // namespace persim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Generic happens-before constraint graph with cycle detection.
+ *
+ * Used to reason about persist-order constraint systems abstractly:
+ * e.g. Figure 1's demonstration that store-visibility reordering
+ * across persist barriers, enforced persist barriers, and strong
+ * persist atomicity cannot hold simultaneously (their constraints
+ * form a cycle).
+ */
+
+#ifndef PERSIM_PERSISTENCY_CONSTRAINT_GRAPH_HH
+#define PERSIM_PERSISTENCY_CONSTRAINT_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace persim {
+
+/** A directed graph of happens-before constraints between events. */
+class ConstraintGraph
+{
+  public:
+    using NodeId = std::size_t;
+
+    /** Add a named node; returns its id. */
+    NodeId addNode(const std::string &label);
+
+    /** Add a happens-before edge: @p from must precede @p to. */
+    void addEdge(NodeId from, NodeId to, const std::string &why = "");
+
+    std::size_t nodeCount() const { return labels_.size(); }
+    std::size_t edgeCount() const { return edge_count_; }
+    const std::string &label(NodeId node) const { return labels_.at(node); }
+
+    /** True iff the constraints are satisfiable (graph is acyclic). */
+    bool satisfiable() const;
+
+    /**
+     * A cycle witnessing unsatisfiability, as node ids in order (the
+     * first node is repeated at the end); empty if satisfiable.
+     */
+    std::vector<NodeId> findCycle() const;
+
+    /**
+     * A topological order of the nodes (one valid persist order);
+     * fatals if the constraints are unsatisfiable.
+     */
+    std::vector<NodeId> topologicalOrder() const;
+
+    /** Render the cycle (or "satisfiable") for reports. */
+    std::string explain() const;
+
+  private:
+    struct Edge
+    {
+        NodeId to;
+        std::string why;
+    };
+
+    std::vector<std::string> labels_;
+    std::vector<std::vector<Edge>> adjacency_;
+    std::size_t edge_count_ = 0;
+};
+
+} // namespace persim
+
+#endif // PERSIM_PERSISTENCY_CONSTRAINT_GRAPH_HH

@@ -1,0 +1,81 @@
+#include "persistency/model.hh"
+
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+
+namespace persim {
+
+std::string
+ModelConfig::name() const
+{
+    std::ostringstream oss;
+    switch (kind) {
+      case ModelKind::Strict:
+        oss << "strict";
+        break;
+      case ModelKind::Epoch:
+        oss << "epoch";
+        break;
+      case ModelKind::Strand:
+        oss << "strand";
+        break;
+    }
+    if (conflict_scope == ConflictScope::PersistentOnly)
+        oss << "-ponly";
+    if (!detect_load_before_store)
+        oss << "-tso";
+    if (atomic_granularity != 8)
+        oss << "-a" << atomic_granularity;
+    if (tracking_granularity != 8)
+        oss << "-t" << tracking_granularity;
+    return oss.str();
+}
+
+void
+ModelConfig::validate() const
+{
+    PERSIM_REQUIRE(isPowerOfTwo(atomic_granularity) &&
+                   atomic_granularity >= 8,
+                   "atomic persist granularity must be a power of two >= 8");
+    PERSIM_REQUIRE(isPowerOfTwo(tracking_granularity) &&
+                   tracking_granularity >= 8,
+                   "tracking granularity must be a power of two >= 8");
+}
+
+ModelConfig
+ModelConfig::strict()
+{
+    ModelConfig config;
+    config.kind = ModelKind::Strict;
+    return config;
+}
+
+ModelConfig
+ModelConfig::epoch()
+{
+    ModelConfig config;
+    config.kind = ModelKind::Epoch;
+    return config;
+}
+
+ModelConfig
+ModelConfig::strand()
+{
+    ModelConfig config;
+    config.kind = ModelKind::Strand;
+    return config;
+}
+
+ModelConfig
+ModelConfig::bpfs()
+{
+    ModelConfig config;
+    config.kind = ModelKind::Epoch;
+    config.conflict_scope = ConflictScope::PersistentOnly;
+    config.detect_load_before_store = false;
+    return config;
+}
+
+} // namespace persim

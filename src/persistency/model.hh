@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Persistency model definitions (paper Sections 4-5).
+ *
+ * A persistency model determines which persists are ordered with
+ * respect to the recovery observer. All models here assume SC as the
+ * underlying consistency model and guarantee strong persist
+ * atomicity (persists to the same address serialize, and the order
+ * agrees with store order).
+ */
+
+#ifndef PERSIM_PERSISTENCY_MODEL_HH
+#define PERSIM_PERSISTENCY_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace persim {
+
+/** Which persistency model governs persist ordering. */
+enum class ModelKind : std::uint8_t {
+    /**
+     * Strict persistency (Section 5.1): persistent memory order
+     * equals volatile memory order; under SC every persist is ordered
+     * after everything the thread has observed. Persist barriers are
+     * redundant and ignored.
+     */
+    Strict,
+
+    /**
+     * Epoch persistency (Section 5.2): persist barriers divide each
+     * thread's execution into epochs. Persists within an epoch are
+     * concurrent; barrier-separated accesses are ordered; conflicting
+     * accesses inherit order (strong persist atomicity).
+     */
+    Epoch,
+
+    /**
+     * Strand persistency (Section 5.3): NewStrand clears all
+     * previously observed persist dependences on the thread; ordering
+     * is rebuilt minimally via conflicts/strong persist atomicity and
+     * persist barriers within the strand.
+     */
+    Strand,
+};
+
+/** Which address space participates in conflict-based ordering. */
+enum class ConflictScope : std::uint8_t {
+    /**
+     * All memory accesses propagate persist order (the paper's epoch
+     * persistency: "our definition considers all memory accesses").
+     */
+    AllAddresses,
+
+    /**
+     * Only accesses to the persistent address space propagate persist
+     * order, as in BPFS [10].
+     */
+    PersistentOnly,
+};
+
+/** Full configuration of a persistency model instance. */
+struct ModelConfig
+{
+    ModelKind kind = ModelKind::Epoch;
+
+    /**
+     * Atomic persist granularity in bytes (power of two >= 8):
+     * aligned blocks of this size persist atomically, enabling
+     * coalescing (Figure 4).
+     */
+    std::uint64_t atomic_granularity = 8;
+
+    /**
+     * Dependence tracking granularity in bytes (power of two >= 8):
+     * accesses conflict when they touch the same aligned block of
+     * this size; coarse tracking introduces persistent false sharing
+     * (Figure 5).
+     */
+    std::uint64_t tracking_granularity = 8;
+
+    /** Conflict scope (AllAddresses for our models, see above). */
+    ConflictScope conflict_scope = ConflictScope::AllAddresses;
+
+    /**
+     * Whether load-before-store conflicts order persists. BPFS's
+     * last-writer tracking cannot detect them, so it effectively
+     * detects conflicts under TSO rather than SC (Section 5.2);
+     * set false to reproduce that variant.
+     */
+    bool detect_load_before_store = true;
+
+    /** Human-readable model name for reports. */
+    std::string name() const;
+
+    /** Validate granularity parameters; fatals when invalid. */
+    void validate() const;
+
+    /** @name Preset configurations */
+    ///@{
+    static ModelConfig strict();
+    static ModelConfig epoch();
+    static ModelConfig strand();
+    /** BPFS-like epoch variant (persistent-only, TSO detection). */
+    static ModelConfig bpfs();
+    ///@}
+};
+
+} // namespace persim
+
+#endif // PERSIM_PERSISTENCY_MODEL_HH

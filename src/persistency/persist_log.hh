@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-persist records produced by the timing engine.
+ *
+ * When log recording is enabled, the timing engine emits one record
+ * per atomic persist piece: its address/size/value (for recovery
+ * image reconstruction), its assigned completion time, its operation
+ * attribution (for per-insert analysis and Figure 2 constraint
+ * classification), and its binding dependence (the argmax constraint
+ * that determined its time).
+ */
+
+#ifndef PERSIM_PERSISTENCY_PERSIST_LOG_HH
+#define PERSIM_PERSISTENCY_PERSIST_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace persim {
+
+/** Sentinel for "no operation attribution". */
+constexpr std::uint64_t no_operation = ~0ULL;
+
+/** Role of a persist within its operation (set via Role* markers). */
+enum class PersistRole : std::uint8_t {
+    None = 0,
+    Data = 1, //!< Entry payload (the queue's data segment).
+    Head = 2, //!< Commit pointer (the queue's head).
+};
+
+/** Which rule supplied a persist's binding (argmax) dependence. */
+enum class DepSource : std::uint8_t {
+    None = 0,          //!< No predecessor: first-level persist.
+    ThreadEpoch = 1,   //!< Thread/strand state (barrier-ordered or,
+                       //!< under strict persistency, program order).
+    ConflictStore = 2, //!< Tag left by a conflicting store.
+    ConflictLoad = 3,  //!< Tag left by a conflicting load
+                       //!< (load-before-store conflict).
+    SameBlockSPA = 4,  //!< Strong persist atomicity with the previous
+                       //!< persist to the same atomic block.
+    Coalesced = 5,     //!< Merged into the previous persist to the
+                       //!< same atomic block.
+};
+
+/** Human-readable name of a DepSource. */
+const char *depSourceName(DepSource source);
+
+/** One atomic persist piece with its timing and provenance. */
+struct PersistRecord
+{
+    PersistId id = invalid_persist;   //!< Dense id (== log index).
+    SeqNum seq = 0;                   //!< Trace event sequence number.
+    Addr addr = 0;                    //!< Piece start address.
+    std::uint8_t size = 0;            //!< Piece size (1..8 bytes).
+    std::uint64_t value = 0;          //!< Bytes written (low `size`).
+    double time = 0.0;                //!< Completion time/level.
+    ThreadId thread = 0;              //!< Issuing thread.
+    std::uint64_t op = no_operation;  //!< Enclosing operation id.
+    PersistRole role = PersistRole::None;
+    PersistId binding = invalid_persist; //!< Argmax predecessor.
+    DepSource binding_source = DepSource::None;
+};
+
+/** The full persist log of one analyzed execution. */
+using PersistLog = std::vector<PersistRecord>;
+
+} // namespace persim
+
+#endif // PERSIM_PERSISTENCY_PERSIST_LOG_HH

@@ -1,0 +1,105 @@
+#include "persistency/sweep.hh"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/error.hh"
+
+namespace persim {
+
+std::vector<SweepSeries>
+granularitySweep(const InMemoryTrace &trace,
+                 const std::vector<ModelConfig> &models,
+                 const std::vector<std::uint64_t> &granularities,
+                 GranularityKnob knob)
+{
+    PERSIM_REQUIRE(!models.empty() && !granularities.empty(),
+                   "sweep needs at least one model and one value");
+
+    std::vector<std::unique_ptr<PersistTimingEngine>> engines;
+    FanoutSink fanout;
+    for (const auto &base : models) {
+        for (const auto gran : granularities) {
+            ModelConfig model = base;
+            if (knob == GranularityKnob::AtomicPersist) {
+                model.atomic_granularity = gran;
+            } else {
+                model.tracking_granularity = gran;
+            }
+            TimingConfig config;
+            config.model = model;
+            engines.push_back(
+                std::make_unique<PersistTimingEngine>(config));
+            fanout.addSink(engines.back().get());
+        }
+    }
+    trace.replay(fanout);
+
+    std::vector<SweepSeries> series;
+    std::size_t index = 0;
+    for (const auto &base : models) {
+        SweepSeries entry;
+        entry.model = base;
+        for (const auto gran : granularities) {
+            entry.points.push_back(
+                SweepPoint{gran, engines[index]->result()});
+            ++index;
+        }
+        series.push_back(std::move(entry));
+    }
+    return series;
+}
+
+std::vector<LatencyPoint>
+latencyCurve(std::uint64_t ops, double critical_path,
+             double instruction_rate,
+             const std::vector<double> &latencies_ns)
+{
+    PERSIM_REQUIRE(instruction_rate > 0.0,
+                   "instruction rate must be positive");
+    std::vector<LatencyPoint> curve;
+    curve.reserve(latencies_ns.size());
+    for (const double latency : latencies_ns) {
+        PERSIM_REQUIRE(latency > 0.0, "latency must be positive");
+        LatencyPoint point;
+        point.latency_ns = latency;
+        const double persist_rate = critical_path > 0.0
+            ? static_cast<double>(ops) * 1e9 / (critical_path * latency)
+            : instruction_rate;
+        point.persist_bound = persist_rate < instruction_rate;
+        point.achievable_rate =
+            point.persist_bound ? persist_rate : instruction_rate;
+        curve.push_back(point);
+    }
+    return curve;
+}
+
+std::vector<double>
+logLatencyGrid(double lo_ns, double hi_ns, unsigned points_per_decade)
+{
+    PERSIM_REQUIRE(lo_ns > 0.0 && hi_ns > lo_ns,
+                   "grid needs 0 < lo < hi");
+    PERSIM_REQUIRE(points_per_decade >= 1, "need at least one point");
+    std::vector<double> grid;
+    const double step = 1.0 / points_per_decade;
+    const double lo_exp = std::log10(lo_ns);
+    const double hi_exp = std::log10(hi_ns);
+    for (double e = lo_exp; e <= hi_exp + 1e-9; e += step)
+        grid.push_back(std::pow(10.0, e));
+    return grid;
+}
+
+double
+breakEvenLatencyNs(std::uint64_t ops, double critical_path,
+                   double instruction_rate)
+{
+    PERSIM_REQUIRE(instruction_rate > 0.0,
+                   "instruction rate must be positive");
+    if (critical_path <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return static_cast<double>(ops) * 1e9 /
+        (critical_path * instruction_rate);
+}
+
+} // namespace persim

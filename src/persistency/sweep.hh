@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Parameter sweep helpers.
+ *
+ * The paper's figures are sweeps over a single knob — persist latency
+ * (Figure 3), atomic persist granularity (Figure 4), tracking
+ * granularity (Figure 5). These helpers run one trace through a bank
+ * of engines, one per knob value, in a single pass (engines are
+ * sinks), returning structured series that benches or applications
+ * can render or post-process.
+ */
+
+#ifndef PERSIM_PERSISTENCY_SWEEP_HH
+#define PERSIM_PERSISTENCY_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memtrace/sink.hh"
+#include "persistency/timing_engine.hh"
+
+namespace persim {
+
+/** One sweep sample: the knob value and the analysis result. */
+struct SweepPoint
+{
+    std::uint64_t value = 0;
+    TimingResult result;
+};
+
+/** A sweep for one model across knob values. */
+struct SweepSeries
+{
+    ModelConfig model;
+    std::vector<SweepPoint> points;
+};
+
+/** Which granularity knob a sweep varies. */
+enum class GranularityKnob : std::uint8_t {
+    AtomicPersist,
+    Tracking,
+};
+
+/**
+ * Analyze @p trace once per (model, granularity) pair in a single
+ * replay pass; returns one series per model, each with one point per
+ * granularity.
+ */
+std::vector<SweepSeries>
+granularitySweep(const InMemoryTrace &trace,
+                 const std::vector<ModelConfig> &models,
+                 const std::vector<std::uint64_t> &granularities,
+                 GranularityKnob knob);
+
+/** One latency sample: latency and the achievable ops/s. */
+struct LatencyPoint
+{
+    double latency_ns = 0.0;
+    double achievable_rate = 0.0; //!< min(instruction, persist-bound).
+    bool persist_bound = false;
+};
+
+/**
+ * Achievable-rate curve for a fixed critical path (Figure 3): the
+ * analysis is latency-independent, so this is pure arithmetic over
+ * the given latency grid.
+ */
+std::vector<LatencyPoint>
+latencyCurve(std::uint64_t ops, double critical_path,
+             double instruction_rate,
+             const std::vector<double> &latencies_ns);
+
+/** Log-spaced latency grid (points_per_decade >= 1). */
+std::vector<double> logLatencyGrid(double lo_ns, double hi_ns,
+                                   unsigned points_per_decade);
+
+/**
+ * The persist latency at which the persist-bound rate equals the
+ * instruction rate (the Figure 3 break-even).
+ */
+double breakEvenLatencyNs(std::uint64_t ops, double critical_path,
+                          double instruction_rate);
+
+} // namespace persim
+
+#endif // PERSIM_PERSISTENCY_SWEEP_HH

@@ -1,0 +1,374 @@
+#include "persistency/timing_engine.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+
+namespace persim {
+
+const char *
+depSourceName(DepSource source)
+{
+    switch (source) {
+      case DepSource::None:
+        return "none";
+      case DepSource::ThreadEpoch:
+        return "thread_epoch";
+      case DepSource::ConflictStore:
+        return "conflict_store";
+      case DepSource::ConflictLoad:
+        return "conflict_load";
+      case DepSource::SameBlockSPA:
+        return "same_block_spa";
+      case DepSource::Coalesced:
+        return "coalesced";
+    }
+    return "unknown";
+}
+
+double
+TimingResult::criticalPathPerOp() const
+{
+    return ops > 0 ? critical_path / static_cast<double>(ops)
+                   : critical_path;
+}
+
+PersistTimingEngine::PersistTimingEngine(const TimingConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    config_.model.validate();
+    PERSIM_REQUIRE(config_.mean_latency > 0.0,
+                   "mean persist latency must be positive");
+}
+
+PersistTimingEngine::Tag
+PersistTimingEngine::mergeTag(const Tag &a, const Tag &b)
+{
+    if (a.src == invalid_persist)
+        return b;
+    if (b.src == invalid_persist)
+        return a;
+    if (a.block == b.block && a.t == b.t) {
+        // Same coalescing group: keep the newest witness.
+        Tag merged = a;
+        merged.src = std::max(a.src, b.src);
+        merged.oth = std::max(a.oth, b.oth);
+        return merged;
+    }
+    const Tag &winner = (b.t > a.t) ? b : a;
+    const Tag &loser = (b.t > a.t) ? a : b;
+    Tag merged = winner;
+    merged.oth = std::max({winner.oth, loser.t, loser.oth});
+    return merged;
+}
+
+double
+PersistTimingEngine::nextTime(double base)
+{
+    if (config_.clock == ClockMode::Levels)
+        return base + 1.0;
+    return base + rng_.nextExponential(config_.mean_latency);
+}
+
+PersistTimingEngine::ThreadState &
+PersistTimingEngine::threadState(ThreadId tid)
+{
+    if (tid >= threads_.size())
+        threads_.resize(tid + 1);
+    return threads_[tid];
+}
+
+void
+PersistTimingEngine::onEvent(const TraceEvent &event)
+{
+    ++result_.events;
+    ThreadState &thread = threadState(event.thread);
+    const ModelKind kind = config_.model.kind;
+
+    switch (event.kind) {
+      case EventKind::Load:
+      case EventKind::Store:
+      case EventKind::Rmw: {
+        // Split the access at 8-byte aligned boundaries so each piece
+        // lies within a single tracking block and atomic block (both
+        // granularities are >= 8 bytes).
+        Addr addr = event.addr;
+        unsigned remaining = event.size;
+        while (remaining > 0) {
+            const auto room = static_cast<unsigned>(
+                max_access_size - (addr % max_access_size));
+            const unsigned chunk = std::min(remaining, room);
+            const unsigned shift =
+                static_cast<unsigned>(8 * (addr - event.addr));
+            std::uint64_t piece_value = event.value >> shift;
+            if (chunk < 8)
+                piece_value &= (1ULL << (8 * chunk)) - 1;
+            handlePiece(event, addr, chunk, piece_value,
+                        event.isRead(), event.isWrite());
+            addr += chunk;
+            remaining -= chunk;
+        }
+        break;
+      }
+      case EventKind::PersistBarrier:
+      case EventKind::PersistSync:
+        ++result_.barriers;
+        if (kind != ModelKind::Strict)
+            thread.epoch_dep = mergeTag(thread.epoch_dep,
+                                        thread.accum_dep);
+        break;
+      case EventKind::NewStrand:
+        ++result_.strands;
+        if (kind == ModelKind::Strand) {
+            thread.epoch_dep = Tag{};
+            thread.accum_dep = Tag{};
+        }
+        break;
+      case EventKind::Marker:
+        switch (event.markerCode()) {
+          case MarkerCode::OpBegin:
+            thread.op = event.value;
+            thread.role = PersistRole::None;
+            break;
+          case MarkerCode::OpEnd:
+            ++result_.ops;
+            thread.op = no_operation;
+            thread.role = PersistRole::None;
+            break;
+          case MarkerCode::RoleData:
+            thread.role = PersistRole::Data;
+            break;
+          case MarkerCode::RoleHead:
+            thread.role = PersistRole::Head;
+            break;
+          default:
+            break;
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+void
+PersistTimingEngine::handlePiece(const TraceEvent &event, Addr addr,
+                                 unsigned size, std::uint64_t value,
+                                 bool is_read, bool is_write)
+{
+    (void)is_read;
+    const ModelConfig &model = config_.model;
+    TrackState &track = track_[blockIndex(addr, model.tracking_granularity)];
+    ThreadState &thread = threadState(event.thread);
+
+    if (config_.detect_races) {
+        // Shadow SC propagation (all addresses, regardless of the
+        // model's conflict scope): inherit the latest foreign persist
+        // SC-ordered before the previous access of this block.
+        if (track.sc_src != invalid_thread &&
+            track.sc_src != event.thread &&
+            track.sc_tag.t > thread.shadow.t)
+            thread.shadow = track.sc_tag;
+    }
+
+    const bool in_scope =
+        model.conflict_scope == ConflictScope::AllAddresses ||
+        isPersistentAddr(addr);
+    if (!in_scope) {
+        // BPFS-style tracking ignores volatile-space accesses for the
+        // *model*; the SC shadow above still records ground truth.
+        if (config_.detect_races)
+            recordScTag(track, thread, event.thread);
+        return;
+    }
+
+    const bool strict = model.kind == ModelKind::Strict;
+
+    if (!is_write) {
+        // Load: conflicts with prior stores to the block; persists
+        // ordered before those stores must precede this thread's
+        // post-barrier persists (immediately, under strict).
+        if (strict) {
+            thread.epoch_dep = mergeTag(thread.epoch_dep, track.store_tag);
+        } else {
+            thread.accum_dep = mergeTag(thread.accum_dep, track.store_tag);
+        }
+        // Record the load so later conflicting stores inherit order
+        // (the load-before-store conflicts BPFS cannot detect).
+        if (model.detect_load_before_store)
+            track.load_tag = mergeTag(track.load_tag, thread.epoch_dep);
+        if (config_.detect_races)
+            recordScTag(track, thread, event.thread);
+        return;
+    }
+
+    // Store or RMW: conflicts with prior loads and stores to the block.
+    Tag dep = thread.epoch_dep;
+    DepSource dep_source = dep.src != invalid_persist
+        ? DepSource::ThreadEpoch : DepSource::None;
+    auto fold = [&dep, &dep_source](const Tag &cand, DepSource kind) {
+        if (cand.src != invalid_persist && cand.t > dep.t)
+            dep_source = kind;
+        dep = mergeTag(dep, cand);
+    };
+    fold(track.store_tag, DepSource::ConflictStore);
+    if (model.detect_load_before_store)
+        fold(track.load_tag, DepSource::ConflictLoad);
+
+    if (isPersistentAddr(addr)) {
+        persistPiece(event, thread, track, addr, size, value, dep,
+                     dep_source, dep.src);
+        if (config_.detect_races)
+            recordScTag(track, thread, event.thread);
+        return;
+    }
+
+    // Volatile store: inherit the conflict order; record that persists
+    // already barrier-ordered before this store precede it.
+    if (strict) {
+        thread.epoch_dep = mergeTag(thread.epoch_dep, dep);
+    } else {
+        thread.accum_dep = mergeTag(thread.accum_dep, dep);
+    }
+    track.store_tag = mergeTag(track.store_tag, thread.epoch_dep);
+    if (config_.detect_races)
+        recordScTag(track, thread, event.thread);
+}
+
+void
+PersistTimingEngine::recordScTag(TrackState &track, ThreadState &thread,
+                                 ThreadId tid)
+{
+    // The SC tag carries the latest persist ordered before this
+    // access in volatile memory order: the thread's inherited shadow
+    // or its own latest persist, whichever is later.
+    const Tag &best = thread.own_persist.t > thread.shadow.t
+        ? thread.own_persist : thread.shadow;
+    if (best.src != invalid_persist && best.t > track.sc_tag.t) {
+        track.sc_tag = best;
+        track.sc_src = tid;
+    }
+}
+
+PersistTimingEngine::Tag
+PersistTimingEngine::persistPiece(const TraceEvent &event,
+                                  ThreadState &thread, TrackState &track,
+                                  Addr addr, unsigned size,
+                                  std::uint64_t value, const Tag &dep,
+                                  DepSource dep_source, PersistId dep_src_id)
+{
+    const ModelConfig &model = config_.model;
+    const std::uint64_t block =
+        blockIndex(addr, model.atomic_granularity);
+    AtomicState &atomic = atomic_[block];
+
+    const PersistId id = next_persist_id_++;
+    ++result_.persists;
+
+    // A persist coalesces into its block's pending atomic persist iff
+    // every dependence outside that pending group completes strictly
+    // before it: either the whole dependence summary is earlier, or
+    // its top dependence *is* the pending group and the rest (oth)
+    // is earlier.
+    bool coalesce = atomic.valid &&
+        (dep.t < atomic.last.t ||
+         (dep.block == block && dep.t == atomic.last.t &&
+          dep.oth < atomic.last.t));
+    if (coalesce && config_.coalesce_window > 0 &&
+        id - atomic.group_start > config_.coalesce_window) {
+        // The pending persist has drained (finite buffering): the new
+        // persist must be issued separately.
+        coalesce = false;
+        ++result_.window_blocked;
+    }
+
+    double time = 0.0;
+    double race_bound = 0.0;
+    PersistId binding = invalid_persist;
+    DepSource binding_source = DepSource::None;
+    if (coalesce) {
+        time = atomic.last.t;
+        binding = atomic.last.src;
+        binding_source = DepSource::Coalesced;
+        ++result_.coalesced;
+        race_bound = time;
+    } else {
+        double base = dep.t;
+        binding = dep_src_id;
+        binding_source = dep_source;
+        if (atomic.valid && atomic.last.t > dep.t) {
+            // Strong persist atomicity: serialize after the previous
+            // persist to this block.
+            base = atomic.last.t;
+            binding = atomic.last.src;
+            binding_source = DepSource::SameBlockSPA;
+        }
+        time = nextTime(base);
+        race_bound = base;
+    }
+
+    if (config_.detect_races) {
+        // Every persist in this persist's constraint cone has a time
+        // no later than race_bound (times are monotone along
+        // constraint edges), so an SC-preceding foreign persist past
+        // that bound is provably unordered with it: a persist-epoch
+        // race. (Races below the bound can go unreported; the check
+        // is sound, not complete.)
+        if (thread.shadow.src != invalid_persist &&
+            thread.shadow.t > race_bound) {
+            ++result_.races;
+            if (race_samples_.size() < 16) {
+                RaceSample sample;
+                sample.seq = event.seq;
+                sample.thread = event.thread;
+                sample.persist = id;
+                sample.foreign = thread.shadow.src;
+                race_samples_.push_back(sample);
+            }
+        }
+    }
+
+    const Tag out{time, id, block, 0.0};
+    atomic.last = out;
+    atomic.valid = true;
+    if (!coalesce)
+        atomic.group_start = id;
+
+    if (config_.detect_races && time > thread.own_persist.t)
+        thread.own_persist = Tag{time, id, block, 0.0};
+
+    track.store_tag = mergeTag(track.store_tag, out);
+    const bool strict = model.kind == ModelKind::Strict;
+    if (strict) {
+        thread.epoch_dep = mergeTag(thread.epoch_dep, out);
+    } else {
+        thread.accum_dep = mergeTag(thread.accum_dep, out);
+    }
+
+    result_.critical_path = std::max(result_.critical_path, time);
+
+    if (config_.record_log) {
+        PersistRecord record;
+        record.id = id;
+        record.seq = event.seq;
+        record.addr = addr;
+        record.size = static_cast<std::uint8_t>(size);
+        record.value = value;
+        record.time = time;
+        record.thread = event.thread;
+        record.op = thread.op;
+        record.role = thread.role;
+        record.binding = binding;
+        record.binding_source = binding_source;
+        log_.push_back(record);
+    }
+    return out;
+}
+
+void
+PersistTimingEngine::onFinish()
+{
+    // Nothing to finalize: results accumulate incrementally.
+}
+
+} // namespace persim

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Persist-timing engine: the paper's evaluation methodology
+ * (Section 7, "Persist Timing Simulation").
+ *
+ * The engine consumes a trace (as a TraceSink) and assigns every
+ * atomic persist piece a completion time that respects the ordering
+ * constraints of the configured persistency model, assuming infinite
+ * bandwidth and banks. The maximum assigned time is the persist
+ * ordering constraint critical path: the implementation-independent
+ * lower bound on how long the trace's persists must take.
+ *
+ * Timing propagates through thread and memory state as tagged
+ * timestamps:
+ *
+ *  - each thread (each strand, under strand persistency) carries
+ *    `epoch_dep` (persists that must precede its current-epoch
+ *    persists) and `accum_dep` (dependences observed during the
+ *    current epoch, folded into epoch_dep at each persist barrier;
+ *    under strict persistency the fold is immediate);
+ *  - each tracking-granularity block carries `store_tag`/`load_tag`,
+ *    the persists ordered (in persistent memory order) before the
+ *    last conflicting store/load of that block;
+ *  - each atomic-granularity block carries the time of its last
+ *    persist, implementing strong persist atomicity and coalescing:
+ *    a persist coalesces iff its dependences complete strictly before
+ *    the block's previous persist.
+ *
+ * Two clocks are provided: discrete levels (critical path counted in
+ * units of persist latency; coalescing-optimistic best case used for
+ * the paper's results) and a stochastic clock (each persist adds an
+ * exponential delay), which yields a random realization of persist
+ * completion times used for failure injection in src/recovery/.
+ */
+
+#ifndef PERSIM_PERSISTENCY_TIMING_ENGINE_HH
+#define PERSIM_PERSISTENCY_TIMING_ENGINE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "memtrace/sink.hh"
+#include "persistency/model.hh"
+#include "persistency/persist_log.hh"
+
+namespace persim {
+
+/** How persist completion times advance. */
+enum class ClockMode : std::uint8_t {
+    /** Discrete levels: each non-coalesced persist is +1. */
+    Levels,
+    /** Each non-coalesced persist adds Exp(mean) random latency. */
+    Stochastic,
+};
+
+/** Timing engine configuration. */
+struct TimingConfig
+{
+    ModelConfig model;
+
+    ClockMode clock = ClockMode::Levels;
+
+    /** Seed for the stochastic clock. */
+    std::uint64_t seed = 1;
+
+    /** Mean persist latency (stochastic clock), in latency units. */
+    double mean_latency = 1.0;
+
+    /** Record a PersistRecord per atomic persist piece. */
+    bool record_log = false;
+
+    /**
+     * Detect persist-epoch races (paper Section 5.2): alongside the
+     * model analysis, a shadow propagation tracks, per thread, the
+     * latest *foreign* persist that precedes the thread's execution
+     * in SC volatile memory order (through any chain of conflicting
+     * accesses). A persist whose model constraints do not cover that
+     * foreign persist is "astonishingly" unordered with it despite
+     * the program's synchronization — a persist-epoch race. The
+     * conservative barrier discipline produces none; racing-epoch
+     * and strand annotations produce them intentionally.
+     */
+    bool detect_races = false;
+
+    /**
+     * Coalescing window in issued persists (0 = unbounded). With
+     * finite persist buffering, a pending persist eventually drains
+     * to the device and can no longer absorb writes; this models that
+     * by forbidding coalescing with a pending persist once more than
+     * `coalesce_window` persists have been issued since that pending
+     * persist was first created. The paper's best-case measure
+     * corresponds to 0 (unbounded).
+     */
+    std::uint64_t coalesce_window = 0;
+};
+
+/** Aggregate results of one timing analysis. */
+struct TimingResult
+{
+    /** Persist ordering constraint critical path (max persist time). */
+    double critical_path = 0.0;
+
+    /** Atomic persist pieces assigned a time (incl. coalesced). */
+    std::uint64_t persists = 0;
+
+    /** Pieces that coalesced into a previous persist. */
+    std::uint64_t coalesced = 0;
+
+    /** Coalescing attempts rejected by the finite window. */
+    std::uint64_t window_blocked = 0;
+
+    /** Persist-epoch races (persists unordered with an SC-preceding
+        foreign persist); requires TimingConfig::detect_races. */
+    std::uint64_t races = 0;
+
+    /** Operations completed (OpEnd markers). */
+    std::uint64_t ops = 0;
+
+    /** Total trace events consumed. */
+    std::uint64_t events = 0;
+
+    /** Persist barriers seen. */
+    std::uint64_t barriers = 0;
+
+    /** NewStrand events seen. */
+    std::uint64_t strands = 0;
+
+    /** Average critical path per completed operation. */
+    double criticalPathPerOp() const;
+};
+
+/** Streaming persist-timing analysis for one persistency model. */
+class PersistTimingEngine : public TraceSink
+{
+  public:
+    explicit PersistTimingEngine(const TimingConfig &config);
+
+    void onEvent(const TraceEvent &event) override;
+    void onFinish() override;
+
+    const TimingConfig &config() const { return config_; }
+    const TimingResult &result() const { return result_; }
+
+    /** One example persist-epoch race. */
+    struct RaceSample
+    {
+        SeqNum seq = 0;          //!< Trace position of the racy persist.
+        ThreadId thread = 0;     //!< Thread issuing it.
+        PersistId persist = invalid_persist;
+        PersistId foreign = invalid_persist; //!< The persist it races.
+    };
+
+    /** Up to 16 example races (requires detect_races). */
+    const std::vector<RaceSample> &raceSamples() const
+    {
+        return race_samples_;
+    }
+
+    /** The persist log; empty unless record_log was set. */
+    const PersistLog &log() const { return log_; }
+
+    /** Move the log out (for handing to recovery analyses). */
+    PersistLog takeLog() { return std::move(log_); }
+
+  private:
+    /**
+     * Tagged timestamp summarizing a set of persist dependences.
+     *
+     * `t`/`src`/`block` identify the latest dependence: its time, a
+     * witness persist id, and the atomic block of the coalescing
+     * group it belongs to (a group is all persists that merged into
+     * one atomic persist: same block, same time). `oth` is the
+     * maximum time of dependences *outside* that group.
+     *
+     * The distinction drives exact coalescing: a persist may merge
+     * into its block's pending persist iff every dependence outside
+     * that pending group completes strictly earlier — i.e. dep.t is
+     * below the pending time, or the top dependence *is* the pending
+     * group itself and dep.oth is below it. This is what lets strict
+     * persistency benefit from large atomic persists (Figure 4): a
+     * serialized sequence of stores into one block collapses into a
+     * single atomic persist, while a dependence on a concurrent
+     * persist in another block correctly blocks the merge.
+     */
+    struct Tag
+    {
+        double t = 0.0;
+        PersistId src = invalid_persist;
+        std::uint64_t block = ~0ULL;
+        double oth = 0.0;
+    };
+
+    /** Per-thread (per-strand) persistency state. */
+    struct ThreadState
+    {
+        Tag epoch_dep;
+        Tag accum_dep;
+        std::uint64_t op = no_operation;
+        PersistRole role = PersistRole::None;
+        /** Shadow: latest foreign persist SC-ordered before here. */
+        Tag shadow;
+        /** Latest persist time this thread itself issued. */
+        Tag own_persist;
+    };
+
+    /** Per tracking-granularity block conflict tags. */
+    struct TrackState
+    {
+        Tag store_tag;
+        Tag load_tag;
+        /** Shadow SC tag: latest persist SC-ordered before the last
+            access of this block, and the thread that recorded it. */
+        Tag sc_tag;
+        ThreadId sc_src = invalid_thread;
+    };
+
+    /** Per atomic-granularity block persist state. */
+    struct AtomicState
+    {
+        Tag last;
+        bool valid = false;
+        /** Issue ordinal of the pending group's founding persist. */
+        PersistId group_start = invalid_persist;
+    };
+
+    /**
+     * Combine two dependence summaries: the result's top group is the
+     * later of the two (first wins ties across distinct groups, which
+     * is conservative: a tie between different groups lands in `oth`
+     * and correctly blocks coalescing); everything else folds into
+     * `oth`.
+     */
+    static Tag mergeTag(const Tag &a, const Tag &b);
+
+    /** Advance the clock strictly past @p base. */
+    double nextTime(double base);
+
+    ThreadState &threadState(ThreadId tid);
+
+    /** Process one <=8-byte piece of an access event. */
+    void handlePiece(const TraceEvent &event, Addr addr, unsigned size,
+                     std::uint64_t value, bool is_read, bool is_write);
+
+    /** Record the shadow SC tag on a block after an access. */
+    void recordScTag(TrackState &track, ThreadState &thread,
+                     ThreadId tid);
+
+    /** Handle a persist piece; returns its assigned tag. */
+    Tag persistPiece(const TraceEvent &event, ThreadState &thread,
+                     TrackState &track, Addr addr, unsigned size,
+                     std::uint64_t value, const Tag &dep,
+                     DepSource dep_source, PersistId dep_src_id);
+
+    TimingConfig config_;
+    TimingResult result_;
+    Rng rng_;
+    std::vector<ThreadState> threads_;
+    std::unordered_map<std::uint64_t, TrackState> track_;
+    std::unordered_map<std::uint64_t, AtomicState> atomic_;
+    PersistLog log_;
+    std::vector<RaceSample> race_samples_;
+    PersistId next_persist_id_ = 0;
+};
+
+} // namespace persim
+
+#endif // PERSIM_PERSISTENCY_TIMING_ENGINE_HH

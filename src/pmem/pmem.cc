@@ -1,0 +1,25 @@
+#include "pmem/pmem.hh"
+
+namespace persim {
+
+void
+RootDirectory::set(const std::string &name, Addr addr)
+{
+    roots_[name] = addr;
+}
+
+Addr
+RootDirectory::get(const std::string &name) const
+{
+    auto it = roots_.find(name);
+    PERSIM_REQUIRE(it != roots_.end(), "unknown root: " << name);
+    return it->second;
+}
+
+bool
+RootDirectory::has(const std::string &name) const
+{
+    return roots_.find(name) != roots_.end();
+}
+
+} // namespace persim

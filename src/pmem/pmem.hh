@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Persistent-memory programming conveniences.
+ *
+ * These helpers make recoverable data structures written against the
+ * traced memory API readable: typed persistent variables, bounded
+ * persistent buffers, RAII epoch scopes, and a root directory so that
+ * recovery code can find structures after a simulated failure.
+ */
+
+#ifndef PERSIM_PMEM_PMEM_HH
+#define PERSIM_PMEM_PMEM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+
+#include "common/error.hh"
+#include "memtrace/event.hh"
+#include "sim/engine.hh"
+
+namespace persim {
+
+/**
+ * A typed word-sized variable in simulated memory (volatile or
+ * persistent, depending on its address).
+ */
+template <typename T>
+class PVar
+{
+    static_assert(std::is_integral_v<T> && sizeof(T) <= 8,
+                  "PVar requires an integral type of at most 8 bytes");
+
+  public:
+    PVar() : addr_(invalid_addr) {}
+    explicit PVar(Addr addr) : addr_(addr) {}
+
+    Addr addr() const { return addr_; }
+    bool valid() const { return addr_ != invalid_addr; }
+
+    /** Traced load. */
+    T
+    load(ThreadCtx &ctx) const
+    {
+        return static_cast<T>(ctx.load(addr_, sizeof(T)));
+    }
+
+    /** Traced store (a persist when the address is persistent). */
+    void
+    store(ThreadCtx &ctx, T value) const
+    {
+        ctx.store(addr_, static_cast<std::uint64_t>(value), sizeof(T));
+    }
+
+    /** Traced atomic exchange; returns the previous value. */
+    T
+    exchange(ThreadCtx &ctx, T value) const
+    {
+        return static_cast<T>(ctx.rmwExchange(
+            addr_, static_cast<std::uint64_t>(value), sizeof(T)));
+    }
+
+    /** Traced atomic fetch-add; returns the previous value. */
+    T
+    fetchAdd(ThreadCtx &ctx, T delta) const
+    {
+        return static_cast<T>(ctx.rmwFetchAdd(
+            addr_, static_cast<std::uint64_t>(delta), sizeof(T)));
+    }
+
+    /**
+     * Traced compare-and-swap.
+     * @return The previous value (== expected iff the swap happened).
+     */
+    T
+    compareExchange(ThreadCtx &ctx, T expected, T desired) const
+    {
+        return static_cast<T>(ctx.rmwCas(
+            addr_, static_cast<std::uint64_t>(expected),
+            static_cast<std::uint64_t>(desired), sizeof(T)));
+    }
+
+  private:
+    Addr addr_;
+};
+
+/** A bounds-checked byte buffer in simulated memory. */
+class PBuffer
+{
+  public:
+    PBuffer() : base_(invalid_addr), size_(0) {}
+    PBuffer(Addr base, std::uint64_t size) : base_(base), size_(size) {}
+
+    Addr base() const { return base_; }
+    std::uint64_t size() const { return size_; }
+    bool valid() const { return base_ != invalid_addr; }
+
+    /** Address of byte @p offset; fatals when out of bounds. */
+    Addr
+    at(std::uint64_t offset) const
+    {
+        PERSIM_REQUIRE(offset < size_,
+                       "PBuffer offset " << offset << " out of bounds ("
+                       << size_ << ")");
+        return base_ + offset;
+    }
+
+    /** Traced write of @p n host bytes at @p offset. */
+    void
+    write(ThreadCtx &ctx, std::uint64_t offset, const void *src,
+          std::size_t n) const
+    {
+        PERSIM_REQUIRE(offset + n <= size_, "PBuffer write out of bounds");
+        ctx.copyIn(base_ + offset, src, n);
+    }
+
+    /** Traced read of @p n bytes at @p offset into host memory. */
+    void
+    read(ThreadCtx &ctx, std::uint64_t offset, void *dst,
+         std::size_t n) const
+    {
+        PERSIM_REQUIRE(offset + n <= size_, "PBuffer read out of bounds");
+        ctx.copyOut(dst, base_ + offset, n);
+    }
+
+  private:
+    Addr base_;
+    std::uint64_t size_;
+};
+
+/**
+ * RAII persist epoch: emits a persist barrier on construction and on
+ * destruction, bracketing the enclosed persists into their own epoch.
+ */
+class EpochScope
+{
+  public:
+    explicit EpochScope(ThreadCtx &ctx) : ctx_(ctx)
+    {
+        ctx_.persistBarrier();
+    }
+
+    ~EpochScope() { ctx_.persistBarrier(); }
+
+    EpochScope(const EpochScope &) = delete;
+    EpochScope &operator=(const EpochScope &) = delete;
+
+  private:
+    ThreadCtx &ctx_;
+};
+
+/**
+ * Maps names to the persistent addresses of long-lived structures,
+ * so recovery code can locate them after a failure. Persim keeps this
+ * directory out-of-band (host-side): durable naming is an orthogonal
+ * OS/runtime concern the paper also leaves aside.
+ */
+class RootDirectory
+{
+  public:
+    /** Register or update a named root. */
+    void set(const std::string &name, Addr addr);
+
+    /** Look up a named root; fatals when missing. */
+    Addr get(const std::string &name) const;
+
+    /** True iff a root with this name exists. */
+    bool has(const std::string &name) const;
+
+    const std::map<std::string, Addr> &all() const { return roots_; }
+
+  private:
+    std::map<std::string, Addr> roots_;
+};
+
+} // namespace persim
+
+#endif // PERSIM_PMEM_PMEM_HH

@@ -1,0 +1,229 @@
+#include "pstruct/hash_map.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+
+namespace persim {
+
+std::uint64_t
+PersistentHashMap::hashIndex(std::uint64_t key, std::uint64_t buckets)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    key *= 0xc4ceb9fe1a85ec53ULL;
+    key ^= key >> 33;
+    return key & (buckets - 1);
+}
+
+PersistentHashMap
+PersistentHashMap::create(ThreadCtx &ctx, const HashMapOptions &options,
+                          std::size_t threads)
+{
+    PERSIM_REQUIRE(isPowerOfTwo(options.buckets) && options.buckets >= 2,
+                   "bucket count must be a power of two >= 2");
+    PERSIM_REQUIRE(threads >= 1, "need at least one writer slot");
+
+    PersistentHashMap map;
+    map.options_ = options;
+    map.layout_.buckets = options.buckets;
+    map.layout_.table = ctx.pmalloc(
+        options.buckets * HashMapLayout::bucket_bytes, 64);
+    // Fresh persistent memory reads zero (state_empty); make the
+    // initialized (empty) table durable before first use.
+    ctx.persistBarrier();
+
+    map.lock_ = McsLock::create(ctx);
+    for (std::size_t i = 0; i < threads; ++i)
+        map.qnodes_.push_back(McsLock::createQnode(ctx));
+    return map;
+}
+
+void
+PersistentHashMap::put(ThreadCtx &ctx, std::size_t slot,
+                       std::uint64_t key, std::uint64_t value)
+{
+    PERSIM_REQUIRE(key != 0, "keys must be nonzero");
+    PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
+    McsGuard guard(ctx, lock_, qnodes_[slot]);
+    if (options_.use_strands)
+        ctx.newStrand();
+
+    const std::uint64_t buckets = layout_.buckets;
+    std::uint64_t index = hashIndex(key, buckets);
+    std::uint64_t insert_at = buckets; // First dead bucket seen.
+    for (std::uint64_t probe = 0; probe < buckets; ++probe) {
+        const Addr bucket = layout_.bucketAddr(index);
+        const std::uint64_t state =
+            ctx.load(bucket + HashMapLayout::state_off);
+        if (state == HashMapLayout::state_live) {
+            if (ctx.load(bucket + HashMapLayout::key_off) == key) {
+                // Update in place: one atomic persist; versions of
+                // this cell are ordered by strong persist atomicity.
+                ctx.store(bucket + HashMapLayout::value_off, value);
+                return;
+            }
+        } else {
+            if (insert_at == buckets)
+                insert_at = index;
+            if (state == HashMapLayout::state_empty)
+                break; // Key cannot be live past an empty bucket.
+        }
+        index = (index + 1) & (buckets - 1);
+    }
+    PERSIM_REQUIRE(insert_at != buckets,
+                   "hash map is full (" << buckets << " buckets)");
+
+    // Insert: fill the dead bucket, then publish.
+    const Addr bucket = layout_.bucketAddr(insert_at);
+    ctx.store(bucket + HashMapLayout::key_off, key);
+    ctx.store(bucket + HashMapLayout::value_off, value);
+    if (!options_.omit_publish_barrier)
+        ctx.persistBarrier();
+    ctx.store(bucket + HashMapLayout::state_off,
+              HashMapLayout::state_live);
+}
+
+bool
+PersistentHashMap::erase(ThreadCtx &ctx, std::size_t slot,
+                         std::uint64_t key)
+{
+    PERSIM_REQUIRE(key != 0, "keys must be nonzero");
+    PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
+    McsGuard guard(ctx, lock_, qnodes_[slot]);
+    if (options_.use_strands)
+        ctx.newStrand();
+
+    const std::uint64_t buckets = layout_.buckets;
+    std::uint64_t index = hashIndex(key, buckets);
+    for (std::uint64_t probe = 0; probe < buckets; ++probe) {
+        const Addr bucket = layout_.bucketAddr(index);
+        const std::uint64_t state =
+            ctx.load(bucket + HashMapLayout::state_off);
+        if (state == HashMapLayout::state_empty)
+            return false;
+        if (state == HashMapLayout::state_live &&
+            ctx.load(bucket + HashMapLayout::key_off) == key) {
+            // One atomic persist; the LIVE -> TOMBSTONE transition is
+            // ordered against the bucket's other state persists by
+            // strong persist atomicity.
+            ctx.store(bucket + HashMapLayout::state_off,
+                      HashMapLayout::state_tombstone);
+            return true;
+        }
+        index = (index + 1) & (buckets - 1);
+    }
+    return false;
+}
+
+bool
+PersistentHashMap::get(ThreadCtx &ctx, std::uint64_t key,
+                       std::uint64_t &value) const
+{
+    const std::uint64_t buckets = layout_.buckets;
+    std::uint64_t index = hashIndex(key, buckets);
+    for (std::uint64_t probe = 0; probe < buckets; ++probe) {
+        const Addr bucket = layout_.bucketAddr(index);
+        const std::uint64_t state =
+            ctx.load(bucket + HashMapLayout::state_off);
+        if (state == HashMapLayout::state_empty)
+            return false;
+        if (state == HashMapLayout::state_live &&
+            ctx.load(bucket + HashMapLayout::key_off) == key) {
+            value = ctx.load(bucket + HashMapLayout::value_off);
+            return true;
+        }
+        index = (index + 1) & (buckets - 1);
+    }
+    return false;
+}
+
+std::uint64_t
+PersistentHashMap::count(ThreadCtx &ctx) const
+{
+    std::uint64_t live = 0;
+    for (std::uint64_t i = 0; i < layout_.buckets; ++i) {
+        if (ctx.load(layout_.bucketAddr(i) + HashMapLayout::state_off) ==
+            HashMapLayout::state_live)
+            ++live;
+    }
+    return live;
+}
+
+HashMapRecovery
+PersistentHashMap::recover(const MemoryImage &image,
+                           const HashMapLayout &layout)
+{
+    HashMapRecovery result;
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<std::uint64_t> states(layout.buckets);
+
+    for (std::uint64_t i = 0; i < layout.buckets; ++i) {
+        const Addr bucket = layout.bucketAddr(i);
+        const std::uint64_t state =
+            image.load(bucket + HashMapLayout::state_off, 8);
+        states[i] = state;
+        if (state == HashMapLayout::state_tombstone) {
+            ++result.tombstones;
+            continue;
+        }
+        if (state == HashMapLayout::state_empty)
+            continue;
+        if (state != HashMapLayout::state_live) {
+            std::ostringstream oss;
+            oss << "bucket " << i << " has invalid state " << state;
+            result.error = oss.str();
+            return result;
+        }
+        const std::uint64_t key =
+            image.load(bucket + HashMapLayout::key_off, 8);
+        if (key == 0) {
+            std::ostringstream oss;
+            oss << "live bucket " << i << " has a zero key";
+            result.error = oss.str();
+            return result;
+        }
+        if (!seen.insert(key).second) {
+            std::ostringstream oss;
+            oss << "key " << key << " is live in two buckets";
+            result.error = oss.str();
+            return result;
+        }
+        result.entries[key] =
+            image.load(bucket + HashMapLayout::value_off, 8);
+    }
+
+    // Reachability: every live key must be findable by probing from
+    // its hash index without crossing an empty bucket first.
+    for (std::uint64_t i = 0; i < layout.buckets; ++i) {
+        if (states[i] != HashMapLayout::state_live)
+            continue;
+        const std::uint64_t key =
+            image.load(layout.bucketAddr(i) + HashMapLayout::key_off, 8);
+        std::uint64_t index = hashIndex(key, layout.buckets);
+        bool reachable = false;
+        for (std::uint64_t probe = 0; probe < layout.buckets; ++probe) {
+            if (index == i) {
+                reachable = true;
+                break;
+            }
+            if (states[index] == HashMapLayout::state_empty)
+                break;
+            index = (index + 1) & (layout.buckets - 1);
+        }
+        if (!reachable) {
+            std::ostringstream oss;
+            oss << "live key " << key << " in bucket " << i
+                << " is unreachable from its probe chain";
+            result.error = oss.str();
+            return result;
+        }
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace persim

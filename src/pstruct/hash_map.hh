@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A recoverable open-addressing hash map on persistent memory.
+ *
+ * This is a library-grade application of the persistency API (the
+ * annotated counterpart of the sketch in examples/kvstore.cpp): a
+ * fixed-size linear-probing table whose durability protocol needs
+ * exactly one persist barrier per mutation class:
+ *
+ *  - insert: write key+value into a dead bucket, persist barrier,
+ *    publish state=LIVE (the classic update-then-publish pattern);
+ *  - update: a single atomic 8-byte persist of the value — versions
+ *    of one cell are ordered by strong persist atomicity alone;
+ *  - erase: a single atomic persist of state=TOMBSTONE (tombstones
+ *    keep probe chains intact and are reused by later inserts; the
+ *    same-address state transitions are SPA-ordered).
+ *
+ * Writers serialize on one MCS lock; reads are lock-free. Each
+ * mutation optionally starts a new strand (operations on a map are
+ * logically independent), which makes the whole structure persist
+ * concurrently under strand persistency while remaining recoverable:
+ * failure injection across all models is part of the test suite.
+ *
+ * Keys are nonzero 64-bit integers; values are 64-bit.
+ */
+
+#ifndef PERSIM_PSTRUCT_HASH_MAP_HH
+#define PERSIM_PSTRUCT_HASH_MAP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/memory_image.hh"
+#include "sync/locks.hh"
+
+namespace persim {
+
+/** Placement and geometry of a persistent hash map. */
+struct HashMapLayout
+{
+    Addr table = invalid_addr;  //!< Bucket array base.
+    std::uint64_t buckets = 0;  //!< Bucket count (power of two).
+
+    static constexpr std::uint64_t bucket_bytes = 24;
+    static constexpr std::uint64_t key_off = 0;
+    static constexpr std::uint64_t value_off = 8;
+    static constexpr std::uint64_t state_off = 16;
+
+    /** Bucket states. */
+    static constexpr std::uint64_t state_empty = 0;
+    static constexpr std::uint64_t state_live = 1;
+    static constexpr std::uint64_t state_tombstone = 2;
+
+    /** Base address of bucket @p index. */
+    Addr
+    bucketAddr(std::uint64_t index) const
+    {
+        return table + index * bucket_bytes;
+    }
+};
+
+/** Hash map construction options. */
+struct HashMapOptions
+{
+    /** Bucket count (power of two >= 2). */
+    std::uint64_t buckets = 1024;
+
+    /** Start a new persist strand at each mutation. */
+    bool use_strands = true;
+
+    /**
+     * FAULT DEMONSTRATION ONLY: omit the barrier between writing a
+     * bucket's key/value and publishing it live.
+     */
+    bool omit_publish_barrier = false;
+};
+
+/** Entries parsed out of a (possibly crashed) map image. */
+struct HashMapRecovery
+{
+    bool ok = false;
+    std::string error;
+    std::map<std::uint64_t, std::uint64_t> entries;
+    std::uint64_t tombstones = 0;
+};
+
+/** A fixed-size recoverable hash map. */
+class PersistentHashMap
+{
+  public:
+    PersistentHashMap() = default;
+
+    /**
+     * Allocate and initialize the table in persistent memory, with
+     * MCS qnodes for @p threads writer slots.
+     */
+    static PersistentHashMap create(ThreadCtx &ctx,
+                                    const HashMapOptions &options,
+                                    std::size_t threads);
+
+    /**
+     * Insert or update @p key (nonzero). Fatals when the table is
+     * full (no empty or tombstone bucket on the probe chain).
+     */
+    void put(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
+             std::uint64_t value);
+
+    /**
+     * Remove @p key.
+     * @return True iff the key was present.
+     */
+    bool erase(ThreadCtx &ctx, std::size_t slot, std::uint64_t key);
+
+    /** Lock-free lookup. @return True iff found (value written). */
+    bool get(ThreadCtx &ctx, std::uint64_t key,
+             std::uint64_t &value) const;
+
+    /** Number of live entries (walks the table with traced loads). */
+    std::uint64_t count(ThreadCtx &ctx) const;
+
+    const HashMapLayout &layout() const { return layout_; }
+
+    /**
+     * Parse a map out of a memory image: collect live entries, verify
+     * structural invariants (valid states, nonzero live keys, no
+     * duplicate live keys, every live entry reachable by probing).
+     */
+    static HashMapRecovery recover(const MemoryImage &image,
+                                   const HashMapLayout &layout);
+
+    /** The probe start for @p key in a table of @p buckets. */
+    static std::uint64_t hashIndex(std::uint64_t key,
+                                   std::uint64_t buckets);
+
+  private:
+    HashMapLayout layout_;
+    HashMapOptions options_;
+    McsLock lock_;
+    std::vector<Addr> qnodes_;
+};
+
+} // namespace persim
+
+#endif // PERSIM_PSTRUCT_HASH_MAP_HH

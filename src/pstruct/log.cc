@@ -1,0 +1,154 @@
+#include "pstruct/log.hh"
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+
+namespace persim {
+
+std::uint64_t
+LogLayout::recordBytes(std::uint64_t len)
+{
+    return 8 + alignUp(len, 8) + 8;
+}
+
+std::uint64_t
+LogLayout::checksum(std::uint64_t pos, std::uint64_t len,
+                    const std::uint8_t *payload)
+{
+    // FNV-1a over (pos, len, payload). Covering the position means a
+    // record never validates against bytes written for a different
+    // offset.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    auto mix = [&hash](std::uint64_t word) {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (word >> (8 * i)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    mix(pos);
+    mix(len);
+    for (std::uint64_t i = 0; i < len; ++i) {
+        hash ^= payload[i];
+        hash *= 0x100000001b3ULL;
+    }
+    // A zero checksum would let blank memory validate a zero-length
+    // record; keep it nonzero.
+    return hash == 0 ? 1 : hash;
+}
+
+PersistentLog
+PersistentLog::create(ThreadCtx &ctx, const LogOptions &options,
+                      std::size_t threads)
+{
+    PERSIM_REQUIRE(options.capacity >= 64 && options.capacity % 8 == 0,
+                   "log capacity must be a multiple of 8, >= 64");
+    PERSIM_REQUIRE(threads >= 1, "need at least one writer slot");
+
+    PersistentLog log;
+    log.options_ = options;
+    log.layout_.base = ctx.pmalloc(options.capacity, 64);
+    log.layout_.capacity = options.capacity;
+    ctx.persistBarrier(); // The blank log is the durable baseline.
+
+    log.cursor_ = ctx.vmalloc(8, 64);
+    ctx.store(log.cursor_, 0);
+    log.prev_start_ = ctx.vmalloc(8, 64);
+    ctx.store(log.prev_start_, 0);
+    log.lock_ = McsLock::create(ctx);
+    for (std::size_t i = 0; i < threads; ++i)
+        log.qnodes_.push_back(McsLock::createQnode(ctx));
+    return log;
+}
+
+std::uint64_t
+PersistentLog::tailOffset(ThreadCtx &ctx) const
+{
+    return ctx.load(cursor_);
+}
+
+std::uint64_t
+PersistentLog::append(ThreadCtx &ctx, std::size_t slot,
+                      const void *payload, std::uint64_t len)
+{
+    PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
+    PERSIM_REQUIRE(len >= 1, "empty records are not representable");
+    McsGuard guard(ctx, lock_, qnodes_[slot]);
+
+    const std::uint64_t pos = ctx.load(cursor_);
+    const std::uint64_t bytes = LogLayout::recordBytes(len);
+    PERSIM_REQUIRE(pos + bytes <= layout_.capacity,
+                   "log full: " << pos + bytes << " > "
+                   << layout_.capacity);
+
+    // Inter-record ordering: recovery scans until the first invalid
+    // record, so record k must not persist while k-1 can still tear —
+    // otherwise durable records hide behind a torn one. Note this is
+    // a durability (bounded-loss) property, not integrity: the scan
+    // never returns wrong bytes either way.
+    //
+    // Strand idiom (paper Section 5.3): a fresh strand rebuilds its
+    // ordering by *reading every word* of the previous record (strong
+    // persist atomicity makes each word's pending persist a
+    // dependence) and then barriering. Reading only part of the
+    // record would leave the unread words racing ahead.
+    //
+    // Epoch idiom: a trailing barrier folds this record's persists
+    // into the thread's epoch state so the lock release publishes
+    // them; the next appender's leading barrier (after its lock
+    // acquisition) inherits them — the same two-barrier structure as
+    // the queue's Algorithm 1 lines 8/11.
+    if (!options_.omit_order_annotations) {
+        if (options_.use_strands) {
+            ctx.newStrand();
+            const std::uint64_t prev = ctx.load(prev_start_);
+            for (std::uint64_t word = prev; word < pos; word += 8)
+                ctx.load(layout_.base + word);
+            ctx.persistBarrier();
+        } else {
+            ctx.persistBarrier(); // Leading: inherit the predecessor.
+        }
+    } else if (options_.use_strands) {
+        ctx.newStrand();
+    }
+
+    const auto *bytes_in = static_cast<const std::uint8_t *>(payload);
+    ctx.store(layout_.base + pos, len);
+    ctx.copyIn(layout_.base + pos + 8, bytes_in, len);
+    ctx.store(layout_.base + pos + 8 + alignUp(len, 8),
+              LogLayout::checksum(pos, len, bytes_in));
+
+    if (!options_.omit_order_annotations && !options_.use_strands)
+        ctx.persistBarrier(); // Trailing: publish through the lock.
+
+    ctx.store(prev_start_, pos);
+    ctx.store(cursor_, pos + bytes);
+    return pos;
+}
+
+LogRecovery
+PersistentLog::recover(const MemoryImage &image, const LogLayout &layout)
+{
+    LogRecovery result;
+    std::uint64_t pos = 0;
+    while (pos + 24 <= layout.capacity) {
+        const std::uint64_t len = image.load(layout.base + pos, 8);
+        if (len == 0 ||
+            pos + LogLayout::recordBytes(len) > layout.capacity)
+            break;
+        std::vector<std::uint8_t> payload(len);
+        image.readBytes(payload.data(), layout.base + pos + 8, len);
+        const std::uint64_t stored = image.load(
+            layout.base + pos + 8 + alignUp(len, 8), 8);
+        if (stored != LogLayout::checksum(pos, len, payload.data()))
+            break;
+        RecoveredRecord record;
+        record.offset = pos;
+        record.payload = std::move(payload);
+        result.records.push_back(std::move(record));
+        pos += LogLayout::recordBytes(len);
+    }
+    result.valid_bytes = pos;
+    return result;
+}
+
+} // namespace persim

@@ -1,0 +1,171 @@
+#include "queue/native_queue.hh"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+#include "queue/payload.hh"
+
+namespace persim {
+
+NativeCwlQueue::NativeCwlQueue(std::uint64_t capacity, std::uint64_t pad,
+                               std::size_t threads)
+    : capacity_(capacity), pad_(pad), data_(capacity)
+{
+    PERSIM_REQUIRE(isPowerOfTwo(pad) && pad >= 16,
+                   "pad must be a power of two >= 16");
+    for (std::size_t i = 0; i < threads; ++i)
+        qnodes_.push_back(std::make_unique<NativeMcsLock::Qnode>());
+}
+
+std::uint64_t
+NativeCwlQueue::slotBytes(std::uint64_t len) const
+{
+    return alignUp(8 + len, pad_);
+}
+
+void
+NativeCwlQueue::insert(std::size_t slot, const void *payload,
+                       std::uint64_t len)
+{
+    NativeMcsLock::Qnode &qnode = *qnodes_[slot];
+    lock_.lock(qnode);
+    const std::uint64_t pos = head_ % capacity_;
+    // Entries never wrap in the benchmark configuration (the data
+    // segment is a multiple of the slot size).
+    std::memcpy(data_.data() + pos, &len, 8);
+    std::memcpy(data_.data() + pos + 8, payload, len);
+    head_ += slotBytes(len);
+    lock_.unlock(qnode);
+}
+
+NativeTlcQueue::NativeTlcQueue(std::uint64_t capacity, std::uint64_t pad,
+                               std::size_t threads)
+    : capacity_(capacity), pad_(pad), data_(capacity)
+{
+    PERSIM_REQUIRE(isPowerOfTwo(pad) && pad >= 16,
+                   "pad must be a power of two >= 16");
+    for (std::size_t i = 0; i < threads; ++i) {
+        reserve_qnodes_.push_back(std::make_unique<NativeMcsLock::Qnode>());
+        update_qnodes_.push_back(std::make_unique<NativeMcsLock::Qnode>());
+    }
+}
+
+NativeTlcQueue::~NativeTlcQueue()
+{
+    Node *node = list_head_;
+    while (node != nullptr) {
+        Node *next = node->next;
+        delete node;
+        node = next;
+    }
+}
+
+std::uint64_t
+NativeTlcQueue::slotBytes(std::uint64_t len) const
+{
+    return alignUp(8 + len, pad_);
+}
+
+void
+NativeTlcQueue::insert(std::size_t slot, const void *payload,
+                       std::uint64_t len)
+{
+    NativeMcsLock::Qnode &qr = *reserve_qnodes_[slot];
+    NativeMcsLock::Qnode &qu = *update_qnodes_[slot];
+
+    reserve_.lock(qr);
+    const std::uint64_t start = headv_;
+    headv_ += slotBytes(len);
+    auto *node = new Node;
+    node->end = start + slotBytes(len);
+    if (list_tail_ == nullptr) {
+        list_head_ = node;
+    } else {
+        list_tail_->next = node;
+    }
+    list_tail_ = node;
+    reserve_.unlock(qr);
+
+    const std::uint64_t pos = start % capacity_;
+    std::memcpy(data_.data() + pos, &len, 8);
+    std::memcpy(data_.data() + pos + 8, payload, len);
+
+    update_.lock(qu);
+    node->done = true;
+    reserve_.lock(qr);
+    std::uint64_t newhead = 0;
+    bool popped = false;
+    Node *cursor = list_head_;
+    while (cursor != nullptr && cursor->done) {
+        newhead = cursor->end;
+        Node *next = cursor->next;
+        delete cursor;
+        cursor = next;
+        popped = true;
+    }
+    list_head_ = cursor;
+    if (cursor == nullptr)
+        list_tail_ = nullptr;
+    reserve_.unlock(qr);
+    if (popped)
+        head_ = newhead;
+    update_.unlock(qu);
+}
+
+std::unique_ptr<NativeQueue>
+createNativeQueue(QueueKind kind, std::uint64_t capacity, std::uint64_t pad,
+                  std::size_t threads)
+{
+    switch (kind) {
+      case QueueKind::CopyWhileLocked:
+        return std::make_unique<NativeCwlQueue>(capacity, pad, threads);
+      case QueueKind::TwoLockConcurrent:
+        return std::make_unique<NativeTlcQueue>(capacity, pad, threads);
+    }
+    PERSIM_FATAL("unknown queue kind");
+}
+
+double
+measureNativeInsertRate(QueueKind kind, std::size_t threads,
+                        std::uint64_t inserts_per_thread,
+                        std::uint64_t entry_bytes)
+{
+    PERSIM_REQUIRE(threads >= 1, "need at least one thread");
+    PERSIM_REQUIRE(entry_bytes >= min_payload_bytes, "entry too small");
+
+    const std::uint64_t pad = 64;
+    const std::uint64_t slot = alignUp(8 + entry_bytes, pad);
+    // Size the segment so offsets wrap onto whole slots.
+    const std::uint64_t capacity =
+        std::max<std::uint64_t>(slot * 1024, 1 << 20) / slot * slot;
+    auto queue = createNativeQueue(kind, capacity, pad, threads);
+
+    const auto payload = makePayload(1, entry_bytes);
+    const auto start = std::chrono::steady_clock::now();
+    if (threads == 1) {
+        for (std::uint64_t i = 0; i < inserts_per_thread; ++i)
+            queue->insert(0, payload.data(), entry_bytes);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t) {
+            pool.emplace_back([&queue, &payload, t, inserts_per_thread,
+                               entry_bytes] {
+                for (std::uint64_t i = 0; i < inserts_per_thread; ++i)
+                    queue->insert(t, payload.data(), entry_bytes);
+            });
+        }
+        for (auto &thread : pool)
+            thread.join();
+    }
+    const auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    const double total = static_cast<double>(inserts_per_thread) *
+        static_cast<double>(threads);
+    return total / elapsed;
+}
+
+} // namespace persim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Native queue implementations for instruction-rate measurement.
+ *
+ * The paper's methodology (Section 7) measures "instruction execution
+ * rate" by running the queue microbenchmarks natively, optimized for
+ * volatile performance (no barriers, no flushes), with MCS locks and
+ * 64-byte padding, and counting inserts per second. These classes are
+ * the native twins of the traced queues in queue.hh.
+ */
+
+#ifndef PERSIM_QUEUE_NATIVE_QUEUE_HH
+#define PERSIM_QUEUE_NATIVE_QUEUE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "queue/queue.hh"
+#include "sync/native_locks.hh"
+
+namespace persim {
+
+/** Abstract native queue: volatile-optimized insert only. */
+class NativeQueue
+{
+  public:
+    virtual ~NativeQueue() = default;
+
+    /** Insert @p len bytes from @p payload using thread @p slot. */
+    virtual void insert(std::size_t slot, const void *payload,
+                        std::uint64_t len) = 0;
+
+    virtual QueueKind kind() const = 0;
+};
+
+/** Native Copy While Locked. */
+class NativeCwlQueue : public NativeQueue
+{
+  public:
+    NativeCwlQueue(std::uint64_t capacity, std::uint64_t pad,
+                   std::size_t threads);
+
+    void insert(std::size_t slot, const void *payload,
+                std::uint64_t len) override;
+
+    QueueKind kind() const override { return QueueKind::CopyWhileLocked; }
+
+    std::uint64_t head() const { return head_; }
+
+  private:
+    std::uint64_t slotBytes(std::uint64_t len) const;
+
+    std::uint64_t capacity_;
+    std::uint64_t pad_;
+    std::vector<std::uint8_t> data_;
+    alignas(64) std::uint64_t head_ = 0;
+    NativeMcsLock lock_;
+    std::vector<std::unique_ptr<NativeMcsLock::Qnode>> qnodes_;
+};
+
+/** Native Two-Lock Concurrent. */
+class NativeTlcQueue : public NativeQueue
+{
+  public:
+    NativeTlcQueue(std::uint64_t capacity, std::uint64_t pad,
+                   std::size_t threads);
+    ~NativeTlcQueue() override;
+
+    void insert(std::size_t slot, const void *payload,
+                std::uint64_t len) override;
+
+    QueueKind kind() const override
+    {
+        return QueueKind::TwoLockConcurrent;
+    }
+
+    std::uint64_t head() const { return head_; }
+
+  private:
+    struct Node
+    {
+        std::uint64_t end = 0;
+        bool done = false;
+        Node *next = nullptr;
+    };
+
+    std::uint64_t slotBytes(std::uint64_t len) const;
+
+    std::uint64_t capacity_;
+    std::uint64_t pad_;
+    std::vector<std::uint8_t> data_;
+    alignas(64) std::uint64_t head_ = 0;
+    alignas(64) std::uint64_t headv_ = 0;
+    Node *list_head_ = nullptr;
+    Node *list_tail_ = nullptr;
+    NativeMcsLock reserve_;
+    NativeMcsLock update_;
+    std::vector<std::unique_ptr<NativeMcsLock::Qnode>> reserve_qnodes_;
+    std::vector<std::unique_ptr<NativeMcsLock::Qnode>> update_qnodes_;
+};
+
+/** Factory over QueueKind. */
+std::unique_ptr<NativeQueue> createNativeQueue(QueueKind kind,
+                                               std::uint64_t capacity,
+                                               std::uint64_t pad,
+                                               std::size_t threads);
+
+/**
+ * Measure native insert throughput: @p threads real threads each
+ * inserting @p inserts_per_thread entries of @p entry_bytes payload.
+ * @return Inserts per second (wall clock).
+ */
+double measureNativeInsertRate(QueueKind kind, std::size_t threads,
+                               std::uint64_t inserts_per_thread,
+                               std::uint64_t entry_bytes);
+
+} // namespace persim
+
+#endif // PERSIM_QUEUE_NATIVE_QUEUE_HH

@@ -1,0 +1,59 @@
+#include "queue/payload.hh"
+
+#include <cstring>
+
+#include "common/error.hh"
+
+namespace persim {
+
+namespace {
+
+/** Deterministic filler byte for position @p i of operation @p op. */
+std::uint8_t
+fillerByte(std::uint64_t op, std::uint64_t i)
+{
+    std::uint64_t x = op * 0x9e3779b97f4a7c15ULL + i * 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 31;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 29;
+    return static_cast<std::uint8_t>(x & 0xff);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+makePayload(std::uint64_t op_id, std::uint64_t len)
+{
+    PERSIM_REQUIRE(len >= min_payload_bytes,
+                   "payload must be at least " << min_payload_bytes
+                   << " bytes");
+    std::vector<std::uint8_t> payload(len);
+    std::memcpy(payload.data(), &op_id, 8);
+    for (std::uint64_t i = 8; i < len; ++i)
+        payload[i] = fillerByte(op_id, i);
+    return payload;
+}
+
+std::uint64_t
+payloadOpId(const std::uint8_t *payload, std::uint64_t len)
+{
+    PERSIM_REQUIRE(len >= min_payload_bytes, "payload too short for an id");
+    std::uint64_t op_id = 0;
+    std::memcpy(&op_id, payload, 8);
+    return op_id;
+}
+
+bool
+verifyPayload(const std::uint8_t *payload, std::uint64_t len)
+{
+    if (len < min_payload_bytes)
+        return false;
+    const std::uint64_t op_id = payloadOpId(payload, len);
+    for (std::uint64_t i = 8; i < len; ++i) {
+        if (payload[i] != fillerByte(op_id, i))
+            return false;
+    }
+    return true;
+}
+
+} // namespace persim

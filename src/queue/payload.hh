@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Deterministic queue entry payloads.
+ *
+ * Each inserted entry carries its operation id followed by bytes
+ * generated deterministically from that id, so recovery checking can
+ * verify entry contents byte-for-byte without a golden copy of the
+ * data: any recovered entry must equal makePayload(embedded_id, len).
+ */
+
+#ifndef PERSIM_QUEUE_PAYLOAD_HH
+#define PERSIM_QUEUE_PAYLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace persim {
+
+/** Minimum payload size: the embedded 8-byte operation id. */
+constexpr std::uint64_t min_payload_bytes = 8;
+
+/** Build the canonical payload for operation @p op_id of @p len bytes. */
+std::vector<std::uint8_t> makePayload(std::uint64_t op_id,
+                                      std::uint64_t len);
+
+/** Operation id embedded in a payload (its first 8 bytes). */
+std::uint64_t payloadOpId(const std::uint8_t *payload, std::uint64_t len);
+
+/** True iff @p payload matches the canonical payload of its id. */
+bool verifyPayload(const std::uint8_t *payload, std::uint64_t len);
+
+} // namespace persim
+
+#endif // PERSIM_QUEUE_PAYLOAD_HH

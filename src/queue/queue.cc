@@ -1,0 +1,477 @@
+#include "queue/queue.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+#include "queue/payload.hh"
+
+namespace persim {
+
+namespace {
+
+constexpr std::uint64_t header_bytes = 128;
+constexpr std::uint64_t node_end_off = 0;
+constexpr std::uint64_t node_done_off = 8;
+constexpr std::uint64_t node_next_off = 16;
+constexpr std::uint64_t node_bytes = 24;
+
+/** Read @p n bytes circularly from a queue data segment image. */
+void
+readCircular(const MemoryImage &image, const QueueLayout &layout,
+             std::uint64_t off, std::uint8_t *dst, std::uint64_t n)
+{
+    off %= layout.capacity;
+    const std::uint64_t first = std::min(n, layout.capacity - off);
+    image.readBytes(dst, layout.data + off, first);
+    if (first < n)
+        image.readBytes(dst + first, layout.data, n - first);
+}
+
+} // namespace
+
+const char *
+queueKindName(QueueKind kind)
+{
+    switch (kind) {
+      case QueueKind::CopyWhileLocked:
+        return "copy_while_locked";
+      case QueueKind::TwoLockConcurrent:
+        return "two_lock_concurrent";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+QueueLayout::slotBytes(std::uint64_t len) const
+{
+    return alignUp(8 + len, pad);
+}
+
+std::map<std::uint64_t, GoldenEntry>
+PersistentQueue::golden() const
+{
+    std::lock_guard<std::mutex> guard(golden_mutex_);
+    return golden_;
+}
+
+void
+PersistentQueue::recordGolden(std::uint64_t offset, std::uint64_t op_id,
+                              std::uint64_t len)
+{
+    std::lock_guard<std::mutex> guard(golden_mutex_);
+    golden_[offset] = GoldenEntry{op_id, len};
+}
+
+void
+PersistentQueue::writeCircular(ThreadCtx &ctx, std::uint64_t off,
+                               const void *src, std::uint64_t n)
+{
+    off %= layout_.capacity;
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    const std::uint64_t first = std::min(n, layout_.capacity - off);
+    ctx.copyIn(layout_.data + off, bytes, first);
+    if (first < n)
+        ctx.copyIn(layout_.data, bytes + first, n - first);
+}
+
+void
+PersistentQueue::writeEntry(ThreadCtx &ctx, std::uint64_t pos,
+                            const void *payload, std::uint64_t len)
+{
+    std::uint8_t len_word[8];
+    std::memcpy(len_word, &len, 8);
+    writeCircular(ctx, pos % layout_.capacity, len_word, 8);
+    writeCircular(ctx, (pos + 8) % layout_.capacity, payload, len);
+}
+
+void
+PersistentQueue::checkOverrun(ThreadCtx &ctx, std::uint64_t head,
+                              std::uint64_t slot_bytes)
+{
+    if (options_.allow_overwrite)
+        return;
+    const std::uint64_t tail = ctx.load(layout_.tailAddr());
+    PERSIM_REQUIRE(head + slot_bytes - tail <= layout_.capacity,
+                   "queue overrun: capacity " << layout_.capacity
+                   << " cannot hold " << (head + slot_bytes - tail)
+                   << " live bytes (size the queue for the workload)");
+}
+
+void
+PersistentQueue::persistBarrier(ThreadCtx &ctx)
+{
+    if (options_.fence_with_barriers)
+        ctx.fence();
+    ctx.persistBarrier();
+}
+
+std::unique_ptr<CwlQueue>
+CwlQueue::create(ThreadCtx &ctx, const QueueOptions &options,
+                 std::size_t threads)
+{
+    PERSIM_REQUIRE(isPowerOfTwo(options.pad) && options.pad >= 16,
+                   "pad must be a power of two >= 16");
+    PERSIM_REQUIRE(options.capacity >= options.pad &&
+                   options.capacity % options.pad == 0,
+                   "capacity must be a positive multiple of pad");
+    PERSIM_REQUIRE(threads >= 1, "need at least one thread slot");
+
+    QueueLayout layout;
+    layout.header = ctx.pmalloc(header_bytes, 64);
+    layout.data = ctx.pmalloc(options.capacity, 64);
+    layout.capacity = options.capacity;
+    layout.pad = options.pad;
+    ctx.store(layout.headAddr(), 0);
+    ctx.store(layout.tailAddr(), 0);
+    // Initialization is complete and must be durable before any
+    // insert's persists (and keeps annotation variants comparable:
+    // every variant starts its first epoch after the same barrier).
+    ctx.persistBarrier();
+
+    McsLock lock = McsLock::create(ctx);
+    std::vector<Addr> qnodes;
+    qnodes.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        qnodes.push_back(McsLock::createQnode(ctx));
+
+    return std::unique_ptr<CwlQueue>(
+        new CwlQueue(layout, options, lock, std::move(qnodes)));
+}
+
+void
+CwlQueue::insert(ThreadCtx &ctx, std::size_t slot, const void *payload,
+                 std::uint64_t len, std::uint64_t op_id)
+{
+    PERSIM_REQUIRE(slot < qnodes_.size(), "bad thread slot");
+    PERSIM_REQUIRE(len >= min_payload_bytes, "payload too short");
+    const Addr qnode = qnodes_[slot];
+    const bool conservative = options_.conservative_barriers;
+
+    ctx.marker(MarkerCode::OpBegin, op_id);
+    if (conservative)
+        persistBarrier(ctx);       // Alg. 1 line 3
+    lock_.lock(ctx, qnode);         // line 4
+    if (conservative)
+        persistBarrier(ctx);       // line 5 ("removing allows race")
+    if (options_.use_strands)
+        ctx.newStrand();            // line 6
+
+    const std::uint64_t head = ctx.load(layout_.headAddr());
+    const std::uint64_t slot_bytes = layout_.slotBytes(len);
+    checkOverrun(ctx, head, slot_bytes);
+    recordGolden(head, op_id, len);
+
+    ctx.marker(MarkerCode::RoleData);
+    writeEntry(ctx, head, payload, len);    // line 7
+    if (!options_.omit_data_head_barrier)
+        persistBarrier(ctx);               // line 8 (required)
+    ctx.marker(MarkerCode::RoleHead);
+    ctx.store(layout_.headAddr(), head + slot_bytes); // line 9
+
+    // Line 11: always emitted. Keeping this barrier (ending the head
+    // persist's epoch) is what makes the racing variant match the
+    // conservative one on a single thread, as the paper's Table 1
+    // reports; the "racing" relaxation drops only the barriers that
+    // bracket lock operations (lines 3, 5, 13).
+    persistBarrier(ctx);
+    lock_.unlock(ctx, qnode);       // line 12
+    if (conservative)
+        persistBarrier(ctx);       // line 13
+    ctx.marker(MarkerCode::OpEnd, op_id);
+}
+
+bool
+CwlQueue::tryRemove(ThreadCtx &ctx, std::size_t slot,
+                    std::vector<std::uint8_t> &out)
+{
+    PERSIM_REQUIRE(slot < qnodes_.size(), "bad thread slot");
+    const Addr qnode = qnodes_[slot];
+    const bool conservative = options_.conservative_barriers;
+
+    if (conservative)
+        persistBarrier(ctx);
+    lock_.lock(ctx, qnode);
+    if (conservative)
+        persistBarrier(ctx);
+
+    const std::uint64_t tail = ctx.load(layout_.tailAddr());
+    const std::uint64_t head = ctx.load(layout_.headAddr());
+    if (tail == head) {
+        if (conservative)
+            persistBarrier(ctx);
+        lock_.unlock(ctx, qnode);
+        if (conservative)
+            persistBarrier(ctx);
+        return false;
+    }
+
+    // Read the length word and payload (circularly).
+    std::uint8_t len_word[8];
+    const std::uint64_t base = tail % layout_.capacity;
+    const std::uint64_t first = std::min<std::uint64_t>(
+        8, layout_.capacity - base);
+    ctx.copyOut(len_word, layout_.data + base, first);
+    if (first < 8)
+        ctx.copyOut(len_word + first, layout_.data, 8 - first);
+    std::uint64_t len = 0;
+    std::memcpy(&len, len_word, 8);
+    PERSIM_REQUIRE(len >= min_payload_bytes &&
+                   layout_.slotBytes(len) <= head - tail,
+                   "corrupt entry at tail during remove");
+
+    out.resize(len);
+    std::uint64_t off = (tail + 8) % layout_.capacity;
+    const std::uint64_t chunk = std::min(len, layout_.capacity - off);
+    ctx.copyOut(out.data(), layout_.data + off, chunk);
+    if (chunk < len)
+        ctx.copyOut(out.data() + chunk, layout_.data, len - chunk);
+
+    // Order the tail persist after the reads (strand idiom: the loads
+    // above establish dependences via strong persist atomicity).
+    persistBarrier(ctx);
+    ctx.store(layout_.tailAddr(), tail + layout_.slotBytes(len));
+
+    if (conservative)
+        persistBarrier(ctx);
+    lock_.unlock(ctx, qnode);
+    if (conservative)
+        persistBarrier(ctx);
+    return true;
+}
+
+std::unique_ptr<TlcQueue>
+TlcQueue::create(ThreadCtx &ctx, const QueueOptions &options,
+                 std::size_t threads)
+{
+    PERSIM_REQUIRE(isPowerOfTwo(options.pad) && options.pad >= 16,
+                   "pad must be a power of two >= 16");
+    PERSIM_REQUIRE(options.capacity >= options.pad &&
+                   options.capacity % options.pad == 0,
+                   "capacity must be a positive multiple of pad");
+    PERSIM_REQUIRE(threads >= 1, "need at least one thread slot");
+
+    QueueLayout layout;
+    layout.header = ctx.pmalloc(header_bytes, 64);
+    layout.data = ctx.pmalloc(options.capacity, 64);
+    layout.capacity = options.capacity;
+    layout.pad = options.pad;
+    ctx.store(layout.headAddr(), 0);
+    ctx.store(layout.tailAddr(), 0);
+    // See CwlQueue::create: initialization ends with a barrier.
+    ctx.persistBarrier();
+
+    McsLock reserve = McsLock::create(ctx);
+    McsLock update = McsLock::create(ctx);
+    const Addr headv = ctx.vmalloc(8, 64);
+    ctx.store(headv, 0);
+    const Addr list_head = ctx.vmalloc(8, 64);
+    ctx.store(list_head, 0);
+    const Addr list_tail = ctx.vmalloc(8, 64);
+    ctx.store(list_tail, 0);
+
+    std::vector<Addr> reserve_qnodes;
+    std::vector<Addr> update_qnodes;
+    for (std::size_t i = 0; i < threads; ++i) {
+        reserve_qnodes.push_back(McsLock::createQnode(ctx));
+        update_qnodes.push_back(McsLock::createQnode(ctx));
+    }
+
+    return std::unique_ptr<TlcQueue>(new TlcQueue(
+        layout, options, reserve, update, headv, list_head, list_tail,
+        std::move(reserve_qnodes), std::move(update_qnodes)));
+}
+
+void
+TlcQueue::insert(ThreadCtx &ctx, std::size_t slot, const void *payload,
+                 std::uint64_t len, std::uint64_t op_id)
+{
+    PERSIM_REQUIRE(slot < reserve_qnodes_.size(), "bad thread slot");
+    PERSIM_REQUIRE(len >= min_payload_bytes, "payload too short");
+    const Addr qr = reserve_qnodes_[slot];
+    const Addr qu = update_qnodes_[slot];
+    const std::uint64_t slot_bytes = layout_.slotBytes(len);
+
+    ctx.marker(MarkerCode::OpBegin, op_id);
+
+    // Reserve data-segment space and enqueue an insert-list node
+    // (Alg. 1 lines 17-20).
+    reserve_.lock(ctx, qr);
+    const std::uint64_t start = ctx.load(headv_);
+    checkOverrun(ctx, start, slot_bytes);
+    ctx.store(headv_, start + slot_bytes);
+    const Addr node = ctx.vmalloc(node_bytes, 64);
+    ctx.store(node + node_end_off, start + slot_bytes);
+    ctx.store(node + node_done_off, 0);
+    ctx.store(node + node_next_off, 0);
+    const Addr old_tail = ctx.load(list_tail_);
+    if (old_tail == 0) {
+        ctx.store(list_head_, node);
+    } else {
+        ctx.store(old_tail + node_next_off, node);
+    }
+    ctx.store(list_tail_, node);
+    recordGolden(start, op_id, len);
+    reserve_.unlock(ctx, qr);
+
+    if (options_.use_strands)
+        ctx.newStrand();            // line 21
+
+    ctx.marker(MarkerCode::RoleData);
+    writeEntry(ctx, start, payload, len);   // line 22
+
+    // End the data epoch before publishing completion, so that a
+    // *different* thread committing this entry inherits the data
+    // persists (see the file comment). This also serves as the
+    // Algorithm 1 line-27 ordering for the self-commit path.
+    if (options_.barrier_before_publish && !options_.omit_data_head_barrier)
+        persistBarrier(ctx);
+
+    update_.lock(ctx, qu);          // line 23
+    ctx.store(node + node_done_off, 1);
+
+    // Pop the longest completed prefix (line 24; the "double-checked
+    // lock" note: list surgery requires the reserve lock as well).
+    reserve_.lock(ctx, qr);
+    std::uint64_t newhead = 0;
+    bool popped = false;
+    Addr cursor = ctx.load(list_head_);
+    while (cursor != 0 && ctx.load(cursor + node_done_off) == 1) {
+        newhead = ctx.load(cursor + node_end_off);
+        const Addr next = ctx.load(cursor + node_next_off);
+        ctx.store(list_head_, next);
+        if (next == 0)
+            ctx.store(list_tail_, 0);
+        ctx.vfree(cursor);
+        cursor = next;
+        popped = true;
+    }
+    reserve_.unlock(ctx, qr);
+
+    if (popped) {                   // line 26
+        if (!options_.omit_data_head_barrier)
+            persistBarrier(ctx);   // line 27
+        ctx.marker(MarkerCode::RoleHead);
+        ctx.store(layout_.headAddr(), newhead); // line 28
+    }
+    update_.unlock(ctx, qu);        // line 31
+    ctx.marker(MarkerCode::OpEnd, op_id);
+}
+
+bool
+TlcQueue::tryRemove(ThreadCtx &, std::size_t, std::vector<std::uint8_t> &)
+{
+    PERSIM_FATAL("Two-Lock Concurrent removal is not defined by the "
+                 "paper; use CopyWhileLocked for consumer workloads");
+}
+
+std::unique_ptr<PersistentQueue>
+createQueue(ThreadCtx &ctx, QueueKind kind, const QueueOptions &options,
+            std::size_t threads)
+{
+    switch (kind) {
+      case QueueKind::CopyWhileLocked:
+        return CwlQueue::create(ctx, options, threads);
+      case QueueKind::TwoLockConcurrent:
+        return TlcQueue::create(ctx, options, threads);
+    }
+    PERSIM_FATAL("unknown queue kind");
+}
+
+RecoveryReport
+recoverQueue(const MemoryImage &image, const QueueLayout &layout,
+             bool verify_content)
+{
+    RecoveryReport report;
+    report.head = image.load(layout.headAddr(), 8);
+    report.tail = image.load(layout.tailAddr(), 8);
+
+    if (report.tail > report.head) {
+        report.error = "tail is ahead of head";
+        return report;
+    }
+    if (report.head - report.tail > layout.capacity) {
+        report.error = "live region exceeds capacity";
+        return report;
+    }
+
+    std::uint64_t pos = report.tail;
+    while (pos < report.head) {
+        if (report.head - pos < layout.pad) {
+            std::ostringstream oss;
+            oss << "head splits a slot at offset " << pos;
+            report.error = oss.str();
+            return report;
+        }
+        std::uint8_t len_word[8];
+        readCircular(image, layout, pos, len_word, 8);
+        std::uint64_t len = 0;
+        std::memcpy(&len, len_word, 8);
+        if (len < min_payload_bytes ||
+            layout.slotBytes(len) > report.head - pos) {
+            std::ostringstream oss;
+            oss << "corrupt length " << len << " at offset " << pos;
+            report.error = oss.str();
+            return report;
+        }
+        std::vector<std::uint8_t> payload(len);
+        readCircular(image, layout, pos + 8, payload.data(), len);
+
+        RecoveredEntry entry;
+        entry.offset = pos;
+        entry.len = len;
+        entry.op_id = payloadOpId(payload.data(), len);
+        entry.content_ok =
+            !verify_content || verifyPayload(payload.data(), len);
+        if (!entry.content_ok) {
+            std::ostringstream oss;
+            oss << "corrupt payload for op " << entry.op_id
+                << " at offset " << pos;
+            report.error = oss.str();
+            report.entries.push_back(entry);
+            return report;
+        }
+        report.entries.push_back(entry);
+        pos += layout.slotBytes(len);
+    }
+    report.ok = true;
+    return report;
+}
+
+std::function<std::string(const MemoryImage &)>
+makeRecoveryInvariant(const QueueLayout &layout,
+                      const std::map<std::uint64_t, GoldenEntry> &golden)
+{
+    return [layout, golden](const MemoryImage &image) {
+        const RecoveryReport report = recoverQueue(image, layout);
+        if (!report.ok)
+            return report.error;
+        return checkAgainstGolden(report, golden);
+    };
+}
+
+std::string
+checkAgainstGolden(const RecoveryReport &report,
+                   const std::map<std::uint64_t, GoldenEntry> &golden)
+{
+    for (const auto &entry : report.entries) {
+        auto it = golden.find(entry.offset);
+        if (it == golden.end()) {
+            std::ostringstream oss;
+            oss << "recovered entry at unreserved offset " << entry.offset;
+            return oss.str();
+        }
+        if (it->second.op_id != entry.op_id ||
+            it->second.len != entry.len) {
+            std::ostringstream oss;
+            oss << "entry at offset " << entry.offset << " is op "
+                << entry.op_id << "/" << entry.len << " but reservation "
+                << "was op " << it->second.op_id << "/" << it->second.len;
+            return oss.str();
+        }
+    }
+    return "";
+}
+
+} // namespace persim

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Thread-safe persistent queues (paper Section 6, Algorithm 1).
+ *
+ * Both designs are circular buffers with a persistent header (head
+ * and tail cumulative byte counters) and a persistent data segment.
+ * An entry is [8-byte payload length][payload], padded to a 64-byte
+ * slot boundary (the paper pads inserts to 64 bytes to avoid false
+ * sharing). An entry is valid and recoverable exactly when the head
+ * counter encompasses its slot.
+ *
+ *  - CopyWhileLocked (CWL): one MCS lock serializes inserts; each
+ *    insert persists the entry, a persist barrier, then the head.
+ *  - TwoLockConcurrent (2LC): a reserve lock hands out data-segment
+ *    space and a volatile insert list; entry data persists outside
+ *    any lock (concurrently across threads); an update lock commits
+ *    the longest contiguous completed prefix to the head pointer.
+ *
+ * Persistency annotations are configurable per the paper's Table 1
+ * variants: conservative barriers around lock operations ("Epoch"),
+ * no such barriers ("Racing Epochs", relying on strong persist
+ * atomicity to serialize head updates), and NewStrand annotations for
+ * strand persistency.
+ *
+ * Deviation from Algorithm 1 as printed: under epoch persistency,
+ * when thread B commits a prefix containing thread A's entry, nothing
+ * in Algorithm 1 orders A's data persists before B's head persist
+ * (A has no persist barrier between its COPY and marking its insert
+ * complete, so the epochs race and only same-address persists are
+ * ordered). We add one persist barrier between COPY and the
+ * completion mark (QueueOptions::barrier_before_publish, default on);
+ * it costs no persist concurrency and restores the required
+ * data-before-head ordering. Failure-injection tests demonstrate the
+ * corruption when it is disabled.
+ */
+
+#ifndef PERSIM_QUEUE_QUEUE_HH
+#define PERSIM_QUEUE_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pmem/pmem.hh"
+#include "sim/engine.hh"
+#include "sim/memory_image.hh"
+#include "sync/locks.hh"
+
+namespace persim {
+
+/** Which queue design. */
+enum class QueueKind : std::uint8_t {
+    CopyWhileLocked,
+    TwoLockConcurrent,
+};
+
+/** Human-readable queue name. */
+const char *queueKindName(QueueKind kind);
+
+/** Placement of the queue's persistent state. */
+struct QueueLayout
+{
+    Addr header = invalid_addr; //!< 128-byte header block.
+    Addr data = invalid_addr;   //!< Data segment base.
+    std::uint64_t capacity = 0; //!< Data segment bytes (multiple of pad).
+    std::uint64_t pad = 64;     //!< Entry slot alignment.
+
+    /** Address of the persistent head counter. */
+    Addr headAddr() const { return header; }
+
+    /** Address of the persistent tail counter (64 bytes away). */
+    Addr tailAddr() const { return header + 64; }
+
+    /** Bytes an entry of @p len payload bytes occupies. */
+    std::uint64_t slotBytes(std::uint64_t len) const;
+};
+
+/** Queue construction and annotation options. */
+struct QueueOptions
+{
+    /** Data segment size in bytes. */
+    std::uint64_t capacity = 1 << 20;
+
+    /** Entry slot alignment (power of two >= 16). */
+    std::uint64_t pad = 64;
+
+    /**
+     * Emit persist barriers around lock acquire/release (the
+     * conservative "Epoch" discipline). When false, epochs race
+     * across critical sections ("Racing Epochs").
+     */
+    bool conservative_barriers = true;
+
+    /** Emit NewStrand at the start of each insert's copy phase. */
+    bool use_strands = false;
+
+    /**
+     * 2LC only: persist barrier between COPY and publishing the
+     * insert as complete (see the file comment). Keep on.
+     */
+    bool barrier_before_publish = true;
+
+    /**
+     * Emit a consistency fence() immediately before every persist
+     * barrier. Required for recovery correctness when the engine runs
+     * under TSO: without it, buffered stores become visible — and
+     * persist — on the far side of their persist barrier (paper
+     * Section 4.3). A no-op under SC execution.
+     */
+    bool fence_with_barriers = false;
+
+    /**
+     * Benchmark mode: allow the head to lap the tail, overwriting the
+     * oldest entries (the paper's microbenchmark inserts 100M entries
+     * into a fixed segment and never removes). Disables the overrun
+     * check; recovery of overwritten entries is undefined.
+     */
+    bool allow_overwrite = false;
+
+    /**
+     * FAULT DEMONSTRATION ONLY: omit the Algorithm 1 line-8 barrier
+     * that orders entry data before the head update. Recovery is not
+     * correct without it; failure-injection tests use this to prove
+     * the constraint is required.
+     */
+    bool omit_data_head_barrier = false;
+};
+
+/** Host-side record of a reservation, for recovery cross-checking. */
+struct GoldenEntry
+{
+    std::uint64_t op_id = 0;
+    std::uint64_t len = 0;
+};
+
+/** One entry parsed out of a (possibly crashed) queue image. */
+struct RecoveredEntry
+{
+    std::uint64_t offset = 0; //!< Cumulative byte offset of the slot.
+    std::uint64_t op_id = 0;  //!< Id embedded in the payload.
+    std::uint64_t len = 0;    //!< Payload length.
+    bool content_ok = false;  //!< Payload bytes verified.
+};
+
+/** Result of recovering a queue from a memory image. */
+struct RecoveryReport
+{
+    bool ok = false;
+    std::string error;
+    std::uint64_t head = 0;
+    std::uint64_t tail = 0;
+    std::vector<RecoveredEntry> entries;
+};
+
+/** Abstract persistent queue (insert interface shared by designs). */
+class PersistentQueue
+{
+  public:
+    virtual ~PersistentQueue() = default;
+
+    /**
+     * Insert @p len payload bytes for operation @p op_id.
+     * @param slot The caller's thread slot (0..threads-1 as passed to
+     *             the factory), selecting its lock qnodes.
+     */
+    virtual void insert(ThreadCtx &ctx, std::size_t slot,
+                        const void *payload, std::uint64_t len,
+                        std::uint64_t op_id) = 0;
+
+    /**
+     * Remove the oldest entry into @p out.
+     * @return False when the queue is empty.
+     */
+    virtual bool tryRemove(ThreadCtx &ctx, std::size_t slot,
+                           std::vector<std::uint8_t> &out) = 0;
+
+    virtual QueueKind kind() const = 0;
+
+    const QueueLayout &layout() const { return layout_; }
+    const QueueOptions &options() const { return options_; }
+
+    /** Reservations recorded so far, keyed by cumulative offset. */
+    std::map<std::uint64_t, GoldenEntry> golden() const;
+
+  protected:
+    PersistentQueue(const QueueLayout &layout, const QueueOptions &options)
+        : layout_(layout), options_(options)
+    {}
+
+    /** Record a reservation for recovery cross-checks (host-side). */
+    void recordGolden(std::uint64_t offset, std::uint64_t op_id,
+                      std::uint64_t len);
+
+    /** Write one entry (length word + payload) circularly at @p pos. */
+    void writeEntry(ThreadCtx &ctx, std::uint64_t pos, const void *payload,
+                    std::uint64_t len);
+
+    /** Fatal if inserting @p slot_bytes at @p head would overrun. */
+    void checkOverrun(ThreadCtx &ctx, std::uint64_t head,
+                      std::uint64_t slot_bytes);
+
+    /** Persist barrier, fenced first when the options request it. */
+    void persistBarrier(ThreadCtx &ctx);
+
+    QueueLayout layout_;
+    QueueOptions options_;
+
+  private:
+    /** Circular write into the data segment. */
+    void writeCircular(ThreadCtx &ctx, std::uint64_t off, const void *src,
+                       std::uint64_t n);
+
+    mutable std::mutex golden_mutex_;
+    std::map<std::uint64_t, GoldenEntry> golden_;
+};
+
+/** Copy While Locked (Algorithm 1, INSERTCWL). */
+class CwlQueue : public PersistentQueue
+{
+  public:
+    /**
+     * Allocate and initialize the queue in persistent memory, plus
+     * per-thread MCS qnodes for @p threads thread slots.
+     */
+    static std::unique_ptr<CwlQueue> create(ThreadCtx &ctx,
+                                            const QueueOptions &options,
+                                            std::size_t threads);
+
+    void insert(ThreadCtx &ctx, std::size_t slot, const void *payload,
+                std::uint64_t len, std::uint64_t op_id) override;
+
+    bool tryRemove(ThreadCtx &ctx, std::size_t slot,
+                   std::vector<std::uint8_t> &out) override;
+
+    QueueKind kind() const override { return QueueKind::CopyWhileLocked; }
+
+  private:
+    CwlQueue(const QueueLayout &layout, const QueueOptions &options,
+             McsLock lock, std::vector<Addr> qnodes)
+        : PersistentQueue(layout, options), lock_(lock),
+          qnodes_(std::move(qnodes))
+    {}
+
+    McsLock lock_;
+    std::vector<Addr> qnodes_;
+};
+
+/** Two-Lock Concurrent (Algorithm 1, INSERT2LC). */
+class TlcQueue : public PersistentQueue
+{
+  public:
+    /** As CwlQueue::create; allocates qnodes for both locks. */
+    static std::unique_ptr<TlcQueue> create(ThreadCtx &ctx,
+                                            const QueueOptions &options,
+                                            std::size_t threads);
+
+    void insert(ThreadCtx &ctx, std::size_t slot, const void *payload,
+                std::uint64_t len, std::uint64_t op_id) override;
+
+    /** 2LC removal is not defined by the paper; always fatals. */
+    bool tryRemove(ThreadCtx &ctx, std::size_t slot,
+                   std::vector<std::uint8_t> &out) override;
+
+    QueueKind kind() const override
+    {
+        return QueueKind::TwoLockConcurrent;
+    }
+
+  private:
+    TlcQueue(const QueueLayout &layout, const QueueOptions &options,
+             McsLock reserve, McsLock update, Addr headv, Addr list_head,
+             Addr list_tail, std::vector<Addr> reserve_qnodes,
+             std::vector<Addr> update_qnodes)
+        : PersistentQueue(layout, options), reserve_(reserve),
+          update_(update), headv_(headv), list_head_(list_head),
+          list_tail_(list_tail), reserve_qnodes_(std::move(reserve_qnodes)),
+          update_qnodes_(std::move(update_qnodes))
+    {}
+
+    McsLock reserve_;
+    McsLock update_;
+    Addr headv_;     //!< Volatile reservation counter.
+    Addr list_head_; //!< Volatile insert-list head pointer.
+    Addr list_tail_; //!< Volatile insert-list tail pointer.
+    std::vector<Addr> reserve_qnodes_;
+    std::vector<Addr> update_qnodes_;
+};
+
+/** Factory over QueueKind. */
+std::unique_ptr<PersistentQueue> createQueue(ThreadCtx &ctx, QueueKind kind,
+                                             const QueueOptions &options,
+                                             std::size_t threads);
+
+/**
+ * Parse a queue out of a (possibly mid-crash) memory image: read the
+ * header and walk entries from tail to head.
+ * @param verify_content When true (default), payloads must match the
+ *        canonical makePayload format; pass false for applications
+ *        with their own payload format (they should validate the
+ *        returned entries themselves).
+ */
+RecoveryReport recoverQueue(const MemoryImage &image,
+                            const QueueLayout &layout,
+                            bool verify_content = true);
+
+/**
+ * Cross-check a recovery report against the reservations the queue
+ * actually made: every recovered entry must sit at a reserved offset
+ * with the reserved op id and length.
+ * @return Empty string when consistent, else a description.
+ */
+std::string checkAgainstGolden(const RecoveryReport &report,
+                               const std::map<std::uint64_t,
+                                              GoldenEntry> &golden);
+
+/**
+ * Build a recovery invariant for failure injection (see
+ * src/recovery/): recover the queue from the crashed image, then
+ * cross-check it against the recorded reservations.
+ */
+std::function<std::string(const MemoryImage &)>
+makeRecoveryInvariant(const QueueLayout &layout,
+                      const std::map<std::uint64_t, GoldenEntry> &golden);
+
+} // namespace persim
+
+#endif // PERSIM_QUEUE_QUEUE_HH

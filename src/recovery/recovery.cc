@@ -1,0 +1,125 @@
+#include "recovery/recovery.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace persim {
+
+MemoryImage
+reconstructImage(const PersistLog &log, double crash_time)
+{
+    MemoryImage image;
+    for (const auto &record : log) {
+        if (record.time <= crash_time)
+            image.store(record.addr, record.size, record.value);
+    }
+    return image;
+}
+
+std::string
+verifyLogConsistency(const PersistLog &log)
+{
+    std::unordered_map<std::uint64_t, double> last_time_by_word;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const auto &record = log[i];
+        if (record.id != i) {
+            std::ostringstream oss;
+            oss << "record " << i << " has id " << record.id;
+            return oss.str();
+        }
+        if (record.binding != invalid_persist) {
+            if (record.binding >= i) {
+                std::ostringstream oss;
+                oss << "record " << i << " binds forward to "
+                    << record.binding;
+                return oss.str();
+            }
+            const double pred = log[record.binding].time;
+            const bool coalesced =
+                record.binding_source == DepSource::Coalesced;
+            if (coalesced ? record.time != pred : record.time <= pred) {
+                std::ostringstream oss;
+                oss << "record " << i << " (t=" << record.time
+                    << ") does not follow its binding "
+                    << record.binding << " (t=" << pred << ", "
+                    << depSourceName(record.binding_source) << ")";
+                return oss.str();
+            }
+        }
+        // Strong persist atomicity: same-word persists never go back
+        // in time.
+        const std::uint64_t word = record.addr / 8;
+        auto it = last_time_by_word.find(word);
+        if (it != last_time_by_word.end() && record.time < it->second) {
+            std::ostringstream oss;
+            oss << "record " << i << " violates strong persist "
+                << "atomicity at word 0x" << std::hex << record.addr;
+            return oss.str();
+        }
+        last_time_by_word[word] =
+            it == last_time_by_word.end()
+            ? record.time : std::max(it->second, record.time);
+    }
+    return "";
+}
+
+PersistLog
+stochasticLog(const InMemoryTrace &trace, const ModelConfig &model,
+              std::uint64_t seed, double mean_latency)
+{
+    TimingConfig config;
+    config.model = model;
+    config.clock = ClockMode::Stochastic;
+    config.seed = seed;
+    config.mean_latency = mean_latency;
+    config.record_log = true;
+    PersistTimingEngine engine(config);
+    trace.replay(engine);
+    return engine.takeLog();
+}
+
+InjectionResult
+injectFailures(const InMemoryTrace &trace, const InjectionConfig &config,
+               const RecoveryInvariant &invariant)
+{
+    InjectionResult result;
+    Rng rng(config.seed);
+
+    for (std::uint64_t r = 0; r < config.realizations; ++r) {
+        const PersistLog log =
+            stochasticLog(trace, config.model, rng.next(),
+                          config.mean_latency);
+        double span = 0.0;
+        for (const auto &record : log)
+            span = std::max(span, record.time);
+
+        std::vector<double> crash_times;
+        crash_times.push_back(-1.0);       // Nothing persisted.
+        crash_times.push_back(span + 1.0); // Everything persisted.
+        for (std::uint64_t c = 0; c < config.crashes_per_realization; ++c)
+            crash_times.push_back(rng.nextDouble() * span);
+
+        for (const double t : crash_times) {
+            ++result.samples;
+            const MemoryImage image = reconstructImage(log, t);
+            const std::string verdict = invariant(image);
+            if (!verdict.empty()) {
+                ++result.violations;
+                if (result.first_violation.empty()) {
+                    std::ostringstream oss;
+                    oss << "realization " << r << ", crash t=" << t
+                        << ": " << verdict;
+                    result.first_violation = oss.str();
+                    result.first_violation_time = t;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace persim

@@ -1,0 +1,99 @@
+#include "sim/address_allocator.hh"
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+
+namespace persim {
+
+AddressAllocator::AddressAllocator(Addr base, std::uint64_t capacity)
+    : base_(base), capacity_(capacity)
+{
+    PERSIM_REQUIRE(isAligned(base, 8), "region base must be 8-byte aligned");
+    PERSIM_REQUIRE(capacity >= 8, "region too small");
+    free_ranges_[base_] = capacity_;
+}
+
+Addr
+AddressAllocator::allocate(std::uint64_t size, std::uint64_t align)
+{
+    PERSIM_REQUIRE(size > 0, "cannot allocate zero bytes");
+    PERSIM_REQUIRE(isPowerOfTwo(align) && align >= 8,
+                   "alignment must be a power of two >= 8");
+    const std::uint64_t rounded = alignUp(size, 8);
+
+    for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
+        const Addr range_start = it->first;
+        const std::uint64_t range_len = it->second;
+        const Addr aligned_start = alignUp(range_start, align);
+        const std::uint64_t pad = aligned_start - range_start;
+        if (range_len < pad || range_len - pad < rounded)
+            continue;
+
+        // Carve [aligned_start, aligned_start + rounded) out of the
+        // range, returning any leading pad and trailing remainder to
+        // the free map.
+        free_ranges_.erase(it);
+        if (pad > 0)
+            free_ranges_[range_start] = pad;
+        const std::uint64_t tail = range_len - pad - rounded;
+        if (tail > 0)
+            free_ranges_[aligned_start + rounded] = tail;
+
+        live_[aligned_start] = rounded;
+        bytes_live_ += rounded;
+        return aligned_start;
+    }
+    PERSIM_FATAL("address region exhausted: requested " << rounded
+                 << " bytes from region at 0x" << std::hex << base_);
+}
+
+void
+AddressAllocator::free(Addr addr)
+{
+    auto it = live_.find(addr);
+    PERSIM_REQUIRE(it != live_.end(),
+                   "free of unallocated address 0x" << std::hex << addr);
+    const std::uint64_t size = it->second;
+    live_.erase(it);
+    bytes_live_ -= size;
+    insertFreeRange(addr, size);
+}
+
+void
+AddressAllocator::insertFreeRange(Addr addr, std::uint64_t size)
+{
+    // Find the first free range at or after addr, then try to merge
+    // with the predecessor and successor.
+    auto next = free_ranges_.lower_bound(addr);
+    if (next != free_ranges_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == addr) {
+            addr = prev->first;
+            size += prev->second;
+            free_ranges_.erase(prev);
+        }
+    }
+    if (next != free_ranges_.end() && addr + size == next->first) {
+        size += next->second;
+        free_ranges_.erase(next);
+    }
+    free_ranges_[addr] = size;
+}
+
+std::uint64_t
+AddressAllocator::blockSize(Addr addr) const
+{
+    auto it = live_.find(addr);
+    PERSIM_REQUIRE(it != live_.end(),
+                   "blockSize of unallocated address 0x" << std::hex
+                   << addr);
+    return it->second;
+}
+
+bool
+AddressAllocator::isAllocated(Addr addr) const
+{
+    return live_.find(addr) != live_.end();
+}
+
+} // namespace persim

@@ -1,0 +1,475 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hh"
+
+namespace persim {
+
+ExecutionEngine::ExecutionEngine(const EngineConfig &config, TraceSink *sink)
+    : config_(config), sink_(sink),
+      valloc_(volatile_base, config.volatile_capacity),
+      palloc_(persistent_base, config.persistent_capacity),
+      policy_(makePolicy(config.scheduler, config.seed, config.quantum))
+{
+    PERSIM_REQUIRE(volatile_base + config.volatile_capacity
+                   <= persistent_base,
+                   "volatile region overlaps the persistent region");
+}
+
+void
+ExecutionEngine::runSetup(const WorkerFn &fn)
+{
+    PERSIM_REQUIRE(!ran_, "runSetup must precede run");
+    in_setup_ = true;
+    ThreadCtx ctx(this, 0);
+    try {
+        fn(ctx);
+        // Setup results must be visible to every worker.
+        if (config_.consistency == ConsistencyModel::TSO)
+            drainAll(0);
+    } catch (...) {
+        in_setup_ = false;
+        throw;
+    }
+    in_setup_ = false;
+}
+
+void
+ExecutionEngine::run(const std::vector<WorkerFn> &workers)
+{
+    PERSIM_REQUIRE(!ran_, "an ExecutionEngine can only run once");
+    ran_ = true;
+
+    if (workers.empty()) {
+        if (sink_)
+            sink_->onFinish();
+        return;
+    }
+
+    const auto n = static_cast<ThreadId>(workers.size());
+    serial_ = (n == 1);
+    slots_.clear();
+    for (ThreadId t = 0; t < n; ++t)
+        slots_.push_back(std::make_unique<ThreadSlot>());
+    runnable_.clear();
+    for (ThreadId t = 0; t < n; ++t)
+        runnable_.push_back(t);
+
+    if (serial_) {
+        workerBody(0, workers[0]);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(n);
+        for (ThreadId t = 0; t < n; ++t)
+            threads.emplace_back([this, t, &workers] {
+                workerBody(t, workers[t]);
+            });
+
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            const ScheduleDecision d =
+                policy_->pick(runnable_, invalid_thread);
+            token_ = d.thread;
+            quantum_left_ = d.quantum;
+            slots_[d.thread]->cv.notify_one();
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    for (const auto &slot : slots_) {
+        if (slot->error)
+            std::rethrow_exception(slot->error);
+    }
+    if (sink_)
+        sink_->onFinish();
+}
+
+void
+ExecutionEngine::workerBody(ThreadId tid, const WorkerFn &fn)
+{
+    bool clean_abort = false;
+    try {
+        ThreadCtx ctx(this, tid);
+        schedulePoint(tid);
+        emit(tid, EventKind::ThreadStart, 0, 0, 0);
+        fn(ctx);
+        schedulePoint(tid);
+        if (config_.consistency == ConsistencyModel::TSO)
+            drainAll(tid);
+        emit(tid, EventKind::ThreadEnd, 0, 0, 0);
+    } catch (const Aborted &) {
+        clean_abort = true;
+    } catch (...) {
+        slots_[tid]->error = std::current_exception();
+    }
+    (void)clean_abort;
+    finishThread(tid);
+}
+
+void
+ExecutionEngine::schedulePoint(ThreadId tid)
+{
+    schedulePointInner(tid);
+    // The token is held here: safe to age the store buffer.
+    if (config_.consistency == ConsistencyModel::TSO)
+        backgroundDrain(tid);
+}
+
+void
+ExecutionEngine::backgroundDrain(ThreadId tid)
+{
+    auto &buffer = storeBuffer(tid);
+    if (tid >= drain_ticks_.size())
+        drain_ticks_.resize(tid + 1, 0);
+    if (buffer.empty()) {
+        drain_ticks_[tid] = 0;
+        return;
+    }
+    if (++drain_ticks_[tid] >= config_.drain_interval) {
+        drain_ticks_[tid] = 0;
+        drainOne(tid);
+    }
+}
+
+void
+ExecutionEngine::schedulePointInner(ThreadId tid)
+{
+    if (in_setup_ || serial_)
+        return;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (aborting_)
+            throw Aborted{};
+        if (token_ != tid) {
+            slots_[tid]->cv.wait(lock, [this, tid] {
+                return token_ == tid || aborting_;
+            });
+            continue;
+        }
+        if (quantum_left_ > 0) {
+            --quantum_left_;
+            return;
+        }
+        const ScheduleDecision d = policy_->pick(runnable_, tid);
+        quantum_left_ = d.quantum;
+        if (d.thread != tid) {
+            token_ = d.thread;
+            slots_[d.thread]->cv.notify_one();
+        }
+        // Loop: either we still hold the token (and now have quantum)
+        // or we wait to be granted again.
+    }
+}
+
+void
+ExecutionEngine::finishThread(ThreadId tid)
+{
+    if (in_setup_ || serial_)
+        return;
+
+    std::lock_guard<std::mutex> guard(mutex_);
+    runnable_.erase(std::remove(runnable_.begin(), runnable_.end(), tid),
+                    runnable_.end());
+    slots_[tid]->done = true;
+    if (slots_[tid]->error && !aborting_) {
+        // Unwind every other thread so run() can join and report.
+        aborting_ = true;
+        for (auto &slot : slots_)
+            slot->cv.notify_one();
+        return;
+    }
+    if (token_ == tid) {
+        if (!aborting_ && !runnable_.empty()) {
+            const ScheduleDecision d =
+                policy_->pick(runnable_, invalid_thread);
+            token_ = d.thread;
+            quantum_left_ = d.quantum;
+            slots_[d.thread]->cv.notify_one();
+        } else {
+            token_ = invalid_thread;
+        }
+    }
+}
+
+void
+ExecutionEngine::emit(ThreadId tid, EventKind kind, Addr addr,
+                      unsigned size, std::uint64_t value,
+                      std::uint16_t marker)
+{
+    if (config_.max_events > 0 && next_seq_ >= config_.max_events) {
+        if (!(in_setup_ || serial_)) {
+            std::lock_guard<std::mutex> guard(mutex_);
+            aborting_ = true;
+            for (auto &slot : slots_)
+                slot->cv.notify_one();
+        }
+        PERSIM_FATAL("execution exceeded max_events="
+                     << config_.max_events
+                     << " (possible livelock in the workload)");
+    }
+
+    TraceEvent event;
+    event.seq = next_seq_++;
+    event.addr = addr;
+    event.value = value;
+    event.thread = tid;
+    event.kind = kind;
+    event.size = static_cast<std::uint8_t>(size);
+    event.marker = marker;
+    if (sink_)
+        sink_->onEvent(event);
+}
+
+std::uint64_t
+ExecutionEngine::debugLoad(Addr addr, unsigned size) const
+{
+    return image_.load(addr, size);
+}
+
+void
+ExecutionEngine::debugReadBytes(void *dst, Addr src, std::size_t n) const
+{
+    image_.readBytes(dst, src, n);
+}
+
+std::deque<ExecutionEngine::BufferedStore> &
+ExecutionEngine::storeBuffer(ThreadId tid)
+{
+    if (tid >= store_buffers_.size())
+        store_buffers_.resize(tid + 1);
+    return store_buffers_[tid];
+}
+
+void
+ExecutionEngine::drainOne(ThreadId tid)
+{
+    auto &buffer = storeBuffer(tid);
+    PERSIM_ASSERT(!buffer.empty(), "drain of an empty store buffer");
+    const BufferedStore entry = buffer.front();
+    buffer.pop_front();
+    image_.store(entry.addr, entry.size, entry.value);
+    emit(tid, EventKind::Store, entry.addr, entry.size, entry.value);
+}
+
+void
+ExecutionEngine::drainAll(ThreadId tid)
+{
+    auto &buffer = storeBuffer(tid);
+    while (!buffer.empty())
+        drainOne(tid);
+}
+
+std::uint64_t
+ThreadCtx::load(Addr addr, unsigned size)
+{
+    engine_->schedulePoint(tid_);
+    if (engine_->config_.consistency == ConsistencyModel::TSO) {
+        auto &buffer = engine_->storeBuffer(tid_);
+        // Store-to-load forwarding: the newest buffered store fully
+        // covering the load supplies the value. A partial overlap
+        // (which real pipelines stall on) drains the buffer instead.
+        for (auto it = buffer.rbegin(); it != buffer.rend(); ++it) {
+            if (it->addr <= addr && addr + size <= it->addr + it->size) {
+                const unsigned shift =
+                    static_cast<unsigned>(8 * (addr - it->addr));
+                std::uint64_t value = it->value >> shift;
+                if (size < 8)
+                    value &= (1ULL << (8 * size)) - 1;
+                engine_->emit(tid_, EventKind::Load, addr, size, value);
+                return value;
+            }
+            if (it->addr < addr + size && addr < it->addr + it->size) {
+                engine_->drainAll(tid_);
+                break;
+            }
+        }
+    }
+    const std::uint64_t value = engine_->image_.load(addr, size);
+    engine_->emit(tid_, EventKind::Load, addr, size, value);
+    return value;
+}
+
+void
+ThreadCtx::store(Addr addr, std::uint64_t value, unsigned size)
+{
+    engine_->schedulePoint(tid_);
+    if (engine_->config_.consistency == ConsistencyModel::TSO) {
+        auto &buffer = engine_->storeBuffer(tid_);
+        buffer.push_back(ExecutionEngine::BufferedStore{
+            addr, size, value});
+        while (buffer.size() > engine_->config_.store_buffer_depth)
+            engine_->drainOne(tid_);
+        return;
+    }
+    engine_->image_.store(addr, size, value);
+    engine_->emit(tid_, EventKind::Store, addr, size, value);
+}
+
+std::uint64_t
+ThreadCtx::rmwExchange(Addr addr, std::uint64_t value, unsigned size)
+{
+    engine_->schedulePoint(tid_);
+    if (engine_->config_.consistency == ConsistencyModel::TSO)
+        engine_->drainAll(tid_);
+    const std::uint64_t old = engine_->image_.load(addr, size);
+    engine_->image_.store(addr, size, value);
+    engine_->emit(tid_, EventKind::Rmw, addr, size, value);
+    return old;
+}
+
+std::uint64_t
+ThreadCtx::rmwCas(Addr addr, std::uint64_t expected, std::uint64_t desired,
+                  unsigned size)
+{
+    engine_->schedulePoint(tid_);
+    if (engine_->config_.consistency == ConsistencyModel::TSO)
+        engine_->drainAll(tid_);
+    const std::uint64_t old = engine_->image_.load(addr, size);
+    if (old == expected) {
+        engine_->image_.store(addr, size, desired);
+        engine_->emit(tid_, EventKind::Rmw, addr, size, desired);
+    } else {
+        // A failed CAS performs no write; trace it as a load.
+        engine_->emit(tid_, EventKind::Load, addr, size, old);
+    }
+    return old;
+}
+
+std::uint64_t
+ThreadCtx::rmwFetchAdd(Addr addr, std::uint64_t delta, unsigned size)
+{
+    engine_->schedulePoint(tid_);
+    if (engine_->config_.consistency == ConsistencyModel::TSO)
+        engine_->drainAll(tid_);
+    const std::uint64_t old = engine_->image_.load(addr, size);
+    const std::uint64_t updated = old + delta;
+    engine_->image_.store(addr, size, updated);
+    engine_->emit(tid_, EventKind::Rmw, addr, size, updated);
+    return old;
+}
+
+void
+ThreadCtx::copyIn(Addr dst, const void *src, std::size_t n)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    while (n > 0) {
+        const std::size_t room = max_access_size - (dst % max_access_size);
+        const std::size_t chunk = std::min(n, room);
+        std::uint64_t value = 0;
+        std::memcpy(&value, bytes, chunk);
+        store(dst, value, static_cast<unsigned>(chunk));
+        dst += chunk;
+        bytes += chunk;
+        n -= chunk;
+    }
+}
+
+void
+ThreadCtx::copyOut(void *dst, Addr src, std::size_t n)
+{
+    auto *bytes = static_cast<std::uint8_t *>(dst);
+    while (n > 0) {
+        const std::size_t room = max_access_size - (src % max_access_size);
+        const std::size_t chunk = std::min(n, room);
+        const std::uint64_t value =
+            load(src, static_cast<unsigned>(chunk));
+        std::memcpy(bytes, &value, chunk);
+        src += chunk;
+        bytes += chunk;
+        n -= chunk;
+    }
+}
+
+void
+ThreadCtx::copySim(Addr dst, Addr src, std::size_t n)
+{
+    while (n > 0) {
+        const std::size_t src_room =
+            max_access_size - (src % max_access_size);
+        const std::size_t dst_room =
+            max_access_size - (dst % max_access_size);
+        const std::size_t chunk = std::min({n, src_room, dst_room});
+        const std::uint64_t value =
+            load(src, static_cast<unsigned>(chunk));
+        store(dst, value, static_cast<unsigned>(chunk));
+        src += chunk;
+        dst += chunk;
+        n -= chunk;
+    }
+}
+
+void
+ThreadCtx::persistBarrier()
+{
+    engine_->schedulePoint(tid_);
+    engine_->emit(tid_, EventKind::PersistBarrier, 0, 0, 0);
+}
+
+void
+ThreadCtx::newStrand()
+{
+    engine_->schedulePoint(tid_);
+    engine_->emit(tid_, EventKind::NewStrand, 0, 0, 0);
+}
+
+void
+ThreadCtx::persistSync()
+{
+    engine_->schedulePoint(tid_);
+    engine_->emit(tid_, EventKind::PersistSync, 0, 0, 0);
+}
+
+void
+ThreadCtx::fence()
+{
+    engine_->schedulePoint(tid_);
+    if (engine_->config_.consistency == ConsistencyModel::TSO)
+        engine_->drainAll(tid_);
+    engine_->emit(tid_, EventKind::Fence, 0, 0, 0);
+}
+
+void
+ThreadCtx::marker(MarkerCode code, std::uint64_t arg)
+{
+    engine_->schedulePoint(tid_);
+    engine_->emit(tid_, EventKind::Marker, 0, 0, arg,
+                  static_cast<std::uint16_t>(code));
+}
+
+Addr
+ThreadCtx::pmalloc(std::uint64_t size, std::uint64_t align)
+{
+    engine_->schedulePoint(tid_);
+    const Addr addr = engine_->palloc_.allocate(size, align);
+    engine_->emit(tid_, EventKind::PMalloc, addr, 0, size);
+    return addr;
+}
+
+void
+ThreadCtx::pfree(Addr addr)
+{
+    engine_->schedulePoint(tid_);
+    engine_->palloc_.free(addr);
+    engine_->emit(tid_, EventKind::PFree, addr, 0, 0);
+}
+
+Addr
+ThreadCtx::vmalloc(std::uint64_t size, std::uint64_t align)
+{
+    engine_->schedulePoint(tid_);
+    return engine_->valloc_.allocate(size, align);
+}
+
+void
+ThreadCtx::vfree(Addr addr)
+{
+    engine_->schedulePoint(tid_);
+    engine_->valloc_.free(addr);
+}
+
+} // namespace persim

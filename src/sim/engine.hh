@@ -1,0 +1,329 @@
+/**
+ * @file
+ * The persim execution engine.
+ *
+ * ExecutionEngine runs a set of workload functions as simulated
+ * threads over a shared simulated memory, serializing one traced
+ * memory event at a time ("analysis atomicity", as the paper's
+ * PIN-based tracer achieves with its bank of address locks). Because
+ * at most one event executes at any instant and each thread's events
+ * occur in program order, the emitted global order is a legal
+ * sequentially consistent execution by construction.
+ *
+ * Workloads are ordinary C++ functions taking a ThreadCtx and using
+ * its traced memory API: load/store/rmw, bulk copies (split into
+ * <= 8-byte word accesses), persist and strand barriers, persistent
+ * and volatile allocation, and operation markers. Every event is
+ * pushed to a TraceSink; persistency analyses are sinks, so traces
+ * need not be materialized.
+ *
+ * Interleaving is controlled by a SchedulingPolicy and is exactly
+ * reproducible from the engine seed.
+ */
+
+#ifndef PERSIM_SIM_ENGINE_HH
+#define PERSIM_SIM_ENGINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hh"
+#include "memtrace/event.hh"
+#include "memtrace/sink.hh"
+#include "sim/address_allocator.hh"
+#include "sim/memory_image.hh"
+#include "sim/scheduler.hh"
+
+namespace persim {
+
+class ExecutionEngine;
+
+/**
+ * Memory consistency model the engine executes under.
+ *
+ * SC serializes every access in issue order (the default; all
+ * persistency models in the paper are defined over SC). TSO gives
+ * each thread a FIFO store buffer: stores become visible to other
+ * threads (and enter the trace) when they drain — on buffer overflow,
+ * before any RMW, at a fence(), or at thread exit — while the issuing
+ * thread forwards from its own buffer. Persist and strand barriers
+ * deliberately do NOT drain: persistency and consistency barriers are
+ * decoupled, which is exactly the hazard of paper Section 4.3 /
+ * Figure 1 (a store may become visible, and thus persist, on the far
+ * side of its persist barrier).
+ */
+enum class ConsistencyModel : std::uint8_t {
+    SC,
+    TSO,
+};
+
+/** Engine construction parameters. */
+struct EngineConfig
+{
+    /** Seed for the scheduler (and anything else that needs RNG). */
+    std::uint64_t seed = 1;
+
+    /** Interleaving policy. */
+    SchedulerKind scheduler = SchedulerKind::Random;
+
+    /**
+     * Events per timeslice: the fixed quantum for round-robin, the
+     * mean of the geometric quantum for random scheduling.
+     */
+    std::uint64_t quantum = 8;
+
+    /** Abort the execution after this many events (0 = unlimited). */
+    std::uint64_t max_events = 0;
+
+    /** Capacity of the volatile address region. */
+    std::uint64_t volatile_capacity = 1ULL << 32;
+
+    /** Capacity of the persistent address region. */
+    std::uint64_t persistent_capacity = 1ULL << 32;
+
+    /** Memory consistency model to execute under. */
+    ConsistencyModel consistency = ConsistencyModel::SC;
+
+    /** TSO store buffer entries per thread (drain-on-overflow). */
+    std::uint32_t store_buffer_depth = 8;
+
+    /**
+     * TSO background drain interval: hardware store buffers drain
+     * *eventually*, not only at synchronizing instructions (a spinning
+     * reader must eventually observe a peer's buffered store, or MCS
+     * handoff would deadlock). The oldest buffered store drains after
+     * the owning thread executes this many events with a non-empty
+     * buffer.
+     */
+    std::uint32_t drain_interval = 16;
+};
+
+/**
+ * Per-thread handle to the engine: the traced memory API.
+ *
+ * A ThreadCtx is only valid on the simulated thread it was created
+ * for; all of its operations are scheduling points.
+ */
+class ThreadCtx
+{
+  public:
+    /** Simulated thread id (dense from 0). */
+    ThreadId id() const { return tid_; }
+
+    /** The engine this context belongs to. */
+    ExecutionEngine &engine() { return *engine_; }
+
+    /** @name Traced accesses (at most 8 bytes each) */
+    ///@{
+    /** Read @p size bytes at @p addr. */
+    std::uint64_t load(Addr addr, unsigned size = 8);
+
+    /** Write the low @p size bytes of @p value at @p addr. */
+    void store(Addr addr, std::uint64_t value, unsigned size = 8);
+
+    /** Atomically write @p value and return the previous value. */
+    std::uint64_t rmwExchange(Addr addr, std::uint64_t value,
+                              unsigned size = 8);
+
+    /**
+     * Atomic compare-and-swap; writes @p desired iff the current
+     * value equals @p expected.
+     * @return The previous value (== expected on success).
+     */
+    std::uint64_t rmwCas(Addr addr, std::uint64_t expected,
+                         std::uint64_t desired, unsigned size = 8);
+
+    /** Atomically add @p delta and return the previous value. */
+    std::uint64_t rmwFetchAdd(Addr addr, std::uint64_t delta,
+                              unsigned size = 8);
+    ///@}
+
+    /** @name Bulk traced copies (split into word accesses) */
+    ///@{
+    /** Copy @p n host bytes into simulated memory as traced stores. */
+    void copyIn(Addr dst, const void *src, std::size_t n);
+
+    /** Copy @p n simulated bytes to host memory as traced loads. */
+    void copyOut(void *dst, Addr src, std::size_t n);
+
+    /** Traced load+store copy within simulated memory. */
+    void copySim(Addr dst, Addr src, std::size_t n);
+    ///@}
+
+    /** @name Persistency annotations */
+    ///@{
+    /** Epoch boundary: orders persists before against persists after. */
+    void persistBarrier();
+
+    /** Begin a new persist strand (strand persistency). */
+    void newStrand();
+
+    /** Drain: synchronize instruction execution with persistent state. */
+    void persistSync();
+    ///@}
+
+    /**
+     * Consistency fence: under TSO, drain this thread's store buffer
+     * (making all its stores visible) and mark the point in the
+     * trace. A no-op event under SC.
+     */
+    void fence();
+
+    /** Emit an operation marker (op begin/end, persist roles, ...). */
+    void marker(MarkerCode code, std::uint64_t arg = 0);
+
+    /** @name Allocation */
+    ///@{
+    /** Allocate persistent memory; appears in the trace as PMalloc. */
+    Addr pmalloc(std::uint64_t size, std::uint64_t align = 8);
+
+    /** Free persistent memory; appears in the trace as PFree. */
+    void pfree(Addr addr);
+
+    /** Allocate volatile memory (not recorded as a trace event). */
+    Addr vmalloc(std::uint64_t size, std::uint64_t align = 8);
+
+    /** Free volatile memory. */
+    void vfree(Addr addr);
+    ///@}
+
+  private:
+    friend class ExecutionEngine;
+
+    ThreadCtx(ExecutionEngine *engine, ThreadId tid)
+        : engine_(engine), tid_(tid)
+    {}
+
+    ExecutionEngine *engine_;
+    ThreadId tid_;
+};
+
+/** Runs simulated multithreaded workloads and emits their trace. */
+class ExecutionEngine
+{
+  public:
+    using WorkerFn = std::function<void(ThreadCtx &)>;
+
+    /**
+     * @param config Engine parameters.
+     * @param sink Destination for trace events (may be nullptr to
+     *             discard; analyses are normally attached here).
+     *             Not owned.
+     */
+    explicit ExecutionEngine(const EngineConfig &config,
+                             TraceSink *sink = nullptr);
+
+    ExecutionEngine(const ExecutionEngine &) = delete;
+    ExecutionEngine &operator=(const ExecutionEngine &) = delete;
+
+    /**
+     * Run @p fn inline as thread 0, before the workers. Used for
+     * workload setup (allocating and initializing shared structures);
+     * its events appear in the trace as thread 0.
+     */
+    void runSetup(const WorkerFn &fn);
+
+    /**
+     * Run the workers to completion, one simulated thread each
+     * (thread ids 0..N-1), then finish the sink. May be called once.
+     * Rethrows the first worker exception, if any.
+     */
+    void run(const std::vector<WorkerFn> &workers);
+
+    /** Total events emitted so far. */
+    std::uint64_t eventCount() const { return next_seq_; }
+
+    /** Direct (untraced) read of simulated memory, for inspection. */
+    std::uint64_t debugLoad(Addr addr, unsigned size = 8) const;
+
+    /** Direct (untraced) bulk read of simulated memory. */
+    void debugReadBytes(void *dst, Addr src, std::size_t n) const;
+
+    /** The simulated memory image. */
+    const MemoryImage &memory() const { return image_; }
+
+  private:
+    friend class ThreadCtx;
+
+    /** Exception used to unwind workers when the engine aborts. */
+    struct Aborted {};
+
+    struct ThreadSlot
+    {
+        std::condition_variable cv;
+        bool done = false;
+        std::exception_ptr error;
+    };
+
+    /**
+     * Acquire the right to execute one event on thread @p tid,
+     * blocking until the scheduler grants it. Under TSO, also ticks
+     * the thread's background store-buffer drain.
+     */
+    void schedulePoint(ThreadId tid);
+
+    /** Token-acquisition part of schedulePoint. */
+    void schedulePointInner(ThreadId tid);
+
+    /** Age the thread's store buffer; drain the oldest entry when the
+        drain interval elapses. */
+    void backgroundDrain(ThreadId tid);
+
+    /** Release the token when thread @p tid finishes or unwinds. */
+    void finishThread(ThreadId tid);
+
+    /** Build and emit an event (caller holds the token). */
+    void emit(ThreadId tid, EventKind kind, Addr addr, unsigned size,
+              std::uint64_t value, std::uint16_t marker = 0);
+
+    /** A TSO store waiting in a thread's store buffer. */
+    struct BufferedStore
+    {
+        Addr addr = 0;
+        std::uint32_t size = 0;
+        std::uint64_t value = 0;
+    };
+
+    /** This thread's store buffer (TSO only), created on demand. */
+    std::deque<BufferedStore> &storeBuffer(ThreadId tid);
+
+    /** Drain the oldest buffered store of @p tid (token held). */
+    void drainOne(ThreadId tid);
+
+    /** Drain every buffered store of @p tid (token held). */
+    void drainAll(ThreadId tid);
+
+    /** Body of one simulated thread. */
+    void workerBody(ThreadId tid, const WorkerFn &fn);
+
+    EngineConfig config_;
+    TraceSink *sink_;
+    MemoryImage image_;
+    AddressAllocator valloc_;
+    AddressAllocator palloc_;
+    std::unique_ptr<SchedulingPolicy> policy_;
+
+    SeqNum next_seq_ = 0;
+    bool ran_ = false;
+    bool in_setup_ = false;
+    bool serial_ = true;
+
+    std::mutex mutex_;
+    ThreadId token_ = invalid_thread;
+    std::uint64_t quantum_left_ = 0;
+    bool aborting_ = false;
+    std::vector<ThreadId> runnable_;
+    std::vector<std::unique_ptr<ThreadSlot>> slots_;
+    std::vector<std::deque<BufferedStore>> store_buffers_;
+    std::vector<std::uint32_t> drain_ticks_;
+};
+
+} // namespace persim
+
+#endif // PERSIM_SIM_ENGINE_HH

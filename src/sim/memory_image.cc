@@ -1,0 +1,77 @@
+#include "sim/memory_image.hh"
+
+#include <cstring>
+
+#include "common/error.hh"
+
+namespace persim {
+
+MemoryImage::Page &
+MemoryImage::pageFor(Addr addr)
+{
+    const std::uint64_t page_num = addr / page_size;
+    auto &slot = pages_[page_num];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const MemoryImage::Page *
+MemoryImage::pageForIfPresent(Addr addr) const
+{
+    const std::uint64_t page_num = addr / page_size;
+    auto it = pages_.find(page_num);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+MemoryImage::load(Addr addr, unsigned size) const
+{
+    PERSIM_REQUIRE(size >= 1 && size <= max_access_size,
+                   "load size must be 1..8, got " << size);
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        const Page *page = pageForIfPresent(a);
+        const std::uint8_t byte = page ? (*page)[a % page_size] : 0;
+        value |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+MemoryImage::store(Addr addr, unsigned size, std::uint64_t value)
+{
+    PERSIM_REQUIRE(size >= 1 && size <= max_access_size,
+                   "store size must be 1..8, got " << size);
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr a = addr + i;
+        pageFor(a)[a % page_size] =
+            static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
+    }
+}
+
+void
+MemoryImage::readBytes(void *dst, Addr src, std::size_t n) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr a = src + i;
+        const Page *page = pageForIfPresent(a);
+        out[i] = page ? (*page)[a % page_size] : 0;
+    }
+}
+
+void
+MemoryImage::writeBytes(Addr dst, const void *src, std::size_t n)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr a = dst + i;
+        pageFor(a)[a % page_size] = in[i];
+    }
+}
+
+} // namespace persim

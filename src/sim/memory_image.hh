@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sparse simulated memory.
+ *
+ * MemoryImage backs the simulated flat address space with 4 KiB pages
+ * allocated on demand. Values are stored little-endian so that a
+ * multi-byte load returns what a multi-byte store wrote, and so that
+ * recovery analyses can reconstruct images byte-for-byte.
+ */
+
+#ifndef PERSIM_SIM_MEMORY_IMAGE_HH
+#define PERSIM_SIM_MEMORY_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace persim {
+
+/** Byte-addressable sparse memory with on-demand page allocation. */
+class MemoryImage
+{
+  public:
+    static constexpr std::uint64_t page_size = 4096;
+
+    /** Read @p size (1..8) bytes at @p addr as a little-endian value. */
+    std::uint64_t load(Addr addr, unsigned size) const;
+
+    /** Write the low @p size (1..8) bytes of @p value at @p addr. */
+    void store(Addr addr, unsigned size, std::uint64_t value);
+
+    /** Copy @p n raw bytes out of simulated memory. */
+    void readBytes(void *dst, Addr src, std::size_t n) const;
+
+    /** Copy @p n raw bytes into simulated memory. */
+    void writeBytes(Addr dst, const void *src, std::size_t n);
+
+    /** Number of pages materialized so far. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::array<std::uint8_t, page_size>;
+
+    /** Page containing @p addr, materializing it zero-filled if new. */
+    Page &pageFor(Addr addr);
+
+    /** Page containing @p addr, or nullptr if never written. */
+    const Page *pageForIfPresent(Addr addr) const;
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace persim
+
+#endif // PERSIM_SIM_MEMORY_IMAGE_HH

@@ -1,0 +1,63 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace persim {
+
+RoundRobinPolicy::RoundRobinPolicy(std::uint64_t quantum)
+    : quantum_(quantum)
+{
+    PERSIM_REQUIRE(quantum >= 1, "quantum must be at least 1");
+}
+
+ScheduleDecision
+RoundRobinPolicy::pick(const std::vector<ThreadId> &runnable,
+                       ThreadId current)
+{
+    PERSIM_ASSERT(!runnable.empty(), "pick with no runnable threads");
+    // The first runnable thread with id greater than current, wrapping.
+    auto it = std::upper_bound(runnable.begin(), runnable.end(), current);
+    if (current == invalid_thread || it == runnable.end())
+        it = runnable.begin();
+    return {*it, quantum_};
+}
+
+RandomPolicy::RandomPolicy(std::uint64_t seed, std::uint64_t quantum_mean)
+    : rng_(seed), quantum_mean_(quantum_mean)
+{
+    PERSIM_REQUIRE(quantum_mean >= 1, "quantum mean must be at least 1");
+}
+
+ScheduleDecision
+RandomPolicy::pick(const std::vector<ThreadId> &runnable, ThreadId current)
+{
+    (void)current;
+    PERSIM_ASSERT(!runnable.empty(), "pick with no runnable threads");
+    const auto idx =
+        static_cast<std::size_t>(rng_.nextBounded(runnable.size()));
+    std::uint64_t quantum = 1;
+    if (quantum_mean_ > 1) {
+        // Geometric with mean quantum_mean_, at least 1.
+        const double u = rng_.nextExponential(
+            static_cast<double>(quantum_mean_));
+        quantum = std::max<std::uint64_t>(1,
+            static_cast<std::uint64_t>(u));
+    }
+    return {runnable[idx], quantum};
+}
+
+std::unique_ptr<SchedulingPolicy>
+makePolicy(SchedulerKind kind, std::uint64_t seed, std::uint64_t quantum)
+{
+    switch (kind) {
+      case SchedulerKind::RoundRobin:
+        return std::make_unique<RoundRobinPolicy>(quantum);
+      case SchedulerKind::Random:
+        return std::make_unique<RandomPolicy>(seed, quantum);
+    }
+    PERSIM_FATAL("unknown scheduler kind");
+}
+
+} // namespace persim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Interleaving policies for the execution engine.
+ *
+ * The engine serializes simulated threads: exactly one thread runs at
+ * a time, and before each traced memory event the policy may hand the
+ * token to another runnable thread. Policies therefore fully
+ * determine the interleaving (and, with a fixed seed, make the whole
+ * execution reproducible).
+ *
+ * Policies also choose a quantum: the number of events the selected
+ * thread may execute before the next scheduling decision. Quanta
+ * model preemptive timeslices and amortize handoff cost; a quantum of
+ * one forces a decision at every event (useful for exhaustive
+ * interleaving tests).
+ */
+
+#ifndef PERSIM_SIM_SCHEDULER_HH
+#define PERSIM_SIM_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace persim {
+
+/** A scheduling decision: who runs next and for how many events. */
+struct ScheduleDecision
+{
+    ThreadId thread = invalid_thread;
+    std::uint64_t quantum = 1;
+};
+
+/** Abstract interleaving policy. */
+class SchedulingPolicy
+{
+  public:
+    virtual ~SchedulingPolicy() = default;
+
+    /**
+     * Pick the next thread from @p runnable (nonempty, sorted by id).
+     * @param current The thread whose quantum just expired, or
+     *                invalid_thread at the start of execution or when
+     *                the current thread finished.
+     */
+    virtual ScheduleDecision pick(const std::vector<ThreadId> &runnable,
+                                  ThreadId current) = 0;
+};
+
+/** Cycles through runnable threads in id order with a fixed quantum. */
+class RoundRobinPolicy : public SchedulingPolicy
+{
+  public:
+    explicit RoundRobinPolicy(std::uint64_t quantum = 1);
+
+    ScheduleDecision pick(const std::vector<ThreadId> &runnable,
+                          ThreadId current) override;
+
+  private:
+    std::uint64_t quantum_;
+};
+
+/**
+ * Uniform random choice among runnable threads with a geometrically
+ * distributed quantum (mean quantum_mean). This approximates
+ * preemptive timeslicing with random preemption points.
+ */
+class RandomPolicy : public SchedulingPolicy
+{
+  public:
+    RandomPolicy(std::uint64_t seed, std::uint64_t quantum_mean = 1);
+
+    ScheduleDecision pick(const std::vector<ThreadId> &runnable,
+                          ThreadId current) override;
+
+  private:
+    Rng rng_;
+    std::uint64_t quantum_mean_;
+};
+
+/** How the engine should interleave threads. */
+enum class SchedulerKind {
+    RoundRobin,
+    Random,
+};
+
+/** Construct a policy from a kind, seed, and quantum parameter. */
+std::unique_ptr<SchedulingPolicy>
+makePolicy(SchedulerKind kind, std::uint64_t seed, std::uint64_t quantum);
+
+} // namespace persim
+
+#endif // PERSIM_SIM_SCHEDULER_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Native (real-hardware) locks for instruction-rate measurement.
+ *
+ * The paper measures "instruction execution rate" by running the
+ * queue benchmarks natively, optimized for volatile performance, on a
+ * real machine. These locks are the native twins of the traced locks
+ * in locks.hh, built on std::atomic; NativeMcsLock mirrors the MCS
+ * algorithm [20] used in the paper's methodology.
+ */
+
+#ifndef PERSIM_SYNC_NATIVE_LOCKS_HH
+#define PERSIM_SYNC_NATIVE_LOCKS_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace persim {
+
+/** MCS queue lock over std::atomic. */
+class NativeMcsLock
+{
+  public:
+    /** Per-thread queue node; 64-byte aligned to avoid false sharing. */
+    struct alignas(64) Qnode
+    {
+        std::atomic<Qnode *> next{nullptr};
+        std::atomic<std::uint64_t> locked{0};
+    };
+
+    void lock(Qnode &qnode);
+    void unlock(Qnode &qnode);
+
+  private:
+    std::atomic<Qnode *> tail_{nullptr};
+};
+
+/** Ticket lock over std::atomic. */
+class NativeTicketLock
+{
+  public:
+    void lock();
+    void unlock();
+
+  private:
+    alignas(64) std::atomic<std::uint64_t> next_ticket_{0};
+    alignas(64) std::atomic<std::uint64_t> now_serving_{0};
+};
+
+/** Test-and-test-and-set lock over std::atomic. */
+class NativeSpinLock
+{
+  public:
+    void lock();
+    void unlock();
+
+  private:
+    alignas(64) std::atomic<std::uint64_t> word_{0};
+};
+
+} // namespace persim
+
+#endif // PERSIM_SYNC_NATIVE_LOCKS_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the experiment support library: the throughput model,
+ * table formatting, and the queue workload driver configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_util/queue_workload.hh"
+#include "bench_util/table.hh"
+#include "bench_util/throughput.hh"
+#include "common/bitops.hh"
+
+namespace persim {
+namespace {
+
+TEST(Throughput, PersistBoundRateMath)
+{
+    // 1000 ops, critical path 2000 persists, 500 ns each:
+    // 1000 / (2000 * 500ns) = 1M ops/s.
+    EXPECT_DOUBLE_EQ(persistBoundRate(1000, 2000.0, 500.0), 1e6);
+    EXPECT_TRUE(std::isinf(persistBoundRate(1000, 0.0, 500.0)));
+    EXPECT_THROW(persistBoundRate(1, 1.0, 0.0), FatalError);
+}
+
+TEST(Throughput, NormalizationAndBounds)
+{
+    const auto t = makeThroughput(2e6, 1000, 2000.0, 500.0);
+    EXPECT_DOUBLE_EQ(t.persist_rate, 1e6);
+    EXPECT_DOUBLE_EQ(t.normalized(), 0.5);
+    EXPECT_DOUBLE_EQ(t.achievable(), 1e6);
+    EXPECT_TRUE(t.persistBound());
+
+    const auto fast = makeThroughput(0.5e6, 1000, 2000.0, 500.0);
+    EXPECT_DOUBLE_EQ(fast.normalized(), 2.0);
+    EXPECT_DOUBLE_EQ(fast.achievable(), 0.5e6);
+    EXPECT_FALSE(fast.persistBound());
+}
+
+TEST(Throughput, ZeroInstructionRateIsFatal)
+{
+    Throughput t;
+    t.instruction_rate = 0.0;
+    t.persist_rate = 1.0;
+    EXPECT_THROW(t.normalized(), FatalError);
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable table;
+    table.header({"a", "long_header", "c"});
+    table.row({"xxxxxx", "1", "2"});
+    table.row({"y", "22", "333"});
+    const std::string text = table.render();
+    // All lines equal length (trailing pads), header separator there.
+    EXPECT_NE(text.find("long_header"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+    EXPECT_NE(text.find("xxxxxx"), std::string::npos);
+}
+
+TEST(Table, Formatting)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+    EXPECT_EQ(formatRate(2.5e6), "2.500 M/s");
+    EXPECT_EQ(formatRate(2.5e3), "2.500 K/s");
+    EXPECT_EQ(formatRate(12.0), "12.000 /s");
+}
+
+TEST(Workload, VariantNamesAndTable1Set)
+{
+    EXPECT_STREQ(annotationVariantName(AnnotationVariant::Conservative),
+                 "conservative");
+    EXPECT_STREQ(annotationVariantName(AnnotationVariant::Racing),
+                 "racing");
+    EXPECT_STREQ(annotationVariantName(AnnotationVariant::Strand),
+                 "strand");
+    const auto variants = table1Variants();
+    ASSERT_EQ(variants.size(), 4u);
+    EXPECT_EQ(variants[0].name, "Strict");
+    EXPECT_EQ(variants[0].model.kind, ModelKind::Strict);
+    EXPECT_EQ(variants[2].trace_variant, AnnotationVariant::Racing);
+    EXPECT_EQ(variants[3].model.kind, ModelKind::Strand);
+}
+
+TEST(Workload, OptionsFollowVariant)
+{
+    QueueWorkloadConfig config;
+    config.variant = AnnotationVariant::Conservative;
+    EXPECT_TRUE(config.queueOptions().conservative_barriers);
+    EXPECT_FALSE(config.queueOptions().use_strands);
+
+    config.variant = AnnotationVariant::Racing;
+    EXPECT_FALSE(config.queueOptions().conservative_barriers);
+    EXPECT_FALSE(config.queueOptions().use_strands);
+
+    config.variant = AnnotationVariant::Strand;
+    EXPECT_FALSE(config.queueOptions().conservative_barriers);
+    EXPECT_TRUE(config.queueOptions().use_strands);
+}
+
+TEST(Workload, WrapSizingFixesCapacity)
+{
+    QueueWorkloadConfig config;
+    config.entry_bytes = 100;
+    config.threads = 2;
+    config.inserts_per_thread = 100000;
+    config.wrap_slots = 512;
+    const auto wrapped = config.queueOptions();
+    EXPECT_EQ(wrapped.capacity, 512u * 128u);
+    EXPECT_TRUE(wrapped.allow_overwrite);
+
+    config.wrap_slots = 0;
+    const auto sized = config.queueOptions();
+    EXPECT_EQ(sized.capacity, 128u * (config.totalInserts() + 1));
+    EXPECT_FALSE(sized.allow_overwrite);
+}
+
+TEST(Workload, TotalInsertsAndEventCounts)
+{
+    QueueWorkloadConfig config;
+    config.threads = 3;
+    config.inserts_per_thread = 7;
+    EXPECT_EQ(config.totalInserts(), 21u);
+
+    InMemoryTrace trace;
+    std::vector<TraceSink *> sinks{&trace};
+    const auto result = runQueueWorkload(config, sinks);
+    EXPECT_EQ(result.inserts, 21u);
+    EXPECT_EQ(result.events, trace.size());
+    EXPECT_EQ(result.golden.size(), 21u);
+    EXPECT_NE(result.layout.header, invalid_addr);
+}
+
+TEST(Workload, SeedChangesInterleavingButNotInserts)
+{
+    QueueWorkloadConfig config;
+    config.threads = 3;
+    config.inserts_per_thread = 20;
+    config.kind = QueueKind::TwoLockConcurrent;
+    config.variant = AnnotationVariant::Racing;
+
+    InMemoryTrace a;
+    InMemoryTrace b;
+    config.seed = 1;
+    {
+        std::vector<TraceSink *> sinks{&a};
+        runQueueWorkload(config, sinks);
+    }
+    config.seed = 2;
+    {
+        std::vector<TraceSink *> sinks{&b};
+        runQueueWorkload(config, sinks);
+    }
+    // Different interleavings...
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a.events()[i].thread != b.events()[i].thread;
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace persim

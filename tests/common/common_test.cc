@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for src/common: bit utilities, RNG, statistics, errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace persim {
+namespace {
+
+TEST(Bitops, PowerOfTwoDetection)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(96));
+}
+
+TEST(Bitops, AlignmentHelpers)
+{
+    EXPECT_EQ(alignDown(100, 64), 64u);
+    EXPECT_EQ(alignUp(100, 64), 128u);
+    EXPECT_EQ(alignUp(128, 64), 128u);
+    EXPECT_EQ(alignDown(128, 64), 128u);
+    EXPECT_TRUE(isAligned(128, 64));
+    EXPECT_FALSE(isAligned(100, 64));
+}
+
+TEST(Bitops, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(8), 3u);
+    EXPECT_EQ(log2Exact(256), 8u);
+}
+
+TEST(Bitops, BlockIndexing)
+{
+    EXPECT_EQ(blockIndex(0, 64), 0u);
+    EXPECT_EQ(blockIndex(63, 64), 0u);
+    EXPECT_EQ(blockIndex(64, 64), 1u);
+    EXPECT_EQ(blockBase(100, 64), 64u);
+}
+
+TEST(Bitops, FitsInBlock)
+{
+    EXPECT_TRUE(fitsInBlock(0, 8, 8));
+    EXPECT_TRUE(fitsInBlock(8, 8, 8));
+    EXPECT_FALSE(fitsInBlock(4, 8, 8));
+    EXPECT_TRUE(fitsInBlock(4, 4, 8));
+    EXPECT_TRUE(fitsInBlock(100, 28, 64));
+    EXPECT_FALSE(fitsInBlock(60, 8, 64));
+    EXPECT_FALSE(fitsInBlock(0, 0, 8));
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i) {
+        const auto v = rng.nextRange(5, 7);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, ExponentialAlwaysPositive)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.nextExponential(1.0), 0.0);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(5);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RejectsZeroBound)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.nextBounded(0), FatalError);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a;
+    RunningStat b;
+    RunningStat all;
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const double x = rng.nextDouble() * 10;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, EmptyThrowsOnAccess)
+{
+    RunningStat stat;
+    EXPECT_THROW(stat.mean(), FatalError);
+    EXPECT_THROW(stat.min(), FatalError);
+    EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeIntoEmpty)
+{
+    RunningStat a;
+    RunningStat b;
+    b.add(1.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, BucketsAndBounds)
+{
+    Histogram hist(0.0, 10.0, 5);
+    hist.add(-1.0);
+    hist.add(0.0);
+    hist.add(3.9);
+    hist.add(9.999);
+    hist.add(10.0);
+    hist.add(100.0);
+    EXPECT_EQ(hist.underflow(), 1u);
+    EXPECT_EQ(hist.overflow(), 2u);
+    EXPECT_EQ(hist.bucketCount(0), 1u);
+    EXPECT_EQ(hist.bucketCount(1), 1u);
+    EXPECT_EQ(hist.bucketCount(4), 1u);
+    EXPECT_EQ(hist.total(), 6u);
+    EXPECT_DOUBLE_EQ(hist.bucketLo(1), 2.0);
+    EXPECT_DOUBLE_EQ(hist.bucketHi(1), 4.0);
+}
+
+TEST(Histogram, RejectsBadRange)
+{
+    EXPECT_THROW(Histogram(5.0, 5.0, 4), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(CounterSet, IncrementAndMerge)
+{
+    CounterSet a;
+    a.inc("x");
+    a.inc("x", 4);
+    a.inc("y");
+    EXPECT_EQ(a.get("x"), 5u);
+    EXPECT_EQ(a.get("y"), 1u);
+    EXPECT_EQ(a.get("missing"), 0u);
+
+    CounterSet b;
+    b.inc("x", 10);
+    b.inc("z", 2);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 15u);
+    EXPECT_EQ(a.get("z"), 2u);
+    EXPECT_EQ(a.all().size(), 3u);
+}
+
+TEST(Error, FatalCarriesContext)
+{
+    try {
+        PERSIM_FATAL("bad config " << 42);
+        FAIL() << "should have thrown";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bad config 42"), std::string::npos);
+        EXPECT_NE(what.find("common_test.cc"), std::string::npos);
+    }
+}
+
+TEST(Error, PanicIsDistinctFromFatal)
+{
+    EXPECT_THROW(PERSIM_PANIC("broken"), PanicError);
+    bool caught_as_error = false;
+    try {
+        PERSIM_PANIC("broken");
+    } catch (const Error &) {
+        caught_as_error = true;
+    }
+    EXPECT_TRUE(caught_as_error);
+}
+
+TEST(Error, AssertAndRequireMacros)
+{
+    EXPECT_NO_THROW(PERSIM_ASSERT(1 + 1 == 2, "math"));
+    EXPECT_THROW(PERSIM_ASSERT(1 + 1 == 3, "math"), PanicError);
+    EXPECT_NO_THROW(PERSIM_REQUIRE(true, "ok"));
+    EXPECT_THROW(PERSIM_REQUIRE(false, "no"), FatalError);
+}
+
+} // namespace
+} // namespace persim

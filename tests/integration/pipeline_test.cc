@@ -1,0 +1,177 @@
+/**
+ * @file
+ * End-to-end pipeline tests: queue workload -> trace -> timing
+ * analysis, checking the critical-path structure each persistency
+ * model should produce (the backbone of Table 1 and Figures 3-5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_util/queue_workload.hh"
+#include "persistency/timing_engine.hh"
+#include "queue/queue.hh"
+
+namespace persim {
+namespace {
+
+TimingResult
+analyzeWorkload(const QueueWorkloadConfig &config, const ModelConfig &model)
+{
+    TimingConfig timing;
+    timing.model = model;
+    PersistTimingEngine engine(timing);
+    std::vector<TraceSink *> sinks{&engine};
+    runQueueWorkload(config, sinks);
+    return engine.result();
+}
+
+QueueWorkloadConfig
+cwl1(AnnotationVariant variant, std::uint64_t inserts = 200)
+{
+    QueueWorkloadConfig config;
+    config.kind = QueueKind::CopyWhileLocked;
+    config.variant = variant;
+    config.threads = 1;
+    config.inserts_per_thread = inserts;
+    return config;
+}
+
+// A 100-byte payload plus the 8-byte length word is 108 bytes: 13
+// full words and one 4-byte piece, so 14 data persists plus one head
+// persist per insert.
+constexpr double pieces_per_insert = 15.0;
+
+TEST(Pipeline, StrictCwlSingleThreadSerializesEveryPersist)
+{
+    const auto result = analyzeWorkload(cwl1(AnnotationVariant::Conservative),
+                                        ModelConfig::strict());
+    EXPECT_EQ(result.ops, 200u);
+    // All 15 persists of each insert serialize; setup adds O(1).
+    EXPECT_NEAR(result.criticalPathPerOp(), pieces_per_insert, 0.1);
+}
+
+TEST(Pipeline, EpochCwlSingleThreadTwoLevelsPerInsert)
+{
+    const auto result = analyzeWorkload(cwl1(AnnotationVariant::Conservative),
+                                        ModelConfig::epoch());
+    // Data persists concurrently (1 level), head adds a second level.
+    EXPECT_NEAR(result.criticalPathPerOp(), 2.0, 0.1);
+}
+
+TEST(Pipeline, RacingEpochsMatchEpochOnOneThread)
+{
+    // Paper Table 1: no distinction between Epoch and Racing Epochs
+    // for a single thread.
+    const auto epoch = analyzeWorkload(cwl1(AnnotationVariant::Conservative),
+                                       ModelConfig::epoch());
+    const auto racing = analyzeWorkload(cwl1(AnnotationVariant::Racing),
+                                        ModelConfig::epoch());
+    EXPECT_EQ(epoch.critical_path, racing.critical_path);
+}
+
+TEST(Pipeline, StrandCwlSingleThreadNearlyUnconstrained)
+{
+    const auto result = analyzeWorkload(cwl1(AnnotationVariant::Strand),
+                                        ModelConfig::strand());
+    // Each insert's data starts a fresh strand at level 1 and head
+    // updates coalesce: the whole run collapses to a handful of
+    // levels regardless of insert count.
+    EXPECT_LE(result.critical_path, 5.0);
+}
+
+TEST(Pipeline, ModelsFormARelaxationHierarchyOnCwl)
+{
+    const auto strict =
+        analyzeWorkload(cwl1(AnnotationVariant::Conservative),
+                        ModelConfig::strict());
+    const auto epoch =
+        analyzeWorkload(cwl1(AnnotationVariant::Conservative),
+                        ModelConfig::epoch());
+    const auto strand = analyzeWorkload(cwl1(AnnotationVariant::Strand),
+                                        ModelConfig::strand());
+    EXPECT_GT(strict.critical_path, epoch.critical_path);
+    EXPECT_GT(epoch.critical_path, strand.critical_path);
+}
+
+TEST(Pipeline, EightThreadRacingBeatsConservativeEpochOnCwl)
+{
+    QueueWorkloadConfig config;
+    config.kind = QueueKind::CopyWhileLocked;
+    config.threads = 8;
+    config.inserts_per_thread = 25;
+
+    config.variant = AnnotationVariant::Conservative;
+    const auto epoch = analyzeWorkload(config, ModelConfig::epoch());
+
+    config.variant = AnnotationVariant::Racing;
+    const auto racing = analyzeWorkload(config, ModelConfig::epoch());
+
+    // Conservative barriers order persists across critical sections
+    // (two levels per insert system-wide); racing epochs leave only
+    // the head-pointer serialization, and head persists from inserts
+    // whose data is already durable coalesce, pushing the critical
+    // path well below one level per insert.
+    EXPECT_LT(racing.critical_path, epoch.critical_path);
+    EXPECT_NEAR(epoch.criticalPathPerOp(), 2.0, 0.2);
+    EXPECT_LE(racing.criticalPathPerOp(), 1.0);
+}
+
+TEST(Pipeline, TwoLockConcurrentAllowsCrossThreadDataConcurrency)
+{
+    QueueWorkloadConfig config;
+    config.kind = QueueKind::TwoLockConcurrent;
+    config.threads = 8;
+    config.inserts_per_thread = 25;
+    config.variant = AnnotationVariant::Racing;
+
+    const auto epoch = analyzeWorkload(config, ModelConfig::epoch());
+    // Head persists serialize (strong persist atomicity) but mostly
+    // coalesce; data is concurrent across threads, so the critical
+    // path stays below one level per insert.
+    EXPECT_LE(epoch.criticalPathPerOp(), 1.0);
+
+    const auto strict = analyzeWorkload(config, ModelConfig::strict());
+    EXPECT_GT(strict.critical_path, epoch.critical_path);
+}
+
+TEST(Pipeline, TracesAreDeterministicAcrossRuns)
+{
+    InMemoryTrace first;
+    InMemoryTrace second;
+    {
+        std::vector<TraceSink *> sinks{&first};
+        runQueueWorkload(cwl1(AnnotationVariant::Conservative, 50), sinks);
+    }
+    {
+        std::vector<TraceSink *> sinks{&second};
+        runQueueWorkload(cwl1(AnnotationVariant::Conservative, 50), sinks);
+    }
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        const auto &a = first.events()[i];
+        const auto &b = second.events()[i];
+        EXPECT_EQ(a.kind, b.kind) << "event " << i;
+        EXPECT_EQ(a.thread, b.thread) << "event " << i;
+        EXPECT_EQ(a.addr, b.addr) << "event " << i;
+        EXPECT_EQ(a.value, b.value) << "event " << i;
+    }
+}
+
+TEST(Pipeline, MultithreadedWorkloadCommitsAllInserts)
+{
+    QueueWorkloadConfig config;
+    config.kind = QueueKind::TwoLockConcurrent;
+    config.threads = 4;
+    config.inserts_per_thread = 50;
+    config.variant = AnnotationVariant::Racing;
+
+    InMemoryTrace trace;
+    std::vector<TraceSink *> sinks{&trace};
+    const auto result = runQueueWorkload(config, sinks);
+    EXPECT_EQ(result.golden.size(), config.totalInserts());
+    EXPECT_EQ(result.inserts, config.totalInserts());
+    EXPECT_GT(result.events, 0u);
+}
+
+} // namespace
+} // namespace persim

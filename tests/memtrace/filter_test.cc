@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Trace filter sink and predicate combinator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memtrace/filter.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::TraceBuilder;
+using test::vaddr;
+
+InMemoryTrace
+sampleTrace()
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1)
+           .load(1, vaddr(0))
+           .store(1, paddr(1), 2)
+           .barrier(0)
+           .rmw(2, vaddr(1), 3)
+           .store(2, vaddr(2), 4);
+    InMemoryTrace trace;
+    builder.trace().replay(trace);
+    return trace;
+}
+
+std::size_t
+countMatching(const InMemoryTrace &trace, EventPredicate predicate)
+{
+    InMemoryTrace out;
+    FilterSink filter(&out, std::move(predicate));
+    trace.replay(filter);
+    return out.size();
+}
+
+TEST(Filter, ByThread)
+{
+    const auto trace = sampleTrace();
+    EXPECT_EQ(countMatching(trace, byThread(0)), 2u);
+    EXPECT_EQ(countMatching(trace, byThread(1)), 2u);
+    EXPECT_EQ(countMatching(trace, byThread(2)), 2u);
+    EXPECT_EQ(countMatching(trace, byThread(9)), 0u);
+}
+
+TEST(Filter, ByKind)
+{
+    const auto trace = sampleTrace();
+    EXPECT_EQ(countMatching(trace, byKind(EventKind::Store)), 3u);
+    EXPECT_EQ(countMatching(trace, byKind(EventKind::Load)), 1u);
+    EXPECT_EQ(countMatching(trace, byKind(EventKind::PersistBarrier)),
+              1u);
+}
+
+TEST(Filter, PersistsOnly)
+{
+    const auto trace = sampleTrace();
+    EXPECT_EQ(countMatching(trace, persistsOnly()), 2u);
+}
+
+TEST(Filter, ByAddressRangeOverlapsPartially)
+{
+    const auto trace = sampleTrace();
+    // Range covering just the second half of paddr(0)'s word.
+    EXPECT_EQ(countMatching(trace,
+                            byAddressRange(paddr(0) + 4, paddr(0) + 8)),
+              1u);
+    EXPECT_EQ(countMatching(trace, byAddressRange(paddr(0), paddr(2))),
+              2u);
+    // Barriers are not accesses: never matched by address.
+    EXPECT_EQ(countMatching(trace, byAddressRange(0, ~0ULL)), 5u);
+}
+
+TEST(Filter, BySeqWindow)
+{
+    const auto trace = sampleTrace();
+    EXPECT_EQ(countMatching(trace, bySeqWindow(0, 3)), 3u);
+    EXPECT_EQ(countMatching(trace, bySeqWindow(3, 6)), 3u);
+    EXPECT_EQ(countMatching(trace, bySeqWindow(6, 100)), 0u);
+}
+
+TEST(Filter, Combinators)
+{
+    const auto trace = sampleTrace();
+    EXPECT_EQ(countMatching(trace,
+                            both(byThread(1), persistsOnly())), 1u);
+    EXPECT_EQ(countMatching(trace,
+                            either(byThread(0), byThread(1))), 4u);
+    EXPECT_EQ(countMatching(trace, negate(persistsOnly())), 4u);
+}
+
+TEST(Filter, CountsAndFinishPropagate)
+{
+    const auto trace = sampleTrace();
+
+    struct FinishProbe : TraceSink
+    {
+        bool finished = false;
+        void onEvent(const TraceEvent &) override {}
+        void onFinish() override { finished = true; }
+    } probe;
+
+    FilterSink filter(&probe, persistsOnly());
+    trace.replay(filter);
+    EXPECT_TRUE(probe.finished);
+    EXPECT_EQ(filter.seen(), 6u);
+    EXPECT_EQ(filter.forwarded(), 2u);
+}
+
+TEST(Filter, RejectsNulls)
+{
+    InMemoryTrace out;
+    EXPECT_THROW(FilterSink(nullptr, persistsOnly()), FatalError);
+    EXPECT_THROW(FilterSink(&out, nullptr), FatalError);
+}
+
+} // namespace
+} // namespace persim

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for src/memtrace: events, sinks, trace file I/O, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "memtrace/event.hh"
+#include "memtrace/sink.hh"
+#include "memtrace/trace_io.hh"
+#include "memtrace/trace_stats.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::vaddr;
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "persim_" + tag + ".trc";
+}
+
+TEST(Event, AddressSpaceClassification)
+{
+    EXPECT_TRUE(isPersistentAddr(persistent_base));
+    EXPECT_TRUE(isPersistentAddr(persistent_base + 12345));
+    EXPECT_FALSE(isPersistentAddr(volatile_base));
+    EXPECT_FALSE(isPersistentAddr(0));
+}
+
+TEST(Event, PersistDetection)
+{
+    TraceEvent event;
+    event.kind = EventKind::Store;
+    event.addr = persistent_base;
+    EXPECT_TRUE(event.isPersist());
+    event.addr = volatile_base;
+    EXPECT_FALSE(event.isPersist());
+    event.kind = EventKind::Load;
+    event.addr = persistent_base;
+    EXPECT_FALSE(event.isPersist());
+    event.kind = EventKind::Rmw;
+    EXPECT_TRUE(event.isPersist());
+    EXPECT_TRUE(event.isRead());
+    EXPECT_TRUE(event.isWrite());
+}
+
+TEST(Event, KindNamesAndFormat)
+{
+    TraceEvent event;
+    event.seq = 7;
+    event.thread = 3;
+    event.kind = EventKind::Store;
+    event.addr = persistent_base;
+    event.size = 8;
+    event.value = 0xff;
+    const std::string text = formatEvent(event);
+    EXPECT_NE(text.find("store"), std::string::npos);
+    EXPECT_NE(text.find("[persist]"), std::string::npos);
+    EXPECT_STREQ(eventKindName(EventKind::PersistBarrier),
+                 "persist_barrier");
+    EXPECT_STREQ(eventKindName(EventKind::NewStrand), "new_strand");
+}
+
+TEST(Sink, FanoutDeliversInOrderToAll)
+{
+    InMemoryTrace a;
+    InMemoryTrace b;
+    FanoutSink fanout;
+    fanout.addSink(&a);
+    fanout.addSink(&b);
+
+    TraceEvent event;
+    event.kind = EventKind::Load;
+    for (int i = 0; i < 5; ++i) {
+        event.seq = i;
+        fanout.onEvent(event);
+    }
+    fanout.onFinish();
+    ASSERT_EQ(a.size(), 5u);
+    ASSERT_EQ(b.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(a.events()[i].seq, static_cast<SeqNum>(i));
+        EXPECT_EQ(b.events()[i].seq, static_cast<SeqNum>(i));
+    }
+}
+
+TEST(Sink, InMemoryTraceTracksThreadCount)
+{
+    InMemoryTrace trace;
+    TraceEvent event;
+    event.thread = 0;
+    trace.onEvent(event);
+    event.thread = 4;
+    trace.onEvent(event);
+    EXPECT_EQ(trace.threadCount(), 5u);
+    EXPECT_FALSE(trace.empty());
+}
+
+TEST(Sink, ReplayFeedsAnotherSink)
+{
+    test::TraceBuilder builder;
+    builder.store(0, paddr(0), 1).barrier(0).store(0, paddr(1), 2);
+
+    InMemoryTrace copy;
+    builder.trace().replay(copy);
+    EXPECT_EQ(copy.size(), 3u);
+}
+
+TEST(TraceIo, RoundTripPreservesEvents)
+{
+    test::TraceBuilder builder;
+    builder.opBegin(1, 99)
+        .store(1, paddr(3), 0xdeadbeef)
+        .load(1, vaddr(2))
+        .rmw(0, vaddr(5), 7)
+        .barrier(1)
+        .strand(0)
+        .opEnd(1, 99);
+
+    const std::string path = tempPath("roundtrip");
+    writeTraceFile(path, builder.trace());
+    const InMemoryTrace loaded = readTraceFile(path);
+
+    ASSERT_EQ(loaded.size(), builder.trace().size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        const auto &a = builder.trace().events()[i];
+        const auto &b = loaded.events()[i];
+        EXPECT_EQ(a.seq, b.seq);
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.value, b.value);
+        EXPECT_EQ(a.thread, b.thread);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.size, b.size);
+        EXPECT_EQ(a.marker, b.marker);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, HeaderRecordsCounts)
+{
+    test::TraceBuilder builder;
+    builder.store(0, paddr(0)).store(3, paddr(1));
+    const std::string path = tempPath("header");
+    writeTraceFile(path, builder.trace());
+
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.eventCount(), 2u);
+    EXPECT_EQ(reader.threadCount(), 4u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, StreamingReaderMatchesReadAll)
+{
+    test::TraceBuilder builder;
+    for (int i = 0; i < 20; ++i)
+        builder.store(0, paddr(i), i);
+    const std::string path = tempPath("stream");
+    writeTraceFile(path, builder.trace());
+
+    TraceFileReader reader(path);
+    TraceEvent event;
+    int count = 0;
+    while (reader.readNext(event)) {
+        EXPECT_EQ(event.value, static_cast<std::uint64_t>(count));
+        ++count;
+    }
+    EXPECT_EQ(count, 20);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_THROW(TraceFileReader("/nonexistent/path/trace.trc"),
+                 FatalError);
+}
+
+TEST(TraceIo, BadMagicIsFatal)
+{
+    const std::string path = tempPath("badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTATRACEFILE_________________", f);
+    std::fclose(f);
+    EXPECT_THROW(TraceFileReader reader(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, WriterAsSinkIsStreamable)
+{
+    const std::string path = tempPath("sink");
+    {
+        TraceFileWriter writer(path);
+        test::TraceBuilder builder;
+        builder.store(0, paddr(0), 1).store(1, paddr(1), 2);
+        builder.trace().replay(writer);
+        EXPECT_EQ(writer.eventsWritten(), 2u);
+    }
+    const InMemoryTrace loaded = readTraceFile(path);
+    EXPECT_EQ(loaded.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceStats, CountsByKind)
+{
+    test::TraceBuilder builder;
+    builder.opBegin(0, 1)
+        .load(0, vaddr(0))
+        .store(0, paddr(0), 5)
+        .store(0, vaddr(1), 6)
+        .rmw(0, paddr(1), 7)
+        .barrier(0)
+        .strand(0)
+        .sync(0)
+        .opEnd(0, 1);
+
+    TraceStats stats;
+    builder.trace().replay(stats);
+    EXPECT_EQ(stats.loads(), 1u);
+    EXPECT_EQ(stats.stores(), 2u);
+    EXPECT_EQ(stats.rmws(), 1u);
+    EXPECT_EQ(stats.persists(), 2u); // persistent store + persistent rmw
+    EXPECT_EQ(stats.persistedBytes(), 16u);
+    EXPECT_EQ(stats.persistBarriers(), 1u);
+    EXPECT_EQ(stats.newStrands(), 1u);
+    EXPECT_EQ(stats.persistSyncs(), 1u);
+    EXPECT_EQ(stats.operations(), 1u);
+    EXPECT_EQ(stats.markers(), 2u);
+    EXPECT_EQ(stats.totalEvents(), 9u);
+}
+
+TEST(TraceStats, PerThreadCounts)
+{
+    test::TraceBuilder builder;
+    builder.store(0, paddr(0)).store(2, paddr(1)).store(2, paddr(2));
+    TraceStats stats;
+    builder.trace().replay(stats);
+    EXPECT_EQ(stats.threadEvents(0), 1u);
+    EXPECT_EQ(stats.threadEvents(1), 0u);
+    EXPECT_EQ(stats.threadEvents(2), 2u);
+    EXPECT_EQ(stats.threadCount(), 3u);
+    EXPECT_FALSE(stats.render().empty());
+}
+
+} // namespace
+} // namespace persim

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Constraint classification (Figure 2) and the constraint graph
+ * (Figure 1's unsatisfiable cycle).
+ */
+
+#include <gtest/gtest.h>
+
+#include "persistency/classify.hh"
+#include "persistency/constraint_graph.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::TraceBuilder;
+
+/** Two hand-annotated "inserts": data words then a head update. */
+TraceBuilder
+twoInserts()
+{
+    TraceBuilder builder;
+    for (std::uint64_t op = 1; op <= 2; ++op) {
+        builder.opBegin(0, op);
+        builder.role(0, MarkerCode::RoleData);
+        for (std::uint64_t w = 0; w < 3; ++w)
+            builder.store(0, paddr(10 * op + w), w);
+        builder.barrier(0);
+        builder.role(0, MarkerCode::RoleHead);
+        builder.store(0, paddr(0), op); // Shared head word.
+        builder.barrier(0);
+        builder.opEnd(0, op);
+    }
+    return builder;
+}
+
+TEST(Classify, StrictShowsIntraAndInterOpConstraints)
+{
+    auto builder = twoInserts();
+    const auto log = builder.analyzeLog(ModelConfig::strict());
+    const auto census = censusOf(log);
+
+    // 8 persists total: 3 data + head, twice.
+    EXPECT_EQ(census.total(), 8u);
+    // Under strict persistency the data words serialize (class A)...
+    EXPECT_EQ(census.of(ConstraintClass::UnnecessaryIntraOp), 4u);
+    // ...and each head is bound to its own data (required), while
+    // op 2's first data word is bound to op 1 (class B).
+    EXPECT_EQ(census.of(ConstraintClass::RequiredDataToHead), 2u);
+    EXPECT_EQ(census.of(ConstraintClass::UnnecessaryInterOp), 1u);
+    EXPECT_EQ(census.of(ConstraintClass::Unconstrained), 1u);
+}
+
+TEST(Classify, EpochRemovesIntraOpSerialization)
+{
+    auto builder = twoInserts();
+    const auto census = censusOf(builder.analyzeLog(ModelConfig::epoch()));
+    // Class A disappears: data words are concurrent within an epoch.
+    EXPECT_EQ(census.of(ConstraintClass::UnnecessaryIntraOp), 0u);
+    EXPECT_EQ(census.of(ConstraintClass::RequiredDataToHead), 2u);
+}
+
+TEST(Classify, HeadToHeadIsRequired)
+{
+    // Make head persists serialize without coalescing by keeping the
+    // inter-insert dependence (conservative epochs order op 2's data
+    // after op 1's head, so op 2's head cannot merge backward).
+    auto builder = twoInserts();
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    const auto census = censusOf(log);
+    EXPECT_GE(census.of(ConstraintClass::UnnecessaryInterOp), 1u);
+    EXPECT_EQ(census.required() + census.unnecessary() +
+              census.of(ConstraintClass::Unconstrained) +
+              census.of(ConstraintClass::Coalesced) +
+              census.of(ConstraintClass::Other), census.total());
+}
+
+TEST(Classify, CoalescedBindingsAreClassified)
+{
+    TraceBuilder builder;
+    builder.opBegin(0, 1)
+           .role(0, MarkerCode::RoleHead)
+           .store(0, paddr(0), 1)
+           .store(0, paddr(0), 2)
+           .opEnd(0, 1);
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    const auto census = censusOf(log);
+    EXPECT_EQ(census.of(ConstraintClass::Coalesced), 1u);
+}
+
+TEST(Classify, UnannotatedPersistsFallIntoOther)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0)).barrier(0).store(0, paddr(1));
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    const auto census = censusOf(log);
+    EXPECT_EQ(census.of(ConstraintClass::Unconstrained), 1u);
+    EXPECT_EQ(census.of(ConstraintClass::Other), 1u);
+}
+
+TEST(Classify, NamesAreStable)
+{
+    EXPECT_STREQ(constraintClassName(ConstraintClass::UnnecessaryIntraOp),
+                 "unnecessary_intra_op (A)");
+    EXPECT_STREQ(constraintClassName(ConstraintClass::UnnecessaryInterOp),
+                 "unnecessary_inter_op (B)");
+    const ConstraintCensus census{};
+    EXPECT_EQ(census.total(), 0u);
+    EXPECT_TRUE(census.render().empty());
+}
+
+TEST(ConstraintGraph, AcyclicIsSatisfiable)
+{
+    ConstraintGraph graph;
+    const auto a = graph.addNode("persist A");
+    const auto b = graph.addNode("persist B");
+    const auto c = graph.addNode("persist C");
+    graph.addEdge(a, b);
+    graph.addEdge(b, c);
+    graph.addEdge(a, c);
+    EXPECT_TRUE(graph.satisfiable());
+    EXPECT_TRUE(graph.findCycle().empty());
+    const auto order = graph.topologicalOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order.front(), a);
+    EXPECT_EQ(order.back(), c);
+}
+
+TEST(ConstraintGraph, DetectsCycle)
+{
+    ConstraintGraph graph;
+    const auto a = graph.addNode("a");
+    const auto b = graph.addNode("b");
+    graph.addEdge(a, b);
+    graph.addEdge(b, a);
+    EXPECT_FALSE(graph.satisfiable());
+    const auto cycle = graph.findCycle();
+    ASSERT_GE(cycle.size(), 3u);
+    EXPECT_EQ(cycle.front(), cycle.back());
+    EXPECT_THROW(graph.topologicalOrder(), FatalError);
+}
+
+/**
+ * Figure 1: thread 1 reorders store visibility across its persist
+ * barrier (persist A ordered before persist B by the barrier, but B's
+ * value becomes visible first); thread 2 persists B then A in program
+ * order. Persist barriers plus strong persist atomicity then form a
+ * cycle: no persist order satisfies all constraints, so a model must
+ * either couple persist barriers with store barriers or relax strong
+ * persist atomicity.
+ */
+TEST(ConstraintGraph, Figure1CycleIsUnsatisfiable)
+{
+    ConstraintGraph graph;
+    const auto a1 = graph.addNode("T1 persist A");
+    const auto b1 = graph.addNode("T1 persist B");
+    const auto b2 = graph.addNode("T2 persist B");
+    const auto a2 = graph.addNode("T2 persist A");
+
+    // Persist barriers (program annotations).
+    graph.addEdge(a1, b1, "T1 barrier");
+    graph.addEdge(b2, a2, "T2 barrier");
+    // Strong persist atomicity must agree with store visibility:
+    // T1's store to B became visible after T2's (visibility
+    // reordered), and T2's store to A after T1's.
+    graph.addEdge(b1, b2, "SPA on B");
+    graph.addEdge(a2, a1, "SPA on A");
+
+    EXPECT_FALSE(graph.satisfiable());
+    const auto explanation = graph.explain();
+    EXPECT_NE(explanation.find("unsatisfiable"), std::string::npos);
+
+    // Coupling the persist barrier with a store barrier (T1's stores
+    // become visible in order) flips the SPA edge on B and the system
+    // becomes satisfiable.
+    ConstraintGraph fixed;
+    const auto fa1 = fixed.addNode("T1 persist A");
+    const auto fb1 = fixed.addNode("T1 persist B");
+    const auto fb2 = fixed.addNode("T2 persist B");
+    const auto fa2 = fixed.addNode("T2 persist A");
+    fixed.addEdge(fa1, fb1, "T1 barrier");
+    fixed.addEdge(fb2, fa2, "T2 barrier");
+    fixed.addEdge(fb2, fb1, "SPA on B (visibility in order)");
+    fixed.addEdge(fa2, fa1, "SPA on A");
+    EXPECT_TRUE(fixed.satisfiable());
+}
+
+TEST(ConstraintGraph, EdgeValidation)
+{
+    ConstraintGraph graph;
+    const auto a = graph.addNode("a");
+    EXPECT_THROW(graph.addEdge(a, 5), FatalError);
+    EXPECT_EQ(graph.nodeCount(), 1u);
+    EXPECT_EQ(graph.edgeCount(), 0u);
+    EXPECT_EQ(graph.label(a), "a");
+}
+
+} // namespace
+} // namespace persim

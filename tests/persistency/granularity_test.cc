@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Atomic-persist and tracking granularity semantics (the unit-level
+ * behavior behind Figures 4 and 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "persistency/timing_engine.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::TraceBuilder;
+using test::vaddr;
+
+ModelConfig
+withGranularity(ModelConfig model, std::uint64_t atomic_gran,
+                std::uint64_t track_gran)
+{
+    model.atomic_granularity = atomic_gran;
+    model.tracking_granularity = track_gran;
+    return model;
+}
+
+/** A 64-byte contiguous persist region written word by word. */
+TraceBuilder
+contiguousWrite()
+{
+    TraceBuilder builder;
+    for (int i = 0; i < 8; ++i)
+        builder.store(0, paddr(i), i);
+    return builder;
+}
+
+TEST(AtomicGranularity, StrictSerializesWordsAtEightBytes)
+{
+    auto builder = contiguousWrite();
+    const auto result =
+        builder.analyze(withGranularity(ModelConfig::strict(), 8, 8));
+    EXPECT_EQ(result.critical_path, 8.0);
+    EXPECT_EQ(result.coalesced, 0u);
+}
+
+TEST(AtomicGranularity, StrictCoalescesWithinLargeAtomicBlocks)
+{
+    auto builder = contiguousWrite();
+    // All eight words fall into one 64-byte atomic block: the whole
+    // region persists as one atomic persist.
+    const auto result =
+        builder.analyze(withGranularity(ModelConfig::strict(), 64, 8));
+    EXPECT_EQ(result.critical_path, 1.0);
+    EXPECT_EQ(result.coalesced, 7u);
+}
+
+TEST(AtomicGranularity, StrictIntermediateGranularity)
+{
+    auto builder = contiguousWrite();
+    // 32-byte blocks: two groups of four words, serialized by
+    // program order under strict persistency.
+    const auto result =
+        builder.analyze(withGranularity(ModelConfig::strict(), 32, 8));
+    EXPECT_EQ(result.critical_path, 2.0);
+    EXPECT_EQ(result.coalesced, 6u);
+}
+
+TEST(AtomicGranularity, EpochUnaffectedByLargerAtomicPersists)
+{
+    // Epoch persistency already persists the words concurrently, so
+    // larger atomic blocks do not shorten the critical path
+    // (paper: "no improvement to relaxed models").
+    auto builder = contiguousWrite();
+    const auto small =
+        builder.analyze(withGranularity(ModelConfig::epoch(), 8, 8));
+    const auto large =
+        builder.analyze(withGranularity(ModelConfig::epoch(), 256, 8));
+    EXPECT_EQ(small.critical_path, 1.0);
+    EXPECT_EQ(large.critical_path, 1.0);
+}
+
+TEST(AtomicGranularity, CriticalPathMonotoneNonIncreasing)
+{
+    for (const auto &model :
+         {ModelConfig::strict(), ModelConfig::epoch()}) {
+        double prev = 1e30;
+        for (std::uint64_t gran : {8, 16, 32, 64, 128, 256}) {
+            auto builder = contiguousWrite();
+            const auto result =
+                builder.analyze(withGranularity(model, gran, 8));
+            EXPECT_LE(result.critical_path, prev)
+                << model.name() << " at " << gran;
+            prev = result.critical_path;
+        }
+    }
+}
+
+TEST(AtomicGranularity, UnalignedStoreSplitsAcrossAtomicBlocks)
+{
+    TraceBuilder builder;
+    // An 8-byte store straddling two 8-byte blocks becomes two
+    // persist pieces.
+    builder.store(0, paddr(0) + 4, 0x1122334455667788ULL);
+    const auto result =
+        builder.analyze(withGranularity(ModelConfig::epoch(), 8, 8));
+    EXPECT_EQ(result.persists, 2u);
+    EXPECT_EQ(result.critical_path, 1.0);
+}
+
+TEST(TrackingGranularity, FalseSharingIntroducesConstraints)
+{
+    // Two threads persist to adjacent (disjoint) words. At 8-byte
+    // tracking they are independent (both level 1); at 64-byte
+    // tracking the accesses conflict, so the second persist is
+    // ordered after the first even though the addresses are disjoint.
+    auto build = [] {
+        TraceBuilder builder;
+        builder.store(0, paddr(0))   // word 0
+               .store(1, paddr(1));  // word 1 (same 64B line)
+        return builder;
+    };
+    auto fine = build();
+    const auto fine_result =
+        fine.analyze(withGranularity(ModelConfig::epoch(), 8, 8));
+    EXPECT_EQ(fine_result.critical_path, 1.0);
+
+    auto coarse = build();
+    const auto coarse_result =
+        coarse.analyze(withGranularity(ModelConfig::epoch(), 8, 64));
+    EXPECT_EQ(coarse_result.critical_path, 2.0);
+}
+
+TEST(TrackingGranularity, VolatileFalseSharingAlsoOrders)
+{
+    // Persistent false sharing "occurs in conflicts to both
+    // persistent and volatile memory" (Section 8.2).
+    auto build = [] {
+        TraceBuilder builder;
+        builder.store(0, paddr(0))       // A: level 1.
+               .barrier(0)
+               .store(0, vaddr(0), 1)    // volatile word 0
+               .load(1, vaddr(1))        // volatile word 1, same line
+               .barrier(1)
+               .store(1, paddr(50));     // B
+        return builder;
+    };
+    auto fine = build();
+    EXPECT_EQ(fine.analyze(withGranularity(ModelConfig::epoch(), 8, 8))
+                  .critical_path, 1.0);
+    auto coarse = build();
+    EXPECT_EQ(coarse.analyze(withGranularity(ModelConfig::epoch(), 8, 64))
+                  .critical_path, 2.0);
+}
+
+TEST(TrackingGranularity, StrictInsensitiveToTracking)
+{
+    // Strict persistency already serializes per thread; false sharing
+    // adds (almost) nothing (paper Figure 5: strict is flat).
+    auto build = [] {
+        TraceBuilder builder;
+        for (int i = 0; i < 6; ++i)
+            builder.store(0, paddr(i), i);
+        return builder;
+    };
+    auto fine = build();
+    auto coarse = build();
+    EXPECT_EQ(
+        fine.analyze(withGranularity(ModelConfig::strict(), 8, 8))
+            .critical_path,
+        coarse.analyze(withGranularity(ModelConfig::strict(), 8, 256))
+            .critical_path);
+}
+
+TEST(TrackingGranularity, EpochDegradesTowardStrictAsTrackingCoarsens)
+{
+    // Within one thread: data words then (after a barrier) a head
+    // persist far away. With very coarse tracking, the data words
+    // conflict with each other and serialize, approaching strict.
+    auto build = [] {
+        TraceBuilder builder;
+        for (int i = 0; i < 4; ++i)
+            builder.store(0, paddr(i), i);
+        builder.barrier(0).store(0, paddr(100));
+        return builder;
+    };
+    auto fine = build();
+    const double fine_cp =
+        fine.analyze(withGranularity(ModelConfig::epoch(), 8, 8))
+            .critical_path;
+    auto coarse = build();
+    const double coarse_cp =
+        coarse.analyze(withGranularity(ModelConfig::epoch(), 8, 256))
+            .critical_path;
+    auto strict = build();
+    const double strict_cp =
+        strict.analyze(withGranularity(ModelConfig::strict(), 8, 8))
+            .critical_path;
+    EXPECT_EQ(fine_cp, 2.0);
+    EXPECT_GT(coarse_cp, fine_cp);
+    EXPECT_LE(coarse_cp, strict_cp);
+}
+
+TEST(Granularity, InvalidConfigurationsAreFatal)
+{
+    ModelConfig model;
+    model.atomic_granularity = 12;
+    EXPECT_THROW(model.validate(), FatalError);
+    model.atomic_granularity = 8;
+    model.tracking_granularity = 4;
+    EXPECT_THROW(model.validate(), FatalError);
+    model.tracking_granularity = 0;
+    EXPECT_THROW(model.validate(), FatalError);
+}
+
+} // namespace
+} // namespace persim

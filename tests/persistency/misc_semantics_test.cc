@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Remaining semantic corners: persistent RMW under each model,
+ * persist-sync accounting, marker pass-through, joint granularity
+ * configuration, and Fence events flowing through the stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memtrace/trace_stats.hh"
+#include "persistency/timing_engine.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::TraceBuilder;
+using test::vaddr;
+
+TEST(MiscSemantics, PersistentRmwIsAPersistUnderEveryModel)
+{
+    TraceBuilder builder;
+    builder.rmw(0, paddr(0), 1).rmw(0, paddr(0), 2);
+    for (const auto &model : {ModelConfig::strict(), ModelConfig::epoch(),
+                              ModelConfig::strand()}) {
+        const auto result = builder.analyze(model);
+        EXPECT_EQ(result.persists, 2u) << model.name();
+        // Second RMW coalesces (same address, no foreign dep).
+        EXPECT_EQ(result.coalesced, 1u) << model.name();
+    }
+}
+
+TEST(MiscSemantics, StrictRmwChainSerializes)
+{
+    TraceBuilder builder;
+    builder.rmw(0, paddr(0), 1).rmw(0, paddr(1), 2).rmw(0, paddr(2), 3);
+    EXPECT_EQ(builder.analyze(ModelConfig::strict()).critical_path, 3.0);
+    EXPECT_EQ(builder.analyze(ModelConfig::epoch()).critical_path, 1.0);
+}
+
+TEST(MiscSemantics, PersistSyncCountsAsBarrier)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0)).sync(0).store(0, paddr(1)).barrier(0);
+    const auto result = builder.analyze(ModelConfig::epoch());
+    EXPECT_EQ(result.barriers, 2u);
+    EXPECT_EQ(result.critical_path, 2.0);
+}
+
+TEST(MiscSemantics, UserMarkersAreIgnoredByTiming)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .role(0, MarkerCode::UserBase)
+           .store(0, paddr(1));
+    const auto result = builder.analyze(ModelConfig::epoch());
+    EXPECT_EQ(result.critical_path, 1.0);
+    EXPECT_EQ(result.ops, 0u);
+}
+
+TEST(MiscSemantics, JointGranularityConfiguration)
+{
+    // Coarse tracking AND coarse atomic persists together: tracking
+    // reintroduces ordering, atomic persists coalesce it away again —
+    // the two effects compose.
+    TraceBuilder builder;
+    for (int i = 0; i < 8; ++i)
+        builder.store(0, paddr(i), i);
+
+    ModelConfig both = ModelConfig::epoch();
+    both.tracking_granularity = 256; // Serialize via false sharing...
+    both.atomic_granularity = 256;   // ...then coalesce it all back.
+    const auto result = builder.analyze(both);
+    EXPECT_EQ(result.critical_path, 1.0);
+    EXPECT_EQ(result.coalesced, 7u);
+
+    ModelConfig tracking_only = ModelConfig::epoch();
+    tracking_only.tracking_granularity = 256;
+    EXPECT_EQ(builder.analyze(tracking_only).critical_path, 8.0);
+}
+
+TEST(MiscSemantics, FenceEventsFlowThroughTheStack)
+{
+    TraceBuilder builder;
+    InMemoryTrace trace;
+    TraceEvent fence;
+    fence.kind = EventKind::Fence;
+    fence.thread = 0;
+    trace.onEvent(fence);
+    TraceEvent store;
+    store.kind = EventKind::Store;
+    store.addr = paddr(0);
+    store.size = 8;
+    trace.onEvent(store);
+
+    // The timing engine ignores fences (consistency-only events).
+    TimingConfig config;
+    config.model = ModelConfig::epoch();
+    PersistTimingEngine engine(config);
+    trace.replay(engine);
+    EXPECT_EQ(engine.result().persists, 1u);
+    EXPECT_EQ(engine.result().barriers, 0u);
+
+    // Stats and formatting know the kind.
+    EXPECT_STREQ(eventKindName(EventKind::Fence), "fence");
+    EXPECT_NE(formatEvent(fence).find("fence"), std::string::npos);
+}
+
+TEST(MiscSemantics, ZeroSizeTraceIsHarmless)
+{
+    InMemoryTrace trace;
+    TimingConfig config;
+    config.model = ModelConfig::epoch();
+    PersistTimingEngine engine(config);
+    trace.replay(engine);
+    EXPECT_EQ(engine.result().critical_path, 0.0);
+    EXPECT_EQ(engine.result().persists, 0u);
+    EXPECT_EQ(engine.result().criticalPathPerOp(), 0.0);
+}
+
+TEST(MiscSemantics, VolatileOnlyTraceHasNoPersists)
+{
+    TraceBuilder builder;
+    builder.store(0, vaddr(0), 1)
+           .load(1, vaddr(0))
+           .barrier(1)
+           .store(1, vaddr(1), 2);
+    for (const auto &model : {ModelConfig::strict(), ModelConfig::epoch(),
+                              ModelConfig::strand()}) {
+        const auto result = builder.analyze(model);
+        EXPECT_EQ(result.persists, 0u);
+        EXPECT_EQ(result.critical_path, 0.0);
+    }
+}
+
+TEST(MiscSemantics, ManyThreadsIndependentChains)
+{
+    TraceBuilder builder;
+    for (ThreadId t = 0; t < 16; ++t)
+        for (int i = 0; i < 4; ++i)
+            builder.store(t, paddr(t * 100 + i)).barrier(t);
+    const auto result = builder.analyze(ModelConfig::epoch());
+    // Sixteen independent chains of four: depth 4, not 64.
+    EXPECT_EQ(result.critical_path, 4.0);
+    EXPECT_EQ(result.persists, 64u);
+}
+
+} // namespace
+} // namespace persim

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Property tests over randomly generated traces: the model-relaxation
+ * hierarchy, granularity monotonicity, coalescing soundness, and
+ * persist-log internal consistency must hold on *every* trace, not
+ * just the hand-written litmus cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "persistency/timing_engine.hh"
+#include "recovery/recovery.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::TraceBuilder;
+using test::vaddr;
+
+/** Generate a random multithreaded annotated trace. */
+InMemoryTrace
+randomTrace(std::uint64_t seed, ThreadId threads = 3,
+            std::size_t events_per_thread = 120)
+{
+    Rng rng(seed);
+    TraceBuilder builder;
+    std::vector<std::size_t> remaining(threads, events_per_thread);
+    std::vector<std::uint64_t> op_counter(threads, 0);
+    std::vector<bool> in_op(threads, false);
+
+    auto alive = [&remaining] {
+        std::vector<ThreadId> ids;
+        for (ThreadId t = 0; t < remaining.size(); ++t)
+            if (remaining[t] > 0)
+                ids.push_back(t);
+        return ids;
+    };
+
+    for (auto ids = alive(); !ids.empty(); ids = alive()) {
+        const ThreadId tid =
+            ids[static_cast<std::size_t>(rng.nextBounded(ids.size()))];
+        --remaining[tid];
+        const std::uint64_t addr_slot = rng.nextBounded(12);
+        switch (rng.nextBounded(10)) {
+          case 0:
+          case 1:
+          case 2:
+            builder.store(tid, paddr(addr_slot), rng.next());
+            break;
+          case 3:
+            builder.store(tid, vaddr(addr_slot), rng.next());
+            break;
+          case 4:
+            builder.load(tid, paddr(addr_slot));
+            break;
+          case 5:
+            builder.load(tid, vaddr(addr_slot));
+            break;
+          case 6:
+            builder.rmw(tid, rng.nextBool() ? paddr(addr_slot)
+                                            : vaddr(addr_slot),
+                        rng.next());
+            break;
+          case 7:
+            builder.barrier(tid);
+            break;
+          case 8:
+            builder.strand(tid);
+            break;
+          case 9:
+            if (in_op[tid]) {
+                builder.opEnd(tid, op_counter[tid]);
+                in_op[tid] = false;
+            } else {
+                builder.opBegin(tid, ++op_counter[tid]);
+                in_op[tid] = true;
+            }
+            break;
+        }
+    }
+    InMemoryTrace trace;
+    builder.trace().replay(trace);
+    return trace;
+}
+
+TimingResult
+analyze(const InMemoryTrace &trace, const ModelConfig &model,
+        ClockMode clock = ClockMode::Levels, std::uint64_t seed = 1)
+{
+    TimingConfig config;
+    config.model = model;
+    config.clock = clock;
+    config.seed = seed;
+    PersistTimingEngine engine(config);
+    trace.replay(engine);
+    return engine.result();
+}
+
+class RandomTraceProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomTraceProperty, RelaxationHierarchyHolds)
+{
+    const auto trace = randomTrace(GetParam());
+    const auto strict = analyze(trace, ModelConfig::strict());
+    const auto epoch = analyze(trace, ModelConfig::epoch());
+    const auto strand = analyze(trace, ModelConfig::strand());
+    EXPECT_LE(epoch.critical_path, strict.critical_path);
+    EXPECT_LE(strand.critical_path, epoch.critical_path);
+    EXPECT_EQ(strict.persists, epoch.persists);
+    EXPECT_EQ(strict.persists, strand.persists);
+}
+
+TEST_P(RandomTraceProperty, BpfsNeverExceedsEpoch)
+{
+    const auto trace = randomTrace(GetParam());
+    EXPECT_LE(analyze(trace, ModelConfig::bpfs()).critical_path,
+              analyze(trace, ModelConfig::epoch()).critical_path);
+}
+
+TEST_P(RandomTraceProperty, CoarserTrackingNeverShortensEpochPath)
+{
+    const auto trace = randomTrace(GetParam());
+    double prev = 0.0;
+    for (std::uint64_t gran : {8, 64, 256}) {
+        ModelConfig model = ModelConfig::epoch();
+        model.tracking_granularity = gran;
+        const double cp = analyze(trace, model).critical_path;
+        EXPECT_GE(cp, prev) << "tracking granularity " << gran;
+        prev = cp;
+    }
+}
+
+TEST_P(RandomTraceProperty, LargerAtomicPersistsNeverLengthenPath)
+{
+    const auto trace = randomTrace(GetParam());
+    double prev = 1e300;
+    std::uint64_t prev_coalesced = 0;
+    for (std::uint64_t gran : {8, 64, 256}) {
+        ModelConfig model = ModelConfig::strict();
+        model.atomic_granularity = gran;
+        const auto result = analyze(trace, model);
+        EXPECT_LE(result.critical_path, prev)
+            << "atomic granularity " << gran;
+        EXPECT_GE(result.coalesced, prev_coalesced);
+        prev = result.critical_path;
+        prev_coalesced = result.coalesced;
+    }
+}
+
+TEST_P(RandomTraceProperty, AnalysisIsDeterministic)
+{
+    const auto trace = randomTrace(GetParam());
+    const auto a = analyze(trace, ModelConfig::epoch());
+    const auto b = analyze(trace, ModelConfig::epoch());
+    EXPECT_EQ(a.critical_path, b.critical_path);
+    EXPECT_EQ(a.coalesced, b.coalesced);
+}
+
+TEST_P(RandomTraceProperty, LevelLogIsInternallyConsistent)
+{
+    const auto trace = randomTrace(GetParam());
+    for (const auto &model : {ModelConfig::strict(), ModelConfig::epoch(),
+                              ModelConfig::strand(), ModelConfig::bpfs()}) {
+        TimingConfig config;
+        config.model = model;
+        config.record_log = true;
+        PersistTimingEngine engine(config);
+        trace.replay(engine);
+        EXPECT_EQ(verifyLogConsistency(engine.log()), "")
+            << "model " << model.name();
+    }
+}
+
+TEST_P(RandomTraceProperty, StochasticLogIsInternallyConsistent)
+{
+    const auto trace = randomTrace(GetParam());
+    for (const auto &model : {ModelConfig::strict(), ModelConfig::epoch(),
+                              ModelConfig::strand()}) {
+        const auto log = stochasticLog(trace, model, GetParam() + 17);
+        EXPECT_EQ(verifyLogConsistency(log), "") << model.name();
+    }
+}
+
+TEST_P(RandomTraceProperty, StochasticTimesDominateLevels)
+{
+    // A stochastic realization respects the same constraint chains,
+    // so each persist's completion time is at least proportional to
+    // the longest chain... at minimum, the count of persists and
+    // coalescing opportunities match structurally: coalesced persists
+    // share their predecessor's time in both clocks.
+    const auto trace = randomTrace(GetParam());
+    TimingConfig level_config;
+    level_config.model = ModelConfig::epoch();
+    level_config.record_log = true;
+    PersistTimingEngine levels(level_config);
+    trace.replay(levels);
+
+    const auto stochastic =
+        stochasticLog(trace, ModelConfig::epoch(), GetParam() + 3);
+    ASSERT_EQ(levels.log().size(), stochastic.size());
+    for (std::size_t i = 0; i < stochastic.size(); ++i) {
+        EXPECT_EQ(levels.log()[i].addr, stochastic[i].addr);
+        EXPECT_EQ(levels.log()[i].value, stochastic[i].value);
+    }
+}
+
+TEST_P(RandomTraceProperty, PersistCountsMatchTraceContent)
+{
+    const auto trace = randomTrace(GetParam());
+    std::uint64_t expected = 0;
+    for (const auto &event : trace.events())
+        if (event.isPersist())
+            ++expected; // All accesses here are aligned single pieces.
+    const auto result = analyze(trace, ModelConfig::epoch());
+    EXPECT_EQ(result.persists, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraceProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+} // namespace
+} // namespace persim

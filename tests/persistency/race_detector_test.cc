@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Persist-epoch race detection tests (paper Section 5.2).
+ *
+ * The timing engine's race detector runs a shadow SC propagation: a
+ * persist races when a foreign persist precedes it in volatile (SC)
+ * memory order — through any chain of conflicting accesses — but the
+ * persistency model leaves the two unordered. This is exactly the
+ * paper's "astonishing persist ordering": synchronization ordered the
+ * stores, not the persists.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_util/queue_workload.hh"
+#include "persistency/timing_engine.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::TraceBuilder;
+using test::vaddr;
+
+std::uint64_t
+racesIn(const TraceBuilder &builder, ModelConfig model = ModelConfig::epoch())
+{
+    TimingConfig config;
+    config.model = model;
+    config.detect_races = true;
+    PersistTimingEngine engine(config);
+    builder.trace().replay(engine);
+    return engine.result().races;
+}
+
+TEST(RaceDetector, ClassicPersistEpochRace)
+{
+    // T0 persists A and signals through a volatile flag in the same
+    // epoch; T1 sees the flag and persists B: B is SC-after A but the
+    // model leaves them unordered.
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .store(0, vaddr(0), 1)
+           .load(1, vaddr(0))
+           .store(1, paddr(1));
+    EXPECT_EQ(racesIn(builder), 1u);
+}
+
+TEST(RaceDetector, BarriersOnBothSidesPreventTheRace)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .barrier(0)
+           .store(0, vaddr(0), 1)
+           .load(1, vaddr(0))
+           .barrier(1)
+           .store(1, paddr(1));
+    EXPECT_EQ(racesIn(builder), 0u);
+}
+
+TEST(RaceDetector, ConsumerBarrierAloneStillRaces)
+{
+    // Without the producer barrier, A is not ordered before the
+    // signal, so even a disciplined consumer races.
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .store(0, vaddr(0), 1)
+           .load(1, vaddr(0))
+           .barrier(1)
+           .store(1, paddr(1));
+    EXPECT_EQ(racesIn(builder), 1u);
+}
+
+TEST(RaceDetector, ProducerBarrierAloneStillRaces)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .barrier(0)
+           .store(0, vaddr(0), 1)
+           .load(1, vaddr(0))
+           .store(1, paddr(1));
+    EXPECT_EQ(racesIn(builder), 1u);
+}
+
+TEST(RaceDetector, NoRaceWithoutConflict)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .store(0, vaddr(0), 1)
+           .load(1, vaddr(5)) // Different block: no communication.
+           .store(1, paddr(1));
+    EXPECT_EQ(racesIn(builder), 0u);
+}
+
+TEST(RaceDetector, WriteWriteConflictPropagates)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .store(0, vaddr(0), 1)
+           .store(1, vaddr(0), 2)
+           .store(1, paddr(1));
+    EXPECT_EQ(racesIn(builder), 1u);
+}
+
+TEST(RaceDetector, LoadBeforeStoreConflictPropagates)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .load(0, vaddr(0))
+           .store(1, vaddr(0), 1)
+           .store(1, paddr(1));
+    EXPECT_EQ(racesIn(builder), 1u);
+}
+
+TEST(RaceDetector, TransitiveChainThroughThirdThread)
+{
+    // T0 -> T1 (flag X) -> T2 (flag Y): T2's persist races with A
+    // even though T2 never touched T0's flag.
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .store(0, vaddr(0), 1)
+           .load(1, vaddr(0))
+           .store(1, vaddr(1), 1)
+           .load(2, vaddr(1))
+           .store(2, paddr(2));
+    EXPECT_EQ(racesIn(builder), 1u);
+}
+
+TEST(RaceDetector, SameAddressPersistsDoNotRace)
+{
+    // Strong persist atomicity orders same-address persists even in
+    // racing epochs: intentional synchronization, not a race.
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1)
+           .store(1, paddr(0), 2);
+    EXPECT_EQ(racesIn(builder), 0u);
+}
+
+TEST(RaceDetector, SpaBasedSynchronizationIsRaceFree)
+{
+    // The paper's idiom: synchronize through persistent memory. T1
+    // RMWs the persistent lock word T0 persisted: the inherited
+    // ordering flows through strong persist atomicity, and T1's
+    // post-barrier persist is properly ordered.
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .barrier(0)
+           .rmw(0, paddr(8), 1)
+           .rmw(1, paddr(8), 2)
+           .barrier(1)
+           .store(1, paddr(1));
+    EXPECT_EQ(racesIn(builder), 0u);
+}
+
+TEST(RaceDetector, OwnThreadRelaxationIsNotARace)
+{
+    // Same-thread persists left concurrent by epoch persistency are
+    // intended (that is the model's point), not races.
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .store(0, paddr(1))
+           .store(0, paddr(2));
+    EXPECT_EQ(racesIn(builder), 0u);
+}
+
+TEST(RaceDetector, StrictPersistencyNeverRaces)
+{
+    // Strict persistency honors every SC edge by construction.
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .store(0, vaddr(0), 1)
+           .load(1, vaddr(0))
+           .store(1, paddr(1))
+           .store(1, vaddr(1), 1)
+           .load(0, vaddr(1))
+           .store(0, paddr(2));
+    EXPECT_EQ(racesIn(builder, ModelConfig::strict()), 0u);
+}
+
+TEST(RaceDetector, SamplesAreBounded)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0));
+    for (int i = 0; i < 100; ++i) {
+        builder.store(0, vaddr(0), 1)
+               .load(1, vaddr(0))
+               .store(1, paddr(100 + i));
+    }
+    TimingConfig config;
+    config.model = ModelConfig::epoch();
+    config.detect_races = true;
+    PersistTimingEngine engine(config);
+    builder.trace().replay(engine);
+    EXPECT_GT(engine.result().races, 20u);
+    EXPECT_EQ(engine.raceSamples().size(), 16u);
+}
+
+TEST(RaceDetector, ConservativeCwlIsRaceFree)
+{
+    QueueWorkloadConfig config;
+    config.kind = QueueKind::CopyWhileLocked;
+    config.variant = AnnotationVariant::Conservative;
+    config.threads = 4;
+    config.inserts_per_thread = 30;
+    TimingConfig timing;
+    timing.model = ModelConfig::epoch();
+    timing.detect_races = true;
+    PersistTimingEngine engine(timing);
+    std::vector<TraceSink *> sinks{&engine};
+    runQueueWorkload(config, sinks);
+    EXPECT_EQ(engine.result().races, 0u);
+}
+
+TEST(RaceDetector, RacingCwlRacesIntentionally)
+{
+    QueueWorkloadConfig config;
+    config.kind = QueueKind::CopyWhileLocked;
+    config.variant = AnnotationVariant::Racing;
+    config.threads = 4;
+    config.inserts_per_thread = 30;
+    TimingConfig timing;
+    timing.model = ModelConfig::epoch();
+    timing.detect_races = true;
+    PersistTimingEngine engine(timing);
+    std::vector<TraceSink *> sinks{&engine};
+    runQueueWorkload(config, sinks);
+    EXPECT_GT(engine.result().races, 0u);
+}
+
+TEST(RaceDetector, DisabledByDefault)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .store(0, vaddr(0), 1)
+           .load(1, vaddr(0))
+           .store(1, paddr(1));
+    TimingConfig config;
+    config.model = ModelConfig::epoch();
+    PersistTimingEngine engine(config);
+    builder.trace().replay(engine);
+    EXPECT_EQ(engine.result().races, 0u);
+    EXPECT_TRUE(engine.raceSamples().empty());
+}
+
+} // namespace
+} // namespace persim

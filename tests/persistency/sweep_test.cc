@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Sweep helper tests (the library behind Figures 3-5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "persistency/sweep.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::TraceBuilder;
+
+InMemoryTrace
+contiguousTrace()
+{
+    TraceBuilder builder;
+    for (int i = 0; i < 8; ++i)
+        builder.store(0, paddr(i), i);
+    InMemoryTrace trace;
+    builder.trace().replay(trace);
+    return trace;
+}
+
+TEST(Sweep, GranularitySweepMatchesIndividualRuns)
+{
+    const auto trace = contiguousTrace();
+    const std::vector<std::uint64_t> grans{8, 32, 64};
+    const auto series = granularitySweep(
+        trace, {ModelConfig::strict(), ModelConfig::epoch()}, grans,
+        GranularityKnob::AtomicPersist);
+    ASSERT_EQ(series.size(), 2u);
+    ASSERT_EQ(series[0].points.size(), 3u);
+
+    // Cross-check one point against a standalone engine.
+    ModelConfig model = ModelConfig::strict();
+    model.atomic_granularity = 32;
+    TimingConfig config;
+    config.model = model;
+    PersistTimingEngine engine(config);
+    trace.replay(engine);
+    EXPECT_EQ(series[0].points[1].value, 32u);
+    EXPECT_EQ(series[0].points[1].result.critical_path,
+              engine.result().critical_path);
+}
+
+TEST(Sweep, TrackingKnobSweeps)
+{
+    const auto trace = contiguousTrace();
+    const auto series = granularitySweep(
+        trace, {ModelConfig::epoch()}, {8, 256},
+        GranularityKnob::Tracking);
+    ASSERT_EQ(series.size(), 1u);
+    // Coarser tracking can only lengthen the path.
+    EXPECT_LE(series[0].points[0].result.critical_path,
+              series[0].points[1].result.critical_path);
+}
+
+TEST(Sweep, EmptyInputsAreFatal)
+{
+    const auto trace = contiguousTrace();
+    EXPECT_THROW(granularitySweep(trace, {}, {8},
+                                  GranularityKnob::Tracking),
+                 FatalError);
+    EXPECT_THROW(granularitySweep(trace, {ModelConfig::epoch()}, {},
+                                  GranularityKnob::Tracking),
+                 FatalError);
+}
+
+TEST(Sweep, LatencyCurveShape)
+{
+    // 1000 ops, critical path 2000 persists, 10 M ops/s instruction
+    // rate: break-even at 50 ns.
+    const auto curve =
+        latencyCurve(1000, 2000.0, 1e7, {10.0, 50.0, 100.0, 500.0});
+    ASSERT_EQ(curve.size(), 4u);
+    EXPECT_FALSE(curve[0].persist_bound);
+    EXPECT_DOUBLE_EQ(curve[0].achievable_rate, 1e7);
+    EXPECT_DOUBLE_EQ(curve[1].achievable_rate, 1e7); // Exactly even.
+    EXPECT_TRUE(curve[2].persist_bound);
+    EXPECT_DOUBLE_EQ(curve[2].achievable_rate, 5e6);
+    EXPECT_DOUBLE_EQ(curve[3].achievable_rate, 1e6);
+}
+
+TEST(Sweep, BreakEvenLatency)
+{
+    EXPECT_DOUBLE_EQ(breakEvenLatencyNs(1000, 2000.0, 1e7), 50.0);
+    EXPECT_TRUE(std::isinf(breakEvenLatencyNs(1000, 0.0, 1e7)));
+    EXPECT_THROW(breakEvenLatencyNs(1, 1.0, 0.0), FatalError);
+}
+
+TEST(Sweep, LogGrid)
+{
+    const auto grid = logLatencyGrid(10.0, 1000.0, 2);
+    ASSERT_EQ(grid.size(), 5u);
+    EXPECT_NEAR(grid[0], 10.0, 1e-9);
+    EXPECT_NEAR(grid[2], 100.0, 1e-6);
+    EXPECT_NEAR(grid[4], 1000.0, 1e-5);
+    EXPECT_THROW(logLatencyGrid(0.0, 10.0, 2), FatalError);
+    EXPECT_THROW(logLatencyGrid(10.0, 5.0, 2), FatalError);
+    EXPECT_THROW(logLatencyGrid(1.0, 10.0, 0), FatalError);
+}
+
+TEST(Sweep, ZeroCriticalPathIsComputeBound)
+{
+    const auto curve = latencyCurve(100, 0.0, 1e6, {100.0});
+    ASSERT_EQ(curve.size(), 1u);
+    EXPECT_FALSE(curve[0].persist_bound);
+    EXPECT_DOUBLE_EQ(curve[0].achievable_rate, 1e6);
+}
+
+} // namespace
+} // namespace persim

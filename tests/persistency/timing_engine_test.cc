@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Timing engine unit tests: result bookkeeping, operation and role
+ * attribution, persist-log record contents, access splitting, the
+ * finite coalescing window, and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "persistency/timing_engine.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::TraceBuilder;
+using test::vaddr;
+
+TEST(TimingEngine, CountsEventsBarriersStrandsOps)
+{
+    TraceBuilder builder;
+    builder.opBegin(0, 1)
+           .store(0, paddr(0))
+           .barrier(0)
+           .strand(0)
+           .sync(0)
+           .opEnd(0, 1)
+           .load(0, vaddr(0));
+    const auto result = builder.analyze(ModelConfig::epoch());
+    EXPECT_EQ(result.events, 7u);
+    EXPECT_EQ(result.barriers, 2u); // Barrier + sync.
+    EXPECT_EQ(result.strands, 1u);
+    EXPECT_EQ(result.ops, 1u);
+    EXPECT_EQ(result.persists, 1u);
+}
+
+TEST(TimingEngine, CriticalPathPerOpFallsBackWithoutOps)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0)).barrier(0).store(0, paddr(1));
+    const auto result = builder.analyze(ModelConfig::epoch());
+    EXPECT_EQ(result.ops, 0u);
+    EXPECT_EQ(result.criticalPathPerOp(), result.critical_path);
+}
+
+TEST(TimingEngine, LogRecordsAddressSizeValueThread)
+{
+    TraceBuilder builder;
+    builder.store(2, paddr(3), 0xabcdef, 8);
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0].addr, paddr(3));
+    EXPECT_EQ(log[0].size, 8u);
+    EXPECT_EQ(log[0].value, 0xabcdefu);
+    EXPECT_EQ(log[0].thread, 2u);
+    EXPECT_EQ(log[0].time, 1.0);
+    EXPECT_EQ(log[0].id, 0u);
+    EXPECT_EQ(log[0].binding, invalid_persist);
+}
+
+TEST(TimingEngine, LogAttributesOpAndRole)
+{
+    TraceBuilder builder;
+    builder.opBegin(0, 42)
+           .role(0, MarkerCode::RoleData)
+           .store(0, paddr(0))
+           .role(0, MarkerCode::RoleHead)
+           .store(0, paddr(1))
+           .opEnd(0, 42)
+           .store(0, paddr(2));
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0].op, 42u);
+    EXPECT_EQ(log[0].role, PersistRole::Data);
+    EXPECT_EQ(log[1].op, 42u);
+    EXPECT_EQ(log[1].role, PersistRole::Head);
+    EXPECT_EQ(log[2].op, no_operation);
+    EXPECT_EQ(log[2].role, PersistRole::None);
+}
+
+TEST(TimingEngine, UnalignedMultiPieceValuesSplitCorrectly)
+{
+    // A store of 0x8877665544332211 at offset 6 splits into a 2-byte
+    // piece (0x2211) and a 6-byte piece (0x887766554433).
+    TraceBuilder builder;
+    builder.store(0, paddr(0) + 6, 0x8877665544332211ULL, 8);
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0].addr, paddr(0) + 6);
+    EXPECT_EQ(log[0].size, 2u);
+    EXPECT_EQ(log[0].value, 0x2211u);
+    EXPECT_EQ(log[1].addr, paddr(1));
+    EXPECT_EQ(log[1].size, 6u);
+    EXPECT_EQ(log[1].value, 0x887766554433ULL);
+}
+
+TEST(TimingEngine, BindingSourcesAreLabeled)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))     // none
+           .barrier(0)
+           .store(0, paddr(1))     // thread_epoch
+           .store(1, paddr(1))     // coalesced? dep 0 < 2 -> coalesce
+           .store(1, paddr(0), 7); // spa or coalesce with p0.
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0].binding_source, DepSource::None);
+    EXPECT_EQ(log[1].binding_source, DepSource::ThreadEpoch);
+    EXPECT_EQ(log[2].binding_source, DepSource::Coalesced);
+    EXPECT_EQ(log[3].binding_source, DepSource::Coalesced);
+}
+
+TEST(TimingEngine, ConflictBindingLabels)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))      // Level 1.
+           .barrier(0)
+           .store(0, vaddr(0), 1)   // Tagged with A.
+           .store(1, vaddr(0), 2)   // T1 inherits via store conflict.
+           .barrier(1)
+           .store(1, paddr(1));     // Bound by the conflict.
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 2u);
+    // The binding arrived through T1's epoch_dep (folded at barrier).
+    EXPECT_EQ(log[1].binding, 0u);
+    EXPECT_EQ(log[1].binding_source, DepSource::ThreadEpoch);
+    EXPECT_EQ(log[1].time, 2.0);
+}
+
+TEST(TimingEngine, CoalesceWindowLimitsAbsorption)
+{
+    // 100 persists to the same word, no constraints: unbounded
+    // coalescing folds them into one level; a window of 10 forces a
+    // new persist every 10 issues.
+    auto build = [] {
+        TraceBuilder builder;
+        for (int i = 0; i < 100; ++i)
+            builder.store(0, paddr(0), i);
+        return builder;
+    };
+    {
+        TimingConfig config;
+        config.model = ModelConfig::epoch();
+        PersistTimingEngine engine(config);
+        auto builder = build();
+        builder.trace().replay(engine);
+        EXPECT_EQ(engine.result().critical_path, 1.0);
+        EXPECT_EQ(engine.result().window_blocked, 0u);
+    }
+    {
+        TimingConfig config;
+        config.model = ModelConfig::epoch();
+        config.coalesce_window = 10;
+        PersistTimingEngine engine(config);
+        auto builder = build();
+        builder.trace().replay(engine);
+        EXPECT_GT(engine.result().critical_path, 5.0);
+        EXPECT_GT(engine.result().window_blocked, 5u);
+    }
+}
+
+TEST(TimingEngine, StochasticTimesAreStrictlyOrderedOnChains)
+{
+    TraceBuilder builder;
+    for (int i = 0; i < 10; ++i)
+        builder.store(0, paddr(i)).barrier(0);
+    TimingConfig config;
+    config.model = ModelConfig::epoch();
+    config.clock = ClockMode::Stochastic;
+    config.seed = 3;
+    config.record_log = true;
+    PersistTimingEngine engine(config);
+    builder.trace().replay(engine);
+    const auto &log = engine.log();
+    ASSERT_EQ(log.size(), 10u);
+    for (std::size_t i = 1; i < log.size(); ++i)
+        EXPECT_GT(log[i].time, log[i - 1].time);
+}
+
+TEST(TimingEngine, StochasticSeedChangesRealization)
+{
+    TraceBuilder builder;
+    for (int i = 0; i < 5; ++i)
+        builder.store(0, paddr(i)).barrier(0);
+    auto run = [&builder](std::uint64_t seed) {
+        TimingConfig config;
+        config.model = ModelConfig::epoch();
+        config.clock = ClockMode::Stochastic;
+        config.seed = seed;
+        PersistTimingEngine engine(config);
+        builder.trace().replay(engine);
+        return engine.result().critical_path;
+    };
+    EXPECT_EQ(run(1), run(1));
+    EXPECT_NE(run(1), run(2));
+}
+
+TEST(TimingEngine, RejectsInvalidConfig)
+{
+    TimingConfig config;
+    config.model.atomic_granularity = 3;
+    EXPECT_THROW(PersistTimingEngine{config}, FatalError);
+    config.model.atomic_granularity = 8;
+    config.mean_latency = 0.0;
+    EXPECT_THROW(PersistTimingEngine{config}, FatalError);
+}
+
+TEST(TimingEngine, TakeLogMovesOwnership)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0));
+    TimingConfig config;
+    config.model = ModelConfig::epoch();
+    config.record_log = true;
+    PersistTimingEngine engine(config);
+    builder.trace().replay(engine);
+    auto log = engine.takeLog();
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_TRUE(engine.log().empty());
+}
+
+TEST(TimingEngine, DepSourceNamesAreStable)
+{
+    EXPECT_STREQ(depSourceName(DepSource::None), "none");
+    EXPECT_STREQ(depSourceName(DepSource::ThreadEpoch), "thread_epoch");
+    EXPECT_STREQ(depSourceName(DepSource::ConflictStore),
+                 "conflict_store");
+    EXPECT_STREQ(depSourceName(DepSource::ConflictLoad), "conflict_load");
+    EXPECT_STREQ(depSourceName(DepSource::SameBlockSPA),
+                 "same_block_spa");
+    EXPECT_STREQ(depSourceName(DepSource::Coalesced), "coalesced");
+}
+
+TEST(TimingEngine, ModelNamesEncodeConfiguration)
+{
+    EXPECT_EQ(ModelConfig::strict().name(), "strict");
+    EXPECT_EQ(ModelConfig::epoch().name(), "epoch");
+    EXPECT_EQ(ModelConfig::strand().name(), "strand");
+    ModelConfig model = ModelConfig::epoch();
+    model.atomic_granularity = 64;
+    model.tracking_granularity = 128;
+    EXPECT_EQ(model.name(), "epoch-a64-t128");
+}
+
+} // namespace
+} // namespace persim

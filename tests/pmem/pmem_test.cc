@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the persistent-memory programming helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memtrace/trace_stats.hh"
+#include "pmem/pmem.hh"
+
+namespace persim {
+namespace {
+
+TEST(PVar, LoadStoreTyped)
+{
+    EngineConfig config;
+    ExecutionEngine engine(config, nullptr);
+    engine.run({[](ThreadCtx &ctx) {
+        PVar<std::uint32_t> var(ctx.pmalloc(4));
+        var.store(ctx, 0xdeadbeef);
+        EXPECT_EQ(var.load(ctx), 0xdeadbeefu);
+        EXPECT_TRUE(var.valid());
+        EXPECT_FALSE(PVar<std::uint32_t>().valid());
+    }});
+}
+
+TEST(PVar, AtomicsWork)
+{
+    EngineConfig config;
+    ExecutionEngine engine(config, nullptr);
+    engine.run({[](ThreadCtx &ctx) {
+        PVar<std::uint64_t> var(ctx.pmalloc(8));
+        var.store(ctx, 5);
+        EXPECT_EQ(var.exchange(ctx, 9), 5u);
+        EXPECT_EQ(var.fetchAdd(ctx, 3), 9u);
+        EXPECT_EQ(var.compareExchange(ctx, 12, 20), 12u);
+        EXPECT_EQ(var.load(ctx), 20u);
+        EXPECT_EQ(var.compareExchange(ctx, 1, 2), 20u);
+        EXPECT_EQ(var.load(ctx), 20u);
+    }});
+}
+
+TEST(PVar, StoresToPersistentSpaceArePersists)
+{
+    EngineConfig config;
+    TraceStats stats;
+    ExecutionEngine engine(config, &stats);
+    engine.run({[](ThreadCtx &ctx) {
+        PVar<std::uint64_t> pvar(ctx.pmalloc(8));
+        PVar<std::uint64_t> vvar(ctx.vmalloc(8));
+        pvar.store(ctx, 1);
+        vvar.store(ctx, 1);
+    }});
+    EXPECT_EQ(stats.persists(), 1u);
+    EXPECT_EQ(stats.stores(), 2u);
+}
+
+TEST(PBuffer, BoundsCheckedIo)
+{
+    EngineConfig config;
+    ExecutionEngine engine(config, nullptr);
+    engine.run({[](ThreadCtx &ctx) {
+        PBuffer buffer(ctx.pmalloc(64), 64);
+        const char msg[] = "hello persistent world";
+        buffer.write(ctx, 10, msg, sizeof(msg));
+        char out[sizeof(msg)] = {};
+        buffer.read(ctx, 10, out, sizeof(msg));
+        EXPECT_STREQ(out, msg);
+        EXPECT_EQ(buffer.at(0), buffer.base());
+        EXPECT_THROW(buffer.at(64), FatalError);
+        EXPECT_THROW(buffer.write(ctx, 60, msg, 8), FatalError);
+        EXPECT_THROW(buffer.read(ctx, 60, out, 8), FatalError);
+    }});
+}
+
+TEST(EpochScope, EmitsBarriersAroundScope)
+{
+    EngineConfig config;
+    TraceStats stats;
+    ExecutionEngine engine(config, &stats);
+    engine.run({[](ThreadCtx &ctx) {
+        const Addr a = ctx.pmalloc(8);
+        {
+            EpochScope epoch(ctx);
+            ctx.store(a, 1);
+        }
+    }});
+    EXPECT_EQ(stats.persistBarriers(), 2u);
+}
+
+TEST(RootDirectory, SetGetHas)
+{
+    RootDirectory roots;
+    EXPECT_FALSE(roots.has("queue"));
+    roots.set("queue", 0x1000);
+    EXPECT_TRUE(roots.has("queue"));
+    EXPECT_EQ(roots.get("queue"), 0x1000u);
+    roots.set("queue", 0x2000);
+    EXPECT_EQ(roots.get("queue"), 0x2000u);
+    EXPECT_THROW(roots.get("missing"), FatalError);
+    EXPECT_EQ(roots.all().size(), 1u);
+}
+
+} // namespace
+} // namespace persim

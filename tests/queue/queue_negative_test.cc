@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Negative-path queue tests: corrupt-image recovery parsing, golden
+ * cross-check failures, option validation, and the verify_content
+ * escape hatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "queue/payload.hh"
+#include "queue/queue.hh"
+#include "sim/memory_image.hh"
+
+namespace persim {
+namespace {
+
+/** A synthetic layout over a blank image. */
+QueueLayout
+testLayout()
+{
+    QueueLayout layout;
+    layout.header = persistent_base;
+    layout.data = persistent_base + 4096;
+    layout.capacity = 64 * 64;
+    layout.pad = 64;
+    return layout;
+}
+
+void
+putEntry(MemoryImage &image, const QueueLayout &layout,
+         std::uint64_t offset, std::uint64_t op_id, std::uint64_t len)
+{
+    const auto payload = makePayload(op_id, len);
+    image.store(layout.data + offset % layout.capacity, 8, len);
+    image.writeBytes(layout.data + (offset + 8) % layout.capacity,
+                     payload.data(), payload.size());
+}
+
+TEST(QueueRecoveryNegative, EmptyQueueIsOk)
+{
+    MemoryImage image;
+    const auto layout = testLayout();
+    const auto report = recoverQueue(image, layout);
+    EXPECT_TRUE(report.ok);
+    EXPECT_TRUE(report.entries.empty());
+}
+
+TEST(QueueRecoveryNegative, TailAheadOfHead)
+{
+    MemoryImage image;
+    const auto layout = testLayout();
+    image.store(layout.headAddr(), 8, 64);
+    image.store(layout.tailAddr(), 8, 128);
+    const auto report = recoverQueue(image, layout);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.error.find("tail"), std::string::npos);
+}
+
+TEST(QueueRecoveryNegative, LiveRegionBeyondCapacity)
+{
+    MemoryImage image;
+    const auto layout = testLayout();
+    image.store(layout.headAddr(), 8, layout.capacity + 128);
+    image.store(layout.tailAddr(), 8, 0);
+    const auto report = recoverQueue(image, layout);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.error.find("capacity"), std::string::npos);
+}
+
+TEST(QueueRecoveryNegative, HeadInsideSlot)
+{
+    MemoryImage image;
+    const auto layout = testLayout();
+    putEntry(image, layout, 0, 1, 100);
+    image.store(layout.headAddr(), 8, 100); // Not a slot boundary.
+    const auto report = recoverQueue(image, layout);
+    EXPECT_FALSE(report.ok);
+}
+
+TEST(QueueRecoveryNegative, GarbageLengthDetected)
+{
+    MemoryImage image;
+    const auto layout = testLayout();
+    image.store(layout.data, 8, 0xffffffffffffULL); // Absurd length.
+    image.store(layout.headAddr(), 8, 128);
+    const auto report = recoverQueue(image, layout);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.error.find("length"), std::string::npos);
+}
+
+TEST(QueueRecoveryNegative, ZeroLengthDetected)
+{
+    MemoryImage image;
+    const auto layout = testLayout();
+    // head covers one slot but the length word was never persisted.
+    image.store(layout.headAddr(), 8, 64);
+    const auto report = recoverQueue(image, layout);
+    EXPECT_FALSE(report.ok);
+}
+
+TEST(QueueRecoveryNegative, CorruptPayloadDetected)
+{
+    MemoryImage image;
+    const auto layout = testLayout();
+    putEntry(image, layout, 0, 7, 100);
+    image.store(layout.data + 30, 1, 0x5a); // Flip a payload byte.
+    image.store(layout.headAddr(), 8, 128);
+    const auto report = recoverQueue(image, layout);
+    EXPECT_FALSE(report.ok);
+    ASSERT_EQ(report.entries.size(), 1u);
+    EXPECT_FALSE(report.entries[0].content_ok);
+}
+
+TEST(QueueRecoveryNegative, VerifyContentOptOut)
+{
+    MemoryImage image;
+    const auto layout = testLayout();
+    putEntry(image, layout, 0, 7, 100);
+    image.store(layout.data + 30, 1, 0x5a);
+    image.store(layout.headAddr(), 8, 128);
+    const auto report = recoverQueue(image, layout, false);
+    EXPECT_TRUE(report.ok);
+    ASSERT_EQ(report.entries.size(), 1u);
+    EXPECT_TRUE(report.entries[0].content_ok);
+}
+
+TEST(QueueRecoveryNegative, GoldenMismatchDetected)
+{
+    MemoryImage image;
+    const auto layout = testLayout();
+    putEntry(image, layout, 0, 7, 100);
+    image.store(layout.headAddr(), 8, 128);
+    const auto report = recoverQueue(image, layout);
+    ASSERT_TRUE(report.ok);
+
+    std::map<std::uint64_t, GoldenEntry> golden;
+    EXPECT_NE(checkAgainstGolden(report, golden), ""); // Unreserved.
+
+    golden[0] = GoldenEntry{8, 100}; // Wrong op id.
+    EXPECT_NE(checkAgainstGolden(report, golden), "");
+
+    golden[0] = GoldenEntry{7, 50}; // Wrong length.
+    EXPECT_NE(checkAgainstGolden(report, golden), "");
+
+    golden[0] = GoldenEntry{7, 100};
+    EXPECT_EQ(checkAgainstGolden(report, golden), "");
+}
+
+TEST(QueueRecoveryNegative, MakeRecoveryInvariantComposes)
+{
+    MemoryImage image;
+    const auto layout = testLayout();
+    putEntry(image, layout, 0, 7, 100);
+    image.store(layout.headAddr(), 8, 128);
+
+    std::map<std::uint64_t, GoldenEntry> golden{{0, {7, 100}}};
+    const auto invariant = makeRecoveryInvariant(layout, golden);
+    EXPECT_EQ(invariant(image), "");
+
+    image.store(layout.headAddr(), 8, 100); // Corrupt the head.
+    EXPECT_NE(invariant(image), "");
+}
+
+TEST(QueueOptionsValidation, RejectsBadGeometry)
+{
+    EngineConfig engine_config;
+    ExecutionEngine engine(engine_config, nullptr);
+    engine.runSetup([](ThreadCtx &ctx) {
+        QueueOptions options;
+        options.pad = 24; // Not a power of two.
+        options.capacity = 240;
+        EXPECT_THROW(CwlQueue::create(ctx, options, 1), FatalError);
+
+        options.pad = 64;
+        options.capacity = 100; // Not a multiple of pad.
+        EXPECT_THROW(CwlQueue::create(ctx, options, 1), FatalError);
+        EXPECT_THROW(TlcQueue::create(ctx, options, 1), FatalError);
+
+        options.capacity = 128;
+        EXPECT_THROW(CwlQueue::create(ctx, options, 0), FatalError);
+    });
+}
+
+TEST(QueueOptionsValidation, InsertChecksArguments)
+{
+    EngineConfig engine_config;
+    ExecutionEngine engine(engine_config, nullptr);
+    engine.runSetup([](ThreadCtx &ctx) {
+        QueueOptions options;
+        options.capacity = 64 * 8;
+        auto queue = CwlQueue::create(ctx, options, 2);
+        const auto payload = makePayload(1, 100);
+        EXPECT_THROW(queue->insert(ctx, 5, payload.data(), 100, 1),
+                     FatalError); // Bad slot.
+        EXPECT_THROW(queue->insert(ctx, 0, payload.data(), 4, 1),
+                     FatalError); // Too-short payload.
+    });
+}
+
+TEST(QueueOptionsValidation, AllowOverwriteSkipsOverrunCheck)
+{
+    EngineConfig engine_config;
+    ExecutionEngine engine(engine_config, nullptr);
+    QueueOptions options;
+    options.capacity = 128 * 2; // Two slots only.
+    options.allow_overwrite = true;
+    std::unique_ptr<PersistentQueue> queue;
+    engine.runSetup([&](ThreadCtx &ctx) {
+        queue = CwlQueue::create(ctx, options, 1);
+    });
+    engine.run({[&queue](ThreadCtx &ctx) {
+        const auto payload = makePayload(1, 100);
+        for (std::uint64_t op = 1; op <= 10; ++op)
+            queue->insert(ctx, 0, payload.data(), 100, op); // Wraps.
+    }});
+    EXPECT_EQ(engine.debugLoad(queue->layout().headAddr()), 10 * 128u);
+}
+
+} // namespace
+} // namespace persim

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Recovery observer tests: image reconstruction, log consistency,
+ * and failure injection — including the headline result that the
+ * queues' annotations are sufficient for recovery under each model,
+ * and that removing a required barrier is detectably unsafe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_util/queue_workload.hh"
+#include "queue/payload.hh"
+#include "queue/queue.hh"
+#include "recovery/recovery.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::TraceBuilder;
+
+TEST(Reconstruct, AppliesOnlyPersistsUpToCrashTime)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 11)
+           .barrier(0)
+           .store(0, paddr(1), 22)
+           .barrier(0)
+           .store(0, paddr(2), 33);
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 3u);
+
+    const auto none = reconstructImage(log, 0.5);
+    EXPECT_EQ(none.load(paddr(0), 8), 0u);
+
+    const auto one = reconstructImage(log, 1.0);
+    EXPECT_EQ(one.load(paddr(0), 8), 11u);
+    EXPECT_EQ(one.load(paddr(1), 8), 0u);
+
+    const auto two = reconstructImage(log, 2.0);
+    EXPECT_EQ(two.load(paddr(1), 8), 22u);
+    EXPECT_EQ(two.load(paddr(2), 8), 0u);
+
+    const auto all = reconstructImage(log, 100.0);
+    EXPECT_EQ(all.load(paddr(2), 8), 33u);
+}
+
+TEST(Reconstruct, SameAddressLastValueWins)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1).store(0, paddr(0), 2);
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    // Both coalesce at the same time; trace order breaks the tie.
+    const auto image = reconstructImage(log, 1.0);
+    EXPECT_EQ(image.load(paddr(0), 8), 2u);
+}
+
+TEST(Reconstruct, SubWordPersistsApplyPartially)
+{
+    // Pin the second half-word behind a foreign persist so the two
+    // halves cannot coalesce; a crash after level 1 shows a torn
+    // (but model-legal) half-written word.
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 0x11223344, 4)
+           .barrier(0)
+           .store(0, paddr(9), 1)
+           .barrier(0)
+           .store(0, paddr(0) + 4, 0x55667788, 4);
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    const auto image = reconstructImage(log, 1.0);
+    EXPECT_EQ(image.load(paddr(0), 8), 0x11223344ull);
+    const auto full = reconstructImage(log, 3.0);
+    EXPECT_EQ(full.load(paddr(0), 8), 0x5566778811223344ull);
+}
+
+TEST(LogConsistency, DetectsTamperedTimes)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0)).barrier(0).store(0, paddr(1));
+    auto log = builder.analyzeLog(ModelConfig::epoch());
+    EXPECT_EQ(verifyLogConsistency(log), "");
+
+    auto broken = log;
+    broken[1].time = 0.5; // Before its binding.
+    EXPECT_NE(verifyLogConsistency(broken), "");
+
+    auto misid = log;
+    misid[1].id = 7;
+    EXPECT_NE(verifyLogConsistency(misid), "");
+}
+
+TEST(LogConsistency, DetectsSpaViolation)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1)
+           .barrier(0)
+           .store(0, paddr(5), 2)
+           .barrier(0)
+           .store(0, paddr(0), 3);
+    auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(verifyLogConsistency(log), "");
+    log[2].time = 0.25; // Same word as record 0, earlier time.
+    log[2].binding = invalid_persist;
+    EXPECT_NE(verifyLogConsistency(log), "");
+}
+
+TEST(Injection, OrderedChainNeverExposesSuffixWithoutPrefix)
+{
+    // Persist X then (barrier) persist Y: no crash state may contain
+    // Y without X.
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 7).barrier(0).store(0, paddr(1), 9);
+
+    InjectionConfig config;
+    config.model = ModelConfig::epoch();
+    config.realizations = 8;
+    config.crashes_per_realization = 32;
+    const auto result = injectFailures(
+        builder.trace(), config, [](const MemoryImage &image) {
+            const bool x = image.load(paddr(0), 8) == 7;
+            const bool y = image.load(paddr(1), 8) == 9;
+            return (y && !x) ? std::string("Y persisted without X") :
+                std::string();
+        });
+    EXPECT_TRUE(result.ok()) << result.first_violation;
+    EXPECT_GT(result.samples, 200u);
+}
+
+TEST(Injection, UnorderedPairExposesBothOrders)
+{
+    // Without a barrier the two persists race: across enough
+    // stochastic realizations both one-sided states appear.
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 7).store(0, paddr(1), 9);
+
+    InjectionConfig config;
+    config.model = ModelConfig::epoch();
+    config.realizations = 32;
+    config.crashes_per_realization = 32;
+
+    bool saw_x_only = false;
+    bool saw_y_only = false;
+    injectFailures(builder.trace(), config,
+                   [&](const MemoryImage &image) {
+                       const bool x = image.load(paddr(0), 8) == 7;
+                       const bool y = image.load(paddr(1), 8) == 9;
+                       saw_x_only |= (x && !y);
+                       saw_y_only |= (y && !x);
+                       return std::string();
+                   });
+    EXPECT_TRUE(saw_x_only);
+    EXPECT_TRUE(saw_y_only);
+}
+
+struct QueueInjectionCase
+{
+    QueueKind kind;
+    AnnotationVariant variant;
+    ModelConfig model;
+    const char *name;
+};
+
+class QueueInjection
+    : public ::testing::TestWithParam<QueueInjectionCase>
+{
+};
+
+TEST_P(QueueInjection, AnnotationsSufficeForRecovery)
+{
+    const auto &param = GetParam();
+    QueueWorkloadConfig config;
+    config.kind = param.kind;
+    config.variant = param.variant;
+    config.threads = 3;
+    config.inserts_per_thread = 8;
+    config.seed = 99;
+
+    InMemoryTrace trace;
+    std::vector<TraceSink *> sinks{&trace};
+    const auto workload = runQueueWorkload(config, sinks);
+
+    InjectionConfig injection;
+    injection.model = param.model;
+    injection.realizations = 6;
+    injection.crashes_per_realization = 48;
+    const auto result = injectFailures(
+        trace, injection,
+        makeRecoveryInvariant(workload.layout, workload.golden));
+    EXPECT_TRUE(result.ok())
+        << param.name << ": " << result.first_violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, QueueInjection,
+    ::testing::Values(
+        QueueInjectionCase{QueueKind::CopyWhileLocked,
+                           AnnotationVariant::Conservative,
+                           ModelConfig::strict(), "cwl_strict"},
+        QueueInjectionCase{QueueKind::CopyWhileLocked,
+                           AnnotationVariant::Conservative,
+                           ModelConfig::epoch(), "cwl_epoch"},
+        QueueInjectionCase{QueueKind::CopyWhileLocked,
+                           AnnotationVariant::Racing,
+                           ModelConfig::epoch(), "cwl_racing"},
+        QueueInjectionCase{QueueKind::CopyWhileLocked,
+                           AnnotationVariant::Strand,
+                           ModelConfig::strand(), "cwl_strand"},
+        QueueInjectionCase{QueueKind::TwoLockConcurrent,
+                           AnnotationVariant::Racing,
+                           ModelConfig::epoch(), "tlc_epoch"},
+        QueueInjectionCase{QueueKind::TwoLockConcurrent,
+                           AnnotationVariant::Strand,
+                           ModelConfig::strand(), "tlc_strand"},
+        QueueInjectionCase{QueueKind::TwoLockConcurrent,
+                           AnnotationVariant::Racing,
+                           ModelConfig::strict(), "tlc_strict"}),
+    [](const ::testing::TestParamInfo<QueueInjectionCase> &info) {
+        return info.param.name;
+    });
+
+TEST(QueueInjectionNegative, RemovingDataHeadBarrierCorruptsRecovery)
+{
+    // Build the CWL workload without the required line-8 barrier and
+    // analyze under epoch persistency: some crash state must expose a
+    // head that covers unpersisted data.
+    QueueOptions options;
+    options.pad = 64;
+    options.capacity = 64 * 128;
+    options.conservative_barriers = false;
+    options.omit_data_head_barrier = true;
+
+    EngineConfig engine_config;
+    engine_config.seed = 5;
+    InMemoryTrace trace;
+    ExecutionEngine engine(engine_config, &trace);
+    std::unique_ptr<PersistentQueue> queue;
+    engine.runSetup([&](ThreadCtx &ctx) {
+        queue = CwlQueue::create(ctx, options, 1);
+    });
+    engine.run({[&queue](ThreadCtx &ctx) {
+        for (std::uint64_t i = 1; i <= 20; ++i) {
+            const auto payload = makePayload(i, 100);
+            queue->insert(ctx, 0, payload.data(), payload.size(), i);
+        }
+    }});
+
+    InjectionConfig injection;
+    injection.model = ModelConfig::epoch();
+    injection.realizations = 16;
+    injection.crashes_per_realization = 64;
+    const auto result = injectFailures(
+        trace, injection,
+        makeRecoveryInvariant(queue->layout(), queue->golden()));
+    EXPECT_GT(result.violations, 0u)
+        << "the line-8 barrier should be load-bearing";
+}
+
+TEST(QueueInjectionNegative, TlcWithoutPublishBarrierCorruptsRecovery)
+{
+    // The deviation documented in queue.hh: without the barrier
+    // between COPY and publication, an entry committed by *another*
+    // thread may have its head persist race ahead of its data.
+    QueueOptions options;
+    options.pad = 64;
+    options.capacity = 64 * 256;
+    options.conservative_barriers = false;
+    options.barrier_before_publish = false;
+
+    EngineConfig engine_config;
+    engine_config.seed = 11;
+    engine_config.quantum = 4;
+    InMemoryTrace trace;
+    ExecutionEngine engine(engine_config, &trace);
+    std::unique_ptr<PersistentQueue> queue;
+    engine.runSetup([&](ThreadCtx &ctx) {
+        queue = TlcQueue::create(ctx, options, 4);
+    });
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.push_back([&queue, t](ThreadCtx &ctx) {
+            for (std::uint64_t i = 1; i <= 12; ++i) {
+                const std::uint64_t op = t * 100 + i;
+                const auto payload = makePayload(op, 100);
+                queue->insert(ctx, t, payload.data(), payload.size(), op);
+            }
+        });
+    }
+    engine.run(workers);
+
+    InjectionConfig injection;
+    injection.model = ModelConfig::epoch();
+    injection.realizations = 24;
+    injection.crashes_per_realization = 64;
+    const auto result = injectFailures(
+        trace, injection,
+        makeRecoveryInvariant(queue->layout(), queue->golden()));
+    EXPECT_GT(result.violations, 0u)
+        << "publication without a barrier should be unsafe";
+}
+
+} // namespace
+} // namespace persim

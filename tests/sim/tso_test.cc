@@ -1,0 +1,271 @@
+/**
+ * @file
+ * TSO execution mode tests: store buffering, forwarding, drains — and
+ * the paper's Section 4.3 hazard, demonstrated dynamically: with
+ * persistency decoupled from consistency, a store's visibility (and
+ * therefore its persist) can slide past its persist barrier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memtrace/sink.hh"
+#include "persistency/timing_engine.hh"
+#include "sim/engine.hh"
+
+namespace persim {
+namespace {
+
+EngineConfig
+tsoConfig(std::uint32_t depth = 8)
+{
+    EngineConfig config;
+    config.consistency = ConsistencyModel::TSO;
+    config.store_buffer_depth = depth;
+    return config;
+}
+
+TEST(Tso, StoreForwardingSeesOwnBufferedStores)
+{
+    ExecutionEngine engine(tsoConfig(), nullptr);
+    engine.run({[](ThreadCtx &ctx) {
+        const Addr a = ctx.vmalloc(8);
+        ctx.store(a, 42);
+        // The store is buffered, yet our own load must see it.
+        EXPECT_EQ(ctx.load(a), 42u);
+        ctx.store(a, 43);
+        EXPECT_EQ(ctx.load(a), 43u);
+    }});
+}
+
+TEST(Tso, SubwordForwardingFromCoveringStore)
+{
+    ExecutionEngine engine(tsoConfig(), nullptr);
+    engine.run({[](ThreadCtx &ctx) {
+        const Addr a = ctx.vmalloc(8);
+        ctx.store(a, 0x1122334455667788ULL);
+        EXPECT_EQ(ctx.load(a + 2, 2), 0x5566u);
+    }});
+}
+
+TEST(Tso, PartialOverlapDrainsAndReadsMemory)
+{
+    ExecutionEngine engine(tsoConfig(), nullptr);
+    engine.run({[](ThreadCtx &ctx) {
+        const Addr a = ctx.vmalloc(16);
+        ctx.store(a, 0xaaaaaaaa, 4);
+        ctx.store(a + 4, 0xbbbbbbbb, 4);
+        // Load spanning both buffered stores: no single entry covers
+        // it; the buffer drains and memory supplies the value.
+        EXPECT_EQ(ctx.load(a, 8), 0xbbbbbbbbaaaaaaaaULL);
+    }});
+}
+
+TEST(Tso, BufferedStoresInvisibleUntilDrain)
+{
+    InMemoryTrace trace;
+    ExecutionEngine engine(tsoConfig(4), &trace);
+    Addr a = 0;
+    engine.runSetup([&a](ThreadCtx &ctx) { a = ctx.vmalloc(8); });
+    engine.run({[a](ThreadCtx &ctx) {
+        ctx.store(a, 7);
+        ctx.load(a); // Forwarded.
+        ctx.fence();
+    }});
+    // Trace order: ThreadStart, Load (forwarded!), Store (drained by
+    // the fence), Fence, ThreadEnd — the load precedes the store in
+    // visibility order.
+    std::vector<EventKind> kinds;
+    for (const auto &event : trace.events())
+        if (event.thread == 0 &&
+            event.kind != EventKind::ThreadStart &&
+            event.kind != EventKind::ThreadEnd)
+            kinds.push_back(event.kind);
+    ASSERT_EQ(kinds.size(), 3u);
+    EXPECT_EQ(kinds[0], EventKind::Load);
+    EXPECT_EQ(kinds[1], EventKind::Store);
+    EXPECT_EQ(kinds[2], EventKind::Fence);
+}
+
+TEST(Tso, OverflowDrainsOldestFirst)
+{
+    InMemoryTrace trace;
+    ExecutionEngine engine(tsoConfig(2), &trace);
+    Addr a = 0;
+    engine.runSetup([&a](ThreadCtx &ctx) { a = ctx.vmalloc(64); });
+    engine.run({[a](ThreadCtx &ctx) {
+        for (int i = 0; i < 5; ++i)
+            ctx.store(a + 8 * i, i);
+    }});
+    // All five stores eventually appear, in FIFO order.
+    std::vector<std::uint64_t> values;
+    for (const auto &event : trace.events())
+        if (event.kind == EventKind::Store)
+            values.push_back(event.value);
+    EXPECT_EQ(values, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Tso, RmwDrainsBuffer)
+{
+    InMemoryTrace trace;
+    ExecutionEngine engine(tsoConfig(8), &trace);
+    Addr a = 0;
+    engine.runSetup([&a](ThreadCtx &ctx) { a = ctx.vmalloc(16); });
+    engine.run({[a](ThreadCtx &ctx) {
+        ctx.store(a, 5);
+        // The RMW acts like a locked instruction: buffer drains first.
+        EXPECT_EQ(ctx.rmwFetchAdd(a, 1), 5u);
+        EXPECT_EQ(ctx.load(a), 6u);
+    }});
+    // Store drains before the Rmw in the trace.
+    std::vector<EventKind> kinds;
+    for (const auto &event : trace.events())
+        if (event.kind == EventKind::Store ||
+            event.kind == EventKind::Rmw)
+            kinds.push_back(event.kind);
+    ASSERT_EQ(kinds.size(), 2u);
+    EXPECT_EQ(kinds[0], EventKind::Store);
+    EXPECT_EQ(kinds[1], EventKind::Rmw);
+}
+
+TEST(Tso, ThreadEndAndSetupDrain)
+{
+    ExecutionEngine engine(tsoConfig(), nullptr);
+    Addr a = 0;
+    engine.runSetup([&a](ThreadCtx &ctx) {
+        a = ctx.vmalloc(8);
+        ctx.store(a, 11); // Must be visible to workers.
+    });
+    engine.run({[a](ThreadCtx &ctx) {
+        EXPECT_EQ(ctx.load(a), 11u);
+        ctx.store(a, 22);
+    }});
+    EXPECT_EQ(engine.debugLoad(a), 22u); // Drained at thread end.
+}
+
+/**
+ * The store-buffering (Dekker) litmus: under SC at least one thread
+ * must observe the other's flag; under TSO both loads may hoist above
+ * the (buffered) stores and read 0.
+ */
+TEST(Tso, DekkerLitmusObservableOnlyUnderTso)
+{
+    auto run = [](ConsistencyModel consistency, std::uint64_t seed) {
+        EngineConfig config;
+        config.consistency = consistency;
+        config.quantum = 1;
+        config.seed = seed;
+        ExecutionEngine engine(config, nullptr);
+        Addr x = 0;
+        Addr y = 0;
+        engine.runSetup([&](ThreadCtx &ctx) {
+            x = ctx.vmalloc(8);
+            y = ctx.vmalloc(8);
+            ctx.store(x, 0);
+            ctx.store(y, 0);
+        });
+        auto r1 = std::make_shared<std::uint64_t>(9);
+        auto r2 = std::make_shared<std::uint64_t>(9);
+        engine.run({
+            [x, y, r1](ThreadCtx &ctx) {
+                ctx.store(x, 1);
+                *r1 = ctx.load(y);
+            },
+            [x, y, r2](ThreadCtx &ctx) {
+                ctx.store(y, 1);
+                *r2 = ctx.load(x);
+            },
+        });
+        return std::make_pair(*r1, *r2);
+    };
+
+    bool sc_both_zero = false;
+    bool tso_both_zero = false;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        const auto sc = run(ConsistencyModel::SC, seed);
+        sc_both_zero |= (sc.first == 0 && sc.second == 0);
+        const auto tso = run(ConsistencyModel::TSO, seed);
+        tso_both_zero |= (tso.first == 0 && tso.second == 0);
+    }
+    EXPECT_FALSE(sc_both_zero) << "SC forbids r1 == r2 == 0";
+    EXPECT_TRUE(tso_both_zero) << "TSO should exhibit store buffering";
+}
+
+/**
+ * Paper Section 4.3 / Figure 1, dynamically: persist barriers do not
+ * drain the store buffer (persistency and consistency are decoupled),
+ * so a persist can become visible — and durable — on the wrong side
+ * of its persist barrier. A fence() before the barrier restores the
+ * intended epoch structure.
+ */
+TEST(Tso, PersistBarrierDoesNotOrderBufferedPersists)
+{
+    auto criticalPath = [](bool fence_before_barrier) {
+        InMemoryTrace trace;
+        ExecutionEngine engine(tsoConfig(8), &trace);
+        Addr a = 0;
+        engine.runSetup([&a](ThreadCtx &ctx) { a = ctx.pmalloc(64); });
+        engine.run({[a, fence_before_barrier](ThreadCtx &ctx) {
+            ctx.store(a, 1);      // Persist A (buffered).
+            if (fence_before_barrier)
+                ctx.fence();      // Make A visible first.
+            ctx.persistBarrier(); // Intended: A before B.
+            ctx.store(a + 8, 2);  // Persist B (buffered).
+        }});
+        TimingConfig config;
+        config.model = ModelConfig::epoch();
+        PersistTimingEngine analysis(config);
+        trace.replay(analysis);
+        return analysis.result().critical_path;
+    };
+
+    // Without the fence, both persists drain after the barrier: they
+    // land in one epoch and the intended order is silently lost.
+    EXPECT_EQ(criticalPath(false), 1.0);
+    // With the fence, the barrier separates them as intended.
+    EXPECT_EQ(criticalPath(true), 2.0);
+}
+
+TEST(Tso, FenceIsHarmlessUnderSc)
+{
+    InMemoryTrace trace;
+    EngineConfig config; // SC.
+    ExecutionEngine engine(config, &trace);
+    engine.run({[](ThreadCtx &ctx) {
+        const Addr a = ctx.vmalloc(8);
+        ctx.store(a, 1);
+        ctx.fence();
+        EXPECT_EQ(ctx.load(a), 1u);
+    }});
+    int fences = 0;
+    for (const auto &event : trace.events())
+        fences += event.kind == EventKind::Fence;
+    EXPECT_EQ(fences, 1);
+}
+
+TEST(Tso, QuantumOneInterleavesBufferedThreads)
+{
+    // Sanity: a multi-threaded TSO run with tiny quantum completes
+    // and every store eventually reaches memory.
+    EngineConfig config = tsoConfig(4);
+    config.quantum = 1;
+    config.seed = 9;
+    ExecutionEngine engine(config, nullptr);
+    Addr base = 0;
+    engine.runSetup([&base](ThreadCtx &ctx) {
+        base = ctx.vmalloc(256);
+    });
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    for (int t = 0; t < 3; ++t) {
+        workers.push_back([base, t](ThreadCtx &ctx) {
+            for (int i = 0; i < 20; ++i)
+                ctx.store(base + 64 * t + 8 * (i % 8),
+                          static_cast<std::uint64_t>(i));
+        });
+    }
+    engine.run(workers);
+    for (int t = 0; t < 3; ++t)
+        EXPECT_EQ(engine.debugLoad(base + 64 * t + 8 * 3), 19u);
+}
+
+} // namespace
+} // namespace persim

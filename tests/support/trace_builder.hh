@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Test support: hand-construct traces and run timing analyses.
+ *
+ * Litmus tests express small multi-thread event sequences directly
+ * (the builder interleaves them in the order the calls are made,
+ * which *is* the SC global order) without going through the
+ * execution engine.
+ */
+
+#ifndef PERSIM_TESTS_SUPPORT_TRACE_BUILDER_HH
+#define PERSIM_TESTS_SUPPORT_TRACE_BUILDER_HH
+
+#include "memtrace/event.hh"
+#include "memtrace/sink.hh"
+#include "persistency/timing_engine.hh"
+
+namespace persim::test {
+
+/** Convenient persistent/volatile test addresses (8-byte aligned). */
+inline Addr
+paddr(std::uint64_t slot)
+{
+    return persistent_base + slot * 8;
+}
+
+inline Addr
+vaddr(std::uint64_t slot)
+{
+    return volatile_base + slot * 8;
+}
+
+/** Fluent builder of in-memory traces for litmus tests. */
+class TraceBuilder
+{
+  public:
+    TraceBuilder &
+    load(ThreadId tid, Addr addr, unsigned size = 8)
+    {
+        push(tid, EventKind::Load, addr, size, 0);
+        return *this;
+    }
+
+    TraceBuilder &
+    store(ThreadId tid, Addr addr, std::uint64_t value = 0,
+          unsigned size = 8)
+    {
+        push(tid, EventKind::Store, addr, size, value);
+        return *this;
+    }
+
+    TraceBuilder &
+    rmw(ThreadId tid, Addr addr, std::uint64_t value = 0,
+        unsigned size = 8)
+    {
+        push(tid, EventKind::Rmw, addr, size, value);
+        return *this;
+    }
+
+    TraceBuilder &
+    barrier(ThreadId tid)
+    {
+        push(tid, EventKind::PersistBarrier, 0, 0, 0);
+        return *this;
+    }
+
+    TraceBuilder &
+    strand(ThreadId tid)
+    {
+        push(tid, EventKind::NewStrand, 0, 0, 0);
+        return *this;
+    }
+
+    TraceBuilder &
+    sync(ThreadId tid)
+    {
+        push(tid, EventKind::PersistSync, 0, 0, 0);
+        return *this;
+    }
+
+    TraceBuilder &
+    opBegin(ThreadId tid, std::uint64_t op)
+    {
+        push(tid, EventKind::Marker, 0, 0, op,
+             static_cast<std::uint16_t>(MarkerCode::OpBegin));
+        return *this;
+    }
+
+    TraceBuilder &
+    opEnd(ThreadId tid, std::uint64_t op)
+    {
+        push(tid, EventKind::Marker, 0, 0, op,
+             static_cast<std::uint16_t>(MarkerCode::OpEnd));
+        return *this;
+    }
+
+    TraceBuilder &
+    role(ThreadId tid, MarkerCode code)
+    {
+        push(tid, EventKind::Marker, 0, 0, 0,
+             static_cast<std::uint16_t>(code));
+        return *this;
+    }
+
+    const InMemoryTrace &trace() const { return trace_; }
+
+    /** Run a level-clock analysis of the built trace. */
+    TimingResult
+    analyze(const ModelConfig &model) const
+    {
+        TimingConfig config;
+        config.model = model;
+        PersistTimingEngine engine(config);
+        trace_.replay(engine);
+        return engine.result();
+    }
+
+    /** Run a level-clock analysis and return the persist log. */
+    PersistLog
+    analyzeLog(const ModelConfig &model) const
+    {
+        TimingConfig config;
+        config.model = model;
+        config.record_log = true;
+        PersistTimingEngine engine(config);
+        trace_.replay(engine);
+        return engine.takeLog();
+    }
+
+  private:
+    void
+    push(ThreadId tid, EventKind kind, Addr addr, unsigned size,
+         std::uint64_t value, std::uint16_t marker = 0)
+    {
+        TraceEvent event;
+        event.seq = seq_++;
+        event.thread = tid;
+        event.kind = kind;
+        event.addr = addr;
+        event.size = static_cast<std::uint8_t>(size);
+        event.value = value;
+        event.marker = marker;
+        trace_.onEvent(event);
+    }
+
+    InMemoryTrace trace_;
+    SeqNum seq_ = 0;
+};
+
+} // namespace persim::test
+
+#endif // PERSIM_TESTS_SUPPORT_TRACE_BUILDER_HH
