@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bpfs.dir/ablation_bpfs.cc.o"
+  "CMakeFiles/ablation_bpfs.dir/ablation_bpfs.cc.o.d"
+  "ablation_bpfs"
+  "ablation_bpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

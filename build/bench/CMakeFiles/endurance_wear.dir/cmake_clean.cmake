@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endurance_wear.dir/endurance_wear.cc.o"
+  "CMakeFiles/endurance_wear.dir/endurance_wear.cc.o.d"
+  "endurance_wear"
+  "endurance_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endurance_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_litmus.dir/fig1_litmus.cc.o"
+  "CMakeFiles/fig1_litmus.dir/fig1_litmus.cc.o.d"
+  "fig1_litmus"
+  "fig1_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_constraint_classes.dir/fig2_constraint_classes.cc.o"
+  "CMakeFiles/fig2_constraint_classes.dir/fig2_constraint_classes.cc.o.d"
+  "fig2_constraint_classes"
+  "fig2_constraint_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_constraint_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

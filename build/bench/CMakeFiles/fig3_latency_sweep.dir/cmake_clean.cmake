@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_latency_sweep.dir/fig3_latency_sweep.cc.o"
+  "CMakeFiles/fig3_latency_sweep.dir/fig3_latency_sweep.cc.o.d"
+  "fig3_latency_sweep"
+  "fig3_latency_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_latency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

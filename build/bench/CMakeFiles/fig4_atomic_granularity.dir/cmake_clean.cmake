@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_atomic_granularity.dir/fig4_atomic_granularity.cc.o"
+  "CMakeFiles/fig4_atomic_granularity.dir/fig4_atomic_granularity.cc.o.d"
+  "fig4_atomic_granularity"
+  "fig4_atomic_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_atomic_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

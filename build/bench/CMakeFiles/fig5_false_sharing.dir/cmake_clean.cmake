@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_false_sharing.dir/fig5_false_sharing.cc.o"
+  "CMakeFiles/fig5_false_sharing.dir/fig5_false_sharing.cc.o.d"
+  "fig5_false_sharing"
+  "fig5_false_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_false_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

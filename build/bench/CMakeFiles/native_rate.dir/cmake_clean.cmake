@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_rate.dir/native_rate.cc.o"
+  "CMakeFiles/native_rate.dir/native_rate.cc.o.d"
+  "native_rate"
+  "native_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_kv_service.dir/durable_kv_service.cpp.o"
+  "CMakeFiles/durable_kv_service.dir/durable_kv_service.cpp.o.d"
+  "durable_kv_service"
+  "durable_kv_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_kv_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

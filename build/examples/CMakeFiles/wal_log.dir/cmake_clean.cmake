@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_log.dir/wal_log.cpp.o"
+  "CMakeFiles/wal_log.dir/wal_log.cpp.o.d"
+  "wal_log"
+  "wal_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_bench_util.dir/queue_workload.cc.o"
+  "CMakeFiles/persim_bench_util.dir/queue_workload.cc.o.d"
+  "CMakeFiles/persim_bench_util.dir/table.cc.o"
+  "CMakeFiles/persim_bench_util.dir/table.cc.o.d"
+  "CMakeFiles/persim_bench_util.dir/throughput.cc.o"
+  "CMakeFiles/persim_bench_util.dir/throughput.cc.o.d"
+  "libpersim_bench_util.a"
+  "libpersim_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_common.dir/error.cc.o"
+  "CMakeFiles/persim_common.dir/error.cc.o.d"
+  "CMakeFiles/persim_common.dir/log.cc.o"
+  "CMakeFiles/persim_common.dir/log.cc.o.d"
+  "CMakeFiles/persim_common.dir/rng.cc.o"
+  "CMakeFiles/persim_common.dir/rng.cc.o.d"
+  "CMakeFiles/persim_common.dir/stats.cc.o"
+  "CMakeFiles/persim_common.dir/stats.cc.o.d"
+  "libpersim_common.a"
+  "libpersim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memtrace/event.cc" "src/memtrace/CMakeFiles/persim_memtrace.dir/event.cc.o" "gcc" "src/memtrace/CMakeFiles/persim_memtrace.dir/event.cc.o.d"
+  "/root/repo/src/memtrace/filter.cc" "src/memtrace/CMakeFiles/persim_memtrace.dir/filter.cc.o" "gcc" "src/memtrace/CMakeFiles/persim_memtrace.dir/filter.cc.o.d"
+  "/root/repo/src/memtrace/sink.cc" "src/memtrace/CMakeFiles/persim_memtrace.dir/sink.cc.o" "gcc" "src/memtrace/CMakeFiles/persim_memtrace.dir/sink.cc.o.d"
+  "/root/repo/src/memtrace/trace_io.cc" "src/memtrace/CMakeFiles/persim_memtrace.dir/trace_io.cc.o" "gcc" "src/memtrace/CMakeFiles/persim_memtrace.dir/trace_io.cc.o.d"
+  "/root/repo/src/memtrace/trace_stats.cc" "src/memtrace/CMakeFiles/persim_memtrace.dir/trace_stats.cc.o" "gcc" "src/memtrace/CMakeFiles/persim_memtrace.dir/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/persim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

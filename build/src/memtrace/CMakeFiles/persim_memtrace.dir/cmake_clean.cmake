@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_memtrace.dir/event.cc.o"
+  "CMakeFiles/persim_memtrace.dir/event.cc.o.d"
+  "CMakeFiles/persim_memtrace.dir/filter.cc.o"
+  "CMakeFiles/persim_memtrace.dir/filter.cc.o.d"
+  "CMakeFiles/persim_memtrace.dir/sink.cc.o"
+  "CMakeFiles/persim_memtrace.dir/sink.cc.o.d"
+  "CMakeFiles/persim_memtrace.dir/trace_io.cc.o"
+  "CMakeFiles/persim_memtrace.dir/trace_io.cc.o.d"
+  "CMakeFiles/persim_memtrace.dir/trace_stats.cc.o"
+  "CMakeFiles/persim_memtrace.dir/trace_stats.cc.o.d"
+  "libpersim_memtrace.a"
+  "libpersim_memtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_memtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for persim_memtrace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvram/device.cc" "src/nvram/CMakeFiles/persim_nvram.dir/device.cc.o" "gcc" "src/nvram/CMakeFiles/persim_nvram.dir/device.cc.o.d"
+  "/root/repo/src/nvram/drain_sim.cc" "src/nvram/CMakeFiles/persim_nvram.dir/drain_sim.cc.o" "gcc" "src/nvram/CMakeFiles/persim_nvram.dir/drain_sim.cc.o.d"
+  "/root/repo/src/nvram/endurance.cc" "src/nvram/CMakeFiles/persim_nvram.dir/endurance.cc.o" "gcc" "src/nvram/CMakeFiles/persim_nvram.dir/endurance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/persim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memtrace/CMakeFiles/persim_memtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/persistency/CMakeFiles/persim_persistency.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

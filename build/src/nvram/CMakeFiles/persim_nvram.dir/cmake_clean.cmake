@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_nvram.dir/device.cc.o"
+  "CMakeFiles/persim_nvram.dir/device.cc.o.d"
+  "CMakeFiles/persim_nvram.dir/drain_sim.cc.o"
+  "CMakeFiles/persim_nvram.dir/drain_sim.cc.o.d"
+  "CMakeFiles/persim_nvram.dir/endurance.cc.o"
+  "CMakeFiles/persim_nvram.dir/endurance.cc.o.d"
+  "libpersim_nvram.a"
+  "libpersim_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

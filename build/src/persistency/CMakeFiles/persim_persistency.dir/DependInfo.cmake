@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/persistency/classify.cc" "src/persistency/CMakeFiles/persim_persistency.dir/classify.cc.o" "gcc" "src/persistency/CMakeFiles/persim_persistency.dir/classify.cc.o.d"
+  "/root/repo/src/persistency/constraint_graph.cc" "src/persistency/CMakeFiles/persim_persistency.dir/constraint_graph.cc.o" "gcc" "src/persistency/CMakeFiles/persim_persistency.dir/constraint_graph.cc.o.d"
+  "/root/repo/src/persistency/model.cc" "src/persistency/CMakeFiles/persim_persistency.dir/model.cc.o" "gcc" "src/persistency/CMakeFiles/persim_persistency.dir/model.cc.o.d"
+  "/root/repo/src/persistency/sweep.cc" "src/persistency/CMakeFiles/persim_persistency.dir/sweep.cc.o" "gcc" "src/persistency/CMakeFiles/persim_persistency.dir/sweep.cc.o.d"
+  "/root/repo/src/persistency/timing_engine.cc" "src/persistency/CMakeFiles/persim_persistency.dir/timing_engine.cc.o" "gcc" "src/persistency/CMakeFiles/persim_persistency.dir/timing_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/persim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memtrace/CMakeFiles/persim_memtrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_persistency.dir/classify.cc.o"
+  "CMakeFiles/persim_persistency.dir/classify.cc.o.d"
+  "CMakeFiles/persim_persistency.dir/constraint_graph.cc.o"
+  "CMakeFiles/persim_persistency.dir/constraint_graph.cc.o.d"
+  "CMakeFiles/persim_persistency.dir/model.cc.o"
+  "CMakeFiles/persim_persistency.dir/model.cc.o.d"
+  "CMakeFiles/persim_persistency.dir/sweep.cc.o"
+  "CMakeFiles/persim_persistency.dir/sweep.cc.o.d"
+  "CMakeFiles/persim_persistency.dir/timing_engine.cc.o"
+  "CMakeFiles/persim_persistency.dir/timing_engine.cc.o.d"
+  "libpersim_persistency.a"
+  "libpersim_persistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_persistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_pmem.dir/pmem.cc.o"
+  "CMakeFiles/persim_pmem.dir/pmem.cc.o.d"
+  "libpersim_pmem.a"
+  "libpersim_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

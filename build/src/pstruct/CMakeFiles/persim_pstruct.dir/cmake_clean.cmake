@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_pstruct.dir/hash_map.cc.o"
+  "CMakeFiles/persim_pstruct.dir/hash_map.cc.o.d"
+  "CMakeFiles/persim_pstruct.dir/log.cc.o"
+  "CMakeFiles/persim_pstruct.dir/log.cc.o.d"
+  "libpersim_pstruct.a"
+  "libpersim_pstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_pstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

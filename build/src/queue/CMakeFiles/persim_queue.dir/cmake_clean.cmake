@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_queue.dir/native_queue.cc.o"
+  "CMakeFiles/persim_queue.dir/native_queue.cc.o.d"
+  "CMakeFiles/persim_queue.dir/payload.cc.o"
+  "CMakeFiles/persim_queue.dir/payload.cc.o.d"
+  "CMakeFiles/persim_queue.dir/queue.cc.o"
+  "CMakeFiles/persim_queue.dir/queue.cc.o.d"
+  "libpersim_queue.a"
+  "libpersim_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_recovery.dir/recovery.cc.o"
+  "CMakeFiles/persim_recovery.dir/recovery.cc.o.d"
+  "libpersim_recovery.a"
+  "libpersim_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpersim_recovery.a"
+)

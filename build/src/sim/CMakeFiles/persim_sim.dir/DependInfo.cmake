@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_allocator.cc" "src/sim/CMakeFiles/persim_sim.dir/address_allocator.cc.o" "gcc" "src/sim/CMakeFiles/persim_sim.dir/address_allocator.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/persim_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/persim_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/memory_image.cc" "src/sim/CMakeFiles/persim_sim.dir/memory_image.cc.o" "gcc" "src/sim/CMakeFiles/persim_sim.dir/memory_image.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/persim_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/persim_sim.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/persim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memtrace/CMakeFiles/persim_memtrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_sim.dir/address_allocator.cc.o"
+  "CMakeFiles/persim_sim.dir/address_allocator.cc.o.d"
+  "CMakeFiles/persim_sim.dir/engine.cc.o"
+  "CMakeFiles/persim_sim.dir/engine.cc.o.d"
+  "CMakeFiles/persim_sim.dir/memory_image.cc.o"
+  "CMakeFiles/persim_sim.dir/memory_image.cc.o.d"
+  "CMakeFiles/persim_sim.dir/scheduler.cc.o"
+  "CMakeFiles/persim_sim.dir/scheduler.cc.o.d"
+  "libpersim_sim.a"
+  "libpersim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/locks.cc" "src/sync/CMakeFiles/persim_sync.dir/locks.cc.o" "gcc" "src/sync/CMakeFiles/persim_sync.dir/locks.cc.o.d"
+  "/root/repo/src/sync/native_locks.cc" "src/sync/CMakeFiles/persim_sync.dir/native_locks.cc.o" "gcc" "src/sync/CMakeFiles/persim_sync.dir/native_locks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/persim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/persim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memtrace/CMakeFiles/persim_memtrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

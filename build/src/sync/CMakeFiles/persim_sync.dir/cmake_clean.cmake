@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persim_sync.dir/locks.cc.o"
+  "CMakeFiles/persim_sync.dir/locks.cc.o.d"
+  "CMakeFiles/persim_sync.dir/native_locks.cc.o"
+  "CMakeFiles/persim_sync.dir/native_locks.cc.o.d"
+  "libpersim_sync.a"
+  "libpersim_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persim_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

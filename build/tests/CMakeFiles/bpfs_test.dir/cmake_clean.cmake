@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpfs_test.dir/persistency/bpfs_test.cc.o"
+  "CMakeFiles/bpfs_test.dir/persistency/bpfs_test.cc.o.d"
+  "bpfs_test"
+  "bpfs_test.pdb"
+  "bpfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvram_test.dir/nvram/nvram_test.cc.o"
+  "CMakeFiles/nvram_test.dir/nvram/nvram_test.cc.o.d"
+  "nvram_test"
+  "nvram_test.pdb"
+  "nvram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_online_test.dir/integration/offline_online_test.cc.o"
+  "CMakeFiles/offline_online_test.dir/integration/offline_online_test.cc.o.d"
+  "offline_online_test"
+  "offline_online_test.pdb"
+  "offline_online_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_online_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

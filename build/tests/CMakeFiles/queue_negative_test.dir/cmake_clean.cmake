@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_negative_test.dir/queue/queue_negative_test.cc.o"
+  "CMakeFiles/queue_negative_test.dir/queue/queue_negative_test.cc.o.d"
+  "queue_negative_test"
+  "queue_negative_test.pdb"
+  "queue_negative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_negative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

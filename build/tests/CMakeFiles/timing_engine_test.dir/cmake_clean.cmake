@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_engine_test.dir/persistency/timing_engine_test.cc.o"
+  "CMakeFiles/timing_engine_test.dir/persistency/timing_engine_test.cc.o.d"
+  "timing_engine_test"
+  "timing_engine_test.pdb"
+  "timing_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

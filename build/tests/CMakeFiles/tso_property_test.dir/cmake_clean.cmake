@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tso_property_test.dir/integration/tso_property_test.cc.o"
+  "CMakeFiles/tso_property_test.dir/integration/tso_property_test.cc.o.d"
+  "tso_property_test"
+  "tso_property_test.pdb"
+  "tso_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tso_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/tso_recovery_test.cc" "tests/CMakeFiles/tso_recovery_test.dir/integration/tso_recovery_test.cc.o" "gcc" "tests/CMakeFiles/tso_recovery_test.dir/integration/tso_recovery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_util/CMakeFiles/persim_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/persim_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvram/CMakeFiles/persim_nvram.dir/DependInfo.cmake"
+  "/root/repo/build/src/pstruct/CMakeFiles/persim_pstruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/persim_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/persistency/CMakeFiles/persim_persistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/persim_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/persim_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/persim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memtrace/CMakeFiles/persim_memtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/persim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

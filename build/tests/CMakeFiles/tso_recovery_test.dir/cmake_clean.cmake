@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tso_recovery_test.dir/integration/tso_recovery_test.cc.o"
+  "CMakeFiles/tso_recovery_test.dir/integration/tso_recovery_test.cc.o.d"
+  "tso_recovery_test"
+  "tso_recovery_test.pdb"
+  "tso_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tso_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/memtrace_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_test[1]_include.cmake")
+include("/root/repo/build/tests/granularity_test[1]_include.cmake")
+include("/root/repo/build/tests/bpfs_test[1]_include.cmake")
+include("/root/repo/build/tests/classify_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/pmem_test[1]_include.cmake")
+include("/root/repo/build/tests/nvram_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_test[1]_include.cmake")
+include("/root/repo/build/tests/race_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_util_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_negative_test[1]_include.cmake")
+include("/root/repo/build/tests/offline_online_test[1]_include.cmake")
+include("/root/repo/build/tests/filter_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/producer_consumer_test[1]_include.cmake")
+include("/root/repo/build/tests/tso_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_map_test[1]_include.cmake")
+include("/root/repo/build/tests/log_test[1]_include.cmake")
+include("/root/repo/build/tests/tso_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/tso_property_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
