@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then
+# smoke-test the bounded model checker with small budgets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . && cmake --build build -j && \
+    ctest --test-dir build --output-on-failure -j
+
+# Explorer smoke: the litmus must verify exhaustively with the
+# consumer barrier and produce a counterexample (exit 1) without it.
+./build/bench/explore_litmus --model=epoch --threads=2
+if ./build/bench/explore_litmus --no-consumer-barrier; then
+    echo "check.sh: expected a counterexample without the barrier" >&2
+    exit 1
+fi
+./build/bench/explore_litmus --program=queue --max-executions=256 \
+    --samples=32
+echo "check.sh: all checks passed"

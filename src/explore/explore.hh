@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Bounded exhaustive schedule & crash-state model checking.
+ *
+ * Persim's stochastic validation (RandomPolicy interleavings +
+ * recovery::injectFailures crash sampling) can miss a racing
+ * annotation bug that manifests on one schedule in a thousand. This
+ * subsystem turns the paper's recovery-observer formalism into a
+ * correctness tool, Jaaru-style: for a small bounded program it
+ * enumerates
+ *
+ *   every scheduler decision string (up to a depth/execution budget,
+ *   with execution-fingerprint pruning of equivalent interleavings
+ *   and a seeded-sampling fallback beyond the budget)
+ *     x every consistent cut of each execution's persist partial
+ *       order (src/recovery/cuts.hh),
+ *
+ * and runs a recovery invariant against each crash state. A failure
+ * yields a minimized counterexample — decision string plus crash cut
+ * — that replays deterministically through ReplayPolicy.
+ *
+ * The scheduler decision tree is explored statelessly (re-execution
+ * from a recorded prefix, as the engine has no snapshot/restore), and
+ * top-level work items are sharded across OS worker threads.
+ */
+
+#ifndef PERSIM_EXPLORE_EXPLORE_HH
+#define PERSIM_EXPLORE_EXPLORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memtrace/sink.hh"
+#include "persistency/model.hh"
+#include "recovery/recovery.hh"
+#include "sim/engine.hh"
+#include "sim/scheduler.hh"
+
+namespace persim {
+
+/**
+ * A bounded program under test. The factory below is invoked once
+ * per execution and must return independent state each time (the
+ * explorer runs executions concurrently across shards); everything a
+ * run produces (golden records, layouts) must be reachable from the
+ * closures.
+ */
+struct ExploreProgram
+{
+    /** Setup phase, run via runSetup as thread 0 (may be empty). */
+    ExecutionEngine::WorkerFn setup;
+
+    /** Worker bodies, one simulated thread each (>= 1). */
+    std::vector<ExecutionEngine::WorkerFn> workers;
+
+    /**
+     * Invoked after the run completes to build the recovery invariant
+     * for this execution (after, because e.g. a queue's golden
+     * reservation map depends on the interleaving). May be empty, in
+     * which case only schedule enumeration is performed.
+     */
+    std::function<RecoveryInvariant()> invariant;
+
+    /**
+     * Base engine parameters (capacities, consistency model). The
+     * scheduler fields are overridden by the explorer's ReplayPolicy.
+     */
+    EngineConfig engine;
+};
+
+/** Builds a fresh instance of the program under test. */
+using ProgramFactory = std::function<ExploreProgram()>;
+
+/** Exploration budgets and strategy. */
+struct ExploreConfig
+{
+    /** Persistency model the crash states are enumerated under. */
+    ModelConfig model;
+
+    /**
+     * Scheduling decisions eligible for branching. Beyond this depth
+     * the (fair, deterministic) round-robin frontier completes each
+     * execution without forking alternatives.
+     */
+    std::uint64_t max_depth = 64;
+
+    /** DFS execution budget (0 = unlimited). */
+    std::uint64_t max_executions = 4096;
+
+    /** Per-execution consistent-cut budget (0 = unlimited). */
+    std::uint64_t max_cuts = 1ULL << 16;
+
+    /**
+     * Seeded-sampling fallback: when the DFS budget exhausts before
+     * the decision tree is covered, run this many extra executions
+     * with a seeded random frontier for tail coverage.
+     */
+    std::uint64_t samples = 0;
+
+    /** Safety net per execution (livelocked schedules abort). */
+    std::uint64_t max_events_per_run = 1ULL << 20;
+
+    /** Worker threads sharding the decision-prefix work queue. */
+    std::uint32_t shards = 1;
+
+    /** Seed for the sampling fallback. */
+    std::uint64_t seed = 1;
+
+    /** Minimize counterexamples (costs a few replays). */
+    bool minimize = true;
+};
+
+/** A concrete, replayable recovery-correctness failure. */
+struct Counterexample
+{
+    /**
+     * Decision string: indices into the sorted runnable set, one per
+     * scheduling decision. Feeding it to ReplayPolicy (round-robin
+     * frontier) reproduces the failing execution byte-for-byte.
+     */
+    std::vector<std::uint32_t> decisions;
+
+    /** Fingerprint of the failing execution's event stream. */
+    std::uint64_t fingerprint = 0;
+
+    /** The failing crash state, as persist-DAG group ids. */
+    std::vector<std::uint32_t> cut_groups;
+
+    /** Invariant verdict on that crash state. */
+    std::string violation;
+
+    /** Human-readable cut listing (addresses, values, times). */
+    std::string cut_detail;
+
+    /** Render for reports. */
+    std::string format() const;
+};
+
+/** Aggregate outcome of one exploration. */
+struct ExploreResult
+{
+    std::uint64_t executions = 0;         //!< Schedules executed (DFS).
+    std::uint64_t sampled_executions = 0; //!< Random-fallback runs.
+    std::uint64_t distinct_executions = 0; //!< Unique fingerprints.
+    std::uint64_t pruned_duplicates = 0;  //!< Equivalent interleavings.
+    std::uint64_t truncated_executions = 0; //!< Aborted by event cap.
+    std::uint64_t branch_points = 0;      //!< Alternatives discovered.
+    std::uint64_t cuts_checked = 0;       //!< Crash states examined.
+    std::uint64_t violations = 0;         //!< Crash states that failed.
+
+    /** DFS stopped with untried alternatives (budget or depth). */
+    bool schedule_budget_exhausted = false;
+
+    /** Some execution hit the per-execution cut budget. */
+    bool cut_budget_exhausted = false;
+
+    /** First failure found, minimized; nullopt when clean. */
+    std::optional<Counterexample> counterexample;
+
+    /**
+     * True when the run proves the invariant: every schedule within
+     * depth was executed, every crash state of every distinct
+     * execution was checked, and none failed.
+     */
+    bool exhaustive() const
+    {
+        return !schedule_budget_exhausted && !cut_budget_exhausted &&
+               truncated_executions == 0;
+    }
+
+    /** One-paragraph summary for logs and benches. */
+    std::string summary() const;
+};
+
+/** Order-sensitive hash of an execution's event stream. */
+std::uint64_t fingerprintTrace(const InMemoryTrace &trace);
+
+/** Bounded exhaustive explorer over one program. */
+class Explorer
+{
+  public:
+    Explorer(ProgramFactory factory, ExploreConfig config);
+
+    /** Run the exploration (callable once per Explorer). */
+    ExploreResult run();
+
+    /** One deterministic (re-)execution. */
+    struct Execution
+    {
+        InMemoryTrace trace;
+        std::vector<BranchPoint> decisions;
+        std::uint64_t fingerprint = 0;
+        RecoveryInvariant invariant;
+        bool diverged = false;
+    };
+
+    /**
+     * Execute the program once, following @p prefix then the given
+     * frontier. Deterministic for the round-robin frontier; the
+     * primitive behind both exploration and counterexample replay.
+     */
+    Execution execute(const std::vector<std::uint32_t> &prefix,
+                      FrontierKind frontier = FrontierKind::RoundRobin,
+                      std::uint64_t seed = 1);
+
+  private:
+    struct Shared;
+
+    /** Run + analyze one prefix; push child work items. */
+    void process(Shared &shared, const std::vector<std::uint32_t> &prefix,
+                 bool sampled, std::uint64_t sample_seed);
+
+    /** Analyze one execution's crash states. */
+    void analyze(Shared &shared, const Execution &execution,
+                 const std::vector<std::uint32_t> &decision_prefix);
+
+    /** Shortest prefix whose replay reproduces @p target. */
+    std::vector<std::uint32_t>
+    minimizeDecisions(const std::vector<std::uint32_t> &full,
+                      std::uint64_t target_fingerprint);
+
+    ProgramFactory factory_;
+    ExploreConfig config_;
+    bool ran_ = false;
+};
+
+} // namespace persim
+
+#endif // PERSIM_EXPLORE_EXPLORE_HH

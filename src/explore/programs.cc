@@ -1,0 +1,101 @@
+#include "explore/programs.hh"
+
+#include <memory>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace persim {
+
+namespace {
+
+/** Simulated addresses of the litmus variables (set during setup). */
+struct LitmusState
+{
+    Addr data = invalid_addr;
+    Addr seen = invalid_addr;
+    Addr flag = invalid_addr;
+};
+
+} // namespace
+
+ProgramFactory
+publishLitmusProgram(bool consumer_barrier)
+{
+    return [consumer_barrier]() {
+        auto state = std::make_shared<LitmusState>();
+
+        ExploreProgram program;
+        program.setup = [state](ThreadCtx &ctx) {
+            state->data = ctx.pmalloc(8);
+            state->seen = ctx.pmalloc(8);
+            state->flag = ctx.vmalloc(8);
+        };
+        program.workers.push_back([state](ThreadCtx &ctx) {
+            ctx.store(state->data, 1);
+            ctx.persistBarrier();
+            ctx.store(state->flag, 1);
+        });
+        program.workers.push_back([state, consumer_barrier](ThreadCtx &ctx) {
+            if (ctx.load(state->flag) == 1) {
+                if (consumer_barrier)
+                    ctx.persistBarrier();
+                ctx.store(state->seen, 1);
+            }
+        });
+        program.invariant = [state]() -> RecoveryInvariant {
+            return [state](const MemoryImage &image) -> std::string {
+                if (image.load(state->seen, 8) == 1 &&
+                    image.load(state->data, 8) != 1)
+                    return "recovery observed seen=1 without data=1";
+                return "";
+            };
+        };
+        return program;
+    };
+}
+
+ProgramFactory
+queueProgram(const QueueExploreOptions &options)
+{
+    PERSIM_REQUIRE(options.threads >= 1, "need at least one thread");
+    PERSIM_REQUIRE(options.payload_bytes >= min_payload_bytes,
+                   "payload too short");
+    return [options]() {
+        auto queue = std::make_shared<std::unique_ptr<PersistentQueue>>();
+
+        ExploreProgram program;
+        program.setup = [queue, options](ThreadCtx &ctx) {
+            *queue = createQueue(ctx, options.kind, options.queue,
+                                 options.threads);
+        };
+        for (std::uint32_t t = 0; t < options.threads; ++t) {
+            program.workers.push_back([queue, options, t](ThreadCtx &ctx) {
+                for (std::uint32_t i = 0; i < options.inserts_per_thread;
+                     ++i) {
+                    const std::uint64_t op_id =
+                        1 + t * options.inserts_per_thread + i;
+                    const std::vector<std::uint8_t> payload =
+                        makePayload(op_id, options.payload_bytes);
+                    (*queue)->insert(ctx, t, payload.data(),
+                                     payload.size(), op_id);
+                }
+            });
+        }
+        program.invariant = [queue]() -> RecoveryInvariant {
+            return makeRecoveryInvariant((*queue)->layout(),
+                                         (*queue)->golden());
+        };
+        return program;
+    };
+}
+
+ModelConfig
+queueExploreModel()
+{
+    ModelConfig model = ModelConfig::epoch();
+    model.atomic_granularity = 64;
+    return model;
+}
+
+} // namespace persim

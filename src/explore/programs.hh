@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Canonical bounded programs for the explorer.
+ *
+ * These factories package the repository's standard validation
+ * subjects as ExplorePrograms: the Figure 1 publish litmus (whose
+ * epoch-persistency outcome hinges on the consumer barrier) and the
+ * persistent queues (whose recovery correctness hinges on the
+ * data-before-head publish barrier, DESIGN.md Section 7.2). Tests and
+ * the explore_litmus bench drive the Explorer through them.
+ */
+
+#ifndef PERSIM_EXPLORE_PROGRAMS_HH
+#define PERSIM_EXPLORE_PROGRAMS_HH
+
+#include <cstdint>
+
+#include "explore/explore.hh"
+#include "queue/payload.hh"
+#include "queue/queue.hh"
+
+namespace persim {
+
+/**
+ * The paper's Figure 1 publish idiom as a two-thread program.
+ * Thread 0 persists `data`, emits a persist barrier, and sets a
+ * volatile flag; thread 1 reads the flag once and, when set, persists
+ * `seen` (preceded by its own persist barrier iff @p consumer_barrier).
+ * The recovery invariant is "never `seen` without `data`".
+ *
+ * Under epoch persistency the producer barrier alone is NOT enough
+ * (the consumer persists in the epoch of its load), so exhaustive
+ * exploration proves the invariant exactly when @p consumer_barrier
+ * is true and produces a counterexample when it is false.
+ */
+ProgramFactory publishLitmusProgram(bool consumer_barrier);
+
+/** Parameters for queueProgram. */
+struct QueueExploreOptions
+{
+    /** Which queue design to explore. */
+    QueueKind kind = QueueKind::TwoLockConcurrent;
+
+    /** Inserting threads. */
+    std::uint32_t threads = 2;
+
+    /** Inserts issued by each thread. */
+    std::uint32_t inserts_per_thread = 1;
+
+    /** Payload bytes per insert (>= min_payload_bytes). */
+    std::uint64_t payload_bytes = min_payload_bytes;
+
+    /**
+     * Queue annotation options. Defaults to a small data segment so
+     * bounded exploration stays tractable; tests flip
+     * barrier_before_publish / omit_data_head_barrier here.
+     */
+    QueueOptions queue;
+
+    QueueExploreOptions() { queue.capacity = 1 << 10; }
+};
+
+/**
+ * A bounded queue workload: create the queue in setup, have each
+ * thread insert its deterministic payloads, and check every crash
+ * state with makeRecoveryInvariant (recover + golden cross-check).
+ */
+ProgramFactory queueProgram(const QueueExploreOptions &options);
+
+/**
+ * Persistency model for queue exploration: epoch persistency with
+ * 64-byte atomic persists, matching the queues' 64-byte slot padding
+ * so each entry's persists coalesce into a handful of atomic groups
+ * (at 8-byte atomicity the per-entry crash-state count explodes
+ * combinatorially without changing which corruptions are reachable).
+ */
+ModelConfig queueExploreModel();
+
+} // namespace persim
+
+#endif // PERSIM_EXPLORE_PROGRAMS_HH

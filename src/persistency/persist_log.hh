@@ -61,6 +61,18 @@ struct PersistRecord
     PersistRole role = PersistRole::None;
     PersistId binding = invalid_persist; //!< Argmax predecessor.
     DepSource binding_source = DepSource::None;
+
+    /**
+     * Complete direct-dependence set (only with
+     * TimingConfig::record_deps): ids of every persist this one is
+     * constrained to follow, not just the binding argmax. For a
+     * coalesced persist these are the dependences *external* to its
+     * coalescing group (membership in the group itself is recorded
+     * through the Coalesced binding chain). Exhaustive crash-state
+     * enumeration (src/recovery/cuts.hh) needs the full set: the
+     * binding alone would admit cuts the model forbids.
+     */
+    std::vector<PersistId> deps;
 };
 
 /** The full persist log of one analyzed execution. */

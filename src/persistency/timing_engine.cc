@@ -1,6 +1,7 @@
 #include "persistency/timing_engine.hh"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/bitops.hh"
 #include "common/error.hh"
@@ -40,6 +41,24 @@ PersistTimingEngine::PersistTimingEngine(const TimingConfig &config)
     config_.model.validate();
     PERSIM_REQUIRE(config_.mean_latency > 0.0,
                    "mean persist latency must be positive");
+    if (config_.record_deps)
+        config_.record_log = true;
+}
+
+std::shared_ptr<const std::vector<PersistId>>
+PersistTimingEngine::unionDeps(
+    const std::shared_ptr<const std::vector<PersistId>> &a,
+    const std::shared_ptr<const std::vector<PersistId>> &b)
+{
+    if (!a || a->empty())
+        return b;
+    if (!b || b->empty())
+        return a;
+    auto merged = std::make_shared<std::vector<PersistId>>();
+    merged->reserve(a->size() + b->size());
+    std::set_union(a->begin(), a->end(), b->begin(), b->end(),
+                   std::back_inserter(*merged));
+    return merged;
 }
 
 PersistTimingEngine::Tag
@@ -54,12 +73,14 @@ PersistTimingEngine::mergeTag(const Tag &a, const Tag &b)
         Tag merged = a;
         merged.src = std::max(a.src, b.src);
         merged.oth = std::max(a.oth, b.oth);
+        merged.deps = unionDeps(a.deps, b.deps);
         return merged;
     }
     const Tag &winner = (b.t > a.t) ? b : a;
     const Tag &loser = (b.t > a.t) ? a : b;
     Tag merged = winner;
     merged.oth = std::max({winner.oth, loser.t, loser.oth});
+    merged.deps = unionDeps(winner.deps, loser.deps);
     return merged;
 }
 
@@ -328,14 +349,30 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
         }
     }
 
-    const Tag out{time, id, block, 0.0};
+    std::shared_ptr<const std::vector<PersistId>> record_deps;
+    if (config_.record_deps) {
+        record_deps = dep.deps;
+        if (!coalesce && atomic.valid) {
+            // Strong persist atomicity: the previous group to this
+            // block is a direct predecessor even when it is not the
+            // timing argmax (same-word persists never reorder).
+            auto one = std::make_shared<std::vector<PersistId>>(
+                std::vector<PersistId>{atomic.last.src});
+            record_deps = unionDeps(record_deps, one);
+        }
+    }
+
+    Tag out{time, id, block, 0.0, nullptr};
+    if (config_.record_deps)
+        out.deps = std::make_shared<const std::vector<PersistId>>(
+            std::vector<PersistId>{id});
     atomic.last = out;
     atomic.valid = true;
     if (!coalesce)
         atomic.group_start = id;
 
     if (config_.detect_races && time > thread.own_persist.t)
-        thread.own_persist = Tag{time, id, block, 0.0};
+        thread.own_persist = Tag{time, id, block, 0.0, nullptr};
 
     track.store_tag = mergeTag(track.store_tag, out);
     const bool strict = model.kind == ModelKind::Strict;
@@ -360,6 +397,8 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
         record.role = thread.role;
         record.binding = binding;
         record.binding_source = binding_source;
+        if (record_deps)
+            record.deps = *record_deps;
         log_.push_back(record);
     }
     return out;

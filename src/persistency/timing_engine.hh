@@ -37,6 +37,7 @@
 #define PERSIM_PERSISTENCY_TIMING_ENGINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +72,18 @@ struct TimingConfig
 
     /** Record a PersistRecord per atomic persist piece. */
     bool record_log = false;
+
+    /**
+     * Record each persist's complete direct-dependence set
+     * (PersistRecord::deps), not just the binding argmax. The scalar
+     * analysis keeps only the latest dependence per state because
+     * only the max matters for timing; exhaustive crash-state
+     * enumeration needs every constraint edge. Implies the cost of
+     * carrying id sets through every tag merge — enable it only for
+     * bounded model-checking runs, not the big sweeps. Requires
+     * record_log.
+     */
+    bool record_deps = false;
 
     /**
      * Detect persist-epoch races (paper Section 5.2): alongside the
@@ -191,6 +204,13 @@ class PersistTimingEngine : public TraceSink
         PersistId src = invalid_persist;
         std::uint64_t block = ~0ULL;
         double oth = 0.0;
+
+        /**
+         * Full id set of the dependences this tag summarizes (only
+         * under record_deps; null otherwise). Shared and immutable:
+         * merges build fresh unions.
+         */
+        std::shared_ptr<const std::vector<PersistId>> deps;
     };
 
     /** Per-thread (per-strand) persistency state. */
@@ -234,6 +254,11 @@ class PersistTimingEngine : public TraceSink
      * `oth`.
      */
     static Tag mergeTag(const Tag &a, const Tag &b);
+
+    /** Sorted-unique union of two dep-id sets (null = empty). */
+    static std::shared_ptr<const std::vector<PersistId>>
+    unionDeps(const std::shared_ptr<const std::vector<PersistId>> &a,
+              const std::shared_ptr<const std::vector<PersistId>> &b);
 
     /** Advance the clock strictly past @p base. */
     double nextTime(double base);

@@ -1,0 +1,285 @@
+#include "recovery/cuts.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace persim {
+
+PersistDag
+buildPersistDag(const PersistLog &log)
+{
+    PersistDag dag;
+    dag.group_of_record.resize(log.size());
+
+    // Pass 1: group membership. A record either founds a new group or
+    // (Coalesced binding) joins the group of the member it merged
+    // behind.
+    std::vector<std::uint32_t> founder_record;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const PersistRecord &record = log[i];
+        PERSIM_REQUIRE(record.id == i, "persist log ids must be dense");
+        if (record.binding_source == DepSource::Coalesced) {
+            PERSIM_REQUIRE(record.binding < i,
+                           "coalesced record binds forward");
+            dag.group_of_record[i] = dag.group_of_record[record.binding];
+        } else {
+            PERSIM_REQUIRE(record.binding == invalid_persist ||
+                           !record.deps.empty(),
+                           "persist log lacks dependence sets: record "
+                           "the trace with TimingConfig::record_deps");
+            dag.group_of_record[i] =
+                static_cast<std::uint32_t>(dag.groups.size());
+            dag.groups.emplace_back();
+            dag.groups.back().time = record.time;
+            founder_record.push_back(static_cast<std::uint32_t>(i));
+        }
+        dag.groups[dag.group_of_record[i]].records.push_back(i);
+    }
+
+    // Pass 2: edges. Every dependence outside the record's own group
+    // is a direct predecessor of the group.
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const std::uint32_t g = dag.group_of_record[i];
+        for (const PersistId d : log[i].deps) {
+            PERSIM_REQUIRE(d < i, "dependence on a later persist");
+            const std::uint32_t pg = dag.group_of_record[d];
+            if (pg != g)
+                dag.groups[g].preds.push_back(pg);
+        }
+    }
+
+    // Pass 3: topological renumbering by (time, founder). Constraint
+    // edges strictly increase completion time, so this order is
+    // topological; ties (unordered groups) break by founding record.
+    std::vector<std::uint32_t> order(dag.groups.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (dag.groups[a].time != dag.groups[b].time)
+                      return dag.groups[a].time < dag.groups[b].time;
+                  return founder_record[a] < founder_record[b];
+              });
+    std::vector<std::uint32_t> new_id(dag.groups.size());
+    for (std::uint32_t pos = 0; pos < order.size(); ++pos)
+        new_id[order[pos]] = pos;
+
+    PersistDag sorted;
+    sorted.group_of_record.resize(log.size());
+    sorted.groups.resize(dag.groups.size());
+    for (std::size_t i = 0; i < log.size(); ++i)
+        sorted.group_of_record[i] = new_id[dag.group_of_record[i]];
+    for (std::uint32_t old = 0; old < dag.groups.size(); ++old) {
+        PersistDag::Group &group = sorted.groups[new_id[old]];
+        group = std::move(dag.groups[old]);
+        for (std::uint32_t &pred : group.preds) {
+            pred = new_id[pred];
+            PERSIM_ASSERT(pred < new_id[old],
+                          "constraint edge does not increase time");
+        }
+        std::sort(group.preds.begin(), group.preds.end());
+        group.preds.erase(
+            std::unique(group.preds.begin(), group.preds.end()),
+            group.preds.end());
+    }
+    return sorted;
+}
+
+namespace {
+
+/** One saved word for undoing a group application. */
+struct UndoEntry
+{
+    Addr addr;
+    std::uint8_t size;
+    std::uint64_t old_value;
+};
+
+/** Apply @p group's records to @p image, saving undo state. */
+void
+applyGroup(const PersistLog &log, const PersistDag::Group &group,
+           MemoryImage &image, std::vector<UndoEntry> &undo)
+{
+    for (const std::size_t i : group.records) {
+        const PersistRecord &record = log[i];
+        undo.push_back(UndoEntry{
+            record.addr, record.size,
+            image.load(record.addr, record.size)});
+        image.store(record.addr, record.size, record.value);
+    }
+}
+
+void
+undoGroup(MemoryImage &image, std::vector<UndoEntry> &undo,
+          std::size_t mark)
+{
+    while (undo.size() > mark) {
+        const UndoEntry &entry = undo.back();
+        image.store(entry.addr, entry.size, entry.old_value);
+        undo.pop_back();
+    }
+}
+
+} // namespace
+
+CutCheckResult
+checkAllCuts(const PersistLog &log, const PersistDag &dag,
+             const RecoveryInvariant &invariant, std::uint64_t max_cuts)
+{
+    CutCheckResult result;
+    const std::size_t n = dag.groupCount();
+    std::vector<char> included(n, 0);
+    MemoryImage image;
+    std::vector<UndoEntry> undo;
+    bool stop = false;
+    std::vector<std::uint32_t> chosen;
+
+    // Depth-first over groups in topological order: each complete
+    // include/exclude assignment that respects predecessor closure is
+    // exactly one consistent cut. The image is maintained
+    // incrementally (apply on include, word-level undo on backtrack),
+    // so enumerating C cuts costs O(C + total writes), not O(C * log).
+    auto visit = [&](auto &&self, std::size_t i) -> void {
+        if (stop)
+            return;
+        if (i == n) {
+            ++result.cuts;
+            const std::string verdict = invariant(image);
+            if (!verdict.empty()) {
+                ++result.violations;
+                if (result.first_violation.empty()) {
+                    result.first_violation = verdict;
+                    result.first_violation_groups = chosen;
+                }
+            }
+            if (max_cuts > 0 && result.cuts >= max_cuts) {
+                stop = true;
+                result.budget_exhausted = true;
+            }
+            return;
+        }
+        const PersistDag::Group &group = dag.groups[i];
+        const bool can_include = std::all_of(
+            group.preds.begin(), group.preds.end(),
+            [&](std::uint32_t p) { return included[p] != 0; });
+        // Exclude branch first: cuts grow from empty toward complete,
+        // so truncation by budget still covers the small crash states.
+        self(self, i + 1);
+        if (!can_include || stop)
+            return;
+        const std::size_t mark = undo.size();
+        applyGroup(log, group, image, undo);
+        included[i] = 1;
+        chosen.push_back(static_cast<std::uint32_t>(i));
+        self(self, i + 1);
+        chosen.pop_back();
+        included[i] = 0;
+        undoGroup(image, undo, mark);
+    };
+    visit(visit, 0);
+    return result;
+}
+
+MemoryImage
+reconstructImageFromGroups(const PersistLog &log, const PersistDag &dag,
+                           const std::vector<std::uint32_t> &groups)
+{
+    std::vector<char> included(dag.groupCount(), 0);
+    for (const std::uint32_t g : groups) {
+        PERSIM_REQUIRE(g < dag.groupCount(), "cut names unknown group");
+        included[g] = 1;
+    }
+    MemoryImage image;
+    // Log order is trace order, which strong persist atomicity keeps
+    // consistent with completion-time order per word.
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        if (included[dag.group_of_record[i]])
+            image.store(log[i].addr, log[i].size, log[i].value);
+    }
+    return image;
+}
+
+std::vector<std::uint32_t>
+minimizeViolatingCut(const PersistLog &log, const PersistDag &dag,
+                     const RecoveryInvariant &invariant,
+                     std::vector<std::uint32_t> groups)
+{
+    std::vector<char> included(dag.groupCount(), 0);
+    for (const std::uint32_t g : groups)
+        included[g] = 1;
+    // succ_count[g] = included groups that directly depend on g: only
+    // maximal groups (succ_count 0) may be dropped without breaking
+    // downward closure.
+    std::vector<std::uint32_t> succ_count(dag.groupCount(), 0);
+    auto recountSuccs = [&] {
+        std::fill(succ_count.begin(), succ_count.end(), 0);
+        for (std::uint32_t g = 0; g < dag.groupCount(); ++g) {
+            if (!included[g])
+                continue;
+            for (const std::uint32_t p : dag.groups[g].preds)
+                ++succ_count[p];
+        }
+    };
+    recountSuccs();
+
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        // Try dropping maximal groups newest-first: later persists are
+        // usually the irrelevant tail of the trace.
+        for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+            const std::uint32_t g = *it;
+            if (succ_count[g] != 0)
+                continue;
+            included[g] = 0;
+            std::vector<std::uint32_t> candidate;
+            candidate.reserve(groups.size() - 1);
+            for (const std::uint32_t h : groups) {
+                if (h != g)
+                    candidate.push_back(h);
+            }
+            const MemoryImage image =
+                reconstructImageFromGroups(log, dag, candidate);
+            if (!invariant(image).empty()) {
+                groups = std::move(candidate);
+                recountSuccs();
+                shrunk = true;
+                break;
+            }
+            included[g] = 1;
+        }
+    }
+    std::sort(groups.begin(), groups.end());
+    return groups;
+}
+
+std::string
+formatCut(const PersistLog &log, const PersistDag &dag,
+          const std::vector<std::uint32_t> &groups)
+{
+    std::ostringstream oss;
+    oss << groups.size() << " of " << dag.groupCount()
+        << " atomic persist groups in the crash state:\n";
+    std::size_t lines = 0;
+    for (const std::uint32_t g : groups) {
+        for (const std::size_t i : dag.groups[g].records) {
+            const PersistRecord &record = log[i];
+            if (++lines > 64) {
+                oss << "  ... (" << groups.size() << " groups total)\n";
+                return oss.str();
+            }
+            oss << "  group " << g << " t=" << record.time
+                << " seq=" << record.seq
+                << " thread=" << record.thread
+                << " addr=0x" << std::hex << record.addr << std::dec
+                << " size=" << static_cast<unsigned>(record.size)
+                << " value=0x" << std::hex << record.value << std::dec
+                << "\n";
+        }
+    }
+    return oss.str();
+}
+
+} // namespace persim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Exhaustive recovery observer: every consistent cut, not a sample.
+ *
+ * recovery.hh realizes the paper's recovery observer stochastically
+ * (random completion-time realizations, random crash times). For
+ * bounded model checking that is not enough: a racing annotation bug
+ * may survive only in one cut out of thousands. This module makes the
+ * observer exhaustive:
+ *
+ *  - the persist log (with TimingConfig::record_deps) carries every
+ *    direct ordering constraint, not just the timing argmax;
+ *  - persists are grouped into *atomic units* (coalescing groups:
+ *    persists that merged into one atomic device write — the observer
+ *    can only see them together);
+ *  - the observable crash states are exactly the downward-closed sets
+ *    (order ideals) of the group DAG; we enumerate them all, rebuild
+ *    each image incrementally, and run the caller's recovery
+ *    invariant against every one.
+ *
+ * Ideal counts are exponential in the antichain width, so enumeration
+ * takes a budget; callers bound their programs (and pick an atomic
+ * persist granularity) so litmus-scale traces stay exhaustive.
+ */
+
+#ifndef PERSIM_RECOVERY_CUTS_HH
+#define PERSIM_RECOVERY_CUTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persistency/persist_log.hh"
+#include "recovery/recovery.hh"
+#include "sim/memory_image.hh"
+
+namespace persim {
+
+/** The persist partial order, quotiented by coalescing groups. */
+struct PersistDag
+{
+    /** One atomic unit: a coalescing group of log records. */
+    struct Group
+    {
+        /** Member record indices, in log (trace) order. */
+        std::vector<std::size_t> records;
+
+        /** Direct predecessor groups (deduplicated). */
+        std::vector<std::uint32_t> preds;
+
+        /** Completion time shared by every member. */
+        double time = 0.0;
+    };
+
+    /** Groups indexed by id, topologically sorted (time, founder). */
+    std::vector<Group> groups;
+
+    /** Group id of each log record. */
+    std::vector<std::uint32_t> group_of_record;
+
+    std::size_t groupCount() const { return groups.size(); }
+};
+
+/**
+ * Build the group DAG of @p log. Requires the log to have been
+ * recorded with TimingConfig::record_deps (fatals when a multi-record
+ * log carries no dependence sets yet binds records, i.e. the flag was
+ * off).
+ */
+PersistDag buildPersistDag(const PersistLog &log);
+
+/** Outcome of an exhaustive crash-state check of one execution. */
+struct CutCheckResult
+{
+    std::uint64_t cuts = 0;       //!< Consistent cuts examined.
+    std::uint64_t violations = 0; //!< Cuts failing the invariant.
+
+    /** True when max_cuts stopped enumeration before completion. */
+    bool budget_exhausted = false;
+
+    /** Invariant verdict for the first failing cut. */
+    std::string first_violation;
+
+    /** The first failing cut, as included group ids (ascending). */
+    std::vector<std::uint32_t> first_violation_groups;
+
+    /** Exhaustive and clean. */
+    bool ok() const { return violations == 0 && !budget_exhausted; }
+};
+
+/**
+ * Enumerate every consistent cut of @p dag (up to @p max_cuts; 0
+ * means unlimited) and run @p invariant on each reconstructed image.
+ * The empty and the complete cut are always among those examined.
+ */
+CutCheckResult checkAllCuts(const PersistLog &log, const PersistDag &dag,
+                            const RecoveryInvariant &invariant,
+                            std::uint64_t max_cuts = 1ULL << 20);
+
+/**
+ * Reconstruct the persistent image of one cut: apply the records of
+ * every group in @p groups in log order. @p groups must be downward
+ * closed for the result to be an observable crash state.
+ */
+MemoryImage reconstructImageFromGroups(
+    const PersistLog &log, const PersistDag &dag,
+    const std::vector<std::uint32_t> &groups);
+
+/**
+ * Shrink a violating cut: greedily drop maximal groups (those with no
+ * included successor) while the invariant still fails. The result is
+ * locally minimal — removing any single maximal group repairs it —
+ * which turns a thousand-persist counterexample into the handful of
+ * writes that actually conflict.
+ */
+std::vector<std::uint32_t> minimizeViolatingCut(
+    const PersistLog &log, const PersistDag &dag,
+    const RecoveryInvariant &invariant,
+    std::vector<std::uint32_t> groups);
+
+/** Render a cut (group ids + member writes) for counterexamples. */
+std::string formatCut(const PersistLog &log, const PersistDag &dag,
+                      const std::vector<std::uint32_t> &groups);
+
+} // namespace persim
+
+#endif // PERSIM_RECOVERY_CUTS_HH

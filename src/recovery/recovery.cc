@@ -89,6 +89,37 @@ injectFailures(const InMemoryTrace &trace, const InjectionConfig &config,
     InjectionResult result;
     Rng rng(config.seed);
 
+    // Degenerate traces have a closed-form crash-state set; evaluate
+    // it directly instead of sampling a zero-width time span. Zero
+    // persists (including the empty trace) expose only the empty
+    // image; one persist exposes exactly {empty, that persist}.
+    {
+        const PersistLog log =
+            stochasticLog(trace, config.model, config.seed,
+                          config.mean_latency);
+        if (log.size() <= 1) {
+            std::vector<double> crash_times{-1.0};
+            if (log.size() == 1)
+                crash_times.push_back(log[0].time + 1.0);
+            for (const double t : crash_times) {
+                ++result.samples;
+                const MemoryImage image = reconstructImage(log, t);
+                const std::string verdict = invariant(image);
+                if (!verdict.empty()) {
+                    ++result.violations;
+                    if (result.first_violation.empty()) {
+                        std::ostringstream oss;
+                        oss << "degenerate log, crash t=" << t << ": "
+                            << verdict;
+                        result.first_violation = oss.str();
+                        result.first_violation_time = t;
+                    }
+                }
+            }
+            return result;
+        }
+    }
+
     for (std::uint64_t r = 0; r < config.realizations; ++r) {
         const PersistLog log =
             stochasticLog(trace, config.model, rng.next(),

@@ -12,8 +12,23 @@ ExecutionEngine::ExecutionEngine(const EngineConfig &config, TraceSink *sink)
     : config_(config), sink_(sink),
       valloc_(volatile_base, config.volatile_capacity),
       palloc_(persistent_base, config.persistent_capacity),
-      policy_(makePolicy(config.scheduler, config.seed, config.quantum))
+      owned_policy_(makePolicy(config.scheduler, config.seed,
+                               config.quantum)),
+      policy_(owned_policy_.get())
 {
+    PERSIM_REQUIRE(volatile_base + config.volatile_capacity
+                   <= persistent_base,
+                   "volatile region overlaps the persistent region");
+}
+
+ExecutionEngine::ExecutionEngine(const EngineConfig &config, TraceSink *sink,
+                                 SchedulingPolicy *policy)
+    : config_(config), sink_(sink),
+      valloc_(volatile_base, config.volatile_capacity),
+      palloc_(persistent_base, config.persistent_capacity),
+      policy_(policy)
+{
+    PERSIM_REQUIRE(policy != nullptr, "injected policy must not be null");
     PERSIM_REQUIRE(volatile_base + config.volatile_capacity
                    <= persistent_base,
                    "volatile region overlaps the persistent region");

@@ -219,6 +219,16 @@ class ExecutionEngine
     explicit ExecutionEngine(const EngineConfig &config,
                              TraceSink *sink = nullptr);
 
+    /**
+     * As above, but interleave with a caller-supplied policy instead
+     * of constructing one from the config (the schedule-exploration
+     * hook: src/explore/ injects a ReplayPolicy here and reads its
+     * recorded decisions back after the run).
+     * @param policy Not owned; must outlive the engine.
+     */
+    ExecutionEngine(const EngineConfig &config, TraceSink *sink,
+                    SchedulingPolicy *policy);
+
     ExecutionEngine(const ExecutionEngine &) = delete;
     ExecutionEngine &operator=(const ExecutionEngine &) = delete;
 
@@ -307,7 +317,8 @@ class ExecutionEngine
     MemoryImage image_;
     AddressAllocator valloc_;
     AddressAllocator palloc_;
-    std::unique_ptr<SchedulingPolicy> policy_;
+    std::unique_ptr<SchedulingPolicy> owned_policy_;
+    SchedulingPolicy *policy_;
 
     SeqNum next_seq_ = 0;
     bool ran_ = false;

@@ -48,6 +48,40 @@ RandomPolicy::pick(const std::vector<ThreadId> &runnable, ThreadId current)
     return {runnable[idx], quantum};
 }
 
+ReplayPolicy::ReplayPolicy(std::vector<std::uint32_t> prefix,
+                           FrontierKind frontier, std::uint64_t seed)
+    : prefix_(std::move(prefix)), frontier_(frontier), rng_(seed)
+{
+}
+
+ScheduleDecision
+ReplayPolicy::pick(const std::vector<ThreadId> &runnable, ThreadId current)
+{
+    PERSIM_ASSERT(!runnable.empty(), "pick with no runnable threads");
+    const auto arity = static_cast<std::uint32_t>(runnable.size());
+    std::uint32_t index;
+    if (next_ < prefix_.size()) {
+        index = prefix_[next_++];
+        if (index >= arity) {
+            diverged_ = true;
+            index = arity - 1;
+        }
+    } else if (frontier_ == FrontierKind::Random) {
+        index = static_cast<std::uint32_t>(rng_.nextBounded(arity));
+    } else {
+        // Round-robin: the first runnable thread past `current`,
+        // wrapping; the start-of-run and thread-exit picks (current ==
+        // invalid_thread) land on runnable[0].
+        auto it = std::upper_bound(runnable.begin(), runnable.end(),
+                                   current);
+        if (current == invalid_thread || it == runnable.end())
+            it = runnable.begin();
+        index = static_cast<std::uint32_t>(it - runnable.begin());
+    }
+    decisions_.push_back(BranchPoint{index, arity});
+    return {runnable[index], 1};
+}
+
 std::unique_ptr<SchedulingPolicy>
 makePolicy(SchedulerKind kind, std::uint64_t seed, std::uint64_t quantum)
 {

@@ -81,6 +81,69 @@ class RandomPolicy : public SchedulingPolicy
     std::uint64_t quantum_mean_;
 };
 
+/**
+ * One recorded scheduling decision: which index into the (sorted)
+ * runnable set was chosen and how many alternatives existed at that
+ * point. A complete execution is identified by its sequence of chosen
+ * indices; `arity` tells an explorer which untried siblings remain.
+ */
+struct BranchPoint
+{
+    std::uint32_t chosen = 0;
+    std::uint32_t arity = 1;
+};
+
+/** Strategy ReplayPolicy uses once its decision prefix is consumed. */
+enum class FrontierKind : std::uint8_t {
+    /**
+     * Fair deterministic default: rotate to the next runnable thread
+     * after the current one (round-robin, quantum 1). Fairness
+     * matters: always picking runnable[0] can spin a lock waiter
+     * forever and livelock the execution.
+     */
+    RoundRobin,
+    /** Seeded uniform choice (sampling fallback), quantum 1. */
+    Random,
+};
+
+/**
+ * Deterministic schedule replay (the model checker's core primitive).
+ *
+ * Follows a recorded prefix of decision indices, then hands control
+ * to the frontier strategy; every decision (replayed or fresh) is
+ * recorded with its branching factor. Quantum is always 1 so each
+ * traced event is a potential branch point. Identical prefixes over a
+ * deterministic workload reproduce byte-identical traces.
+ */
+class ReplayPolicy : public SchedulingPolicy
+{
+  public:
+    explicit ReplayPolicy(std::vector<std::uint32_t> prefix = {},
+                          FrontierKind frontier = FrontierKind::RoundRobin,
+                          std::uint64_t seed = 1);
+
+    ScheduleDecision pick(const std::vector<ThreadId> &runnable,
+                          ThreadId current) override;
+
+    /** Every decision taken, in order, with its branching factor. */
+    const std::vector<BranchPoint> &decisions() const { return decisions_; }
+
+    /**
+     * True when a prefix entry exceeded the runnable set at its
+     * decision (it was clamped): the prefix was recorded against a
+     * different execution shape and the replay is not faithful.
+     */
+    bool diverged() const { return diverged_; }
+
+  private:
+    std::vector<std::uint32_t> prefix_;
+    std::size_t next_ = 0;
+    FrontierKind frontier_;
+    Rng rng_;
+    std::vector<BranchPoint> decisions_;
+    bool diverged_ = false;
+};
+
 /** How the engine should interleave threads. */
 enum class SchedulerKind {
     RoundRobin,

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Explorer tests (src/explore/): bounded exhaustive schedule x
+ * crash-state checking. The litmus program is proven correct across
+ * every schedule and crash state; deleting the required barrier (the
+ * litmus consumer barrier, the CWL data-before-head barrier, the 2LC
+ * publish barrier) yields a concrete corrupt cut whose decision
+ * string replays deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "explore/explore.hh"
+#include "explore/programs.hh"
+
+namespace persim {
+namespace {
+
+ExploreConfig
+litmusConfig()
+{
+    ExploreConfig config;
+    config.model = ModelConfig::epoch();
+    return config;
+}
+
+TEST(ExploreLitmus, ConsumerBarrierProvenCorrectExhaustively)
+{
+    Explorer explorer(publishLitmusProgram(true), litmusConfig());
+    const ExploreResult result = explorer.run();
+    EXPECT_TRUE(result.exhaustive()) << result.summary();
+    EXPECT_EQ(result.violations, 0u) << result.summary();
+    EXPECT_FALSE(result.counterexample.has_value());
+    // The two-thread litmus has many distinct interleavings, and all
+    // of them were analyzed.
+    EXPECT_GT(result.distinct_executions, 10u);
+    EXPECT_GT(result.cuts_checked, result.distinct_executions);
+}
+
+TEST(ExploreLitmus, MissingConsumerBarrierYieldsCounterexample)
+{
+    Explorer explorer(publishLitmusProgram(false), litmusConfig());
+    const ExploreResult result = explorer.run();
+    EXPECT_TRUE(result.exhaustive()) << result.summary();
+    EXPECT_GT(result.violations, 0u);
+    ASSERT_TRUE(result.counterexample.has_value());
+
+    const Counterexample &ce = *result.counterexample;
+    EXPECT_NE(ce.violation.find("seen"), std::string::npos);
+    EXPECT_FALSE(ce.cut_groups.empty());
+    EXPECT_NE(ce.cut_detail.find("atomic persist groups"),
+              std::string::npos);
+}
+
+TEST(ExploreLitmus, CounterexampleReplaysDeterministically)
+{
+    Explorer explorer(publishLitmusProgram(false), litmusConfig());
+    const ExploreResult result = explorer.run();
+    ASSERT_TRUE(result.counterexample.has_value());
+    const Counterexample &ce = *result.counterexample;
+
+    // Feeding the minimized decision string back through ReplayPolicy
+    // reproduces the failing execution, fingerprint and all — twice.
+    Explorer replayer(publishLitmusProgram(false), litmusConfig());
+    const auto first = replayer.execute(ce.decisions);
+    const auto second = replayer.execute(ce.decisions);
+    EXPECT_EQ(first.fingerprint, ce.fingerprint);
+    EXPECT_EQ(second.fingerprint, ce.fingerprint);
+    EXPECT_FALSE(first.diverged);
+}
+
+TEST(ExploreLitmus, ShardedRunMatchesSerialTotals)
+{
+    // The parallel driver partitions work, it must not change the
+    // explored set: totals are schedule-set invariants.
+    ExploreConfig serial = litmusConfig();
+    Explorer a(publishLitmusProgram(false), serial);
+    const ExploreResult ra = a.run();
+
+    ExploreConfig sharded = litmusConfig();
+    sharded.shards = 4;
+    Explorer b(publishLitmusProgram(false), sharded);
+    const ExploreResult rb = b.run();
+
+    EXPECT_EQ(ra.executions, rb.executions);
+    EXPECT_EQ(ra.distinct_executions, rb.distinct_executions);
+    EXPECT_EQ(ra.cuts_checked, rb.cuts_checked);
+    EXPECT_EQ(ra.violations, rb.violations);
+    EXPECT_TRUE(rb.exhaustive());
+    ASSERT_TRUE(rb.counterexample.has_value());
+}
+
+TEST(ExploreLitmus, StrictModelNeedsNoConsumerBarrier)
+{
+    // Under strict persistency the load itself orders the persists,
+    // so even the barrier-free consumer is correct on every schedule.
+    ExploreConfig config;
+    config.model = ModelConfig::strict();
+    Explorer explorer(publishLitmusProgram(false), config);
+    const ExploreResult result = explorer.run();
+    EXPECT_TRUE(result.exhaustive()) << result.summary();
+    EXPECT_EQ(result.violations, 0u) << result.summary();
+}
+
+TEST(ExploreQueue, CwlWithoutDataHeadBarrierIsProvablyCorrupt)
+{
+    // One thread, one insert, Algorithm 1 line-8 barrier deleted: the
+    // head persist races the entry data, so a corrupt crash state is
+    // reachable — and with a single worker the exploration is fully
+    // exhaustive (one schedule, every cut).
+    QueueExploreOptions options;
+    options.kind = QueueKind::CopyWhileLocked;
+    options.threads = 1;
+    options.queue.omit_data_head_barrier = true;
+
+    ExploreConfig config;
+    config.model = queueExploreModel();
+    Explorer explorer(queueProgram(options), config);
+    const ExploreResult result = explorer.run();
+    EXPECT_TRUE(result.exhaustive()) << result.summary();
+    EXPECT_EQ(result.executions, 1u);
+    EXPECT_GT(result.violations, 0u) << result.summary();
+    ASSERT_TRUE(result.counterexample.has_value());
+    EXPECT_FALSE(result.counterexample->cut_groups.empty());
+}
+
+TEST(ExploreQueue, CwlWithRequiredBarrierFindsNoViolation)
+{
+    QueueExploreOptions options;
+    options.kind = QueueKind::CopyWhileLocked;
+    options.threads = 1;
+
+    ExploreConfig config;
+    config.model = queueExploreModel();
+    Explorer explorer(queueProgram(options), config);
+    const ExploreResult result = explorer.run();
+    EXPECT_TRUE(result.exhaustive()) << result.summary();
+    EXPECT_EQ(result.violations, 0u) << result.summary();
+}
+
+/** Budgeted two-thread 2LC exploration (the tree is too wide to
+    exhaust; single shard keeps the search deterministic). */
+ExploreConfig
+tlcConfig()
+{
+    ExploreConfig config;
+    config.model = queueExploreModel();
+    config.max_executions = 2000;
+    config.samples = 500;
+    config.shards = 1;
+    return config;
+}
+
+TEST(ExploreQueue, TlcMissingPublishBarrierFindsCorruptCut)
+{
+    // DESIGN.md Section 7.2: without the publish barrier, a thread
+    // committing a peer's entry persists the head without the peer's
+    // data. The explorer must find a concrete schedule + crash cut.
+    QueueExploreOptions options;
+    options.queue.barrier_before_publish = false;
+    Explorer explorer(queueProgram(options), tlcConfig());
+    const ExploreResult result = explorer.run();
+    EXPECT_GT(result.violations, 0u) << result.summary();
+    ASSERT_TRUE(result.counterexample.has_value());
+
+    const Counterexample &ce = *result.counterexample;
+    EXPECT_NE(ce.violation.find("corrupt"), std::string::npos);
+    EXPECT_FALSE(ce.decisions.empty());
+
+    // The counterexample replays deterministically.
+    Explorer replayer(queueProgram(options), tlcConfig());
+    EXPECT_EQ(replayer.execute(ce.decisions).fingerprint,
+              ce.fingerprint);
+}
+
+TEST(ExploreQueue, TlcWithPublishBarrierSurvivesTheSameBudget)
+{
+    QueueExploreOptions options;
+    options.queue.barrier_before_publish = true;
+    Explorer explorer(queueProgram(options), tlcConfig());
+    const ExploreResult result = explorer.run();
+    EXPECT_EQ(result.violations, 0u) << result.summary();
+    EXPECT_FALSE(result.counterexample.has_value());
+    EXPECT_GT(result.cuts_checked, 1000u);
+}
+
+TEST(ExploreResultApi, SummaryMentionsBudgets)
+{
+    ExploreConfig config;
+    config.model = ModelConfig::epoch();
+    config.max_executions = 4;
+    Explorer explorer(publishLitmusProgram(true), config);
+    const ExploreResult result = explorer.run();
+    EXPECT_TRUE(result.schedule_budget_exhausted);
+    EXPECT_FALSE(result.exhaustive());
+    EXPECT_NE(result.summary().find("schedule budget exhausted"),
+              std::string::npos);
+}
+
+TEST(ExploreResultApi, ExplorerRunsOnlyOnce)
+{
+    ExploreConfig config;
+    config.model = ModelConfig::epoch();
+    Explorer explorer(publishLitmusProgram(true), config);
+    (void)explorer.run();
+    EXPECT_THROW(explorer.run(), FatalError);
+}
+
+} // namespace
+} // namespace persim

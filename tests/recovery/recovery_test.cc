@@ -300,5 +300,86 @@ TEST(QueueInjectionNegative, TlcWithoutPublishBarrierCorruptsRecovery)
         << "publication without a barrier should be unsafe";
 }
 
+// ---------------------------------------------------------------------
+// injectFailures degenerate traces
+// ---------------------------------------------------------------------
+
+TEST(InjectDegenerate, EmptyTraceChecksTheEmptyImageOnce)
+{
+    TraceBuilder builder; // No events at all.
+    InjectionConfig config;
+    config.model = ModelConfig::epoch();
+
+    std::uint64_t calls = 0;
+    const auto result = injectFailures(
+        builder.trace(), config, [&](const MemoryImage &image) {
+            ++calls;
+            EXPECT_EQ(image.load(paddr(0), 8), 0u);
+            return std::string();
+        });
+    EXPECT_EQ(result.samples, 1u);
+    EXPECT_EQ(calls, 1u);
+    EXPECT_TRUE(result.ok());
+}
+
+TEST(InjectDegenerate, ZeroPersistTraceChecksTheEmptyImageOnce)
+{
+    TraceBuilder builder;
+    builder.load(0, paddr(0)).load(1, test::vaddr(0)).barrier(0);
+    InjectionConfig config;
+    config.model = ModelConfig::epoch();
+
+    const auto result = injectFailures(
+        builder.trace(), config, [](const MemoryImage &image) {
+            return image.load(paddr(0), 8) == 0
+                       ? std::string()
+                       : std::string("phantom persist");
+        });
+    EXPECT_EQ(result.samples, 1u);
+    EXPECT_TRUE(result.ok());
+}
+
+TEST(InjectDegenerate, SinglePersistChecksBothCrashStates)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 5);
+    InjectionConfig config;
+    config.model = ModelConfig::epoch();
+
+    bool saw_empty = false;
+    bool saw_persisted = false;
+    const auto result = injectFailures(
+        builder.trace(), config, [&](const MemoryImage &image) {
+            const std::uint64_t value = image.load(paddr(0), 8);
+            saw_empty |= value == 0;
+            saw_persisted |= value == 5;
+            return std::string();
+        });
+    EXPECT_EQ(result.samples, 2u);
+    EXPECT_TRUE(saw_empty);
+    EXPECT_TRUE(saw_persisted);
+    EXPECT_TRUE(result.ok());
+}
+
+TEST(InjectDegenerate, SinglePersistViolationIsReported)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 5);
+    InjectionConfig config;
+    config.model = ModelConfig::epoch();
+
+    const auto result = injectFailures(
+        builder.trace(), config, [](const MemoryImage &image) {
+            return image.load(paddr(0), 8) == 5
+                       ? std::string("torn value")
+                       : std::string();
+        });
+    EXPECT_EQ(result.violations, 1u);
+    EXPECT_NE(result.first_violation.find("degenerate log"),
+              std::string::npos);
+    EXPECT_NE(result.first_violation.find("torn value"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace persim
