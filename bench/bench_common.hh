@@ -11,17 +11,121 @@
 #ifndef PERSIM_BENCH_BENCH_COMMON_HH
 #define PERSIM_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "bench_util/queue_workload.hh"
+#include "common/task_pool.hh"
 #include "persistency/timing_engine.hh"
 
 namespace persim::bench {
 
 /** The paper's headline persist latency (500 ns, Section 8.1). */
 constexpr double paper_latency_ns = 500.0;
+
+/** Flags common to the sweep/analysis benches. */
+struct BenchOptions
+{
+    /** Analysis parallelism: 1 = serial baseline, 0 = hardware. */
+    std::uint32_t jobs = 1;
+
+    /** Replay analyses from a trace file in streaming chunks. */
+    bool stream = false;
+
+    /** Streaming chunk size in events. */
+    std::uint64_t chunk_events = 1ULL << 16;
+};
+
+/**
+ * Parse the shared bench flags (--jobs=N, --stream,
+ * --chunk-events=N); exits with usage on anything unrecognized.
+ */
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&arg](const char *name) -> std::string {
+            const std::string prefix = std::string(name) + "=";
+            return arg.rfind(prefix, 0) == 0 ? arg.substr(prefix.size())
+                                             : std::string();
+        };
+        if (arg == "--stream") {
+            options.stream = true;
+        } else if (!value("--jobs").empty()) {
+            options.jobs =
+                static_cast<std::uint32_t>(std::stoul(value("--jobs")));
+        } else if (!value("--chunk-events").empty()) {
+            options.chunk_events = std::stoull(value("--chunk-events"));
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--jobs=N] [--stream] [--chunk-events=N]\n"
+                      << "  --jobs=N   analysis worker threads "
+                         "(1 = serial baseline, 0 = hardware)\n"
+                      << "  --stream   replay analyses from a trace "
+                         "file in chunks\n";
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+/** Effective worker count a jobs flag resolves to. */
+inline std::uint32_t
+effectiveJobs(std::uint32_t jobs)
+{
+    return jobs == 0 ? TaskPool::defaultWorkers() : jobs;
+}
+
+/** Wall-clock stopwatch for per-analysis timing. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** "12.3 M" style count formatting for events/sec reporting. */
+inline std::string
+formatEventsPerSec(std::uint64_t events, double seconds)
+{
+    if (seconds <= 0.0)
+        return "-";
+    const double rate = static_cast<double>(events) / seconds;
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.2f M/s", rate / 1e6);
+    return buffer;
+}
+
+/**
+ * One-line analysis summary quoted by EXPERIMENTS.md: total configs,
+ * events consumed across all analyses, wall time, aggregate events/s,
+ * and the parallelism it ran at.
+ */
+inline void
+reportAnalysisWall(std::size_t configs, std::uint64_t events_analyzed,
+                   double wall_seconds, std::uint32_t jobs)
+{
+    std::cout << "analysis: " << configs << " configs, "
+              << events_analyzed << " events analyzed in "
+              << wall_seconds << " s wall ("
+              << formatEventsPerSec(events_analyzed, wall_seconds)
+              << ", --jobs=" << effectiveJobs(jobs) << ")\n";
+}
 
 /** Print a banner naming the experiment. */
 inline void
@@ -32,6 +136,15 @@ banner(const std::string &title, const std::string &paper_claim)
               << "Paper: " << paper_claim << "\n"
               << "==========================================================="
               << "=====\n";
+}
+
+/** Scratch path for --stream trace spills. */
+inline std::string
+tempTracePath(const std::string &tag)
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return std::string(tmp != nullptr ? tmp : "/tmp") + "/persim_" +
+        tag + ".trc";
 }
 
 /** Run one queue workload into a set of timing engines (fanout). */

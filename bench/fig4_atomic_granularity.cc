@@ -8,17 +8,26 @@
  * persists coalesce and strict steadily falls until it matches epoch
  * at 256 bytes. Epoch persistency is flat (its data persists are
  * already concurrent).
+ *
+ * The 12 analyses run through granularitySweep: serial single-pass by
+ * default, one engine replay per task with --jobs=N, and --stream
+ * replays them from an on-disk trace file in batched chunks.
  */
+
+#include <cstdio>
 
 #include "bench/bench_common.hh"
 #include "bench_util/table.hh"
+#include "memtrace/trace_io.hh"
+#include "persistency/sweep.hh"
 
 using namespace persim;
 using namespace persim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options = parseBenchOptions(argc, argv);
     banner("Figure 4: critical path per insert vs. atomic persist "
            "granularity (Copy While Locked, 1 thread)",
            "strict falls with larger atomic persists and meets epoch "
@@ -30,37 +39,76 @@ main()
     config.threads = 1;
     config.inserts_per_thread = 20000;
 
-    // One trace, all engines attached (12 analyses in one pass).
-    std::vector<std::unique_ptr<PersistTimingEngine>> engines;
-    std::vector<PersistTimingEngine *> sinks;
     const std::vector<std::uint64_t> grans{8, 16, 32, 64, 128, 256};
-    for (const auto gran : grans) {
-        for (auto model : {ModelConfig::strict(), ModelConfig::epoch()}) {
-            model.atomic_granularity = gran;
-            engines.push_back(
-                std::make_unique<PersistTimingEngine>(levels(model)));
-            sinks.push_back(engines.back().get());
+    const std::vector<ModelConfig> models{ModelConfig::strict(),
+                                          ModelConfig::epoch()};
+    SweepOptions sweep;
+    sweep.jobs = options.jobs;
+    sweep.chunk_events = options.chunk_events;
+
+    // One trace, 12 analyses (2 models x 6 granularities).
+    std::vector<SweepSeries> series;
+    double analysis_wall = 0.0;
+    if (options.stream) {
+        const std::string path = tempTracePath("fig4");
+        {
+            TraceFileWriter writer(path);
+            runQueueWorkload(config, {&writer});
+            writer.onFinish();
         }
+        Stopwatch watch;
+        series = granularitySweepFile(path, models, grans,
+                                      GranularityKnob::AtomicPersist,
+                                      sweep);
+        analysis_wall = watch.seconds();
+        std::remove(path.c_str());
+    } else {
+        InMemoryTrace trace;
+        runQueueWorkload(config, {&trace});
+        Stopwatch watch;
+        series = granularitySweep(trace, models, grans,
+                                  GranularityKnob::AtomicPersist, sweep);
+        analysis_wall = watch.seconds();
     }
-    runInto(config, sinks);
+    const SweepSeries &strict = series[0];
+    const SweepSeries &epoch = series[1];
 
     TextTable table;
     table.header({"atomic persist (B)", "strict cp/insert",
                   "epoch cp/insert", "strict coalesced%",
                   "epoch coalesced%"});
     for (std::size_t i = 0; i < grans.size(); ++i) {
-        const auto &strict = engines[2 * i]->result();
-        const auto &epoch = engines[2 * i + 1]->result();
+        const TimingResult &s = strict.points[i].result;
+        const TimingResult &e = epoch.points[i].result;
         table.row({
             std::to_string(grans[i]),
-            formatDouble(strict.criticalPathPerOp(), 3),
-            formatDouble(epoch.criticalPathPerOp(), 3),
-            formatDouble(100.0 * static_cast<double>(strict.coalesced) /
-                         static_cast<double>(strict.persists), 1),
-            formatDouble(100.0 * static_cast<double>(epoch.coalesced) /
-                         static_cast<double>(epoch.persists), 1),
+            formatDouble(s.criticalPathPerOp(), 3),
+            formatDouble(e.criticalPathPerOp(), 3),
+            formatDouble(100.0 * static_cast<double>(s.coalesced) /
+                         static_cast<double>(s.persists), 1),
+            formatDouble(100.0 * static_cast<double>(e.coalesced) /
+                         static_cast<double>(e.persists), 1),
         });
     }
     std::cout << "\n" << table.render();
+
+    TextTable timing;
+    timing.header({"model", "gran(B)", "wall(s)", "events/s"});
+    std::uint64_t events_analyzed = 0;
+    for (const SweepSeries &entry : series) {
+        for (const SweepPoint &point : entry.points) {
+            events_analyzed += point.result.events;
+            timing.row({entry.model.name(),
+                        std::to_string(point.value),
+                        formatDouble(point.wall_seconds, 4),
+                        formatEventsPerSec(point.result.events,
+                                           point.wall_seconds)});
+        }
+    }
+    std::cout << "\nPer-analysis wall time"
+              << (options.stream ? " (streaming)" : "") << ":\n"
+              << timing.render() << "\n";
+    reportAnalysisWall(grans.size() * models.size(), events_analyzed,
+                       analysis_wall, options.jobs);
     return 0;
 }

@@ -15,9 +15,13 @@
  * ordering-constraint critical path, exactly as in Section 7.
  */
 
+#include <map>
+#include <utility>
+
 #include "bench/bench_common.hh"
 #include "bench_util/table.hh"
 #include "bench_util/throughput.hh"
+#include "common/error.hh"
 #include "queue/native_queue.hh"
 
 using namespace persim;
@@ -27,36 +31,46 @@ namespace {
 
 struct Cell
 {
+    QueueKind kind = QueueKind::CopyWhileLocked;
+    std::uint32_t threads = 1;
+    std::size_t variant = 0;
+    double native_rate = 0.0;
+
     double normalized = 0.0;
     double critical_path_per_op = 0.0;
+    std::uint64_t events = 0;
+    double wall_seconds = 0.0;
 };
 
-Cell
-analyzeCell(QueueKind kind, const AnalysisVariant &variant,
-            std::uint32_t threads, double native_rate)
+void
+analyzeCell(Cell &cell, const AnalysisVariant &variant)
 {
+    Stopwatch watch;
     QueueWorkloadConfig config;
-    config.kind = kind;
+    config.kind = cell.kind;
     config.variant = variant.trace_variant;
-    config.threads = threads;
-    config.inserts_per_thread = threads == 1 ? 20000 : 2500;
+    config.threads = cell.threads;
+    config.inserts_per_thread = cell.threads == 1 ? 20000 : 2500;
     config.seed = 42;
 
     PersistTimingEngine engine(levels(variant.model));
     const auto workload = runInto(config, {&engine});
 
     const auto throughput = makeThroughput(
-        native_rate, workload.inserts, engine.result().critical_path,
-        paper_latency_ns);
-    return {throughput.normalized(),
-            engine.result().criticalPathPerOp()};
+        cell.native_rate, workload.inserts,
+        engine.result().critical_path, paper_latency_ns);
+    cell.normalized = throughput.normalized();
+    cell.critical_path_per_op = engine.result().criticalPathPerOp();
+    cell.events = engine.result().events;
+    cell.wall_seconds = watch.seconds();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions options = parseBenchOptions(argc, argv);
     banner("Table 1: relaxed persistency performance "
            "(normalized persist-bound insert rate, 500 ns persists)",
            "CWL 1T: strict ~0.03 (30x slowdown), epoch ~0.17, strand "
@@ -64,20 +78,59 @@ main()
            "2LC 8T reaches instruction rate under epoch persistency");
 
     const auto variants = table1Variants();
+    const QueueKind kinds[] = {QueueKind::CopyWhileLocked,
+                               QueueKind::TwoLockConcurrent};
 
-    for (const auto kind :
-         {QueueKind::CopyWhileLocked, QueueKind::TwoLockConcurrent}) {
+    // Native rates first, serially: they time real execution and must
+    // not share the machine with analysis threads.
+    std::map<std::pair<int, std::uint32_t>, double> native;
+    for (const auto kind : kinds)
+        for (const std::uint32_t threads : {1u, 8u})
+            native[{static_cast<int>(kind), threads}] =
+                measureNativeInsertRate(kind, threads, 400000 / threads,
+                                        100);
+
+    // One trace + analysis per (queue, threads, variant) cell; each
+    // cell is independent, so the 16 of them fan out on the pool.
+    std::vector<Cell> cells;
+    for (const auto kind : kinds)
+        for (const std::uint32_t threads : {1u, 8u})
+            for (std::size_t v = 0; v < variants.size(); ++v) {
+                Cell cell;
+                cell.kind = kind;
+                cell.threads = threads;
+                cell.variant = v;
+                cell.native_rate =
+                    native[{static_cast<int>(kind), threads}];
+                cells.push_back(cell);
+            }
+
+    Stopwatch analysis_watch;
+    TaskPool pool(options.jobs);
+    pool.parallelFor(cells.size(), [&cells, &variants](std::size_t i) {
+        analyzeCell(cells[i], variants[cells[i].variant]);
+    });
+    const double analysis_wall = analysis_watch.seconds();
+
+    auto cellFor = [&](QueueKind kind, std::uint32_t threads,
+                       std::size_t variant) -> const Cell & {
+        for (const Cell &cell : cells)
+            if (cell.kind == kind && cell.threads == threads &&
+                cell.variant == variant)
+                return cell;
+        PERSIM_PANIC("missing table1 cell");
+    };
+
+    for (const auto kind : kinds) {
         TextTable table;
         table.header({"threads", "native(ins/s)", "Strict", "Epoch",
                       "RacingEpochs", "Strand"});
         for (const std::uint32_t threads : {1u, 8u}) {
-            const double native = measureNativeInsertRate(
-                kind, threads, 400000 / threads, 100);
             std::vector<std::string> row{
-                std::to_string(threads), formatRate(native)};
-            for (const auto &variant : variants) {
-                const Cell cell =
-                    analyzeCell(kind, variant, threads, native);
+                std::to_string(threads),
+                formatRate(native[{static_cast<int>(kind), threads}])};
+            for (std::size_t v = 0; v < variants.size(); ++v) {
+                const Cell &cell = cellFor(kind, threads, v);
                 std::string text = formatDouble(cell.normalized, 3);
                 if (cell.normalized >= 1.0)
                     text += " *"; // Compute-bound (paper: bold).
@@ -90,23 +143,40 @@ main()
                   << table.render();
     }
 
-    // Companion detail: the critical path per insert driving each cell.
+    // Companion detail: the critical path per insert driving each
+    // cell, plus the per-analysis wall time and events/sec.
     std::cout << "\nPersist critical path per insert (levels):\n";
     TextTable detail;
     detail.header({"queue", "threads", "Strict", "Epoch", "RacingEpochs",
                    "Strand"});
-    for (const auto kind :
-         {QueueKind::CopyWhileLocked, QueueKind::TwoLockConcurrent}) {
+    for (const auto kind : kinds) {
         for (const std::uint32_t threads : {1u, 8u}) {
             std::vector<std::string> row{queueKindName(kind),
                                          std::to_string(threads)};
-            for (const auto &variant : variants) {
-                const Cell cell = analyzeCell(kind, variant, threads, 1.0);
-                row.push_back(formatDouble(cell.critical_path_per_op, 3));
-            }
+            for (std::size_t v = 0; v < variants.size(); ++v)
+                row.push_back(formatDouble(
+                    cellFor(kind, threads, v).critical_path_per_op, 3));
             detail.row(row);
         }
     }
     std::cout << detail.render();
+
+    std::cout << "\nPer-analysis wall time (trace + replay):\n";
+    TextTable timing;
+    timing.header({"queue", "threads", "variant", "events", "wall(s)",
+                   "events/s"});
+    std::uint64_t events_analyzed = 0;
+    for (const Cell &cell : cells) {
+        events_analyzed += cell.events;
+        timing.row({queueKindName(cell.kind),
+                    std::to_string(cell.threads),
+                    variants[cell.variant].name,
+                    std::to_string(cell.events),
+                    formatDouble(cell.wall_seconds, 4),
+                    formatEventsPerSec(cell.events, cell.wall_seconds)});
+    }
+    std::cout << timing.render() << "\n";
+    reportAnalysisWall(cells.size(), events_analyzed, analysis_wall,
+                       options.jobs);
     return 0;
 }

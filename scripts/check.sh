@@ -16,4 +16,19 @@ if ./build/bench/explore_litmus --no-consumer-barrier; then
 fi
 ./build/bench/explore_litmus --program=queue --max-executions=256 \
     --samples=32
+
+# ThreadSanitizer pass: the task pool, the pool-driven parallel sweep,
+# and the sharded explorer must be race-free. Separate build tree so
+# the instrumented objects never mix with the tier-1 build.
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j \
+    --target task_pool_test sweep_test explore_test explore_litmus
+./build-tsan/tests/task_pool_test
+./build-tsan/tests/sweep_test
+./build-tsan/tests/explore_test
+./build-tsan/bench/explore_litmus --model=epoch --threads=2
+./build-tsan/bench/explore_litmus --program=queue --shards=4 \
+    --max-executions=256 --samples=32
 echo "check.sh: all checks passed"

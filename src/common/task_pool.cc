@@ -1,0 +1,133 @@
+#include "common/task_pool.hh"
+
+#include <memory>
+
+#include "common/error.hh"
+
+namespace persim {
+
+std::uint32_t
+TaskPool::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+TaskPool::TaskPool(std::uint32_t workers)
+    : workers_(workers > 0 ? workers : defaultWorkers())
+{
+    threads_.reserve(workers_);
+    for (std::uint32_t i = 0; i < workers_; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+void
+TaskPool::submit(Task task)
+{
+    PERSIM_REQUIRE(task != nullptr, "task pool needs a callable task");
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        PERSIM_REQUIRE(!stop_, "submit to a stopping task pool");
+        queue_.push_back(std::move(task));
+        ++pending_;
+    }
+    work_cv_.notify_one();
+}
+
+void
+TaskPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] { return pending_ == 0; });
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+TaskPool::parallelFor(std::size_t n,
+                      const std::function<void(std::size_t)> &body)
+{
+    PERSIM_REQUIRE(body != nullptr, "parallelFor needs a callable body");
+    if (n == 0)
+        return;
+
+    // Private completion latch so a parallelFor is well-defined even
+    // alongside unrelated submit() traffic on the same pool.
+    struct Batch
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::size_t remaining = 0;
+        std::exception_ptr error;
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->remaining = n;
+
+    // `body` is captured by reference: this frame outlives the batch
+    // because it blocks below until remaining == 0.
+    for (std::size_t i = 0; i < n; ++i) {
+        submit([batch, &body, i] {
+            std::exception_ptr error;
+            try {
+                body(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            std::lock_guard<std::mutex> guard(batch->mutex);
+            if (error && !batch->error)
+                batch->error = error;
+            if (--batch->remaining == 0)
+                batch->cv.notify_all();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->cv.wait(lock, [&batch] { return batch->remaining == 0; });
+    if (batch->error)
+        std::rethrow_exception(batch->error);
+}
+
+void
+TaskPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty())
+            break; // stop_ set and nothing left to drain.
+        Task task = std::move(queue_.back());
+        queue_.pop_back();
+        lock.unlock();
+
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        lock.lock();
+        if (error && !error_)
+            error_ = error;
+        if (--pending_ == 0)
+            done_cv_.notify_all();
+    }
+}
+
+} // namespace persim

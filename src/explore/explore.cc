@@ -1,10 +1,8 @@
 #include "explore/explore.hh"
 
 #include <algorithm>
-#include <condition_variable>
 #include <mutex>
 #include <sstream>
-#include <thread>
 #include <unordered_set>
 
 #include "common/error.hh"
@@ -12,6 +10,23 @@
 #include "recovery/cuts.hh"
 
 namespace persim {
+
+namespace {
+
+/** Untried alternatives at branch points in [from, min(size, depth)). */
+std::uint64_t
+countBranchAlternatives(const std::vector<BranchPoint> &decisions,
+                        std::size_t from, std::size_t depth)
+{
+    const std::size_t limit = std::min(decisions.size(), depth);
+    std::uint64_t alternatives = 0;
+    for (std::size_t i = from; i < limit; ++i)
+        if (decisions[i].arity > 1)
+            alternatives += decisions[i].arity - 1;
+    return alternatives;
+}
+
+} // namespace
 
 std::uint64_t
 fingerprintTrace(const InMemoryTrace &trace)
@@ -65,17 +80,10 @@ ExploreResult::summary() const
     return oss.str();
 }
 
-/** State shared by the shard workers of one exploration. */
+/** State shared by the pool tasks of one exploration. */
 struct Explorer::Shared
 {
     std::mutex mutex;
-    std::condition_variable cv;
-
-    /** LIFO work stack of decision prefixes (DFS-ish order). */
-    std::vector<std::vector<std::uint32_t>> stack;
-
-    /** Queued + in-flight items; workers exit when it reaches 0. */
-    std::uint64_t outstanding = 0;
 
     /** Executions started (budget accounting). */
     std::uint64_t started = 0;
@@ -217,8 +225,9 @@ Explorer::analyze(Shared &shared, const Execution &execution,
 }
 
 void
-Explorer::process(Shared &shared, const std::vector<std::uint32_t> &prefix,
-                  bool sampled, std::uint64_t sample_seed)
+Explorer::process(TaskPool *pool, Shared &shared,
+                  const std::vector<std::uint32_t> &prefix, bool sampled,
+                  std::uint64_t sample_seed)
 {
     Execution execution;
     try {
@@ -242,30 +251,9 @@ Explorer::process(Shared &shared, const std::vector<std::uint32_t> &prefix,
             ++shared.result.pruned_duplicates;
 
         if (!sampled) {
-            // Expand untried siblings along this execution's decision
-            // suffix, deepest-first so the LIFO stack walks the tree
-            // depth-first.
-            const std::size_t limit = std::min<std::size_t>(
-                execution.decisions.size(),
+            shared.result.branch_points += countBranchAlternatives(
+                execution.decisions, prefix.size(),
                 static_cast<std::size_t>(config_.max_depth));
-            for (std::size_t i = limit; i-- > prefix.size();) {
-                const BranchPoint &bp = execution.decisions[i];
-                if (bp.arity <= 1)
-                    continue;
-                shared.result.branch_points += bp.arity - 1;
-                std::vector<std::uint32_t> base;
-                base.reserve(i + 1);
-                for (std::size_t k = 0; k < i; ++k)
-                    base.push_back(execution.decisions[k].chosen);
-                for (std::uint32_t alt = bp.arity; alt-- > 0;) {
-                    if (alt == bp.chosen)
-                        continue;
-                    std::vector<std::uint32_t> child = base;
-                    child.push_back(alt);
-                    shared.stack.push_back(std::move(child));
-                    ++shared.outstanding;
-                }
-            }
             if (execution.decisions.size() >
                 static_cast<std::size_t>(config_.max_depth)) {
                 // Branches beyond the depth bound were not explored.
@@ -277,12 +265,57 @@ Explorer::process(Shared &shared, const std::vector<std::uint32_t> &prefix,
                     }
                 }
             }
-            shared.cv.notify_all();
+        }
+    }
+
+    if (!sampled) {
+        // Expand untried siblings along this execution's decision
+        // suffix, deepest-first: the pool runs the newest submission
+        // first, so this walks the tree depth-first-ish, exactly like
+        // the LIFO stack it replaces.
+        const std::size_t limit = std::min<std::size_t>(
+            execution.decisions.size(),
+            static_cast<std::size_t>(config_.max_depth));
+        for (std::size_t i = limit; i-- > prefix.size();) {
+            const BranchPoint &bp = execution.decisions[i];
+            if (bp.arity <= 1)
+                continue;
+            std::vector<std::uint32_t> base;
+            base.reserve(i + 1);
+            for (std::size_t k = 0; k < i; ++k)
+                base.push_back(execution.decisions[k].chosen);
+            for (std::uint32_t alt = bp.arity; alt-- > 0;) {
+                if (alt == bp.chosen)
+                    continue;
+                std::vector<std::uint32_t> child = base;
+                child.push_back(alt);
+                enqueue(*pool, shared, std::move(child));
+            }
         }
     }
 
     if (fresh)
         analyze(shared, execution, prefix);
+}
+
+void
+Explorer::enqueue(TaskPool &pool, Shared &shared,
+                  std::vector<std::uint32_t> prefix)
+{
+    pool.submit([this, &pool, &shared, prefix = std::move(prefix)] {
+        {
+            std::lock_guard<std::mutex> guard(shared.mutex);
+            if (config_.max_executions > 0 &&
+                shared.started >= config_.max_executions) {
+                // Budget exhausted with work left: drop this item.
+                shared.result.schedule_budget_exhausted = true;
+                return;
+            }
+            ++shared.started;
+            ++shared.result.executions;
+        }
+        process(&pool, shared, prefix, false, 1);
+    });
 }
 
 ExploreResult
@@ -292,78 +325,25 @@ Explorer::run()
     ran_ = true;
 
     Shared shared;
-    shared.stack.push_back({});
-    shared.outstanding = 1;
-
-    auto worker = [this, &shared] {
-        std::unique_lock<std::mutex> lock(shared.mutex);
-        for (;;) {
-            shared.cv.wait(lock, [&shared] {
-                return !shared.stack.empty() || shared.outstanding == 0;
-            });
-            if (shared.stack.empty())
-                break; // outstanding == 0: exploration complete.
-            if (config_.max_executions > 0 &&
-                shared.started >= config_.max_executions) {
-                // Budget exhausted with work left: drop the remainder.
-                shared.result.schedule_budget_exhausted = true;
-                shared.outstanding -= shared.stack.size();
-                shared.stack.clear();
-                shared.cv.notify_all();
-                continue;
-            }
-            ++shared.started;
-            ++shared.result.executions;
-            std::vector<std::uint32_t> prefix =
-                std::move(shared.stack.back());
-            shared.stack.pop_back();
-            lock.unlock();
-            process(shared, prefix, false, 1);
-            lock.lock();
-            --shared.outstanding;
-            if (shared.outstanding == 0)
-                shared.cv.notify_all();
-        }
-    };
-
-    std::vector<std::thread> threads;
-    for (std::uint32_t s = 1; s < config_.shards; ++s)
-        threads.emplace_back(worker);
-    worker();
-    for (std::thread &thread : threads)
-        thread.join();
+    TaskPool pool(config_.shards);
+    enqueue(pool, shared, {});
+    pool.wait();
 
     // Seeded-sampling fallback: the DFS budget ran out before the
     // tree was covered, so buy tail coverage with random schedules.
     if (shared.result.schedule_budget_exhausted && config_.samples > 0) {
-        std::vector<std::thread> samplers;
-        std::uint64_t next_seed = config_.seed;
-        std::mutex seed_mutex;
-        std::uint64_t remaining = config_.samples;
-        auto sampler = [this, &shared, &next_seed, &seed_mutex,
-                        &remaining] {
-            for (;;) {
-                std::uint64_t seed;
-                {
-                    std::lock_guard<std::mutex> guard(seed_mutex);
-                    if (remaining == 0)
-                        return;
-                    --remaining;
-                    seed = next_seed++;
-                }
+        for (std::uint64_t s = 0; s < config_.samples; ++s) {
+            const std::uint64_t seed = config_.seed + s;
+            pool.submit([this, &shared, seed] {
                 {
                     std::lock_guard<std::mutex> guard(shared.mutex);
                     ++shared.result.executions;
                     ++shared.result.sampled_executions;
                 }
-                process(shared, {}, true, seed);
-            }
-        };
-        for (std::uint32_t s = 1; s < config_.shards; ++s)
-            samplers.emplace_back(sampler);
-        sampler();
-        for (std::thread &thread : samplers)
-            thread.join();
+                process(nullptr, shared, {}, true, seed);
+            });
+        }
+        pool.wait();
     }
 
     return shared.result;

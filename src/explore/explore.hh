@@ -21,7 +21,9 @@
  *
  * The scheduler decision tree is explored statelessly (re-execution
  * from a recorded prefix, as the engine has no snapshot/restore), and
- * top-level work items are sharded across OS worker threads.
+ * decision-prefix work items are scheduled on a common/task_pool.hh
+ * TaskPool of `shards` workers (the pool's LIFO order keeps the
+ * traversal depth-first-ish, matching the previous ad-hoc stack).
  */
 
 #ifndef PERSIM_EXPLORE_EXPLORE_HH
@@ -33,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/task_pool.hh"
 #include "memtrace/sink.hh"
 #include "persistency/model.hh"
 #include "recovery/recovery.hh"
@@ -209,9 +212,15 @@ class Explorer
   private:
     struct Shared;
 
-    /** Run + analyze one prefix; push child work items. */
-    void process(Shared &shared, const std::vector<std::uint32_t> &prefix,
-                 bool sampled, std::uint64_t sample_seed);
+    /** Submit one DFS prefix to the pool (budget-checked at start). */
+    void enqueue(TaskPool &pool, Shared &shared,
+                 std::vector<std::uint32_t> prefix);
+
+    /** Run + analyze one prefix; submit child work items to @p pool
+        (null for sampled runs, which never fork children). */
+    void process(TaskPool *pool, Shared &shared,
+                 const std::vector<std::uint32_t> &prefix, bool sampled,
+                 std::uint64_t sample_seed);
 
     /** Analyze one execution's crash states. */
     void analyze(Shared &shared, const Execution &execution,

@@ -15,6 +15,28 @@ constexpr std::uint32_t trace_version = 1;
 constexpr std::size_t header_size = 8 + 4 + 4 + 8;
 constexpr std::size_t record_size = 32;
 
+/** Highest EventKind a record may carry (reject garbage above it). */
+constexpr std::uint64_t max_event_kind =
+    static_cast<std::uint64_t>(EventKind::Fence);
+
+/** Store @p v little-endian into out[0..bytes). */
+void
+putLe(unsigned char *out, std::uint64_t v, int bytes)
+{
+    for (int i = 0; i < bytes; ++i)
+        out[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+}
+
+/** Load a little-endian value from in[0..bytes). */
+std::uint64_t
+getLe(const unsigned char *in, int bytes)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
 /** Pack one event into a 32-byte little-endian record. */
 void
 packEvent(const TraceEvent &event, unsigned char *out)
@@ -32,21 +54,25 @@ packEvent(const TraceEvent &event, unsigned char *out)
     put(event.marker, 2);
 }
 
-/** Unpack one 32-byte record into an event. */
+/** Unpack one 32-byte record into an event; rejects bad kind bytes. */
 void
 unpackEvent(const unsigned char *in, TraceEvent &event)
 {
     auto get = [&in](int bytes) {
-        std::uint64_t v = 0;
-        for (int i = 0; i < bytes; ++i)
-            v |= static_cast<std::uint64_t>(*in++) << (8 * i);
+        const std::uint64_t v = getLe(in, bytes);
+        in += bytes;
         return v;
     };
     event.seq = get(8);
     event.addr = get(8);
     event.value = get(8);
     event.thread = static_cast<ThreadId>(get(4));
-    event.kind = static_cast<EventKind>(get(1));
+    const std::uint64_t kind = get(1);
+    PERSIM_REQUIRE(kind <= max_event_kind,
+                   "corrupt trace record: event kind byte "
+                       << kind << " is out of range (max "
+                       << max_event_kind << ")");
+    event.kind = static_cast<EventKind>(kind);
     event.size = static_cast<std::uint8_t>(get(1));
     event.marker = static_cast<std::uint16_t>(get(2));
 }
@@ -63,21 +89,31 @@ TraceFileWriter::TraceFileWriter(const std::string &path) : path_(path)
 
 TraceFileWriter::~TraceFileWriter()
 {
-    onFinish();
+    // Best-effort: onFinish() throws on a short write (e.g. a full
+    // disk), and an exception escaping a destructor is std::terminate.
+    // Callers that need the failure must call onFinish() themselves.
+    try {
+        onFinish();
+    } catch (...) {
+    }
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
 }
 
 void
 TraceFileWriter::writeHeader()
 {
+    // The header is little-endian on disk like the records; memcpy of
+    // host integers would bake the writer's endianness into the file.
     unsigned char header[header_size] = {};
     std::memcpy(header, trace_magic.data(), trace_magic.size());
-    std::uint32_t version = trace_version;
-    std::memcpy(header + 8, &version, 4);
-    std::uint32_t threads = thread_count_;
-    std::memcpy(header + 12, &threads, 4);
-    std::uint64_t count = event_count_;
-    std::memcpy(header + 16, &count, 8);
-    std::fseek(file_, 0, SEEK_SET);
+    putLe(header + 8, trace_version, 4);
+    putLe(header + 12, thread_count_, 4);
+    putLe(header + 16, event_count_, 8);
+    PERSIM_REQUIRE(std::fseek(file_, 0, SEEK_SET) == 0,
+                   "cannot seek in trace file: " << path_);
     const std::size_t written =
         std::fwrite(header, 1, header_size, file_);
     PERSIM_REQUIRE(written == header_size,
@@ -106,8 +142,13 @@ TraceFileWriter::onFinish()
         return;
     finished_ = true;
     writeHeader();
-    std::fclose(file_);
+    // Flush before close so a full disk surfaces here, checked,
+    // rather than silently at fclose time.
+    const bool flushed = std::fflush(file_) == 0;
+    const bool closed = std::fclose(file_) == 0;
     file_ = nullptr;
+    PERSIM_REQUIRE(flushed && closed,
+                   "cannot finish trace file: " << path_);
 }
 
 TraceFileReader::TraceFileReader(const std::string &path)
@@ -121,14 +162,36 @@ TraceFileReader::TraceFileReader(const std::string &path)
     PERSIM_REQUIRE(
         std::memcmp(header, trace_magic.data(), trace_magic.size()) == 0,
         "bad trace file magic: " << path);
-    std::uint32_t version = 0;
-    std::memcpy(&version, header + 8, 4);
+    const auto version =
+        static_cast<std::uint32_t>(getLe(header + 8, 4));
     PERSIM_REQUIRE(version == trace_version,
                    "unsupported trace version " << version << ": " << path);
-    std::uint32_t threads = 0;
-    std::memcpy(&threads, header + 12, 4);
-    thread_count_ = threads;
-    std::memcpy(&event_count_, header + 16, 8);
+    thread_count_ = static_cast<ThreadId>(getLe(header + 12, 4));
+    event_count_ = getLe(header + 16, 8);
+
+    // Don't trust the header count: a truncated or corrupt file must
+    // be rejected at open, not midway through an analysis.
+    constexpr std::uint64_t max_events =
+        (~0ULL - header_size) / record_size;
+    PERSIM_REQUIRE(event_count_ <= max_events,
+                   "unreasonable event count " << event_count_ << ": "
+                                               << path);
+    const long data_start = std::ftell(file_);
+    PERSIM_REQUIRE(data_start >= 0 &&
+                       std::fseek(file_, 0, SEEK_END) == 0,
+                   "cannot seek in trace file: " << path);
+    const long file_size = std::ftell(file_);
+    PERSIM_REQUIRE(file_size >= 0 &&
+                       std::fseek(file_, data_start, SEEK_SET) == 0,
+                   "cannot seek in trace file: " << path);
+    const std::uint64_t expected =
+        header_size + event_count_ * record_size;
+    PERSIM_REQUIRE(
+        static_cast<std::uint64_t>(file_size) == expected,
+        "trace file size mismatch: header claims "
+            << event_count_ << " events (" << expected
+            << " bytes) but the file holds " << file_size
+            << " bytes: " << path);
 }
 
 TraceFileReader::~TraceFileReader()

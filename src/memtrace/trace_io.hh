@@ -32,6 +32,11 @@ class TraceFileWriter : public TraceSink
   public:
     /** Open @p path for writing; fatals if the file cannot be opened. */
     explicit TraceFileWriter(const std::string &path);
+
+    /**
+     * Best-effort finish: never throws. Call onFinish() explicitly to
+     * get short-write errors (e.g. full disk) reported.
+     */
     ~TraceFileWriter() override;
 
     TraceFileWriter(const TraceFileWriter &) = delete;
@@ -58,7 +63,12 @@ class TraceFileWriter : public TraceSink
 class TraceFileReader
 {
   public:
-    /** Open @p path; fatals on a missing or malformed file. */
+    /**
+     * Open @p path; fatals on a missing or malformed file, including
+     * a header event count inconsistent with the actual file size.
+     * Records carrying an out-of-range event-kind byte are rejected
+     * by readNext/readAll.
+     */
     explicit TraceFileReader(const std::string &path);
     ~TraceFileReader();
 

@@ -1,24 +1,35 @@
 #include "persistency/sweep.hh"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
 
 #include "common/error.hh"
+#include "common/task_pool.hh"
+#include "memtrace/trace_io.hh"
 
 namespace persim {
 
-std::vector<SweepSeries>
-granularitySweep(const InMemoryTrace &trace,
-                 const std::vector<ModelConfig> &models,
-                 const std::vector<std::uint64_t> &granularities,
-                 GranularityKnob knob)
-{
-    PERSIM_REQUIRE(!models.empty() && !granularities.empty(),
-                   "sweep needs at least one model and one value");
+namespace {
 
+using SteadyClock = std::chrono::steady_clock;
+
+double
+secondsSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double>(SteadyClock::now() - start)
+        .count();
+}
+
+/** The engine bank of one sweep: one config per (model, knob) pair. */
+std::vector<std::unique_ptr<PersistTimingEngine>>
+buildEngines(const std::vector<ModelConfig> &models,
+             const std::vector<std::uint64_t> &granularities,
+             GranularityKnob knob)
+{
     std::vector<std::unique_ptr<PersistTimingEngine>> engines;
-    FanoutSink fanout;
+    engines.reserve(models.size() * granularities.size());
     for (const auto &base : models) {
         for (const auto gran : granularities) {
             ModelConfig model = base;
@@ -31,24 +42,141 @@ granularitySweep(const InMemoryTrace &trace,
             config.model = model;
             engines.push_back(
                 std::make_unique<PersistTimingEngine>(config));
-            fanout.addSink(engines.back().get());
         }
     }
-    trace.replay(fanout);
+    return engines;
+}
 
+/** Gather the engine bank back into per-model series. */
+std::vector<SweepSeries>
+collectSeries(const std::vector<std::unique_ptr<PersistTimingEngine>>
+                  &engines,
+              const std::vector<ModelConfig> &models,
+              const std::vector<std::uint64_t> &granularities,
+              const std::vector<double> &wall_seconds)
+{
     std::vector<SweepSeries> series;
+    series.reserve(models.size());
     std::size_t index = 0;
     for (const auto &base : models) {
         SweepSeries entry;
         entry.model = base;
+        entry.points.reserve(granularities.size());
         for (const auto gran : granularities) {
-            entry.points.push_back(
-                SweepPoint{gran, engines[index]->result()});
+            SweepPoint point;
+            point.value = gran;
+            point.result = engines[index]->result();
+            point.wall_seconds = wall_seconds[index];
+            entry.points.push_back(point);
             ++index;
         }
         series.push_back(std::move(entry));
     }
     return series;
+}
+
+} // namespace
+
+std::vector<SweepSeries>
+granularitySweep(const InMemoryTrace &trace,
+                 const std::vector<ModelConfig> &models,
+                 const std::vector<std::uint64_t> &granularities,
+                 GranularityKnob knob, const SweepOptions &options)
+{
+    PERSIM_REQUIRE(!models.empty() && !granularities.empty(),
+                   "sweep needs at least one model and one value");
+
+    auto engines = buildEngines(models, granularities, knob);
+    std::vector<double> wall_seconds(engines.size(), 0.0);
+
+    if (options.jobs == 1) {
+        // Serial baseline: one pass through all engines.
+        FanoutSink fanout;
+        for (const auto &engine : engines)
+            fanout.addSink(engine.get());
+        const auto start = SteadyClock::now();
+        trace.replay(fanout);
+        const double pass = secondsSince(start);
+        for (double &wall : wall_seconds)
+            wall = pass;
+    } else {
+        // One independent replay per config. Engines share only the
+        // read-only trace, so this is a pure fan-out.
+        TaskPool pool(options.jobs);
+        pool.parallelFor(engines.size(), [&](std::size_t i) {
+            const auto start = SteadyClock::now();
+            trace.replay(*engines[i]);
+            wall_seconds[i] = secondsSince(start);
+        });
+    }
+
+    return collectSeries(engines, models, granularities, wall_seconds);
+}
+
+std::vector<SweepSeries>
+granularitySweepFile(const std::string &path,
+                     const std::vector<ModelConfig> &models,
+                     const std::vector<std::uint64_t> &granularities,
+                     GranularityKnob knob, const SweepOptions &options)
+{
+    PERSIM_REQUIRE(!models.empty() && !granularities.empty(),
+                   "sweep needs at least one model and one value");
+    PERSIM_REQUIRE(options.chunk_events >= 1,
+                   "streaming sweep needs a positive chunk size");
+
+    auto engines = buildEngines(models, granularities, knob);
+    std::vector<double> wall_seconds(engines.size(), 0.0);
+
+    // Feed one chunk to engine i, accumulating its analysis time.
+    std::vector<TraceEvent> chunk;
+    chunk.reserve(static_cast<std::size_t>(options.chunk_events));
+    auto feed = [&](std::size_t i) {
+        const auto start = SteadyClock::now();
+        for (const TraceEvent &event : chunk)
+            engines[i]->onEvent(event);
+        wall_seconds[i] += secondsSince(start);
+    };
+    auto finish = [&](std::size_t i) {
+        const auto start = SteadyClock::now();
+        engines[i]->onFinish();
+        wall_seconds[i] += secondsSince(start);
+    };
+
+    TraceFileReader reader(path);
+    std::unique_ptr<TaskPool> pool;
+    if (options.jobs != 1)
+        pool = std::make_unique<TaskPool>(options.jobs);
+
+    bool done = false;
+    while (!done) {
+        chunk.clear();
+        TraceEvent event;
+        while (chunk.size() <
+               static_cast<std::size_t>(options.chunk_events)) {
+            if (!reader.readNext(event)) {
+                done = true;
+                break;
+            }
+            chunk.push_back(event);
+        }
+        if (chunk.empty())
+            break;
+        if (pool) {
+            pool->parallelFor(engines.size(), feed);
+        } else {
+            for (std::size_t i = 0; i < engines.size(); ++i)
+                feed(i);
+        }
+    }
+
+    if (pool) {
+        pool->parallelFor(engines.size(), finish);
+    } else {
+        for (std::size_t i = 0; i < engines.size(); ++i)
+            finish(i);
+    }
+
+    return collectSeries(engines, models, granularities, wall_seconds);
 }
 
 std::vector<LatencyPoint>
@@ -81,12 +209,18 @@ logLatencyGrid(double lo_ns, double hi_ns, unsigned points_per_decade)
     PERSIM_REQUIRE(lo_ns > 0.0 && hi_ns > lo_ns,
                    "grid needs 0 < lo < hi");
     PERSIM_REQUIRE(points_per_decade >= 1, "need at least one point");
-    std::vector<double> grid;
-    const double step = 1.0 / points_per_decade;
     const double lo_exp = std::log10(lo_ns);
     const double hi_exp = std::log10(hi_ns);
-    for (double e = lo_exp; e <= hi_exp + 1e-9; e += step)
-        grid.push_back(std::pow(10.0, e));
+    // Index the grid by integer step count: accumulating `e += step`
+    // in floating point can fall just past hi_exp and drop the final
+    // point for some points_per_decade.
+    const auto steps = static_cast<std::uint64_t>(
+        std::floor((hi_exp - lo_exp) * points_per_decade + 1e-6));
+    std::vector<double> grid;
+    grid.reserve(steps + 1);
+    for (std::uint64_t i = 0; i <= steps; ++i)
+        grid.push_back(std::pow(
+            10.0, lo_exp + static_cast<double>(i) / points_per_decade));
     return grid;
 }
 

@@ -5,15 +5,30 @@
  * The paper's figures are sweeps over a single knob — persist latency
  * (Figure 3), atomic persist granularity (Figure 4), tracking
  * granularity (Figure 5). These helpers run one trace through a bank
- * of engines, one per knob value, in a single pass (engines are
- * sinks), returning structured series that benches or applications
- * can render or post-process.
+ * of engines, one per knob value (engines are sinks), returning
+ * structured series that benches or applications can render or
+ * post-process.
+ *
+ * Two execution strategies, selected by SweepOptions::jobs:
+ *
+ *  - jobs == 1 (default): the serial baseline — one FanoutSink pass
+ *    replays the trace once through every engine on the caller's
+ *    thread.
+ *  - jobs != 1: each (model, knob) config replays independently on a
+ *    TaskPool. Engines share nothing (the trace is read-only), so the
+ *    parallel results are bit-identical to the serial pass — asserted
+ *    by tests/persistency/sweep_test.cc.
+ *
+ * granularitySweepFile additionally streams the trace from disk in
+ * batched chunks, so sweeps over very large traces never materialize
+ * the whole event stream in memory.
  */
 
 #ifndef PERSIM_PERSISTENCY_SWEEP_HH
 #define PERSIM_PERSISTENCY_SWEEP_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "memtrace/sink.hh"
@@ -21,11 +36,32 @@
 
 namespace persim {
 
+/** How a sweep schedules its engine replays. */
+struct SweepOptions
+{
+    /**
+     * Analysis workers: 1 = serial single-pass FanoutSink baseline on
+     * the calling thread; 0 = one worker per hardware thread; N > 1 =
+     * a TaskPool of N workers, one engine replay per task.
+     */
+    std::uint32_t jobs = 1;
+
+    /** Streaming batch size in events (granularitySweepFile). */
+    std::uint64_t chunk_events = 1ULL << 16;
+};
+
 /** One sweep sample: the knob value and the analysis result. */
 struct SweepPoint
 {
     std::uint64_t value = 0;
     TimingResult result;
+
+    /**
+     * Wall time spent analyzing this config, in seconds. Under the
+     * serial single-pass strategy the engines share one replay, so
+     * every point reports that shared pass time.
+     */
+    double wall_seconds = 0.0;
 };
 
 /** A sweep for one model across knob values. */
@@ -42,15 +78,30 @@ enum class GranularityKnob : std::uint8_t {
 };
 
 /**
- * Analyze @p trace once per (model, granularity) pair in a single
- * replay pass; returns one series per model, each with one point per
- * granularity.
+ * Analyze @p trace once per (model, granularity) pair; returns one
+ * series per model, each with one point per granularity. Results are
+ * identical regardless of SweepOptions::jobs.
  */
 std::vector<SweepSeries>
 granularitySweep(const InMemoryTrace &trace,
                  const std::vector<ModelConfig> &models,
                  const std::vector<std::uint64_t> &granularities,
-                 GranularityKnob knob);
+                 GranularityKnob knob,
+                 const SweepOptions &options = {});
+
+/**
+ * Same sweep, streaming the trace from @p path in batches of
+ * SweepOptions::chunk_events events instead of materializing it:
+ * every engine consumes each chunk (in parallel across engines when
+ * jobs != 1) before the next chunk is read. Event order per engine is
+ * identical to the in-memory replay, so results match it exactly.
+ */
+std::vector<SweepSeries>
+granularitySweepFile(const std::string &path,
+                     const std::vector<ModelConfig> &models,
+                     const std::vector<std::uint64_t> &granularities,
+                     GranularityKnob knob,
+                     const SweepOptions &options = {});
 
 /** One latency sample: latency and the achievable ops/s. */
 struct LatencyPoint

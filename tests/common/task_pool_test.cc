@@ -1,0 +1,136 @@
+/**
+ * @file
+ * TaskPool tests: submit/wait semantics, recursive submission,
+ * parallelFor, and per-task error capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/task_pool.hh"
+
+namespace persim {
+namespace {
+
+TEST(TaskPool, RunsEverySubmittedTask)
+{
+    TaskPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(TaskPool, WaitIsReusable)
+{
+    TaskPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(TaskPool, TasksMaySubmitSubtasks)
+{
+    // Recursive decomposition: a task forks children; wait() must
+    // cover work submitted by running tasks, not just the roots.
+    TaskPool pool(3);
+    std::atomic<int> leaves{0};
+    std::function<void(int)> fork = [&](int depth) {
+        if (depth == 0) {
+            ++leaves;
+            return;
+        }
+        for (int i = 0; i < 2; ++i)
+            pool.submit([&fork, depth] { fork(depth - 1); });
+    };
+    pool.submit([&fork] { fork(5); });
+    pool.wait();
+    EXPECT_EQ(leaves.load(), 32);
+}
+
+TEST(TaskPool, ParallelForCoversTheRange)
+{
+    TaskPool pool(4);
+    std::vector<int> hits(257, 0);
+    pool.parallelFor(hits.size(),
+                     [&hits](std::size_t i) { hits[i] = 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(TaskPool, ParallelForZeroIsANoop)
+{
+    TaskPool pool(2);
+    pool.parallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(TaskPool, WaitRethrowsFirstTaskError)
+{
+    TaskPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw FatalError("task boom"); });
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&ran] { ++ran; });
+    EXPECT_THROW(pool.wait(), FatalError);
+    // The failure neither killed a worker nor dropped peer tasks.
+    EXPECT_EQ(ran.load(), 10);
+    // The error was consumed: a later quiet batch waits cleanly.
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(TaskPool, ParallelForRethrowsBodyError)
+{
+    TaskPool pool(3);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(16,
+                                  [&ran](std::size_t i) {
+                                      if (i == 7)
+                                          throw FatalError("body boom");
+                                      ++ran;
+                                  }),
+                 FatalError);
+    EXPECT_EQ(ran.load(), 15);
+    // parallelFor failures do not leak into submit()/wait() batches.
+    pool.submit([] {});
+    pool.wait();
+}
+
+TEST(TaskPool, DefaultWorkersIsPositive)
+{
+    EXPECT_GE(TaskPool::defaultWorkers(), 1u);
+    TaskPool pool; // 0 => defaultWorkers()
+    EXPECT_EQ(pool.workerCount(), TaskPool::defaultWorkers());
+}
+
+TEST(TaskPool, NullTaskIsFatal)
+{
+    TaskPool pool(1);
+    EXPECT_THROW(pool.submit(nullptr), FatalError);
+    EXPECT_THROW(pool.parallelFor(1, nullptr), FatalError);
+}
+
+TEST(TaskPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        TaskPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&ran] { ++ran; });
+        // No wait(): the destructor must drain, not drop.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+} // namespace
+} // namespace persim

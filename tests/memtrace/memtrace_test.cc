@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "memtrace/event.hh"
 #include "memtrace/sink.hh"
@@ -24,6 +26,35 @@ std::string
 tempPath(const char *tag)
 {
     return std::string(::testing::TempDir()) + "persim_" + tag + ".trc";
+}
+
+std::vector<unsigned char>
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<unsigned char>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path,
+           const std::vector<unsigned char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** A two-event trace file (threads 0 and 3) for corruption tests. */
+std::string
+writeSmallTrace(const char *tag)
+{
+    test::TraceBuilder builder;
+    builder.store(0, paddr(0), 1).store(3, paddr(1), 2);
+    const std::string path = tempPath(tag);
+    writeTraceFile(path, builder.trace());
+    return path;
 }
 
 TEST(Event, AddressSpaceClassification)
@@ -205,6 +236,109 @@ TEST(TraceIo, WriterAsSinkIsStreamable)
     const InMemoryTrace loaded = readTraceFile(path);
     EXPECT_EQ(loaded.size(), 2u);
     std::remove(path.c_str());
+}
+
+TEST(TraceIo, HeaderIsLittleEndianOnDisk)
+{
+    // The records were always serialized little-endian; the header
+    // must be too, or traces aren't portable across endianness. Check
+    // the raw bytes: version 1, 4 threads, 2 events.
+    const std::string path = writeSmallTrace("le_header");
+    const auto bytes = readBytes(path);
+    ASSERT_GE(bytes.size(), 24u);
+    const std::vector<unsigned char> expected{
+        'P', 'S', 'I', 'M', 'T', 'R', 'C', '1', // magic
+        1,   0,   0,   0,                       // version, LE
+        4,   0,   0,   0,                       // thread count, LE
+        2,   0,   0,   0,   0,   0,   0,   0,   // event count, LE
+    };
+    EXPECT_EQ(std::vector<unsigned char>(bytes.begin(),
+                                         bytes.begin() + 24),
+              expected);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedFileIsRejectedAtOpen)
+{
+    // The header claims two events; chop off part of the last record.
+    const std::string path = writeSmallTrace("truncated");
+    auto bytes = readBytes(path);
+    bytes.resize(bytes.size() - 10);
+    writeBytes(path, bytes);
+    try {
+        TraceFileReader reader(path);
+        FAIL() << "expected a size-mismatch error";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("size mismatch"),
+                  std::string::npos)
+            << error.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, OverstatedEventCountIsRejectedAtOpen)
+{
+    // Bump the header count without appending records: the reader
+    // must not trust it and walk off the end of the file.
+    const std::string path = writeSmallTrace("overcount");
+    auto bytes = readBytes(path);
+    bytes[16] = 200; // event_count LE low byte: claim 200 events.
+    writeBytes(path, bytes);
+    EXPECT_THROW(TraceFileReader reader(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, BadEventKindByteIsRejected)
+{
+    // Corrupt the kind byte of the second record (offset 24 + 32 + 28)
+    // — the file size still matches, so the open succeeds and the
+    // poisoned record must be caught during reading.
+    const std::string path = writeSmallTrace("badkind");
+    auto bytes = readBytes(path);
+    const std::size_t kind_offset = 24 + 32 + 28;
+    ASSERT_GT(bytes.size(), kind_offset);
+    bytes[kind_offset] = 0xee;
+    writeBytes(path, bytes);
+
+    TraceFileReader reader(path);
+    TraceEvent event;
+    EXPECT_TRUE(reader.readNext(event)); // First record is intact.
+    try {
+        reader.readNext(event);
+        FAIL() << "expected a bad-kind error";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("kind byte"),
+                  std::string::npos)
+            << error.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, WriterDestructorIsBestEffortOnFullDisk)
+{
+    // /dev/full returns ENOSPC on flush: the explicit onFinish() must
+    // report it, and the destructor must swallow it rather than call
+    // std::terminate.
+    std::FILE *probe = std::fopen("/dev/full", "wb");
+    if (probe == nullptr)
+        GTEST_SKIP() << "/dev/full not available";
+    std::fclose(probe);
+
+    test::TraceBuilder builder;
+    builder.store(0, paddr(0), 1);
+
+    {
+        TraceFileWriter writer("/dev/full");
+        for (const auto &event : builder.trace().events())
+            writer.onEvent(event);
+        EXPECT_THROW(writer.onFinish(), FatalError);
+    } // Destructor after a failed finish: must not throw.
+
+    {
+        TraceFileWriter writer("/dev/full");
+        for (const auto &event : builder.trace().events())
+            writer.onEvent(event);
+    } // Destructor alone hits the short write: must not terminate.
 }
 
 TEST(TraceStats, CountsByKind)

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 
+#include "memtrace/trace_io.hh"
 #include "persistency/sweep.hh"
 #include "tests/support/trace_builder.hh"
 
@@ -25,6 +28,54 @@ contiguousTrace()
     InMemoryTrace trace;
     builder.trace().replay(trace);
     return trace;
+}
+
+/** A wider multi-thread trace so every model/knob has work to do. */
+InMemoryTrace
+mixedTrace()
+{
+    TraceBuilder builder;
+    for (int i = 0; i < 64; ++i) {
+        const ThreadId tid = i % 3;
+        builder.opBegin(tid, i);
+        builder.store(tid, paddr(i % 16), i);
+        builder.store(tid, paddr(16 + i % 8), i);
+        if (i % 4 == 0)
+            builder.barrier(tid);
+        if (i % 8 == 0)
+            builder.strand(tid);
+        builder.load(tid, paddr(i % 16));
+        builder.opEnd(tid, i);
+    }
+    InMemoryTrace trace;
+    builder.trace().replay(trace);
+    return trace;
+}
+
+/** Bit-identical TimingResult comparison (the acceptance oracle). */
+void
+expectSameResults(const std::vector<SweepSeries> &a,
+                  const std::vector<SweepSeries> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        ASSERT_EQ(a[s].points.size(), b[s].points.size());
+        for (std::size_t p = 0; p < a[s].points.size(); ++p) {
+            const TimingResult &x = a[s].points[p].result;
+            const TimingResult &y = b[s].points[p].result;
+            EXPECT_EQ(a[s].points[p].value, b[s].points[p].value);
+            EXPECT_EQ(x.critical_path, y.critical_path)
+                << "series " << s << " point " << p;
+            EXPECT_EQ(x.persists, y.persists);
+            EXPECT_EQ(x.coalesced, y.coalesced);
+            EXPECT_EQ(x.window_blocked, y.window_blocked);
+            EXPECT_EQ(x.races, y.races);
+            EXPECT_EQ(x.ops, y.ops);
+            EXPECT_EQ(x.events, y.events);
+            EXPECT_EQ(x.barriers, y.barriers);
+            EXPECT_EQ(x.strands, y.strands);
+        }
+    }
 }
 
 TEST(Sweep, GranularitySweepMatchesIndividualRuns)
@@ -59,6 +110,71 @@ TEST(Sweep, TrackingKnobSweeps)
     // Coarser tracking can only lengthen the path.
     EXPECT_LE(series[0].points[0].result.critical_path,
               series[0].points[1].result.critical_path);
+}
+
+TEST(Sweep, ParallelMatchesSerialBitForBit)
+{
+    // The acceptance oracle for the task-pool runtime: the parallel
+    // sweep (one engine replay per task) must reproduce the serial
+    // single-pass FanoutSink results exactly, for every config.
+    const auto trace = mixedTrace();
+    const std::vector<ModelConfig> models{
+        ModelConfig::strict(), ModelConfig::epoch(),
+        ModelConfig::strand()};
+    const std::vector<std::uint64_t> grans{8, 16, 64, 256};
+
+    for (const auto knob :
+         {GranularityKnob::AtomicPersist, GranularityKnob::Tracking}) {
+        const auto serial =
+            granularitySweep(trace, models, grans, knob);
+        SweepOptions parallel;
+        parallel.jobs = 4;
+        const auto pooled =
+            granularitySweep(trace, models, grans, knob, parallel);
+        expectSameResults(serial, pooled);
+        SweepOptions hardware;
+        hardware.jobs = 0; // One worker per hardware thread.
+        expectSameResults(
+            serial, granularitySweep(trace, models, grans, knob,
+                                     hardware));
+    }
+}
+
+TEST(Sweep, StreamingFileSweepMatchesInMemory)
+{
+    // granularitySweepFile replays from disk in batched chunks; per
+    // engine the event order is identical, so results must match the
+    // in-memory sweep exactly — serial and parallel, including a
+    // chunk size that doesn't divide the trace evenly.
+    const auto trace = mixedTrace();
+    const std::string path =
+        std::string(::testing::TempDir()) + "persim_sweep_stream.trc";
+    writeTraceFile(path, trace);
+
+    const std::vector<ModelConfig> models{ModelConfig::strict(),
+                                          ModelConfig::epoch()};
+    const std::vector<std::uint64_t> grans{8, 64};
+    const auto serial = granularitySweep(
+        trace, models, grans, GranularityKnob::AtomicPersist);
+
+    for (const std::uint32_t jobs : {1u, 3u}) {
+        SweepOptions options;
+        options.jobs = jobs;
+        options.chunk_events = 37; // Deliberately uneven.
+        expectSameResults(
+            serial,
+            granularitySweepFile(path, models, grans,
+                                 GranularityKnob::AtomicPersist,
+                                 options));
+    }
+
+    SweepOptions bad;
+    bad.chunk_events = 0;
+    EXPECT_THROW(granularitySweepFile(path, models, grans,
+                                      GranularityKnob::AtomicPersist,
+                                      bad),
+                 FatalError);
+    std::remove(path.c_str());
 }
 
 TEST(Sweep, EmptyInputsAreFatal)
@@ -104,6 +220,25 @@ TEST(Sweep, LogGrid)
     EXPECT_THROW(logLatencyGrid(0.0, 10.0, 2), FatalError);
     EXPECT_THROW(logLatencyGrid(10.0, 5.0, 2), FatalError);
     EXPECT_THROW(logLatencyGrid(1.0, 10.0, 0), FatalError);
+}
+
+TEST(Sweep, LogGridNeverDropsTheFinalPoint)
+{
+    // Regression: the grid used to accumulate `e += 1/ppd` in
+    // floating point, which can drift past hi and drop the last
+    // point for some points_per_decade. Integer step indexing keeps
+    // the point count exact and the endpoint on the grid.
+    for (unsigned ppd = 1; ppd <= 200; ++ppd) {
+        const auto grid = logLatencyGrid(1.0, 1e6, ppd);
+        ASSERT_EQ(grid.size(), 6u * ppd + 1u) << "ppd " << ppd;
+        EXPECT_NEAR(grid.front(), 1.0, 1e-9) << "ppd " << ppd;
+        EXPECT_NEAR(grid.back() / 1e6, 1.0, 1e-9) << "ppd " << ppd;
+    }
+    // Non-decade endpoints still cover everything at or below hi.
+    const auto grid = logLatencyGrid(10.0, 550.0, 4);
+    EXPECT_NEAR(grid.front(), 10.0, 1e-9);
+    EXPECT_LE(grid.back(), 550.0 * (1.0 + 1e-9));
+    ASSERT_EQ(grid.size(), 7u); // floor(log10(55) * 4) + 1.
 }
 
 TEST(Sweep, ZeroCriticalPathIsComputeBound)
