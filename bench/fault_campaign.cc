@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Device-fault injection campaign: violation rates per persistency
+ * model x fault mix (src/nvram/faults.hh, src/recovery/
+ * fault_campaign.hh).
+ *
+ * The paper's recovery observer assumes a perfect device; this bench
+ * measures what each durability protocol loses when the device
+ * misbehaves. Surfaces:
+ *
+ *  - cwl-queue: Copy-While-Locked queue with a checksummed head and
+ *    detect-and-discard recovery (graceful degradation);
+ *  - queue-nobar: the same queue with the required data-before-head
+ *    barrier elided (the campaign must catch it);
+ *  - log: the checksummed append-only log with correct ordering
+ *    annotations (torn tail records degrade gracefully);
+ *  - log-unordered: the log's barrier-elision mutant (torn persists
+ *    expose durable holes).
+ *
+ * Every violation prints a one-line repro; re-run with
+ * --replay="<line>" to re-evaluate exactly that crash state.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "bench_util/table.hh"
+#include "pstruct/log.hh"
+#include "queue/payload.hh"
+#include "recovery/fault_campaign.hh"
+
+using namespace persim;
+using namespace persim::bench;
+
+namespace {
+
+/** One trace + recovery invariant the campaign sweeps. */
+struct Surface
+{
+    std::string name;
+    ModelConfig model;
+    InMemoryTrace trace;
+    RecoveryInvariant invariant;
+};
+
+std::vector<std::uint8_t>
+logBytes(std::uint64_t id, std::uint64_t len)
+{
+    std::vector<std::uint8_t> out(len);
+    for (std::uint64_t i = 0; i < len; ++i)
+        out[i] = static_cast<std::uint8_t>(id * 131 + i);
+    return out;
+}
+
+Surface
+queueSurface(const std::string &name, bool omit_data_head_barrier)
+{
+    QueueWorkloadConfig config;
+    config.kind = QueueKind::CopyWhileLocked;
+    config.variant = AnnotationVariant::Conservative;
+    config.threads = 2;
+    config.inserts_per_thread = 24;
+    config.entry_bytes = 24;
+    config.seed = 3;
+    config.wrap_slots = 0; // Frontier scans need a non-wrapping run.
+    config.checksummed_head = true;
+
+    Surface surface;
+    surface.name = name;
+    surface.model = ModelConfig::epoch();
+    if (!omit_data_head_barrier) {
+        const auto result = runQueueWorkload(config, {&surface.trace});
+        surface.invariant =
+            makeDetectAndDiscardInvariant(result.layout, result.golden);
+        return surface;
+    }
+
+    // The workload driver has no mutant knob; run the queue directly.
+    EngineConfig engine_config;
+    engine_config.seed = config.seed;
+    engine_config.quantum = config.quantum;
+    ExecutionEngine engine(engine_config, &surface.trace);
+    QueueOptions options = config.queueOptions();
+    options.omit_data_head_barrier = true;
+    std::unique_ptr<PersistentQueue> queue;
+    engine.runSetup([&](ThreadCtx &ctx) {
+        queue = createQueue(ctx, config.kind, options, config.threads);
+    });
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    for (std::uint32_t t = 0; t < config.threads; ++t) {
+        workers.push_back([&queue, t, &config](ThreadCtx &ctx) {
+            for (std::uint64_t i = 0; i < config.inserts_per_thread;
+                 ++i) {
+                const std::uint64_t op_id =
+                    static_cast<std::uint64_t>(t) *
+                        config.inserts_per_thread + i + 1;
+                const auto payload =
+                    makePayload(op_id, config.entry_bytes);
+                queue->insert(ctx, t, payload.data(),
+                              config.entry_bytes, op_id);
+            }
+        });
+    }
+    engine.run(workers);
+    surface.invariant =
+        makeDetectAndDiscardInvariant(queue->layout(), queue->golden());
+    return surface;
+}
+
+Surface
+logSurface(const std::string &name, bool omit_order_annotations)
+{
+    LogOptions options;
+    options.capacity = 1 << 16;
+    options.use_strands = true;
+    options.omit_order_annotations = omit_order_annotations;
+
+    Surface surface;
+    surface.name = name;
+    surface.model = ModelConfig::strand();
+
+    EngineConfig engine_config;
+    engine_config.seed = 11;
+    engine_config.quantum = 4;
+    ExecutionEngine engine(engine_config, &surface.trace);
+    auto log = std::make_shared<PersistentLog>();
+    engine.runSetup([&](ThreadCtx &ctx) {
+        *log = PersistentLog::create(ctx, options, 2);
+    });
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    for (int t = 0; t < 2; ++t) {
+        workers.push_back([log, t](ThreadCtx &ctx) {
+            for (std::uint64_t i = 1; i <= 16; ++i) {
+                const auto payload = logBytes(t * 100 + i, 20);
+                log->append(ctx, t, payload.data(), payload.size());
+            }
+        });
+    }
+    engine.run(workers);
+    surface.invariant =
+        makeLogRecoveryInvariant(log->layout(), log->goldenRecords());
+    return surface;
+}
+
+/** Named fault mixes swept against every surface. */
+struct FaultMix
+{
+    std::string name;
+    FaultConfig faults;
+};
+
+std::vector<FaultMix>
+faultMixes()
+{
+    std::vector<FaultMix> mixes;
+    mixes.push_back({"none", {}});
+
+    FaultConfig torn;
+    torn.tear_persists = true;
+    torn.atomic_write_unit = 4; // 8-byte persists split in two.
+    mixes.push_back({"torn", torn});
+
+    FaultConfig media;
+    media.media_error_per_write = 2e-4;
+    mixes.push_back({"media", media});
+
+    FaultConfig drops;
+    drops.drop_drain_p = 0.5;
+    drops.drain_latency = 0.5;
+    mixes.push_back({"drops", drops});
+
+    FaultConfig all = torn;
+    all.media_error_per_write = media.media_error_per_write;
+    all.drop_drain_p = drops.drop_drain_p;
+    all.drain_latency = drops.drain_latency;
+    mixes.push_back({"all", all});
+    return mixes;
+}
+
+FaultCampaignConfig
+campaignFor(const Surface &surface, const FaultMix &mix,
+            std::uint32_t jobs)
+{
+    FaultCampaignConfig config;
+    config.injection.model = surface.model;
+    config.injection.realizations = 6;
+    config.injection.crashes_per_realization = 48;
+    config.injection.seed = 17;
+    config.injection.jobs = jobs;
+    config.injection.max_recorded_violations = 4;
+    config.faults = mix.faults;
+    return config;
+}
+
+int
+replay(const std::vector<Surface> &surfaces, const std::string &line,
+       std::uint32_t jobs)
+{
+    FaultRepro repro;
+    if (!parseFaultRepro(line, repro)) {
+        std::cerr << "no 'seed=... crash=... fault_seed=...' triple "
+                  << "in --replay argument\n";
+        return 2;
+    }
+    // The repro line leads with "<surface>/<mix>".
+    const std::string tag = line.substr(0, line.find(' '));
+    const std::size_t slash = tag.find('/');
+    const std::string surface_name = tag.substr(0, slash);
+    const std::string mix_name =
+        slash == std::string::npos ? "none" : tag.substr(slash + 1);
+    for (const Surface &surface : surfaces) {
+        if (surface.name != surface_name)
+            continue;
+        for (const FaultMix &mix : faultMixes()) {
+            if (mix.name != mix_name)
+                continue;
+            const auto config = campaignFor(surface, mix, jobs);
+            FaultOutcome outcome;
+            const std::string verdict = replayFaultRepro(
+                surface.trace, config, repro, surface.invariant,
+                &outcome);
+            std::cout << "replay " << tag << " "
+                      << formatFaultRepro(repro) << "\n  faults: "
+                      << outcome.summary() << "\n  verdict: "
+                      << (verdict.empty() ? "ok" : verdict) << "\n";
+            return verdict.empty() ? 0 : 1;
+        }
+    }
+    std::cerr << "unknown surface/mix tag '" << tag << "'\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t jobs = 1;
+    std::string replay_line;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = static_cast<std::uint32_t>(
+                std::stoul(arg.substr(7)));
+        } else if (arg.rfind("--replay=", 0) == 0) {
+            replay_line = arg.substr(9);
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--jobs=N] [--replay=\"<repro line>\"]\n";
+            return 2;
+        }
+    }
+
+    std::vector<Surface> surfaces;
+    surfaces.push_back(queueSurface("cwl-queue", false));
+    surfaces.push_back(queueSurface("queue-nobar", true));
+    surfaces.push_back(logSurface("log", false));
+    surfaces.push_back(logSurface("log-unordered", true));
+
+    if (!replay_line.empty())
+        return replay(surfaces, replay_line, jobs);
+
+    banner("Device-fault injection campaign",
+           "recovery code that survives only clean crashes has not "
+           "been tested; torn persists, media wear, and lost drain "
+           "buffers break the observer's perfect-device assumption");
+
+    Stopwatch watch;
+    std::uint64_t total_samples = 0;
+    TextTable table;
+    table.header({"surface", "model", "faults", "samples",
+                  "violations", "rate"});
+    std::vector<std::string> repro_lines;
+    for (const Surface &surface : surfaces) {
+        for (const FaultMix &mix : faultMixes()) {
+            const auto config = campaignFor(surface, mix, jobs);
+            const InjectionResult result = runFaultCampaign(
+                surface.trace, config, surface.invariant);
+            total_samples += result.samples;
+            char rate[32];
+            std::snprintf(rate, sizeof(rate), "%.1f%%",
+                          100.0 * static_cast<double>(result.violations) /
+                              static_cast<double>(result.samples));
+            table.row({surface.name, surface.model.name(), mix.name,
+                       std::to_string(result.samples),
+                       std::to_string(result.violations), rate});
+            for (const ViolationRecord &violation :
+                 result.violation_list) {
+                repro_lines.push_back(surface.name + "/" + mix.name +
+                                      " " + violationRepro(violation));
+            }
+        }
+    }
+    std::cout << table.render();
+
+    std::cout << "\nExpected shape: the hardened surfaces (cwl-queue, "
+              << "log) stay at 0% under 'torn' — tearing is exactly "
+              << "what the checksums absorb — while the barrier-"
+              << "elision mutants fail under it; media errors and "
+              << "dropped drains are unrecoverable data loss for any "
+              << "pointer-less protocol and show up as nonzero rates "
+              << "everywhere.\n";
+
+    if (!repro_lines.empty()) {
+        std::cout << "\nviolation repros (re-run with "
+                  << "--replay=\"<line>\"):\n";
+        for (const std::string &line : repro_lines)
+            std::cout << "  " << line << "\n";
+    }
+
+    std::cout << "\ncampaign: " << total_samples << " crash states in "
+              << watch.seconds() << " s wall (--jobs="
+              << effectiveJobs(jobs) << ")\n";
+    return 0;
+}

@@ -31,4 +31,20 @@ cmake --build build-tsan -j \
 ./build-tsan/bench/explore_litmus --model=epoch --threads=2
 ./build-tsan/bench/explore_litmus --program=queue --shards=4 \
     --max-executions=256 --samples=32
+
+# AddressSanitizer + UBSan pass: the fault-injection machinery does a
+# lot of raw byte slicing (torn persists, checksummed record parsing,
+# degraded queue scans) — run it and the structure tests instrumented.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j \
+    --target faults_test fault_campaign_test recovery_test \
+    log_test queue_test queue_negative_test
+./build-asan/tests/faults_test
+./build-asan/tests/fault_campaign_test
+./build-asan/tests/recovery_test
+./build-asan/tests/log_test
+./build-asan/tests/queue_test
+./build-asan/tests/queue_negative_test
 echo "check.sh: all checks passed"

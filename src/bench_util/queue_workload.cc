@@ -39,6 +39,7 @@ QueueWorkloadConfig::queueOptions() const
         (variant == AnnotationVariant::Conservative);
     options.use_strands = (variant == AnnotationVariant::Strand);
     options.barrier_before_publish = true;
+    options.checksummed_head = checksummed_head;
     return options;
 }
 

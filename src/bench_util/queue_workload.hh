@@ -60,6 +60,10 @@ struct QueueWorkloadConfig
      */
     std::uint64_t wrap_slots = 1024;
 
+    /** Maintain the self-validating head checksum (device-fault
+        campaigns pair it with RecoveryMode::DetectAndDiscard). */
+    bool checksummed_head = false;
+
     /** Total inserts across all threads. */
     std::uint64_t totalInserts() const
     {

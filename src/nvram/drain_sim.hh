@@ -16,7 +16,9 @@
 #ifndef PERSIM_NVRAM_DRAIN_SIM_HH
 #define PERSIM_NVRAM_DRAIN_SIM_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace persim {
 
@@ -58,6 +60,20 @@ struct DrainResult
 /** Simulate draining @p persists persists through the buffer. */
 DrainResult simulateDrain(const DrainConfig &config,
                           std::uint64_t persists);
+
+/**
+ * Which persists are still sitting in the drain buffer at a crash.
+ *
+ * @p issue_times is a non-decreasing list of buffer-entry times (one
+ * per persist, in drain order); each persist then drains serially at
+ * @p drain_latency per persist. Returns the indices of persists that
+ * were issued at or before @p crash_time but whose drain had not yet
+ * completed — the buffer contents a power failure can destroy (the
+ * device-fault model drops a random subset of them).
+ */
+std::vector<std::size_t> pendingAtCrash(
+    const std::vector<double> &issue_times, double crash_time,
+    double drain_latency);
 
 } // namespace persim
 

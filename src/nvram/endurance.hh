@@ -43,6 +43,17 @@ class EnduranceTracker : public TraceSink
     /** Write count of the block containing @p addr. */
     std::uint64_t writesTo(Addr addr) const;
 
+    /** Wear-tracking block size in bytes. */
+    std::uint64_t blockBytes() const { return block_bytes_; }
+
+    /** Raw per-block write counts (block index -> writes); feeds the
+        wear-scaled media-error model in src/nvram/faults.hh. */
+    const std::unordered_map<std::uint64_t, std::uint64_t> &
+    counts() const
+    {
+        return counts_;
+    }
+
     /**
      * Wear imbalance: max block writes / mean block writes (1.0 is
      * perfectly even; large values motivate wear leveling [24]).

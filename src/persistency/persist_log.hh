@@ -56,6 +56,15 @@ struct PersistRecord
     std::uint8_t size = 0;            //!< Piece size (1..8 bytes).
     std::uint64_t value = 0;          //!< Bytes written (low `size`).
     double time = 0.0;                //!< Completion time/level.
+
+    /**
+     * When the persist's device write begins: the completion time of
+     * its binding dependence (for a coalesced piece, of its group's
+     * founding persist). [start, time) is the in-flight window the
+     * device-fault model (src/nvram/faults.hh) tears persists inside;
+     * the baseline recovery observer ignores it.
+     */
+    double start = 0.0;
     ThreadId thread = 0;              //!< Issuing thread.
     std::uint64_t op = no_operation;  //!< Enclosing operation id.
     PersistRole role = PersistRole::None;

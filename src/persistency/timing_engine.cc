@@ -304,11 +304,13 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
     }
 
     double time = 0.0;
+    double start = 0.0;
     double race_bound = 0.0;
     PersistId binding = invalid_persist;
     DepSource binding_source = DepSource::None;
     if (coalesce) {
         time = atomic.last.t;
+        start = atomic.group_begin;
         binding = atomic.last.src;
         binding_source = DepSource::Coalesced;
         ++result_.coalesced;
@@ -325,6 +327,7 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
             binding_source = DepSource::SameBlockSPA;
         }
         time = nextTime(base);
+        start = base;
         race_bound = base;
     }
 
@@ -368,8 +371,10 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
             std::vector<PersistId>{id});
     atomic.last = out;
     atomic.valid = true;
-    if (!coalesce)
+    if (!coalesce) {
         atomic.group_start = id;
+        atomic.group_begin = start;
+    }
 
     if (config_.detect_races && time > thread.own_persist.t)
         thread.own_persist = Tag{time, id, block, 0.0, nullptr};
@@ -392,6 +397,7 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
         record.size = static_cast<std::uint8_t>(size);
         record.value = value;
         record.time = time;
+        record.start = start;
         record.thread = event.thread;
         record.op = thread.op;
         record.role = thread.role;

@@ -244,6 +244,9 @@ class PersistTimingEngine : public TraceSink
         bool valid = false;
         /** Issue ordinal of the pending group's founding persist. */
         PersistId group_start = invalid_persist;
+        /** When the pending group's device write began (the founding
+            persist's base time); coalesced pieces share it. */
+        double group_begin = 0.0;
     };
 
     /**

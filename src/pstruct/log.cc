@@ -1,5 +1,7 @@
 #include "pstruct/log.hh"
 
+#include <sstream>
+
 #include "common/bitops.hh"
 #include "common/error.hh"
 
@@ -8,16 +10,18 @@ namespace persim {
 std::uint64_t
 LogLayout::recordBytes(std::uint64_t len)
 {
-    return 8 + alignUp(len, 8) + 8;
+    // [len][seq][payload padded to 8][checksum]
+    return 8 + 8 + alignUp(len, 8) + 8;
 }
 
 std::uint64_t
-LogLayout::checksum(std::uint64_t pos, std::uint64_t len,
-                    const std::uint8_t *payload)
+LogLayout::checksum(std::uint64_t pos, std::uint64_t seq,
+                    std::uint64_t len, const std::uint8_t *payload)
 {
-    // FNV-1a over (pos, len, payload). Covering the position means a
-    // record never validates against bytes written for a different
-    // offset.
+    // FNV-1a over (pos, seq, len, payload). Covering the position
+    // means a record never validates against bytes written for a
+    // different offset; covering the sequence number ties the record
+    // to its place in the append order.
     std::uint64_t hash = 0xcbf29ce484222325ULL;
     auto mix = [&hash](std::uint64_t word) {
         for (int i = 0; i < 8; ++i) {
@@ -26,6 +30,7 @@ LogLayout::checksum(std::uint64_t pos, std::uint64_t len,
         }
     };
     mix(pos);
+    mix(seq);
     mix(len);
     for (std::uint64_t i = 0; i < len; ++i) {
         hash ^= payload[i];
@@ -52,11 +57,14 @@ PersistentLog::create(ThreadCtx &ctx, const LogOptions &options,
 
     log.cursor_ = ctx.vmalloc(8, 64);
     ctx.store(log.cursor_, 0);
+    log.seq_ = ctx.vmalloc(8, 64);
+    ctx.store(log.seq_, 0);
     log.prev_start_ = ctx.vmalloc(8, 64);
     ctx.store(log.prev_start_, 0);
     log.lock_ = McsLock::create(ctx);
     for (std::size_t i = 0; i < threads; ++i)
         log.qnodes_.push_back(McsLock::createQnode(ctx));
+    log.golden_ = std::make_shared<Golden>();
     return log;
 }
 
@@ -64,6 +72,14 @@ std::uint64_t
 PersistentLog::tailOffset(ThreadCtx &ctx) const
 {
     return ctx.load(cursor_);
+}
+
+std::vector<GoldenLogRecord>
+PersistentLog::goldenRecords() const
+{
+    PERSIM_REQUIRE(golden_ != nullptr, "log was not created");
+    std::lock_guard<std::mutex> guard(golden_->mutex);
+    return golden_->records;
 }
 
 std::uint64_t
@@ -75,6 +91,7 @@ PersistentLog::append(ThreadCtx &ctx, std::size_t slot,
     McsGuard guard(ctx, lock_, qnodes_[slot]);
 
     const std::uint64_t pos = ctx.load(cursor_);
+    const std::uint64_t seq = ctx.load(seq_);
     const std::uint64_t bytes = LogLayout::recordBytes(len);
     PERSIM_REQUIRE(pos + bytes <= layout_.capacity,
                    "log full: " << pos + bytes << " > "
@@ -113,15 +130,26 @@ PersistentLog::append(ThreadCtx &ctx, std::size_t slot,
 
     const auto *bytes_in = static_cast<const std::uint8_t *>(payload);
     ctx.store(layout_.base + pos, len);
-    ctx.copyIn(layout_.base + pos + 8, bytes_in, len);
-    ctx.store(layout_.base + pos + 8 + alignUp(len, 8),
-              LogLayout::checksum(pos, len, bytes_in));
+    ctx.store(layout_.base + pos + 8, seq);
+    ctx.copyIn(layout_.base + pos + 16, bytes_in, len);
+    ctx.store(layout_.base + pos + 16 + alignUp(len, 8),
+              LogLayout::checksum(pos, seq, len, bytes_in));
 
     if (!options_.omit_order_annotations && !options_.use_strands)
         ctx.persistBarrier(); // Trailing: publish through the lock.
 
     ctx.store(prev_start_, pos);
     ctx.store(cursor_, pos + bytes);
+    ctx.store(seq_, seq + 1);
+
+    {
+        std::lock_guard<std::mutex> golden_guard(golden_->mutex);
+        GoldenLogRecord record;
+        record.offset = pos;
+        record.seq = seq;
+        record.payload.assign(bytes_in, bytes_in + len);
+        golden_->records.push_back(std::move(record));
+    }
     return pos;
 }
 
@@ -130,25 +158,105 @@ PersistentLog::recover(const MemoryImage &image, const LogLayout &layout)
 {
     LogRecovery result;
     std::uint64_t pos = 0;
-    while (pos + 24 <= layout.capacity) {
+    while (pos + LogLayout::recordBytes(1) <= layout.capacity) {
         const std::uint64_t len = image.load(layout.base + pos, 8);
         if (len == 0 ||
             pos + LogLayout::recordBytes(len) > layout.capacity)
             break;
+        const std::uint64_t seq = image.load(layout.base + pos + 8, 8);
+        if (seq != result.records.size())
+            break; // Stale or torn header: not the next append.
         std::vector<std::uint8_t> payload(len);
-        image.readBytes(payload.data(), layout.base + pos + 8, len);
+        image.readBytes(payload.data(), layout.base + pos + 16, len);
         const std::uint64_t stored = image.load(
-            layout.base + pos + 8 + alignUp(len, 8), 8);
-        if (stored != LogLayout::checksum(pos, len, payload.data()))
+            layout.base + pos + 16 + alignUp(len, 8), 8);
+        if (stored != LogLayout::checksum(pos, seq, len, payload.data()))
             break;
         RecoveredRecord record;
         record.offset = pos;
+        record.seq = seq;
         record.payload = std::move(payload);
         result.records.push_back(std::move(record));
         pos += LogLayout::recordBytes(len);
     }
     result.valid_bytes = pos;
     return result;
+}
+
+bool
+PersistentLog::recordDurableAt(const MemoryImage &image,
+                               const LogLayout &layout,
+                               std::uint64_t offset, std::uint64_t seq)
+{
+    if (offset + LogLayout::recordBytes(1) > layout.capacity)
+        return false;
+    const std::uint64_t len = image.load(layout.base + offset, 8);
+    if (len == 0 ||
+        offset + LogLayout::recordBytes(len) > layout.capacity)
+        return false;
+    if (image.load(layout.base + offset + 8, 8) != seq)
+        return false;
+    std::vector<std::uint8_t> payload(len);
+    image.readBytes(payload.data(), layout.base + offset + 16, len);
+    const std::uint64_t stored = image.load(
+        layout.base + offset + 16 + alignUp(len, 8), 8);
+    return stored == LogLayout::checksum(offset, seq, len,
+                                         payload.data());
+}
+
+std::string
+checkLogAgainstGolden(const MemoryImage &image, const LogLayout &layout,
+                      const LogRecovery &recovery,
+                      const std::vector<GoldenLogRecord> &golden)
+{
+    if (recovery.records.size() > golden.size()) {
+        std::ostringstream oss;
+        oss << "recovered " << recovery.records.size()
+            << " records but only " << golden.size()
+            << " were appended";
+        return oss.str();
+    }
+    for (std::size_t i = 0; i < recovery.records.size(); ++i) {
+        const RecoveredRecord &got = recovery.records[i];
+        const GoldenLogRecord &want = golden[i];
+        if (got.offset != want.offset || got.seq != want.seq ||
+            got.payload != want.payload) {
+            std::ostringstream oss;
+            oss << "recovered record " << i << " at offset "
+                << got.offset << " does not match append " << want.seq
+                << " at offset " << want.offset;
+            return oss.str();
+        }
+    }
+    // Everything beyond the truncation point must be gone: a record
+    // that still validates there persisted ahead of a predecessor
+    // that did not (an inter-record ordering violation), and
+    // truncate-at-first-bad recovery silently loses it.
+    for (std::size_t i = recovery.records.size(); i < golden.size();
+         ++i) {
+        if (PersistentLog::recordDurableAt(image, layout,
+                                           golden[i].offset,
+                                           golden[i].seq)) {
+            std::ostringstream oss;
+            oss << "hole: record " << golden[i].seq << " at offset "
+                << golden[i].offset
+                << " is durable beyond the truncation point ("
+                << recovery.valid_bytes << " valid bytes)";
+            return oss.str();
+        }
+    }
+    return "";
+}
+
+std::function<std::string(const MemoryImage &)>
+makeLogRecoveryInvariant(const LogLayout &layout,
+                         const std::vector<GoldenLogRecord> &golden)
+{
+    return [layout, golden](const MemoryImage &image) {
+        const LogRecovery recovery =
+            PersistentLog::recover(image, layout);
+        return checkLogAgainstGolden(image, layout, recovery, golden);
+    };
 }
 
 } // namespace persim

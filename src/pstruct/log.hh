@@ -5,9 +5,10 @@
  * PersistentLog demonstrates the *other* classic durability protocol:
  * where the queue publishes entries by persisting a head pointer
  * after the data (pointer-publish), the log writes self-validating
- * records — [length][payload][checksum(length, payload, position)] —
- * and recovery simply scans forward until the first record that fails
- * its checksum. Consequences for persistency:
+ * records — [length][sequence][payload][checksum(position, sequence,
+ * length, payload)] — and recovery simply scans forward, truncating
+ * at the first record that fails validation. Consequences for
+ * persistency:
  *
  *  - NO ordering is required between a record's pieces: a torn record
  *    fails its checksum and ends the scan, so appends need no persist
@@ -19,16 +20,27 @@
  *    reads the previous record's tail on a new strand) so records
  *    persist in append order.
  *
- * The checksum covers the record's log position, so reused or stale
- * bytes from an earlier generation of the same region never validate.
- * Appends serialize on one MCS lock; recovery is a pure function of
- * the memory image.
+ * The checksum covers the record's log position and sequence number,
+ * so reused or stale bytes from an earlier generation of the same
+ * region never validate. Appends serialize on one MCS lock; recovery
+ * is a pure function of the memory image.
+ *
+ * Truncate-at-first-bad is also the log's graceful-degradation story
+ * under device faults (src/nvram/faults.hh): a torn *tail* record
+ * fails its checksum and is silently discarded — bounded loss, not an
+ * error. What the scan cannot express is a durable record *behind*
+ * the truncation point: makeLogRecoveryInvariant cross-checks the
+ * image against the appends actually made and reports such a hole as
+ * an ordering violation (record k persisted while k-1 tore).
  */
 
 #ifndef PERSIM_PSTRUCT_LOG_HH
 #define PERSIM_PSTRUCT_LOG_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,8 +59,9 @@ struct LogLayout
     /** Bytes record of @p len payload occupies (header + trailer). */
     static std::uint64_t recordBytes(std::uint64_t len);
 
-    /** Checksum of a record at byte offset @p pos. */
-    static std::uint64_t checksum(std::uint64_t pos, std::uint64_t len,
+    /** Checksum of record number @p seq at byte offset @p pos. */
+    static std::uint64_t checksum(std::uint64_t pos, std::uint64_t seq,
+                                  std::uint64_t len,
                                   const std::uint8_t *payload);
 };
 
@@ -73,6 +86,7 @@ struct LogOptions
 struct RecoveredRecord
 {
     std::uint64_t offset = 0;
+    std::uint64_t seq = 0;
     std::vector<std::uint8_t> payload;
 };
 
@@ -85,6 +99,14 @@ struct LogRecovery
 
     /** Bytes of valid log. */
     std::uint64_t valid_bytes = 0;
+};
+
+/** Host-side record of one append, for recovery cross-checking. */
+struct GoldenLogRecord
+{
+    std::uint64_t offset = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> payload;
 };
 
 /** An append-only persistent log. */
@@ -109,20 +131,65 @@ class PersistentLog
 
     const LogLayout &layout() const { return layout_; }
 
+    /** Appends made so far (host-side), in sequence order. */
+    std::vector<GoldenLogRecord> goldenRecords() const;
+
     /** Scan an image: every prefix record that validates. */
     static LogRecovery recover(const MemoryImage &image,
                                const LogLayout &layout);
 
+    /**
+     * Does a fully valid record with sequence number @p seq sit at
+     * byte offset @p offset of the image? Used for hole detection:
+     * a record that validates *beyond* the recovery truncation point
+     * persisted ahead of a predecessor that did not.
+     */
+    static bool recordDurableAt(const MemoryImage &image,
+                                const LogLayout &layout,
+                                std::uint64_t offset, std::uint64_t seq);
+
   private:
+    /** Appends from every copy of this log (create() returns by
+        value); engine threads are real OS threads, hence the lock. */
+    struct Golden
+    {
+        std::mutex mutex;
+        std::vector<GoldenLogRecord> records;
+    };
+
     LogLayout layout_;
     LogOptions options_;
     Addr cursor_ = invalid_addr;     //!< Volatile append cursor cell.
+    Addr seq_ = invalid_addr;        //!< Volatile next-sequence cell.
     Addr prev_start_ = invalid_addr; //!< Previous record's offset
                                      //!< (volatile), for the strand
                                      //!< re-read idiom.
     McsLock lock_;
     std::vector<Addr> qnodes_;
+    std::shared_ptr<Golden> golden_;
 };
+
+/**
+ * Cross-check a log recovery against the appends actually made:
+ * recovered records must be a prefix of the golden sequence
+ * (offset, sequence number, payload), and no golden record beyond the
+ * truncation point may still validate in the image (a hole: it
+ * persisted while an earlier record tore or was lost).
+ * @return Empty string when consistent, else a description.
+ */
+std::string checkLogAgainstGolden(
+    const MemoryImage &image, const LogLayout &layout,
+    const LogRecovery &recovery,
+    const std::vector<GoldenLogRecord> &golden);
+
+/**
+ * Build a recovery invariant for failure injection (see
+ * src/recovery/): recover the log from the crashed image and
+ * cross-check it against the recorded appends.
+ */
+std::function<std::string(const MemoryImage &)>
+makeLogRecoveryInvariant(const LogLayout &layout,
+                         const std::vector<GoldenLogRecord> &golden);
 
 } // namespace persim
 

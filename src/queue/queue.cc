@@ -49,6 +49,18 @@ QueueLayout::slotBytes(std::uint64_t len) const
     return alignUp(8 + len, pad);
 }
 
+std::uint64_t
+QueueLayout::headChecksum(std::uint64_t head)
+{
+    // splitmix64 finalizer; nonzero so an unwritten checksum word
+    // never validates any head value.
+    std::uint64_t z = head + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return z == 0 ? 1 : z;
+}
+
 std::map<std::uint64_t, GoldenEntry>
 PersistentQueue::golden() const
 {
@@ -123,7 +135,11 @@ CwlQueue::create(ThreadCtx &ctx, const QueueOptions &options,
     layout.data = ctx.pmalloc(options.capacity, 64);
     layout.capacity = options.capacity;
     layout.pad = options.pad;
+    layout.has_head_checksum = options.checksummed_head;
     ctx.store(layout.headAddr(), 0);
+    if (layout.has_head_checksum)
+        ctx.store(layout.headChecksumAddr(),
+                  QueueLayout::headChecksum(0));
     ctx.store(layout.tailAddr(), 0);
     // Initialization is complete and must be durable before any
     // insert's persists (and keeps annotation variants comparable:
@@ -169,6 +185,12 @@ CwlQueue::insert(ThreadCtx &ctx, std::size_t slot, const void *payload,
         persistBarrier(ctx);               // line 8 (required)
     ctx.marker(MarkerCode::RoleHead);
     ctx.store(layout_.headAddr(), head + slot_bytes); // line 9
+    // Deliberately unordered with the head store: both are in the
+    // same epoch, so a crash can separate the pair. Recovery treats
+    // a mismatched pair as an untrusted head, never as corruption.
+    if (layout_.has_head_checksum)
+        ctx.store(layout_.headChecksumAddr(),
+                  QueueLayout::headChecksum(head + slot_bytes));
 
     // Line 11: always emitted. Keeping this barrier (ending the head
     // persist's epoch) is what makes the racing variant match the
@@ -257,7 +279,11 @@ TlcQueue::create(ThreadCtx &ctx, const QueueOptions &options,
     layout.data = ctx.pmalloc(options.capacity, 64);
     layout.capacity = options.capacity;
     layout.pad = options.pad;
+    layout.has_head_checksum = options.checksummed_head;
     ctx.store(layout.headAddr(), 0);
+    if (layout.has_head_checksum)
+        ctx.store(layout.headChecksumAddr(),
+                  QueueLayout::headChecksum(0));
     ctx.store(layout.tailAddr(), 0);
     // See CwlQueue::create: initialization ends with a barrier.
     ctx.persistBarrier();
@@ -354,6 +380,9 @@ TlcQueue::insert(ThreadCtx &ctx, std::size_t slot, const void *payload,
             persistBarrier(ctx);   // line 27
         ctx.marker(MarkerCode::RoleHead);
         ctx.store(layout_.headAddr(), newhead); // line 28
+        if (layout_.has_head_checksum)
+            ctx.store(layout_.headChecksumAddr(),
+                      QueueLayout::headChecksum(newhead));
     }
     update_.unlock(ctx, qu);        // line 31
     ctx.marker(MarkerCode::OpEnd, op_id);
@@ -379,10 +408,111 @@ createQueue(ThreadCtx &ctx, QueueKind kind, const QueueOptions &options,
     PERSIM_FATAL("unknown queue kind");
 }
 
+namespace {
+
+/**
+ * RecoveryMode::DetectAndDiscard: graceful degradation for images a
+ * faulty device produced (torn persists, media errors, lost drains).
+ */
+RecoveryReport
+recoverDegraded(const MemoryImage &image, const QueueLayout &layout)
+{
+    RecoveryReport report;
+    report.head = image.load(layout.headAddr(), 8);
+    report.tail = image.load(layout.tailAddr(), 8);
+
+    report.head_trusted = layout.has_head_checksum &&
+        image.load(layout.headChecksumAddr(), 8) ==
+            QueueLayout::headChecksum(report.head) &&
+        report.tail <= report.head &&
+        report.head - report.tail <= layout.capacity &&
+        report.head % layout.pad == 0 &&
+        report.tail % layout.pad == 0;
+
+    if (report.head_trusted) {
+        // The head is authoritative: every slot in [tail, head) was
+        // committed. Discard entries that fail validation — each one
+        // is detectable (and reportable) data loss.
+        std::uint64_t pos = report.tail;
+        while (pos < report.head) {
+            if (report.head - pos < layout.pad) {
+                ++report.discarded; // Head splits a slot.
+                break;
+            }
+            std::uint8_t len_word[8];
+            readCircular(image, layout, pos, len_word, 8);
+            std::uint64_t len = 0;
+            std::memcpy(&len, len_word, 8);
+            if (len < min_payload_bytes ||
+                layout.slotBytes(len) > report.head - pos) {
+                // A corrupt length word destroys the framing; the
+                // rest of the committed region cannot be re-synced.
+                ++report.discarded;
+                break;
+            }
+            std::vector<std::uint8_t> payload(len);
+            readCircular(image, layout, pos + 8, payload.data(), len);
+            if (verifyPayload(payload.data(), len)) {
+                RecoveredEntry entry;
+                entry.offset = pos;
+                entry.len = len;
+                entry.op_id = payloadOpId(payload.data(), len);
+                entry.content_ok = true;
+                report.entries.push_back(entry);
+            } else {
+                ++report.discarded; // Corrupt committed entry.
+            }
+            pos += layout.slotBytes(len);
+        }
+        report.ok = true;
+        return report;
+    }
+
+    // Untrusted head (e.g. the head pointer itself tore): rebuild the
+    // committed frontier by scanning self-validating entries forward
+    // from the tail. A torn tail-end entry fails validation and is
+    // silently dropped — bounded loss, not an error. Wrap-around
+    // workloads would let stale prior-lap entries validate past the
+    // true frontier, so fault campaigns pair this mode with
+    // non-wrapping configurations.
+    const std::uint64_t tail =
+        report.tail % layout.pad == 0 ? report.tail : 0;
+    report.tail = tail;
+    std::uint64_t pos = tail;
+    while (pos - tail + layout.pad <= layout.capacity) {
+        std::uint8_t len_word[8];
+        readCircular(image, layout, pos, len_word, 8);
+        std::uint64_t len = 0;
+        std::memcpy(&len, len_word, 8);
+        if (len < min_payload_bytes ||
+            pos - tail + layout.slotBytes(len) > layout.capacity)
+            break;
+        std::vector<std::uint8_t> payload(len);
+        readCircular(image, layout, pos + 8, payload.data(), len);
+        if (!verifyPayload(payload.data(), len))
+            break;
+        RecoveredEntry entry;
+        entry.offset = pos;
+        entry.len = len;
+        entry.op_id = payloadOpId(payload.data(), len);
+        entry.content_ok = true;
+        report.entries.push_back(entry);
+        pos += layout.slotBytes(len);
+    }
+    report.head = pos; // Reconstructed commit frontier.
+    report.ok = true;
+    return report;
+}
+
+} // namespace
+
 RecoveryReport
 recoverQueue(const MemoryImage &image, const QueueLayout &layout,
-             bool verify_content)
+             bool verify_content, RecoveryMode mode)
 {
+    if (mode == RecoveryMode::DetectAndDiscard)
+        return recoverDegraded(image, layout);
+
     RecoveryReport report;
     report.head = image.load(layout.headAddr(), 8);
     report.tail = image.load(layout.tailAddr(), 8);
@@ -447,6 +577,27 @@ makeRecoveryInvariant(const QueueLayout &layout,
         const RecoveryReport report = recoverQueue(image, layout);
         if (!report.ok)
             return report.error;
+        return checkAgainstGolden(report, golden);
+    };
+}
+
+std::function<std::string(const MemoryImage &)>
+makeDetectAndDiscardInvariant(
+    const QueueLayout &layout,
+    const std::map<std::uint64_t, GoldenEntry> &golden)
+{
+    return [layout, golden](const MemoryImage &image) -> std::string {
+        const RecoveryReport report = recoverQueue(
+            image, layout, true, RecoveryMode::DetectAndDiscard);
+        if (!report.ok)
+            return report.error;
+        if (report.discarded > 0) {
+            std::ostringstream oss;
+            oss << report.discarded << " committed entr"
+                << (report.discarded == 1 ? "y" : "ies")
+                << " discarded during degraded recovery (data loss)";
+            return oss.str();
+        }
         return checkAgainstGolden(report, golden);
     };
 }

@@ -69,11 +69,23 @@ struct QueueLayout
     std::uint64_t capacity = 0; //!< Data segment bytes (multiple of pad).
     std::uint64_t pad = 64;     //!< Entry slot alignment.
 
+    /** The header carries a checksum of the head counter (see
+        QueueOptions::checksummed_head). */
+    bool has_head_checksum = false;
+
     /** Address of the persistent head counter. */
     Addr headAddr() const { return header; }
 
+    /** Address of the persistent head checksum (same cache line as
+        the head, but a separate atomic persist at granularity 8). */
+    Addr headChecksumAddr() const { return header + 8; }
+
     /** Address of the persistent tail counter (64 bytes away). */
     Addr tailAddr() const { return header + 64; }
+
+    /** Self-validation checksum for a head counter value (nonzero,
+        so blank memory never validates). */
+    static std::uint64_t headChecksum(std::uint64_t head);
 
     /** Bytes an entry of @p len payload bytes occupies. */
     std::uint64_t slotBytes(std::uint64_t len) const;
@@ -128,6 +140,18 @@ struct QueueOptions
      * the constraint is required.
      */
     bool omit_data_head_barrier = false;
+
+    /**
+     * Maintain a checksum of the head counter at headChecksumAddr(),
+     * written (unordered) alongside every head update. A device whose
+     * atomic write unit is smaller than 8 bytes can tear the head
+     * pointer itself; RecoveryMode::DetectAndDiscard uses the
+     * checksum to reject a torn head and fall back to scanning for
+     * self-validating entries. Strict recovery ignores it (head and
+     * checksum are separate atomic persists with no ordering between
+     * them, so a crash can legitimately separate the pair).
+     */
+    bool checksummed_head = false;
 };
 
 /** Host-side record of a reservation, for recovery cross-checking. */
@@ -154,6 +178,30 @@ struct RecoveryReport
     std::uint64_t head = 0;
     std::uint64_t tail = 0;
     std::vector<RecoveredEntry> entries;
+
+    /** DetectAndDiscard only: committed entries (or trailing regions)
+        dropped because they failed validation — data loss. */
+    std::uint64_t discarded = 0;
+
+    /** DetectAndDiscard only: false when the head failed its
+        checksum and recovery fell back to a frontier scan. */
+    bool head_trusted = true;
+};
+
+/** How recovery treats a damaged image. */
+enum class RecoveryMode : std::uint8_t {
+    /** Any parse anomaly is an error (a perfect device cannot
+        produce one under correct persist annotations). */
+    Strict,
+
+    /**
+     * Graceful degradation under device faults: a trusted head
+     * bounds a scan that discards corrupt committed entries
+     * (detectable data loss); an untrusted (torn) head falls back to
+     * a frontier scan of self-validating entries, so a torn tail
+     * entry is silently dropped rather than an error.
+     */
+    DetectAndDiscard,
 };
 
 /** Abstract persistent queue (insert interface shared by designs). */
@@ -305,7 +353,8 @@ std::unique_ptr<PersistentQueue> createQueue(ThreadCtx &ctx, QueueKind kind,
  */
 RecoveryReport recoverQueue(const MemoryImage &image,
                             const QueueLayout &layout,
-                            bool verify_content = true);
+                            bool verify_content = true,
+                            RecoveryMode mode = RecoveryMode::Strict);
 
 /**
  * Cross-check a recovery report against the reservations the queue
@@ -325,6 +374,19 @@ std::string checkAgainstGolden(const RecoveryReport &report,
 std::function<std::string(const MemoryImage &)>
 makeRecoveryInvariant(const QueueLayout &layout,
                       const std::map<std::uint64_t, GoldenEntry> &golden);
+
+/**
+ * Detect-and-discard variant for device-fault campaigns
+ * (src/nvram/faults.hh): recover with RecoveryMode::DetectAndDiscard
+ * and report a violation only for *detectable data loss* — a corrupt
+ * committed entry, or a recovered entry that contradicts the
+ * reservations. A torn tail entry or torn head pointer degrades
+ * gracefully and is not a violation.
+ */
+std::function<std::string(const MemoryImage &)>
+makeDetectAndDiscardInvariant(
+    const QueueLayout &layout,
+    const std::map<std::uint64_t, GoldenEntry> &golden);
 
 } // namespace persim
 

@@ -6,6 +6,7 @@
 
 #include "common/error.hh"
 #include "common/rng.hh"
+#include "recovery/fault_campaign.hh"
 
 namespace persim {
 
@@ -31,6 +32,13 @@ verifyLogConsistency(const PersistLog &log)
             oss << "record " << i << " has id " << record.id;
             return oss.str();
         }
+        if (record.start > record.time) {
+            std::ostringstream oss;
+            oss << "record " << i << " has an inverted in-flight "
+                << "window [" << record.start << ", " << record.time
+                << ")";
+            return oss.str();
+        }
         if (record.binding != invalid_persist) {
             if (record.binding >= i) {
                 std::ostringstream oss;
@@ -49,6 +57,23 @@ verifyLogConsistency(const PersistLog &log)
                     << depSourceName(record.binding_source) << ")";
                 return oss.str();
             }
+            // The device write begins when the binding completes: at
+            // the group's start for a coalesced piece, at the binding
+            // persist's completion time otherwise.
+            const double expected_start =
+                coalesced ? log[record.binding].start : pred;
+            if (record.start != expected_start) {
+                std::ostringstream oss;
+                oss << "record " << i << " starts at " << record.start
+                    << " but its binding " << record.binding
+                    << " anchors it at " << expected_start;
+                return oss.str();
+            }
+        } else if (record.start != 0.0) {
+            std::ostringstream oss;
+            oss << "record " << i
+                << " is unconstrained yet starts at " << record.start;
+            return oss.str();
         }
         // Strong persist atomicity: same-word persists never go back
         // in time.
@@ -86,71 +111,12 @@ InjectionResult
 injectFailures(const InMemoryTrace &trace, const InjectionConfig &config,
                const RecoveryInvariant &invariant)
 {
-    InjectionResult result;
-    Rng rng(config.seed);
-
-    // Degenerate traces have a closed-form crash-state set; evaluate
-    // it directly instead of sampling a zero-width time span. Zero
-    // persists (including the empty trace) expose only the empty
-    // image; one persist exposes exactly {empty, that persist}.
-    {
-        const PersistLog log =
-            stochasticLog(trace, config.model, config.seed,
-                          config.mean_latency);
-        if (log.size() <= 1) {
-            std::vector<double> crash_times{-1.0};
-            if (log.size() == 1)
-                crash_times.push_back(log[0].time + 1.0);
-            for (const double t : crash_times) {
-                ++result.samples;
-                const MemoryImage image = reconstructImage(log, t);
-                const std::string verdict = invariant(image);
-                if (!verdict.empty()) {
-                    ++result.violations;
-                    if (result.first_violation.empty()) {
-                        std::ostringstream oss;
-                        oss << "degenerate log, crash t=" << t << ": "
-                            << verdict;
-                        result.first_violation = oss.str();
-                        result.first_violation_time = t;
-                    }
-                }
-            }
-            return result;
-        }
-    }
-
-    for (std::uint64_t r = 0; r < config.realizations; ++r) {
-        const PersistLog log =
-            stochasticLog(trace, config.model, rng.next(),
-                          config.mean_latency);
-        double span = 0.0;
-        for (const auto &record : log)
-            span = std::max(span, record.time);
-
-        std::vector<double> crash_times;
-        crash_times.push_back(-1.0);       // Nothing persisted.
-        crash_times.push_back(span + 1.0); // Everything persisted.
-        for (std::uint64_t c = 0; c < config.crashes_per_realization; ++c)
-            crash_times.push_back(rng.nextDouble() * span);
-
-        for (const double t : crash_times) {
-            ++result.samples;
-            const MemoryImage image = reconstructImage(log, t);
-            const std::string verdict = invariant(image);
-            if (!verdict.empty()) {
-                ++result.violations;
-                if (result.first_violation.empty()) {
-                    std::ostringstream oss;
-                    oss << "realization " << r << ", crash t=" << t
-                        << ": " << verdict;
-                    result.first_violation = oss.str();
-                    result.first_violation_time = t;
-                }
-            }
-        }
-    }
-    return result;
+    // A fault-free campaign over a perfect device: one code path
+    // serves both, so the fault machinery can never drift away from
+    // the baseline observer semantics.
+    FaultCampaignConfig campaign;
+    campaign.injection = config;
+    return runFaultCampaign(trace, campaign, invariant);
 }
 
 } // namespace persim

@@ -52,7 +52,11 @@ MemoryImage reconstructImage(const PersistLog &log, double crash_time);
  * Validate internal consistency of a persist log:
  *  - each record's time is >= its binding dependence's time, strictly
  *    greater unless coalesced;
- *  - persists to the same (8-byte) address have non-decreasing times.
+ *  - persists to the same (8-byte) address have non-decreasing times;
+ *  - each record's in-flight window [start, time) is well-formed and
+ *    anchored to its binding: a non-coalesced persist starts when its
+ *    binding dependence completes, a coalesced piece shares its
+ *    group's start, and an unconstrained persist starts at 0.
  * @return Empty string if consistent, else a description.
  */
 std::string verifyLogConsistency(const PersistLog &log);
@@ -64,6 +68,22 @@ std::string verifyLogConsistency(const PersistLog &log);
  */
 using RecoveryInvariant = std::function<std::string(const MemoryImage &)>;
 
+/**
+ * One invariant failure, with everything needed to replay the exact
+ * crash state that produced it (see fault_campaign.hh's
+ * formatFaultRepro / replayFaultRepro).
+ */
+struct ViolationRecord
+{
+    std::uint64_t realization = 0;      //!< Realization index.
+    std::uint64_t realization_seed = 0; //!< Stochastic-clock seed.
+    double crash_time = -1.0;           //!< Sampled crash time.
+    std::uint64_t fault_seed = 0;       //!< Per-sample fault stream.
+    std::string verdict;                //!< Invariant output.
+    std::string fault_summary;          //!< Injected faults (empty on
+                                        //!< a fault-free campaign).
+};
+
 /** Outcome of a failure-injection campaign. */
 struct InjectionResult
 {
@@ -71,6 +91,10 @@ struct InjectionResult
     std::uint64_t violations = 0; //!< States failing the invariant.
     std::string first_violation;  //!< Description of the first failure.
     double first_violation_time = -1.0;
+
+    /** First InjectionConfig::max_recorded_violations failures, in
+        deterministic (realization, crash index) order. */
+    std::vector<ViolationRecord> violation_list;
 
     bool ok() const { return violations == 0; }
 };
@@ -91,6 +115,14 @@ struct InjectionConfig
 
     /** Mean persist latency for the stochastic clock. */
     double mean_latency = 1.0;
+
+    /** Worker threads for the realization fan-out on the shared
+        TaskPool: 1 = run inline, 0 = hardware concurrency. Results
+        are bit-identical at any setting. */
+    unsigned jobs = 1;
+
+    /** Cap on InjectionResult::violation_list. */
+    std::uint64_t max_recorded_violations = 16;
 };
 
 /**

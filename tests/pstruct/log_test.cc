@@ -42,6 +42,7 @@ TEST(Log, AppendAndRecoverAll)
         PersistentLog::recover(engine.memory(), log->layout());
     ASSERT_EQ(recovered.records.size(), 10u);
     for (std::uint64_t id = 1; id <= 10; ++id) {
+        EXPECT_EQ(recovered.records[id - 1].seq, id - 1);
         EXPECT_EQ(recovered.records[id - 1].payload,
                   bytesFor(id, 10 + id * 3));
     }
@@ -71,7 +72,7 @@ TEST(Log, RecoverStopsAtCorruption)
     engine.memory().readBytes(blob.data(), log->layout().base,
                               blob.size());
     image.writeBytes(log->layout().base, blob.data(), blob.size());
-    const Addr victim = log->layout().base + third_offset + 12;
+    const Addr victim = log->layout().base + third_offset + 20;
     image.store(victim, 1, image.load(victim, 1) ^ 0xff);
 
     const auto recovered = PersistentLog::recover(image, log->layout());
@@ -117,7 +118,7 @@ TEST(Log, FullIsFatalAndEmptyPayloadRejected)
     ExecutionEngine engine(EngineConfig{}, nullptr);
     engine.runSetup([](ThreadCtx &ctx) {
         auto log = PersistentLog::create(ctx, {.capacity = 64}, 1);
-        const auto payload = bytesFor(1, 24); // 40-byte records.
+        const auto payload = bytesFor(1, 24); // 48-byte records.
         log.append(ctx, 0, payload.data(), payload.size());
         EXPECT_THROW(log.append(ctx, 0, payload.data(), payload.size()),
                      FatalError);
@@ -195,19 +196,20 @@ hasHole(const MemoryImage &image, const LogLayout &layout,
         std::uint64_t appended_bytes)
 {
     // Walk records structurally using known record size (all appends
-    // are 20-byte payloads -> 40-byte records) and check validity
+    // are 20-byte payloads -> 48-byte records) and check validity
     // independently of the prefix scan.
     const std::uint64_t record_bytes = LogLayout::recordBytes(20);
     bool seen_invalid = false;
     for (std::uint64_t pos = 0; pos + record_bytes <= appended_bytes;
          pos += record_bytes) {
         std::uint8_t payload[20];
-        image.readBytes(payload, layout.base + pos + 8, 20);
+        image.readBytes(payload, layout.base + pos + 16, 20);
         const std::uint64_t len = image.load(layout.base + pos, 8);
+        const std::uint64_t seq = image.load(layout.base + pos + 8, 8);
         const std::uint64_t stored =
-            image.load(layout.base + pos + 8 + 24, 8);
-        const bool valid = len == 20 &&
-            stored == LogLayout::checksum(pos, 20, payload);
+            image.load(layout.base + pos + 16 + 24, 8);
+        const bool valid = len == 20 && seq == pos / record_bytes &&
+            stored == LogLayout::checksum(pos, seq, 20, payload);
         if (!valid) {
             seen_invalid = true;
         } else if (seen_invalid) {

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "bench_util/queue_workload.hh"
 #include "queue/payload.hh"
 #include "queue/queue.hh"
@@ -74,6 +76,67 @@ TEST(Reconstruct, SubWordPersistsApplyPartially)
     EXPECT_EQ(full.load(paddr(0), 8), 0x5566778811223344ull);
 }
 
+TEST(Reconstruct, CrashExactlyAtCompletionTimeIsInclusive)
+{
+    // The observer's cut is "time <= T": a crash at exactly a
+    // persist's completion time includes it.
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 4).barrier(0).store(0, paddr(1), 6);
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 2u);
+
+    const auto at_first = reconstructImage(log, log[0].time);
+    EXPECT_EQ(at_first.load(paddr(0), 8), 4u);
+    EXPECT_EQ(at_first.load(paddr(1), 8), 0u);
+
+    const auto at_second = reconstructImage(log, log[1].time);
+    EXPECT_EQ(at_second.load(paddr(1), 8), 6u);
+}
+
+TEST(Reconstruct, BoundarySamplesAreNothingAndEverything)
+{
+    // The crash times injectFailures always includes: before the
+    // first persist (empty image) and after the last (full image).
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1)
+           .barrier(0)
+           .store(0, paddr(1), 2)
+           .barrier(0)
+           .store(0, paddr(2), 3);
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    double last = 0.0;
+    for (const auto &record : log)
+        last = std::max(last, record.time);
+
+    const auto nothing = reconstructImage(log, -1.0);
+    for (std::uint64_t slot = 0; slot < 3; ++slot)
+        EXPECT_EQ(nothing.load(paddr(slot), 8), 0u);
+
+    const auto everything = reconstructImage(log, last + 1.0);
+    EXPECT_EQ(everything.load(paddr(0), 8), 1u);
+    EXPECT_EQ(everything.load(paddr(1), 8), 2u);
+    EXPECT_EQ(everything.load(paddr(2), 8), 3u);
+}
+
+TEST(Reconstruct, CoalescedGroupTieBreaksInTraceOrder)
+{
+    // Same-address persists that coalesce share one completion time;
+    // trace order must decide which value survives, and crashing at
+    // that shared time applies the whole group.
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 10)
+           .store(0, paddr(0), 20)
+           .store(0, paddr(0), 30);
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 3u);
+    ASSERT_EQ(log[1].binding_source, DepSource::Coalesced);
+    ASSERT_EQ(log[2].binding_source, DepSource::Coalesced);
+    ASSERT_EQ(log[0].time, log[2].time);
+
+    const auto image = reconstructImage(log, log[0].time);
+    EXPECT_EQ(image.load(paddr(0), 8), 30u);
+}
+
 TEST(LogConsistency, DetectsTamperedTimes)
 {
     TraceBuilder builder;
@@ -104,6 +167,77 @@ TEST(LogConsistency, DetectsSpaViolation)
     log[2].time = 0.25; // Same word as record 0, earlier time.
     log[2].binding = invalid_persist;
     EXPECT_NE(verifyLogConsistency(log), "");
+}
+
+TEST(LogConsistency, DetectsSameAddressTimeRegression)
+{
+    // Two persists to the same word with the later one rewound to an
+    // earlier time: a strong-persist-atomicity violation even though
+    // every binding constraint still holds.
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1)
+           .barrier(0)
+           .store(0, paddr(1), 2)
+           .barrier(0)
+           .store(0, paddr(0), 3);
+    auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 3u);
+    ASSERT_EQ(verifyLogConsistency(log), "");
+
+    log[2].time = log[0].time - 0.5;
+    log[2].binding = invalid_persist;
+    log[2].binding_source = DepSource::None;
+    log[2].start = 0.0;
+    const auto verdict = verifyLogConsistency(log);
+    EXPECT_NE(verdict.find("strong persist atomicity"),
+              std::string::npos)
+        << verdict;
+}
+
+TEST(LogConsistency, DetectsRecordEarlierThanItsBinding)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1).barrier(0).store(0, paddr(1), 2);
+    auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 2u);
+    ASSERT_NE(log[1].binding, invalid_persist);
+
+    // Record 1 claims to complete before the dependence that must
+    // precede it.
+    log[1].time = log[0].time / 2.0;
+    log[1].start = log[1].time / 2.0;
+    const auto verdict = verifyLogConsistency(log);
+    EXPECT_NE(verdict.find("does not follow its binding"),
+              std::string::npos)
+        << verdict;
+}
+
+TEST(LogConsistency, ValidatesTheInFlightWindow)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1).barrier(0).store(0, paddr(1), 2);
+    auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 2u);
+    ASSERT_EQ(verifyLogConsistency(log), "");
+
+    // Inverted window: a persist cannot start after it completes.
+    auto inverted = log;
+    inverted[1].start = inverted[1].time + 1.0;
+    EXPECT_NE(verifyLogConsistency(inverted).find("inverted"),
+              std::string::npos);
+
+    // Wrong anchor: a bound persist starts when its binding
+    // completes, nowhere else.
+    auto unanchored = log;
+    unanchored[1].start = log[0].time / 2.0;
+    EXPECT_NE(verifyLogConsistency(unanchored).find("anchors"),
+              std::string::npos);
+
+    // An unconstrained persist starts at time 0.
+    auto eager = log;
+    eager[0].start = 0.25;
+    EXPECT_NE(verifyLogConsistency(eager).find("unconstrained"),
+              std::string::npos);
 }
 
 TEST(Injection, OrderedChainNeverExposesSuffixWithoutPrefix)
