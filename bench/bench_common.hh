@@ -17,6 +17,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_util/bench_report.hh"
 #include "bench_util/queue_workload.hh"
 #include "common/task_pool.hh"
 #include "persistency/timing_engine.hh"
@@ -37,6 +38,9 @@ struct BenchOptions
 
     /** Streaming chunk size in events. */
     std::uint64_t chunk_events = 1ULL << 16;
+
+    /** Write machine-readable replay samples here (empty = don't). */
+    std::string json_path;
 };
 
 /**
@@ -61,13 +65,18 @@ parseBenchOptions(int argc, char **argv)
                 static_cast<std::uint32_t>(std::stoul(value("--jobs")));
         } else if (!value("--chunk-events").empty()) {
             options.chunk_events = std::stoull(value("--chunk-events"));
+        } else if (!value("--json").empty()) {
+            options.json_path = value("--json");
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--jobs=N] [--stream] [--chunk-events=N]\n"
-                      << "  --jobs=N   analysis worker threads "
+                      << " [--jobs=N] [--stream] [--chunk-events=N]"
+                         " [--json=PATH]\n"
+                      << "  --jobs=N    analysis worker threads "
                          "(1 = serial baseline, 0 = hardware)\n"
-                      << "  --stream   replay analyses from a trace "
-                         "file in chunks\n";
+                      << "  --stream    replay analyses from a trace "
+                         "file in chunks\n"
+                      << "  --json=PATH write BENCH_replay.json-style "
+                         "replay samples\n";
             std::exit(2);
         }
     }
@@ -125,6 +134,20 @@ reportAnalysisWall(std::size_t configs, std::uint64_t events_analyzed,
               << wall_seconds << " s wall ("
               << formatEventsPerSec(events_analyzed, wall_seconds)
               << ", --jobs=" << effectiveJobs(jobs) << ")\n";
+}
+
+/**
+ * Write the bench's replay samples if --json=PATH was given; a bench
+ * that measured nothing writes nothing.
+ */
+inline void
+writeBenchReport(const BenchReport &report, const BenchOptions &options)
+{
+    if (options.json_path.empty() || report.empty())
+        return;
+    report.writeJson(options.json_path);
+    std::cout << "bench report: " << report.size() << " samples -> "
+              << options.json_path << "\n";
 }
 
 /** Print a banner naming the experiment. */

@@ -95,6 +95,7 @@ main(int argc, char **argv)
     TextTable timing;
     timing.header({"model", "gran(B)", "wall(s)", "events/s"});
     std::uint64_t events_analyzed = 0;
+    BenchReport report;
     for (const SweepSeries &entry : series) {
         for (const SweepPoint &point : entry.points) {
             events_analyzed += point.result.events;
@@ -103,6 +104,9 @@ main(int argc, char **argv)
                         formatDouble(point.wall_seconds, 4),
                         formatEventsPerSec(point.result.events,
                                            point.wall_seconds)});
+            report.add("fig4/" + entry.model.name() + "/a" +
+                           std::to_string(point.value),
+                       point.result.events, point.wall_seconds);
         }
     }
     std::cout << "\nPer-analysis wall time"
@@ -110,5 +114,6 @@ main(int argc, char **argv)
               << timing.render() << "\n";
     reportAnalysisWall(grans.size() * models.size(), events_analyzed,
                        analysis_wall, options.jobs);
+    writeBenchReport(report, options);
     return 0;
 }

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Replay-throughput baseline: the canonical producer of
+ * BENCH_replay.json (the committed copy lives at the repo root).
+ *
+ * Replays two traces through the timing engine and records pure
+ * replay throughput per model:
+ *
+ *  - "synthetic": a seeded random 1M-event mixed trace built directly
+ *    (no execution engine), the same trace the ctest `perf` smoke
+ *    test replays against the committed baseline;
+ *  - "cwl1": the Copy While Locked single-thread queue workload the
+ *    fig3/fig4/fig5 sweeps analyze.
+ *
+ * Each sample is the best of five replays (the minimum wall time is
+ * the least noise-polluted estimate of achievable throughput). Run
+ * with --json=BENCH_replay.json to refresh the committed baseline;
+ * EXPERIMENTS.md documents the procedure.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "bench_util/synthetic_trace.hh"
+#include "bench_util/table.hh"
+
+using namespace persim;
+using namespace persim::bench;
+
+namespace {
+
+constexpr int replay_reps = 5;
+
+/** Best-of-N replay of @p trace under @p timing; returns seconds. */
+double
+timedReplay(const InMemoryTrace &trace, const TimingConfig &timing)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < replay_reps; ++rep) {
+        PersistTimingEngine engine(timing);
+        Stopwatch watch;
+        trace.replay(engine);
+        const double wall = watch.seconds();
+        if (rep == 0 || wall < best)
+            best = wall;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseBenchOptions(argc, argv);
+    if (options.json_path.empty())
+        options.json_path = "BENCH_replay.json";
+    banner("Replay baseline: pure timing-engine throughput "
+           "(best of 5 replays per model)",
+           "establishes the BENCH_replay.json perf trajectory the "
+           "ctest perf smoke test regresses against");
+
+    struct Model
+    {
+        const char *name;
+        ModelConfig model;
+    };
+    const std::vector<Model> model_list{
+        {"strict", ModelConfig::strict()},
+        {"epoch", ModelConfig::epoch()},
+        {"strand", ModelConfig::strand()},
+    };
+
+    struct TraceEntry
+    {
+        std::string name;
+        InMemoryTrace trace;
+    };
+    std::vector<TraceEntry> traces;
+    {
+        SyntheticTraceConfig synth;
+        traces.push_back({"synthetic", buildSyntheticTrace(synth)});
+        QueueWorkloadConfig queue;
+        queue.kind = QueueKind::CopyWhileLocked;
+        queue.variant = AnnotationVariant::Conservative;
+        queue.threads = 1;
+        queue.inserts_per_thread = 20000;
+        InMemoryTrace trace;
+        runQueueWorkload(queue, {&trace});
+        traces.push_back({"cwl1", std::move(trace)});
+    }
+
+    BenchReport report;
+    TextTable table;
+    table.header({"trace", "model", "events", "wall(s)", "events/s"});
+    for (const TraceEntry &entry : traces) {
+        for (const Model &model : model_list) {
+            const double wall =
+                timedReplay(entry.trace, levels(model.model));
+            const std::uint64_t events = entry.trace.size();
+            table.row({entry.name, model.name, std::to_string(events),
+                       formatDouble(wall, 4),
+                       formatEventsPerSec(events, wall)});
+            report.add("replay/" + entry.name + "/" + model.name,
+                       events, wall);
+        }
+    }
+    std::cout << "\n" << table.render() << "\n";
+    writeBenchReport(report, options);
+    return 0;
+}

@@ -45,7 +45,6 @@ struct Cell
 void
 analyzeCell(Cell &cell, const AnalysisVariant &variant)
 {
-    Stopwatch watch;
     QueueWorkloadConfig config;
     config.kind = cell.kind;
     config.variant = variant.trace_variant;
@@ -53,8 +52,13 @@ analyzeCell(Cell &cell, const AnalysisVariant &variant)
     config.inserts_per_thread = cell.threads == 1 ? 20000 : 2500;
     config.seed = 42;
 
+    // Trace untimed, then time the replay alone (see fig3).
+    InMemoryTrace trace;
+    const auto workload = runQueueWorkload(config, {&trace});
     PersistTimingEngine engine(levels(variant.model));
-    const auto workload = runInto(config, {&engine});
+    Stopwatch watch;
+    trace.replay(engine);
+    cell.wall_seconds = watch.seconds();
 
     const auto throughput = makeThroughput(
         cell.native_rate, workload.inserts,
@@ -62,7 +66,6 @@ analyzeCell(Cell &cell, const AnalysisVariant &variant)
     cell.normalized = throughput.normalized();
     cell.critical_path_per_op = engine.result().criticalPathPerOp();
     cell.events = engine.result().events;
-    cell.wall_seconds = watch.seconds();
 }
 
 } // namespace
@@ -161,11 +164,13 @@ main(int argc, char **argv)
     }
     std::cout << detail.render();
 
-    std::cout << "\nPer-analysis wall time (trace + replay):\n";
+    std::cout << "\nPer-analysis wall time (replay only; tracing "
+                 "untimed):\n";
     TextTable timing;
     timing.header({"queue", "threads", "variant", "events", "wall(s)",
                    "events/s"});
     std::uint64_t events_analyzed = 0;
+    BenchReport report;
     for (const Cell &cell : cells) {
         events_analyzed += cell.events;
         timing.row({queueKindName(cell.kind),
@@ -174,9 +179,16 @@ main(int argc, char **argv)
                     std::to_string(cell.events),
                     formatDouble(cell.wall_seconds, 4),
                     formatEventsPerSec(cell.events, cell.wall_seconds)});
+        const std::string queue =
+            cell.kind == QueueKind::CopyWhileLocked ? "cwl" : "2lc";
+        report.add("table1/" + queue + "/" +
+                       std::to_string(cell.threads) + "t/" +
+                       variants[cell.variant].name,
+                   cell.events, cell.wall_seconds);
     }
     std::cout << timing.render() << "\n";
     reportAnalysisWall(cells.size(), events_analyzed, analysis_wall,
                        options.jobs);
+    writeBenchReport(report, options);
     return 0;
 }

@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then
-# smoke-test the bounded model checker with small budgets.
+# smoke-test the bounded model checker with small budgets, fuzz the
+# timing engine differentially (--fuzz-iters=N, default 500), and run
+# the perf-labeled replay-throughput regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FUZZ_ITERS=500
+for arg in "$@"; do
+    case "$arg" in
+        --fuzz-iters=*) FUZZ_ITERS="${arg#--fuzz-iters=}" ;;
+        *) echo "usage: $0 [--fuzz-iters=N]" >&2; exit 2 ;;
+    esac
+done
 
 cmake -B build -S . && cmake --build build -j && \
     ctest --test-dir build --output-on-failure -j
@@ -40,11 +50,21 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j \
     --target faults_test fault_campaign_test recovery_test \
-    log_test queue_test queue_negative_test
+    log_test queue_test queue_negative_test differential_fuzz_test
 ./build-asan/tests/faults_test
 ./build-asan/tests/fault_campaign_test
 ./build-asan/tests/recovery_test
 ./build-asan/tests/log_test
 ./build-asan/tests/queue_test
 ./build-asan/tests/queue_negative_test
+
+# Fuzz stage: the differential fuzzer at full depth, instrumented —
+# 500 seeded random programs (default) replayed under all three
+# models with the refinement invariants checked on every one.
+PERSIM_FUZZ_ITERS="$FUZZ_ITERS" ./build-asan/tests/differential_fuzz_test
+
+# Perf stage: replay-throughput regression against the committed
+# BENCH_replay.json, in the uninstrumented release-config build
+# (wall-clock sensitive, hence outside the default ctest run).
+ctest --test-dir build -C perf -L perf --output-on-failure
 echo "check.sh: all checks passed"

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Machine-readable bench reporting: BENCH_replay.json.
+ *
+ * Every sweep/analysis bench can emit a flat JSON object mapping a
+ * sample key ("fig3/epoch/replay") to the replay measurement taken
+ * under it: events consumed, wall seconds, derived events/sec, and
+ * the process peak RSS at sampling time. The file is the repo's perf
+ * trajectory record — the perf smoke test compares a fresh run
+ * against the committed baseline, and EXPERIMENTS.md quotes it.
+ *
+ * The format is deliberately trivial (one nesting level, no arrays,
+ * no escapes in keys) so both the writer and the reader here can be
+ * dependency-free; readBenchJson only promises to parse what
+ * BenchReport::writeJson produces.
+ */
+
+#ifndef PERSIM_BENCH_UTIL_BENCH_REPORT_HH
+#define PERSIM_BENCH_UTIL_BENCH_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace persim {
+
+/** One measured replay sample. */
+struct BenchSample
+{
+    std::uint64_t events = 0;       //!< Trace events consumed.
+    double wall_seconds = 0.0;      //!< Replay wall time.
+    double events_per_sec = 0.0;    //!< events / wall_seconds.
+    std::uint64_t peak_rss_kb = 0;  //!< Process peak RSS when sampled.
+};
+
+/** Current process peak resident set size in KiB (getrusage). */
+std::uint64_t peakRssKb();
+
+/** Accumulates samples and renders them as BENCH_replay.json. */
+class BenchReport
+{
+  public:
+    /**
+     * Record a sample under @p key (e.g. "fig3/epoch/replay"); the
+     * events/sec and peak-RSS fields are derived here. Keys must be
+     * unique per report and free of '"' and '\\'.
+     */
+    void add(const std::string &key, std::uint64_t events,
+             double wall_seconds);
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    /** The JSON document (insertion order, trailing newline). */
+    std::string renderJson() const;
+
+    /** Write renderJson() to @p path; fatals on I/O failure. */
+    void writeJson(const std::string &path) const;
+
+  private:
+    std::vector<std::pair<std::string, BenchSample>> entries_;
+};
+
+/**
+ * Parse a file written by BenchReport::writeJson back into key ->
+ * sample form; fatals on a missing file or malformed document.
+ */
+std::map<std::string, BenchSample> readBenchJson(const std::string &path);
+
+} // namespace persim
+
+#endif // PERSIM_BENCH_UTIL_BENCH_REPORT_HH

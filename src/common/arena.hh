@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Reusable bump (arena) allocation for analysis hot paths.
+ *
+ * The persist-timing engine's steady state must not touch the heap
+ * per event (ISSUE 4 / DESIGN.md Section 11): its per-block state
+ * lives in struct-of-arrays banks whose storage comes from an Arena.
+ * An Arena hands out raw aligned spans from geometrically growing
+ * chunks; nothing is freed individually, and reset() recycles every
+ * chunk for the next analysis without returning memory to the
+ * system. ArenaVector is the POD-only growable array on top of it:
+ * push_back is a bounds check and a store, and growth relocates into
+ * a fresh arena span (so elements must be trivially copyable and
+ * callers must hold slot indices, never references, across growth).
+ */
+
+#ifndef PERSIM_COMMON_ARENA_HH
+#define PERSIM_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace persim {
+
+/** Chunked bump allocator; spans live until reset() or destruction. */
+class Arena
+{
+  public:
+    /** @param chunk_bytes Size of the first chunk (doubles as needed). */
+    explicit Arena(std::size_t chunk_bytes = 1ULL << 16)
+        : next_chunk_bytes_(chunk_bytes)
+    {
+        PERSIM_REQUIRE(chunk_bytes > 0, "arena chunk size must be > 0");
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Allocate @p bytes aligned to @p align (a power of two). */
+    void *
+    allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t))
+    {
+        std::uintptr_t at = reinterpret_cast<std::uintptr_t>(cursor_);
+        const std::uintptr_t aligned = (at + (align - 1)) & ~(align - 1);
+        const std::size_t pad = aligned - at;
+        if (cursor_ == nullptr || pad + bytes > remaining_)
+            return allocateSlow(bytes, align);
+        cursor_ += pad + bytes;
+        remaining_ -= pad + bytes;
+        allocated_ += pad + bytes;
+        return reinterpret_cast<void *>(aligned);
+    }
+
+    /** Allocate an uninitialized array of @p count POD elements. */
+    template <typename T>
+    T *
+    allocateArray(std::size_t count)
+    {
+        static_assert(std::is_trivially_copyable_v<T> &&
+                          std::is_trivially_destructible_v<T>,
+                      "arenas never run destructors");
+        return static_cast<T *>(allocate(count * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Recycle every chunk: previously returned spans become invalid,
+     * but the memory stays owned by the arena, so the next analysis
+     * of similar size allocates nothing from the system.
+     */
+    void
+    reset()
+    {
+        chunk_index_ = 0;
+        allocated_ = 0;
+        if (chunks_.empty()) {
+            cursor_ = nullptr;
+            remaining_ = 0;
+        } else {
+            cursor_ = chunks_[0].data.get();
+            remaining_ = chunks_[0].bytes;
+        }
+    }
+
+    /** Bytes handed out since construction or the last reset(). */
+    std::size_t allocatedBytes() const { return allocated_; }
+
+    /** Bytes owned (allocated from the system), across resets. */
+    std::size_t
+    ownedBytes() const
+    {
+        std::size_t total = 0;
+        for (const Chunk &chunk : chunks_)
+            total += chunk.bytes;
+        return total;
+    }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<unsigned char[]> data;
+        std::size_t bytes = 0;
+    };
+
+    /** Out-of-line refill: advance to (or mint) a chunk that fits. */
+    void *
+    allocateSlow(std::size_t bytes, std::size_t align)
+    {
+        // A fresh chunk is max_align_t aligned; over-reserve so any
+        // requested alignment fits after padding.
+        const std::size_t need = bytes + align;
+        while (chunk_index_ < chunks_.size() &&
+               chunks_[chunk_index_].bytes < need)
+            ++chunk_index_;
+        if (chunk_index_ == chunks_.size()) {
+            while (next_chunk_bytes_ < need)
+                next_chunk_bytes_ *= 2;
+            Chunk chunk;
+            chunk.data =
+                std::make_unique<unsigned char[]>(next_chunk_bytes_);
+            chunk.bytes = next_chunk_bytes_;
+            next_chunk_bytes_ *= 2;
+            chunks_.push_back(std::move(chunk));
+        }
+        cursor_ = chunks_[chunk_index_].data.get();
+        remaining_ = chunks_[chunk_index_].bytes;
+        ++chunk_index_;
+        return allocate(bytes, align);
+    }
+
+    std::vector<Chunk> chunks_;
+    std::size_t chunk_index_ = 0;  //!< Next chunk allocateSlow may use.
+    unsigned char *cursor_ = nullptr;
+    std::size_t remaining_ = 0;
+    std::size_t allocated_ = 0;
+    std::size_t next_chunk_bytes_;
+};
+
+/**
+ * Growable POD array whose storage comes from an Arena.
+ *
+ * Growth relocates the elements into a larger arena span; the old
+ * span is abandoned (reclaimed wholesale at Arena::reset). Hold
+ * indices across push_back, never pointers or references.
+ */
+template <typename T>
+class ArenaVector
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "ArenaVector is for POD element types only");
+
+  public:
+    explicit ArenaVector(Arena &arena) : arena_(&arena) {}
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+    void
+    push_back(const T &value)
+    {
+        if (size_ == capacity_)
+            grow();
+        data_[size_++] = value;
+    }
+
+    /** Append @p count copies of @p value; returns the first index. */
+    std::size_t
+    append(std::size_t count, const T &value)
+    {
+        const std::size_t first = size_;
+        while (size_ + count > capacity_)
+            grow();
+        for (std::size_t i = 0; i < count; ++i)
+            data_[size_ + i] = value;
+        size_ += count;
+        return first;
+    }
+
+    /** Append a raw span; returns the index of its first element. */
+    std::size_t
+    appendSpan(const T *values, std::size_t count)
+    {
+        const std::size_t first = size_;
+        while (size_ + count > capacity_)
+            grow();
+        if (count > 0)
+            std::memcpy(data_ + size_, values, count * sizeof(T));
+        size_ += count;
+        return first;
+    }
+
+    /** Forget the contents (storage stays with the arena). */
+    void
+    clear()
+    {
+        size_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t new_capacity =
+            capacity_ == 0 ? 16 : capacity_ * 2;
+        T *fresh = arena_->allocateArray<T>(new_capacity);
+        if (size_ > 0)
+            std::memcpy(fresh, data_, size_ * sizeof(T));
+        data_ = fresh;
+        capacity_ = new_capacity;
+    }
+
+    Arena *arena_;
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+};
+
+} // namespace persim
+
+#endif // PERSIM_COMMON_ARENA_HH

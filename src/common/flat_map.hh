@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Open-addressing hash index from u64 keys to dense slot numbers.
+ *
+ * The timing engine's per-block state is keyed by block index; the
+ * generic std::unordered_map<u64, State> costs a node allocation per
+ * block and a pointer chase per event. FlatIndexMap separates the two
+ * concerns: it maps keys to dense u32 slots via linear probing over a
+ * flat power-of-two table (splitmix64-finalizer hash, ~0.7 max load),
+ * and the caller keeps the actual state in parallel struct-of-arrays
+ * banks indexed by slot. Slots are handed out in insertion order, so
+ * iteration order of the banks is deterministic.
+ */
+
+#ifndef PERSIM_COMMON_FLAT_MAP_HH
+#define PERSIM_COMMON_FLAT_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace persim {
+
+/** Hash map u64 key -> dense u32 slot; keys must not be ~0ULL. */
+class FlatIndexMap
+{
+  public:
+    static constexpr std::uint64_t empty_key = ~0ULL;
+    static constexpr std::uint32_t no_slot = ~0U;
+
+    FlatIndexMap() { rehash(initial_buckets); }
+
+    /** Number of distinct keys inserted. */
+    std::uint32_t size() const { return count_; }
+
+    /**
+     * Slot of @p key, inserting the next dense slot if absent; sets
+     * @p inserted so the caller can extend its SoA banks in step.
+     */
+    std::uint32_t
+    findOrInsert(std::uint64_t key, bool &inserted)
+    {
+        std::size_t at = static_cast<std::size_t>(mix(key)) & mask_;
+        while (true) {
+            Bucket &bucket = buckets_[at];
+            if (bucket.key == key) {
+                inserted = false;
+                return bucket.slot;
+            }
+            if (bucket.key == empty_key) {
+                inserted = true;
+                const std::uint32_t slot = count_++;
+                bucket.key = key;
+                bucket.slot = slot;
+                if (count_ * 10 >= (mask_ + 1) * 7)
+                    rehash((mask_ + 1) * 2);
+                return slot;
+            }
+            at = (at + 1) & mask_;
+        }
+    }
+
+    /** Slot of @p key, or no_slot when absent. */
+    std::uint32_t
+    find(std::uint64_t key) const
+    {
+        std::size_t at = static_cast<std::size_t>(mix(key)) & mask_;
+        while (true) {
+            const Bucket &bucket = buckets_[at];
+            if (bucket.key == key)
+                return bucket.slot;
+            if (bucket.key == empty_key)
+                return no_slot;
+            at = (at + 1) & mask_;
+        }
+    }
+
+    /** Drop every key; keeps the table storage. */
+    void
+    clear()
+    {
+        buckets_.assign(buckets_.size(), Bucket{});
+        count_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t initial_buckets = 64;
+
+    /**
+     * Key and slot live side by side (16 bytes) so one probe touches
+     * a single cache line rather than one line in a key array plus
+     * one in a slot array.
+     */
+    struct Bucket
+    {
+        std::uint64_t key = empty_key;
+        std::uint32_t slot = no_slot;
+    };
+
+    /** splitmix64 finalizer: full-avalanche mix of the key. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    void
+    rehash(std::size_t buckets)
+    {
+        std::vector<Bucket> old = std::move(buckets_);
+        buckets_.assign(buckets, Bucket{});
+        mask_ = buckets - 1;
+        for (const Bucket &bucket : old) {
+            if (bucket.key == empty_key)
+                continue;
+            std::size_t at =
+                static_cast<std::size_t>(mix(bucket.key)) & mask_;
+            while (buckets_[at].key != empty_key)
+                at = (at + 1) & mask_;
+            buckets_[at] = bucket;
+        }
+    }
+
+    std::vector<Bucket> buckets_;
+    std::size_t mask_ = 0;
+    std::uint32_t count_ = 0;
+};
+
+} // namespace persim
+
+#endif // PERSIM_COMMON_FLAT_MAP_HH

@@ -76,6 +76,52 @@ ProgramFactory queueProgram(const QueueExploreOptions &options);
  */
 ModelConfig queueExploreModel();
 
+/** Parameters for randomProgram. */
+struct RandomProgramOptions
+{
+    /** Worker threads. */
+    std::uint32_t threads = 2;
+
+    /** Randomized operations issued by each thread. */
+    std::uint32_t ops_per_thread = 10;
+
+    /** Shared persistent scratch cells (8 bytes each). */
+    std::uint32_t scratch_cells = 6;
+
+    /** Shared volatile scratch cells (8 bytes each). */
+    std::uint32_t volatile_cells = 4;
+
+    /**
+     * Emit NewStrand operations. When false the program is
+     * strand-free, and strand persistency must analyze it exactly
+     * like epoch persistency (the differential fuzzer's sharpest
+     * invariant: the two persist logs must match field for field).
+     */
+    bool allow_strands = true;
+};
+
+/**
+ * A seeded random multi-threaded program for differential fuzzing
+ * (ISSUE 4). Each thread interprets a pre-generated instruction list
+ * — a pure function of (seed, options) — mixing random persistent
+ * stores/loads/fetch-adds on a shared scratch array, volatile
+ * accesses, persist barriers, optional NewStrand, and the Figure 1
+ * publish idiom against thread-private cells:
+ *
+ *   data[t] = k;  persistBarrier();  flag[t] = k;     (k increasing)
+ *
+ * The recovery invariant is flag[t] <= data[t] for every thread: the
+ * barrier orders each publication's data persist before its flag
+ * persist, and strong persist atomicity keeps both cells' values
+ * monotone, so the bound holds at every consistent cut under strict,
+ * epoch, AND strand persistency (NewStrand never splits a
+ * publication). An engine that loses barrier ordering — e.g.
+ * EngineMutant::ElideEpochBarrier — admits a crash state with
+ * flag > data, which is how the fuzzer proves it has teeth.
+ */
+ProgramFactory randomProgram(std::uint64_t seed,
+                             const RandomProgramOptions &options = {});
+
 } // namespace persim
 
 #endif // PERSIM_EXPLORE_PROGRAMS_HH

@@ -18,6 +18,13 @@ FanoutSink::onEvent(const TraceEvent &event)
 }
 
 void
+FanoutSink::onBatch(const TraceEvent *events, std::size_t count)
+{
+    for (auto *sink : sinks_)
+        sink->onBatch(events, count);
+}
+
+void
 FanoutSink::onFinish()
 {
     for (auto *sink : sinks_)
@@ -32,10 +39,17 @@ InMemoryTrace::onEvent(const TraceEvent &event)
 }
 
 void
+InMemoryTrace::onBatch(const TraceEvent *events, std::size_t count)
+{
+    events_.insert(events_.end(), events, events + count);
+    for (std::size_t i = 0; i < count; ++i)
+        thread_count_ = std::max(thread_count_, events[i].thread + 1);
+}
+
+void
 InMemoryTrace::replay(TraceSink &sink) const
 {
-    for (const auto &event : events_)
-        sink.onEvent(event);
+    sink.onBatch(events_.data(), events_.size());
     sink.onFinish();
 }
 

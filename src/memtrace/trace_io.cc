@@ -15,6 +15,9 @@ constexpr std::uint32_t trace_version = 1;
 constexpr std::size_t header_size = 8 + 4 + 4 + 8;
 constexpr std::size_t record_size = 32;
 
+/** Records per buffered I/O burst (writer and readBatch). */
+constexpr std::size_t io_batch_records = 4096;
+
 /** Highest EventKind a record may carry (reject garbage above it). */
 constexpr std::uint64_t max_event_kind =
     static_cast<std::uint64_t>(EventKind::Fence);
@@ -125,14 +128,35 @@ TraceFileWriter::onEvent(const TraceEvent &event)
 {
     PERSIM_REQUIRE(file_ != nullptr && !finished_,
                    "write to a finished trace file: " << path_);
-    unsigned char record[record_size];
-    packEvent(event, record);
-    const std::size_t written = std::fwrite(record, 1, record_size, file_);
-    PERSIM_REQUIRE(written == record_size,
-                   "short write to trace file: " << path_);
+    if (!buffer_)
+        buffer_ = std::make_unique<unsigned char[]>(io_batch_records *
+                                                    record_size);
+    packEvent(event, buffer_.get() + buffered_ * record_size);
+    if (++buffered_ == io_batch_records)
+        flushRecords();
     ++event_count_;
     if (event.thread + 1 > thread_count_)
         thread_count_ = event.thread + 1;
+}
+
+void
+TraceFileWriter::onBatch(const TraceEvent *events, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        onEvent(events[i]);
+}
+
+void
+TraceFileWriter::flushRecords()
+{
+    if (buffered_ == 0)
+        return;
+    const std::size_t bytes = buffered_ * record_size;
+    const std::size_t written =
+        std::fwrite(buffer_.get(), 1, bytes, file_);
+    PERSIM_REQUIRE(written == bytes,
+                   "short write to trace file: " << path_);
+    buffered_ = 0;
 }
 
 void
@@ -140,6 +164,7 @@ TraceFileWriter::onFinish()
 {
     if (finished_ || file_ == nullptr)
         return;
+    flushRecords();
     finished_ = true;
     writeHeader();
     // Flush before close so a full disk surfaces here, checked,
@@ -213,12 +238,42 @@ TraceFileReader::readNext(TraceEvent &event)
     return true;
 }
 
+std::size_t
+TraceFileReader::readBatch(TraceEvent *out, std::size_t max)
+{
+    const std::uint64_t remaining = event_count_ - events_read_;
+    std::size_t want = max;
+    if (remaining < want)
+        want = static_cast<std::size_t>(remaining);
+    if (want == 0)
+        return 0;
+    if (want > io_batch_records)
+        want = io_batch_records;
+    if (buffer_records_ < want) {
+        buffer_ =
+            std::make_unique<unsigned char[]>(want * record_size);
+        buffer_records_ = want;
+    }
+    const std::size_t bytes = want * record_size;
+    const std::size_t got = std::fread(buffer_.get(), 1, bytes, file_);
+    PERSIM_REQUIRE(got == bytes, "truncated trace file");
+    for (std::size_t i = 0; i < want; ++i)
+        unpackEvent(buffer_.get() + i * record_size, out[i]);
+    events_read_ += want;
+    return want;
+}
+
 void
 TraceFileReader::readAll(TraceSink &sink)
 {
-    TraceEvent event;
-    while (readNext(event))
-        sink.onEvent(event);
+    std::vector<TraceEvent> batch(io_batch_records);
+    while (true) {
+        const std::size_t got =
+            readBatch(batch.data(), batch.size());
+        if (got == 0)
+            break;
+        sink.onBatch(batch.data(), got);
+    }
     sink.onFinish();
 }
 

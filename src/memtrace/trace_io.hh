@@ -20,6 +20,7 @@
 #define PERSIM_MEMTRACE_TRACE_IO_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "memtrace/sink.hh"
@@ -43,6 +44,7 @@ class TraceFileWriter : public TraceSink
     TraceFileWriter &operator=(const TraceFileWriter &) = delete;
 
     void onEvent(const TraceEvent &event) override;
+    void onBatch(const TraceEvent *events, std::size_t count) override;
 
     /** Patch header counts and close the file. Idempotent. */
     void onFinish() override;
@@ -52,11 +54,18 @@ class TraceFileWriter : public TraceSink
   private:
     void writeHeader();
 
+    /** Write the packed-record buffer out and empty it. */
+    void flushRecords();
+
     std::FILE *file_ = nullptr;
     std::string path_;
     std::uint64_t event_count_ = 0;
     ThreadId thread_count_ = 0;
     bool finished_ = false;
+
+    /** Records are packed here and written in batches. */
+    std::unique_ptr<unsigned char[]> buffer_;
+    std::size_t buffered_ = 0; //!< Records currently in buffer_.
 };
 
 /** Reads a trace file, streaming events into a sink. */
@@ -84,11 +93,22 @@ class TraceFileReader
     /** Read the next event; returns false at end of trace. */
     bool readNext(TraceEvent &event);
 
+    /**
+     * Read up to @p max events into @p out with one bulk read;
+     * returns how many were produced (0 at end of trace). Fatals on
+     * truncation or corrupt records, like readNext.
+     */
+    std::size_t readBatch(TraceEvent *out, std::size_t max);
+
   private:
     std::FILE *file_ = nullptr;
     std::uint64_t event_count_ = 0;
     std::uint64_t events_read_ = 0;
     ThreadId thread_count_ = 0;
+
+    /** Raw-record staging for readBatch (lazily sized). */
+    std::unique_ptr<unsigned char[]> buffer_;
+    std::size_t buffer_records_ = 0;
 };
 
 /** Convenience: write a whole in-memory trace to @p path. */

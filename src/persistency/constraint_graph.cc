@@ -11,7 +11,7 @@ ConstraintGraph::NodeId
 ConstraintGraph::addNode(const std::string &label)
 {
     labels_.push_back(label);
-    adjacency_.emplace_back();
+    nodes_.emplace_back();
     return labels_.size() - 1;
 }
 
@@ -20,8 +20,30 @@ ConstraintGraph::addEdge(NodeId from, NodeId to, const std::string &why)
 {
     PERSIM_REQUIRE(from < labels_.size() && to < labels_.size(),
                    "edge references unknown node");
-    adjacency_[from].push_back(Edge{to, why});
-    ++edge_count_;
+    const auto id = static_cast<std::uint32_t>(edges_.size());
+    EdgeCell cell;
+    cell.to = to;
+    cell.next = no_edge;
+    cell.why_off = static_cast<std::uint32_t>(why_blob_.size());
+    cell.why_len = static_cast<std::uint32_t>(why.size());
+    why_blob_.append(why);
+    edges_.push_back(cell);
+
+    NodeCell &node = nodes_[from];
+    if (node.head == no_edge)
+        node.head = id;
+    else
+        edges_[node.tail].next = id;
+    node.tail = id;
+}
+
+std::string_view
+ConstraintGraph::edgeWhy(std::size_t index) const
+{
+    PERSIM_REQUIRE(index < edges_.size(), "unknown edge index");
+    const EdgeCell &cell = edges_[index];
+    return std::string_view(why_blob_).substr(cell.why_off,
+                                              cell.why_len);
 }
 
 std::vector<ConstraintGraph::NodeId>
@@ -31,22 +53,25 @@ ConstraintGraph::findCycle() const
     std::vector<Mark> mark(labels_.size(), Mark::White);
     std::vector<NodeId> parent(labels_.size(), 0);
 
-    // Iterative DFS carrying an explicit stack of (node, next-edge).
+    // Iterative DFS carrying an explicit stack of (node, next edge in
+    // its chain); chains preserve insertion order, so the cycle found
+    // is the same one the old nested-vector layout produced.
     for (NodeId root = 0; root < labels_.size(); ++root) {
         if (mark[root] != Mark::White)
             continue;
-        std::vector<std::pair<NodeId, std::size_t>> stack;
-        stack.emplace_back(root, 0);
+        std::vector<std::pair<NodeId, std::uint32_t>> stack;
+        stack.emplace_back(root, nodes_[root].head);
         mark[root] = Mark::Grey;
         while (!stack.empty()) {
-            auto &[node, next] = stack.back();
-            if (next < adjacency_[node].size()) {
-                const NodeId to = adjacency_[node][next].to;
-                ++next;
+            auto &[node, cursor] = stack.back();
+            if (cursor != no_edge) {
+                const EdgeCell &edge = edges_[cursor];
+                const NodeId to = edge.to;
+                cursor = edge.next;
                 if (mark[to] == Mark::White) {
                     mark[to] = Mark::Grey;
                     parent[to] = node;
-                    stack.emplace_back(to, 0);
+                    stack.emplace_back(to, nodes_[to].head);
                 } else if (mark[to] == Mark::Grey) {
                     // Found a back edge: reconstruct the cycle.
                     std::vector<NodeId> cycle{to};
@@ -78,9 +103,8 @@ std::vector<ConstraintGraph::NodeId>
 ConstraintGraph::topologicalOrder() const
 {
     std::vector<std::size_t> indegree(labels_.size(), 0);
-    for (const auto &edges : adjacency_)
-        for (const auto &edge : edges)
-            ++indegree[edge.to];
+    for (const EdgeCell &edge : edges_)
+        ++indegree[edge.to];
 
     std::vector<NodeId> ready;
     for (NodeId node = 0; node < labels_.size(); ++node)
@@ -92,9 +116,10 @@ ConstraintGraph::topologicalOrder() const
         const NodeId node = ready.back();
         ready.pop_back();
         order.push_back(node);
-        for (const auto &edge : adjacency_[node])
-            if (--indegree[edge.to] == 0)
-                ready.push_back(edge.to);
+        for (std::uint32_t at = nodes_[node].head; at != no_edge;
+             at = edges_[at].next)
+            if (--indegree[edges_[at].to] == 0)
+                ready.push_back(edges_[at].to);
     }
     PERSIM_REQUIRE(order.size() == labels_.size(),
                    "constraint graph has a cycle; no persist order exists");

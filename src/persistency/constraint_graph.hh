@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace persim {
@@ -31,7 +32,7 @@ class ConstraintGraph
     void addEdge(NodeId from, NodeId to, const std::string &why = "");
 
     std::size_t nodeCount() const { return labels_.size(); }
-    std::size_t edgeCount() const { return edge_count_; }
+    std::size_t edgeCount() const { return edges_.size(); }
     const std::string &label(NodeId node) const { return labels_.at(node); }
 
     /** True iff the constraints are satisfiable (graph is acyclic). */
@@ -52,16 +53,38 @@ class ConstraintGraph
     /** Render the cycle (or "satisfiable") for reports. */
     std::string explain() const;
 
+    /** Rationale recorded with the @p index-th inserted edge. */
+    std::string_view edgeWhy(std::size_t index) const;
+
   private:
-    struct Edge
+    static constexpr std::uint32_t no_edge = ~0U;
+
+    /**
+     * Edges live in one append-only pool; each node chains its
+     * out-edges through `next` in insertion order (head/tail in
+     * NodeCell), so adding an edge never reallocates a per-node
+     * vector and traversal order matches the old vector-of-vectors
+     * layout exactly. Rationale strings are slices of one shared
+     * blob instead of a std::string per edge.
+     */
+    struct EdgeCell
     {
         NodeId to;
-        std::string why;
+        std::uint32_t next;
+        std::uint32_t why_off;
+        std::uint32_t why_len;
+    };
+
+    struct NodeCell
+    {
+        std::uint32_t head = no_edge;
+        std::uint32_t tail = no_edge;
     };
 
     std::vector<std::string> labels_;
-    std::vector<std::vector<Edge>> adjacency_;
-    std::size_t edge_count_ = 0;
+    std::vector<NodeCell> nodes_;
+    std::vector<EdgeCell> edges_;
+    std::string why_blob_;
 };
 
 } // namespace persim

@@ -36,72 +36,64 @@ TimingResult::criticalPathPerOp() const
 }
 
 PersistTimingEngine::PersistTimingEngine(const TimingConfig &config)
-    : config_(config), rng_(config.seed)
+    : config_(config), rng_(config.seed), track_store_(arena_),
+      track_load_(arena_), track_sc_(arena_), track_sc_src_(arena_),
+      atomic_last_(arena_), atomic_group_start_(arena_),
+      atomic_group_begin_(arena_), deps_(arena_)
 {
     config_.model.validate();
     PERSIM_REQUIRE(config_.mean_latency > 0.0,
                    "mean persist latency must be positive");
     if (config_.record_deps)
         config_.record_log = true;
+
+    strict_ = config_.model.kind == ModelKind::Strict;
+    track_loads_ = config_.model.detect_load_before_store;
+    record_deps_ = config_.record_deps;
+    detect_races_ = config_.detect_races;
+    all_scope_ =
+        config_.model.conflict_scope == ConflictScope::AllAddresses;
+    track_shift_ = log2Exact(config_.model.tracking_granularity);
+    atomic_shift_ = log2Exact(config_.model.atomic_granularity);
+    unified_ = track_shift_ == atomic_shift_;
 }
 
-std::shared_ptr<const std::vector<PersistId>>
-PersistTimingEngine::unionDeps(
-    const std::shared_ptr<const std::vector<PersistId>> &a,
-    const std::shared_ptr<const std::vector<PersistId>> &b)
+PersistTimingEngine::DepSetRef
+PersistTimingEngine::DepSetPool::unionOf(DepSetRef a, DepSetRef b)
 {
-    if (!a || a->empty())
+    if (a == 0 || spans_[a].len == 0)
         return b;
-    if (!b || b->empty())
+    if (b == 0 || spans_[b].len == 0)
         return a;
-    auto merged = std::make_shared<std::vector<PersistId>>();
-    merged->reserve(a->size() + b->size());
-    std::set_union(a->begin(), a->end(), b->begin(), b->end(),
-                   std::back_inserter(*merged));
-    return merged;
-}
-
-PersistTimingEngine::Tag
-PersistTimingEngine::mergeTag(const Tag &a, const Tag &b)
-{
-    if (a.src == invalid_persist)
-        return b;
-    if (b.src == invalid_persist)
+    if (a == b)
         return a;
-    if (a.block == b.block && a.t == b.t) {
-        // Same coalescing group: keep the newest witness.
-        Tag merged = a;
-        merged.src = std::max(a.src, b.src);
-        merged.oth = std::max(a.oth, b.oth);
-        merged.deps = unionDeps(a.deps, b.deps);
-        return merged;
-    }
-    const Tag &winner = (b.t > a.t) ? b : a;
-    const Tag &loser = (b.t > a.t) ? a : b;
-    Tag merged = winner;
-    merged.oth = std::max({winner.oth, loser.t, loser.oth});
-    merged.deps = unionDeps(winner.deps, loser.deps);
-    return merged;
-}
-
-double
-PersistTimingEngine::nextTime(double base)
-{
-    if (config_.clock == ClockMode::Levels)
-        return base + 1.0;
-    return base + rng_.nextExponential(config_.mean_latency);
-}
-
-PersistTimingEngine::ThreadState &
-PersistTimingEngine::threadState(ThreadId tid)
-{
-    if (tid >= threads_.size())
-        threads_.resize(tid + 1);
-    return threads_[tid];
+    scratch_.clear();
+    std::set_union(data(a), data(a) + size(a), data(b),
+                   data(b) + size(b), std::back_inserter(scratch_));
+    const std::uint64_t off =
+        ids_.appendSpan(scratch_.data(), scratch_.size());
+    spans_.push_back(
+        Span{off, static_cast<std::uint32_t>(scratch_.size())});
+    return static_cast<DepSetRef>(spans_.size() - 1);
 }
 
 void
 PersistTimingEngine::onEvent(const TraceEvent &event)
+{
+    process(event);
+}
+
+void
+PersistTimingEngine::onBatch(const TraceEvent *events, std::size_t count)
+{
+    // One virtual dispatch per batch; the per-event loop below is
+    // direct calls the compiler can inline.
+    for (std::size_t i = 0; i < count; ++i)
+        process(events[i]);
+}
+
+void
+PersistTimingEngine::process(const TraceEvent &event)
 {
     ++result_.events;
     ThreadState &thread = threadState(event.thread);
@@ -125,8 +117,8 @@ PersistTimingEngine::onEvent(const TraceEvent &event)
             std::uint64_t piece_value = event.value >> shift;
             if (chunk < 8)
                 piece_value &= (1ULL << (8 * chunk)) - 1;
-            handlePiece(event, addr, chunk, piece_value,
-                        event.isRead(), event.isWrite());
+            handlePiece(event, thread, addr, chunk, piece_value,
+                        event.isWrite());
             addr += chunk;
             remaining -= chunk;
         }
@@ -135,9 +127,9 @@ PersistTimingEngine::onEvent(const TraceEvent &event)
       case EventKind::PersistBarrier:
       case EventKind::PersistSync:
         ++result_.barriers;
-        if (kind != ModelKind::Strict)
-            thread.epoch_dep = mergeTag(thread.epoch_dep,
-                                        thread.accum_dep);
+        if (kind != ModelKind::Strict &&
+            config_.mutant != EngineMutant::ElideEpochBarrier)
+            mergeInto(thread.epoch_dep, thread.accum_dep);
         break;
       case EventKind::NewStrand:
         ++result_.strands;
@@ -172,54 +164,74 @@ PersistTimingEngine::onEvent(const TraceEvent &event)
     }
 }
 
-void
-PersistTimingEngine::handlePiece(const TraceEvent &event, Addr addr,
-                                 unsigned size, std::uint64_t value,
-                                 bool is_read, bool is_write)
+std::uint32_t
+PersistTimingEngine::trackSlot(std::uint64_t key)
 {
-    (void)is_read;
-    const ModelConfig &model = config_.model;
-    TrackState &track = track_[blockIndex(addr, model.tracking_granularity)];
-    ThreadState &thread = threadState(event.thread);
-
-    if (config_.detect_races) {
-        // Shadow SC propagation (all addresses, regardless of the
-        // model's conflict scope): inherit the latest foreign persist
-        // SC-ordered before the previous access of this block.
-        if (track.sc_src != invalid_thread &&
-            track.sc_src != event.thread &&
-            track.sc_tag.t > thread.shadow.t)
-            thread.shadow = track.sc_tag;
+    bool inserted = false;
+    const std::uint32_t slot = track_index_.findOrInsert(key, inserted);
+    if (inserted) {
+        track_store_.push_back(Tag{});
+        if (track_loads_)
+            track_load_.push_back(Tag{});
+        if (detect_races_) {
+            track_sc_.push_back(Tag{});
+            track_sc_src_.push_back(invalid_thread);
+        }
+        if (unified_) {
+            // Shared index: the atomic bank grows in step, so a
+            // persist piece never needs a second hash probe.
+            atomic_last_.push_back(Tag{});
+            atomic_group_start_.push_back(invalid_persist);
+            atomic_group_begin_.push_back(0.0);
+        }
     }
+    return slot;
+}
 
-    const bool in_scope =
-        model.conflict_scope == ConflictScope::AllAddresses ||
-        isPersistentAddr(addr);
-    if (!in_scope) {
-        // BPFS-style tracking ignores volatile-space accesses for the
-        // *model*; the SC shadow above still records ground truth.
-        if (config_.detect_races)
-            recordScTag(track, thread, event.thread);
+void
+PersistTimingEngine::handlePiece(const TraceEvent &event,
+                                 ThreadState &thread, Addr addr,
+                                 unsigned size, std::uint64_t value,
+                                 bool is_write)
+{
+    const bool persistent = isPersistentAddr(addr);
+    const bool in_scope = all_scope_ || persistent;
+    if (!in_scope && !detect_races_) {
+        // BPFS-style tracking ignores volatile-space accesses and no
+        // shadow propagation wants the block state: skip the probe.
         return;
     }
 
-    const bool strict = model.kind == ModelKind::Strict;
+    const std::uint32_t slot = trackSlot(addr >> track_shift_);
+
+    if (detect_races_) {
+        // Shadow SC propagation (all addresses, regardless of the
+        // model's conflict scope): inherit the latest foreign persist
+        // SC-ordered before the previous access of this block.
+        const ThreadId sc_src = track_sc_src_[slot];
+        if (sc_src != invalid_thread && sc_src != event.thread &&
+            track_sc_[slot].t > thread.shadow.t)
+            thread.shadow = track_sc_[slot];
+    }
+
+    if (!in_scope) {
+        // The SC shadow above still records ground truth.
+        recordScTag(slot, thread, event.thread);
+        return;
+    }
 
     if (!is_write) {
         // Load: conflicts with prior stores to the block; persists
         // ordered before those stores must precede this thread's
         // post-barrier persists (immediately, under strict).
-        if (strict) {
-            thread.epoch_dep = mergeTag(thread.epoch_dep, track.store_tag);
-        } else {
-            thread.accum_dep = mergeTag(thread.accum_dep, track.store_tag);
-        }
+        mergeInto(strict_ ? thread.epoch_dep : thread.accum_dep,
+                  track_store_[slot]);
         // Record the load so later conflicting stores inherit order
         // (the load-before-store conflicts BPFS cannot detect).
-        if (model.detect_load_before_store)
-            track.load_tag = mergeTag(track.load_tag, thread.epoch_dep);
-        if (config_.detect_races)
-            recordScTag(track, thread, event.thread);
+        if (track_loads_)
+            mergeInto(track_load_[slot], thread.epoch_dep);
+        if (detect_races_)
+            recordScTag(slot, thread, event.thread);
         return;
     }
 
@@ -227,61 +239,76 @@ PersistTimingEngine::handlePiece(const TraceEvent &event, Addr addr,
     Tag dep = thread.epoch_dep;
     DepSource dep_source = dep.src != invalid_persist
         ? DepSource::ThreadEpoch : DepSource::None;
-    auto fold = [&dep, &dep_source](const Tag &cand, DepSource kind) {
+    {
+        const Tag &cand = track_store_[slot];
         if (cand.src != invalid_persist && cand.t > dep.t)
-            dep_source = kind;
-        dep = mergeTag(dep, cand);
-    };
-    fold(track.store_tag, DepSource::ConflictStore);
-    if (model.detect_load_before_store)
-        fold(track.load_tag, DepSource::ConflictLoad);
+            dep_source = DepSource::ConflictStore;
+        mergeInto(dep, cand);
+    }
+    if (track_loads_) {
+        const Tag &cand = track_load_[slot];
+        if (cand.src != invalid_persist && cand.t > dep.t)
+            dep_source = DepSource::ConflictLoad;
+        mergeInto(dep, cand);
+    }
 
-    if (isPersistentAddr(addr)) {
-        persistPiece(event, thread, track, addr, size, value, dep,
-                     dep_source, dep.src);
-        if (config_.detect_races)
-            recordScTag(track, thread, event.thread);
+    if (persistent) {
+        persistPiece(event, thread, slot, addr, size, value, dep,
+                     dep_source);
+        if (detect_races_)
+            recordScTag(slot, thread, event.thread);
         return;
     }
 
     // Volatile store: inherit the conflict order; record that persists
     // already barrier-ordered before this store precede it.
-    if (strict) {
-        thread.epoch_dep = mergeTag(thread.epoch_dep, dep);
-    } else {
-        thread.accum_dep = mergeTag(thread.accum_dep, dep);
-    }
-    track.store_tag = mergeTag(track.store_tag, thread.epoch_dep);
-    if (config_.detect_races)
-        recordScTag(track, thread, event.thread);
+    mergeInto(strict_ ? thread.epoch_dep : thread.accum_dep, dep);
+    mergeInto(track_store_[slot], thread.epoch_dep);
+    if (detect_races_)
+        recordScTag(slot, thread, event.thread);
 }
 
 void
-PersistTimingEngine::recordScTag(TrackState &track, ThreadState &thread,
-                                 ThreadId tid)
+PersistTimingEngine::recordScTag(std::uint32_t track_slot,
+                                 ThreadState &thread, ThreadId tid)
 {
     // The SC tag carries the latest persist ordered before this
     // access in volatile memory order: the thread's inherited shadow
     // or its own latest persist, whichever is later.
     const Tag &best = thread.own_persist.t > thread.shadow.t
         ? thread.own_persist : thread.shadow;
-    if (best.src != invalid_persist && best.t > track.sc_tag.t) {
-        track.sc_tag = best;
-        track.sc_src = tid;
+    if (best.src != invalid_persist && best.t > track_sc_[track_slot].t) {
+        track_sc_[track_slot] = best;
+        track_sc_src_[track_slot] = tid;
     }
 }
 
-PersistTimingEngine::Tag
+void
 PersistTimingEngine::persistPiece(const TraceEvent &event,
-                                  ThreadState &thread, TrackState &track,
-                                  Addr addr, unsigned size,
-                                  std::uint64_t value, const Tag &dep,
-                                  DepSource dep_source, PersistId dep_src_id)
+                                  ThreadState &thread,
+                                  std::uint32_t track_slot, Addr addr,
+                                  unsigned size, std::uint64_t value,
+                                  const Tag &dep, DepSource dep_source)
 {
-    const ModelConfig &model = config_.model;
-    const std::uint64_t block =
-        blockIndex(addr, model.atomic_granularity);
-    AtomicState &atomic = atomic_[block];
+    const std::uint64_t block = addr >> atomic_shift_;
+    std::uint32_t aslot;
+    if (unified_) {
+        // Same granularity: the tracking probe already found (or
+        // created) this block's atomic slot.
+        aslot = track_slot;
+    } else {
+        bool inserted = false;
+        aslot = atomic_index_.findOrInsert(block, inserted);
+        if (inserted) {
+            atomic_last_.push_back(Tag{});
+            atomic_group_start_.push_back(invalid_persist);
+            atomic_group_begin_.push_back(0.0);
+        }
+    }
+    // Copy, not reference: the banks never grow below, but a copy of
+    // five hot words also dodges aliasing with the writes at the end.
+    const Tag last = atomic_last_[aslot];
+    const bool valid = last.src != invalid_persist;
 
     const PersistId id = next_persist_id_++;
     ++result_.persists;
@@ -291,12 +318,11 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
     // before it: either the whole dependence summary is earlier, or
     // its top dependence *is* the pending group and the rest (oth)
     // is earlier.
-    bool coalesce = atomic.valid &&
-        (dep.t < atomic.last.t ||
-         (dep.block == block && dep.t == atomic.last.t &&
-          dep.oth < atomic.last.t));
+    bool coalesce = valid &&
+        (dep.t < last.t ||
+         (dep.block == block && dep.t == last.t && dep.oth < last.t));
     if (coalesce && config_.coalesce_window > 0 &&
-        id - atomic.group_start > config_.coalesce_window) {
+        id - atomic_group_start_[aslot] > config_.coalesce_window) {
         // The pending persist has drained (finite buffering): the new
         // persist must be issued separately.
         coalesce = false;
@@ -309,21 +335,21 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
     PersistId binding = invalid_persist;
     DepSource binding_source = DepSource::None;
     if (coalesce) {
-        time = atomic.last.t;
-        start = atomic.group_begin;
-        binding = atomic.last.src;
+        time = last.t;
+        start = atomic_group_begin_[aslot];
+        binding = last.src;
         binding_source = DepSource::Coalesced;
         ++result_.coalesced;
         race_bound = time;
     } else {
         double base = dep.t;
-        binding = dep_src_id;
+        binding = dep.src;
         binding_source = dep_source;
-        if (atomic.valid && atomic.last.t > dep.t) {
+        if (valid && last.t > dep.t) {
             // Strong persist atomicity: serialize after the previous
             // persist to this block.
-            base = atomic.last.t;
-            binding = atomic.last.src;
+            base = last.t;
+            binding = last.src;
             binding_source = DepSource::SameBlockSPA;
         }
         time = nextTime(base);
@@ -331,7 +357,7 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
         race_bound = base;
     }
 
-    if (config_.detect_races) {
+    if (detect_races_) {
         // Every persist in this persist's constraint cone has a time
         // no later than race_bound (times are monotone along
         // constraint edges), so an SC-preceding foreign persist past
@@ -352,68 +378,97 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
         }
     }
 
-    std::shared_ptr<const std::vector<PersistId>> record_deps;
-    if (config_.record_deps) {
-        record_deps = dep.deps;
-        if (!coalesce && atomic.valid) {
+    DepSetRef record_ref = 0;
+    if (record_deps_) {
+        record_ref = dep.deps;
+        if (!coalesce && valid) {
             // Strong persist atomicity: the previous group to this
             // block is a direct predecessor even when it is not the
             // timing argmax (same-word persists never reorder).
-            auto one = std::make_shared<std::vector<PersistId>>(
-                std::vector<PersistId>{atomic.last.src});
-            record_deps = unionDeps(record_deps, one);
+            record_ref =
+                deps_.unionOf(record_ref, deps_.singleton(last.src));
         }
     }
 
-    Tag out{time, id, block, 0.0, nullptr};
-    if (config_.record_deps)
-        out.deps = std::make_shared<const std::vector<PersistId>>(
-            std::vector<PersistId>{id});
-    atomic.last = out;
-    atomic.valid = true;
+    Tag out;
+    out.t = time;
+    out.oth = 0.0;
+    out.src = id;
+    out.block = block;
+    out.deps = record_deps_ ? deps_.singleton(id) : 0;
+    atomic_last_[aslot] = out;
     if (!coalesce) {
-        atomic.group_start = id;
-        atomic.group_begin = start;
+        atomic_group_start_[aslot] = id;
+        atomic_group_begin_[aslot] = start;
     }
 
-    if (config_.detect_races && time > thread.own_persist.t)
-        thread.own_persist = Tag{time, id, block, 0.0, nullptr};
-
-    track.store_tag = mergeTag(track.store_tag, out);
-    const bool strict = model.kind == ModelKind::Strict;
-    if (strict) {
-        thread.epoch_dep = mergeTag(thread.epoch_dep, out);
-    } else {
-        thread.accum_dep = mergeTag(thread.accum_dep, out);
+    if (detect_races_ && time > thread.own_persist.t) {
+        Tag own;
+        own.t = time;
+        own.src = id;
+        own.block = block;
+        thread.own_persist = own;
     }
+
+    mergeInto(track_store_[track_slot], out);
+    mergeInto(strict_ ? thread.epoch_dep : thread.accum_dep, out);
 
     result_.critical_path = std::max(result_.critical_path, time);
 
     if (config_.record_log) {
-        PersistRecord record;
-        record.id = id;
-        record.seq = event.seq;
-        record.addr = addr;
-        record.size = static_cast<std::uint8_t>(size);
-        record.value = value;
-        record.time = time;
-        record.start = start;
-        record.thread = event.thread;
-        record.op = thread.op;
-        record.role = thread.role;
-        record.binding = binding;
-        record.binding_source = binding_source;
-        if (record_deps)
-            record.deps = *record_deps;
-        log_.push_back(record);
+        if (stage_count_ == stage_capacity)
+            flushStage();
+        StagedRecord &staged = stage_[stage_count_++];
+        staged.id = id;
+        staged.seq = event.seq;
+        staged.addr = addr;
+        staged.value = value;
+        staged.time = time;
+        staged.start = start;
+        staged.op = thread.op;
+        staged.binding = binding;
+        staged.thread = event.thread;
+        staged.deps = record_ref;
+        staged.role = thread.role;
+        staged.binding_source = binding_source;
+        staged.size = static_cast<std::uint8_t>(size);
     }
-    return out;
+}
+
+void
+PersistTimingEngine::flushStage() const
+{
+    if (stage_count_ == 0)
+        return;
+    log_.reserve(log_.size() + stage_count_);
+    for (std::size_t i = 0; i < stage_count_; ++i) {
+        const StagedRecord &staged = stage_[i];
+        PersistRecord record;
+        record.id = staged.id;
+        record.seq = staged.seq;
+        record.addr = staged.addr;
+        record.size = staged.size;
+        record.value = staged.value;
+        record.time = staged.time;
+        record.start = staged.start;
+        record.thread = staged.thread;
+        record.op = staged.op;
+        record.role = staged.role;
+        record.binding = staged.binding;
+        record.binding_source = staged.binding_source;
+        if (staged.deps != 0)
+            record.deps.assign(deps_.data(staged.deps),
+                               deps_.data(staged.deps) +
+                                   deps_.size(staged.deps));
+        log_.push_back(std::move(record));
+    }
+    stage_count_ = 0;
 }
 
 void
 PersistTimingEngine::onFinish()
 {
-    // Nothing to finalize: results accumulate incrementally.
+    flushStage();
 }
 
 } // namespace persim

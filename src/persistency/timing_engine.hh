@@ -31,16 +31,32 @@
  * the paper's results) and a stochastic clock (each persist adds an
  * exponential delay), which yields a random realization of persist
  * completion times used for failure injection in src/recovery/.
+ *
+ * Hot-path layout (DESIGN.md Section 11): tags are 40-byte PODs, and
+ * per-block state lives in struct-of-arrays banks backed by a common
+ * Arena and indexed through FlatIndexMap, so steady-state replay
+ * performs no per-event heap allocation and no node-based hash
+ * walks. When tracking and atomic granularity coincide (the default)
+ * the two banks share one index and each persist piece costs a
+ * single hash probe. Dependence-id sets (record_deps only) live in
+ * an arena-backed DepSetPool referenced by 32-bit handles instead of
+ * shared_ptr-counted vectors. Log records are staged in a fixed POD
+ * buffer and appended to the PersistLog in batches. All of this is
+ * bit-identical to the original scalar formulation — asserted by
+ * tests/persistency/golden_replay_test.cc against frozen
+ * pre-refactor outputs.
  */
 
 #ifndef PERSIM_PERSISTENCY_TIMING_ENGINE_HH
 #define PERSIM_PERSISTENCY_TIMING_ENGINE_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hh"
+#include "common/flat_map.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "memtrace/sink.hh"
@@ -55,6 +71,24 @@ enum class ClockMode : std::uint8_t {
     Levels,
     /** Each non-coalesced persist adds Exp(mean) random latency. */
     Stochastic,
+};
+
+/**
+ * Test-only engine fault injection: deliberately broken variants used
+ * to prove the differential fuzzer and golden tests can actually
+ * detect an engine bug (ISSUE 4). Never enable outside tests.
+ */
+enum class EngineMutant : std::uint8_t {
+    None = 0,
+
+    /**
+     * Persist barriers do not fold accum_dep into epoch_dep: epoch
+     * and strand persistency lose all inter-epoch ordering and keep
+     * only conflict/atomicity order. Caught by the golden tests
+     * (frozen critical paths change) and by the differential fuzzer
+     * (on strand-free programs epoch must equal strand exactly).
+     */
+    ElideEpochBarrier,
 };
 
 /** Timing engine configuration. */
@@ -108,6 +142,9 @@ struct TimingConfig
      * corresponds to 0 (unbounded).
      */
     std::uint64_t coalesce_window = 0;
+
+    /** Deliberate engine breakage for harness validation (tests). */
+    EngineMutant mutant = EngineMutant::None;
 };
 
 /** Aggregate results of one timing analysis. */
@@ -152,6 +189,7 @@ class PersistTimingEngine : public TraceSink
     explicit PersistTimingEngine(const TimingConfig &config);
 
     void onEvent(const TraceEvent &event) override;
+    void onBatch(const TraceEvent *events, std::size_t count) override;
     void onFinish() override;
 
     const TimingConfig &config() const { return config_; }
@@ -173,12 +211,23 @@ class PersistTimingEngine : public TraceSink
     }
 
     /** The persist log; empty unless record_log was set. */
-    const PersistLog &log() const { return log_; }
+    const PersistLog &log() const
+    {
+        flushStage();
+        return log_;
+    }
 
     /** Move the log out (for handing to recovery analyses). */
-    PersistLog takeLog() { return std::move(log_); }
+    PersistLog takeLog()
+    {
+        flushStage();
+        return std::move(log_);
+    }
 
   private:
+    /** Handle into the DepSetPool; 0 is the empty set. */
+    using DepSetRef = std::uint32_t;
+
     /**
      * Tagged timestamp summarizing a set of persist dependences.
      *
@@ -197,20 +246,65 @@ class PersistTimingEngine : public TraceSink
      * serialized sequence of stores into one block collapses into a
      * single atomic persist, while a dependence on a concurrent
      * persist in another block correctly blocks the merge.
+     *
+     * Trivially copyable on purpose: tags are merged and copied on
+     * the hottest path, and `deps` (the full dependence-id set,
+     * record_deps only) is a pool handle rather than a shared_ptr.
      */
     struct Tag
     {
         double t = 0.0;
+        double oth = 0.0;
         PersistId src = invalid_persist;
         std::uint64_t block = ~0ULL;
-        double oth = 0.0;
+        DepSetRef deps = 0;
+    };
 
-        /**
-         * Full id set of the dependences this tag summarizes (only
-         * under record_deps; null otherwise). Shared and immutable:
-         * merges build fresh unions.
-         */
-        std::shared_ptr<const std::vector<PersistId>> deps;
+    /**
+     * Immutable sorted persist-id sets, stored as spans in one
+     * arena-backed id array and referenced by dense handles. Sets are
+     * never freed individually (the pool lives exactly as long as one
+     * analysis), matching the shared immutable-vector semantics of
+     * the original formulation without per-merge refcount traffic.
+     */
+    class DepSetPool
+    {
+      public:
+        explicit DepSetPool(Arena &arena) : ids_(arena)
+        {
+            spans_.push_back(Span{0, 0}); // ref 0 = the empty set
+        }
+
+        DepSetRef singleton(PersistId id)
+        {
+            const std::uint64_t off = ids_.appendSpan(&id, 1);
+            spans_.push_back(Span{off, 1});
+            return static_cast<DepSetRef>(spans_.size() - 1);
+        }
+
+        /** Sorted-unique union (standing in for unionDeps). */
+        DepSetRef unionOf(DepSetRef a, DepSetRef b);
+
+        const PersistId *data(DepSetRef ref) const
+        {
+            return ids_.data() + spans_[ref].off;
+        }
+
+        std::uint32_t size(DepSetRef ref) const
+        {
+            return spans_[ref].len;
+        }
+
+      private:
+        struct Span
+        {
+            std::uint64_t off;
+            std::uint32_t len;
+        };
+
+        ArenaVector<PersistId> ids_;
+        std::vector<Span> spans_;
+        std::vector<PersistId> scratch_;
     };
 
     /** Per-thread (per-strand) persistency state. */
@@ -226,69 +320,169 @@ class PersistTimingEngine : public TraceSink
         Tag own_persist;
     };
 
-    /** Per tracking-granularity block conflict tags. */
-    struct TrackState
+    /** One staged (not yet published) persist-log record, POD. */
+    struct StagedRecord
     {
-        Tag store_tag;
-        Tag load_tag;
-        /** Shadow SC tag: latest persist SC-ordered before the last
-            access of this block, and the thread that recorded it. */
-        Tag sc_tag;
-        ThreadId sc_src = invalid_thread;
+        PersistId id;
+        SeqNum seq;
+        Addr addr;
+        std::uint64_t value;
+        double time;
+        double start;
+        std::uint64_t op;
+        PersistId binding;
+        ThreadId thread;
+        DepSetRef deps;
+        PersistRole role;
+        DepSource binding_source;
+        std::uint8_t size;
     };
 
-    /** Per atomic-granularity block persist state. */
-    struct AtomicState
-    {
-        Tag last;
-        bool valid = false;
-        /** Issue ordinal of the pending group's founding persist. */
-        PersistId group_start = invalid_persist;
-        /** When the pending group's device write began (the founding
-            persist's base time); coalesced pieces share it. */
-        double group_begin = 0.0;
-    };
+    static constexpr std::size_t stage_capacity = 256;
 
     /**
-     * Combine two dependence summaries: the result's top group is the
-     * later of the two (first wins ties across distinct groups, which
-     * is conservative: a tie between different groups lands in `oth`
-     * and correctly blocks coalescing); everything else folds into
-     * `oth`.
+     * Merge dependence summary @p cand into @p dst in place: the
+     * result's top group is the later of the two (first wins ties
+     * across distinct groups, which is conservative: a tie between
+     * different groups lands in `oth` and correctly blocks
+     * coalescing); everything else folds into `oth`. Merges whose
+     * result equals @p dst — the candidate is a dead dependence edge,
+     * dominated by what @p dst already carries — are pruned to a
+     * no-op (except under record_deps, where the id sets must still
+     * union).
+     *
+     * Defined here (not in the .cc) and force-inlined deliberately:
+     * the profiler shows the merge as the single hottest call on the
+     * replay path, and plain -O2 leaves it out of line.
      */
-    static Tag mergeTag(const Tag &a, const Tag &b);
-
-    /** Sorted-unique union of two dep-id sets (null = empty). */
-    static std::shared_ptr<const std::vector<PersistId>>
-    unionDeps(const std::shared_ptr<const std::vector<PersistId>> &a,
-              const std::shared_ptr<const std::vector<PersistId>> &b);
+    [[gnu::always_inline]] inline void
+    mergeInto(Tag &dst, const Tag &cand)
+    {
+        if (cand.src == invalid_persist)
+            return;
+        if (dst.src == invalid_persist) {
+            dst = cand;
+            return;
+        }
+        if (dst.block == cand.block && dst.t == cand.t) {
+            // Same coalescing group: keep the newest witness.
+            if (cand.src > dst.src)
+                dst.src = cand.src;
+            if (cand.oth > dst.oth)
+                dst.oth = cand.oth;
+            if (record_deps_)
+                dst.deps = deps_.unionOf(dst.deps, cand.deps);
+            return;
+        }
+        if (cand.t > dst.t) {
+            // The candidate wins; the old top group folds into oth.
+            const double oth = std::max({cand.oth, dst.t, dst.oth});
+            const DepSetRef deps =
+                record_deps_ ? deps_.unionOf(cand.deps, dst.deps) : 0;
+            dst = cand;
+            dst.oth = oth;
+            dst.deps = deps;
+            return;
+        }
+        // dst wins (first wins ties across distinct groups). When the
+        // candidate raises nothing — a dead dependence edge, already
+        // dominated by dst's group and oth — prune the merge entirely.
+        const double oth = std::max({dst.oth, cand.t, cand.oth});
+        if (record_deps_)
+            dst.deps = deps_.unionOf(dst.deps, cand.deps);
+        else if (oth == dst.oth)
+            return;
+        dst.oth = oth;
+    }
 
     /** Advance the clock strictly past @p base. */
-    double nextTime(double base);
+    double nextTime(double base)
+    {
+        if (config_.clock == ClockMode::Levels)
+            return base + 1.0;
+        return base + rng_.nextExponential(config_.mean_latency);
+    }
 
-    ThreadState &threadState(ThreadId tid);
+    ThreadState &threadState(ThreadId tid)
+    {
+        if (tid >= threads_.size())
+            threads_.resize(tid + 1);
+        return threads_[tid];
+    }
+
+    /** Non-virtual event dispatch shared by onEvent and onBatch. */
+    void process(const TraceEvent &event);
+
+    /** Slot of a tracking block, extending the SoA banks on insert. */
+    std::uint32_t trackSlot(std::uint64_t key);
 
     /** Process one <=8-byte piece of an access event. */
-    void handlePiece(const TraceEvent &event, Addr addr, unsigned size,
-                     std::uint64_t value, bool is_read, bool is_write);
+    void handlePiece(const TraceEvent &event, ThreadState &thread,
+                     Addr addr, unsigned size, std::uint64_t value,
+                     bool is_write);
 
     /** Record the shadow SC tag on a block after an access. */
-    void recordScTag(TrackState &track, ThreadState &thread,
+    void recordScTag(std::uint32_t track_slot, ThreadState &thread,
                      ThreadId tid);
 
-    /** Handle a persist piece; returns its assigned tag. */
-    Tag persistPiece(const TraceEvent &event, ThreadState &thread,
-                     TrackState &track, Addr addr, unsigned size,
-                     std::uint64_t value, const Tag &dep,
-                     DepSource dep_source, PersistId dep_src_id);
+    /** Handle a persist piece (timing, coalescing, logging). */
+    void persistPiece(const TraceEvent &event, ThreadState &thread,
+                      std::uint32_t track_slot, Addr addr, unsigned size,
+                      std::uint64_t value, const Tag &dep,
+                      DepSource dep_source);
+
+    /** Publish staged records into log_ (const: called from log()). */
+    void flushStage() const;
 
     TimingConfig config_;
     TimingResult result_;
     Rng rng_;
+
+    /** @name Configuration unpacked for the hot path */
+    ///@{
+    bool strict_ = false;
+    bool track_loads_ = true;   //!< model.detect_load_before_store
+    bool record_deps_ = false;
+    bool detect_races_ = false;
+    bool all_scope_ = true;     //!< ConflictScope::AllAddresses
+    bool unified_ = false;      //!< tracking == atomic granularity
+    /** log2 of the granularities (powers of two by validate()), so
+        block indexing is a shift rather than a 64-bit division. */
+    unsigned track_shift_ = 3;
+    unsigned atomic_shift_ = 3;
+    ///@}
+
+    Arena arena_;
+
+    /** @name Tracking-block bank (SoA, indexed by track slot) */
+    ///@{
+    FlatIndexMap track_index_;
+    ArenaVector<Tag> track_store_;
+    ArenaVector<Tag> track_load_;     //!< only with track_loads_
+    ArenaVector<Tag> track_sc_;       //!< only with detect_races_
+    ArenaVector<ThreadId> track_sc_src_;
+    ///@}
+
+    /**
+     * @name Atomic-block bank (SoA). In unified mode it is indexed by
+     * track slot (atomic_index_ unused); otherwise by its own map.
+     * A block is "valid" (has a pending persist) iff its last.src is
+     * not invalid_persist.
+     */
+    ///@{
+    FlatIndexMap atomic_index_;
+    ArenaVector<Tag> atomic_last_;
+    ArenaVector<PersistId> atomic_group_start_;
+    ArenaVector<double> atomic_group_begin_;
+    ///@}
+
+    DepSetPool deps_;
     std::vector<ThreadState> threads_;
-    std::unordered_map<std::uint64_t, TrackState> track_;
-    std::unordered_map<std::uint64_t, AtomicState> atomic_;
-    PersistLog log_;
+
+    mutable PersistLog log_;
+    mutable std::array<StagedRecord, stage_capacity> stage_;
+    mutable std::size_t stage_count_ = 0;
+
     std::vector<RaceSample> race_samples_;
     PersistId next_persist_id_ = 0;
 };

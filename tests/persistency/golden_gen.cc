@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Generator for the committed golden-replay fixtures.
+ *
+ * Writes the four trace fixtures under tests/persistency/golden/ and
+ * prints the expected-observation table as C++ source, which is
+ * pasted into golden_replay_test.cc. Run it only to mint a NEW
+ * golden surface (e.g. after an intentional semantic change to the
+ * timing engine); for a pure refactor the committed fixtures and
+ * numbers must be left untouched so the refactor is proven
+ * bit-identical against the pre-refactor engine.
+ *
+ * Usage: golden_gen <output-dir>
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util/queue_workload.hh"
+#include "common/rng.hh"
+#include "memtrace/trace_io.hh"
+#include "tests/persistency/golden_support.hh"
+
+using namespace persim;
+using namespace persim::test;
+
+namespace {
+
+/** The queue-workload fixtures, deterministic from their seeds. */
+InMemoryTrace
+queueFixture(QueueKind kind, AnnotationVariant variant,
+             std::uint32_t threads, std::uint64_t inserts,
+             std::uint64_t seed)
+{
+    QueueWorkloadConfig config;
+    config.kind = kind;
+    config.variant = variant;
+    config.threads = threads;
+    config.inserts_per_thread = inserts;
+    config.seed = seed;
+    InMemoryTrace trace;
+    runQueueWorkload(config, {&trace});
+    return trace;
+}
+
+/**
+ * A seeded random mixed trace: three threads issuing unaligned
+ * persistent and volatile accesses of every size, persist barriers,
+ * strands, syncs, markers, and allocation events. Exercises the
+ * engine paths the queue workloads do not (piece splitting across
+ * 8-byte boundaries, strand resets mid-op, volatile conflict chains).
+ */
+InMemoryTrace
+mixedFixture(std::uint64_t seed, std::uint64_t events)
+{
+    Rng rng(seed);
+    InMemoryTrace trace;
+    SeqNum seq = 0;
+    constexpr ThreadId threads = 3;
+    std::uint64_t next_op = 1;
+    auto push = [&trace, &seq](ThreadId tid, EventKind kind, Addr addr,
+                               unsigned size, std::uint64_t value,
+                               std::uint16_t marker = 0) {
+        TraceEvent event;
+        event.seq = seq++;
+        event.thread = tid;
+        event.kind = kind;
+        event.addr = addr;
+        event.size = static_cast<std::uint8_t>(size);
+        event.value = value;
+        event.marker = marker;
+        trace.onEvent(event);
+    };
+    for (std::uint64_t i = 0; i < events; ++i) {
+        const auto tid = static_cast<ThreadId>(rng.nextBounded(threads));
+        const std::uint64_t pick = rng.nextBounded(100);
+        const Addr paddr = persistent_base + rng.nextBounded(256);
+        const Addr vaddr = volatile_base + rng.nextBounded(128);
+        const auto size =
+            static_cast<unsigned>(1 + rng.nextBounded(max_access_size));
+        if (pick < 35) {
+            push(tid, EventKind::Store, paddr, size, rng.next());
+        } else if (pick < 50) {
+            push(tid, EventKind::Load, paddr, size, 0);
+        } else if (pick < 55) {
+            push(tid, EventKind::Rmw, paddr, size, rng.next());
+        } else if (pick < 65) {
+            push(tid, EventKind::Store, vaddr, size, rng.next());
+        } else if (pick < 75) {
+            push(tid, EventKind::Load, vaddr, size, 0);
+        } else if (pick < 87) {
+            push(tid, EventKind::PersistBarrier, 0, 0, 0);
+        } else if (pick < 92) {
+            push(tid, EventKind::NewStrand, 0, 0, 0);
+        } else if (pick < 94) {
+            push(tid, EventKind::PersistSync, 0, 0, 0);
+        } else if (pick < 96) {
+            push(tid, EventKind::Marker, 0, 0, next_op++,
+                 static_cast<std::uint16_t>(MarkerCode::OpBegin));
+        } else if (pick < 98) {
+            push(tid, EventKind::Marker, 0, 0, 0,
+                 static_cast<std::uint16_t>(MarkerCode::OpEnd));
+        } else if (pick < 99) {
+            push(tid, EventKind::Marker, 0, 0, 0,
+                 static_cast<std::uint16_t>(
+                     rng.nextBool() ? MarkerCode::RoleData
+                                    : MarkerCode::RoleHead));
+        } else {
+            push(tid, EventKind::PMalloc, paddr, 0, 64);
+        }
+    }
+    return trace;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+        return 2;
+    }
+    const std::string dir = argv[1];
+
+    struct Fixture
+    {
+        std::string name;
+        InMemoryTrace trace;
+    };
+    std::vector<Fixture> fixtures;
+    fixtures.push_back({"cwl1",
+                        queueFixture(QueueKind::CopyWhileLocked,
+                                     AnnotationVariant::Conservative, 1,
+                                     200, 1)});
+    fixtures.push_back({"tlc2",
+                        queueFixture(QueueKind::TwoLockConcurrent,
+                                     AnnotationVariant::Conservative, 2,
+                                     60, 7)});
+    fixtures.push_back({"strand1",
+                        queueFixture(QueueKind::CopyWhileLocked,
+                                     AnnotationVariant::Strand, 1, 150,
+                                     3)});
+    fixtures.push_back({"mixed", mixedFixture(2026, 4000)});
+
+    const auto configs = goldenConfigs();
+    std::printf("// Generated by golden_gen; paste into "
+                "golden_replay_test.cc.\n");
+    std::printf("// fixture, config, critical_path, persists, "
+                "coalesced, window_blocked,\n");
+    std::printf("// races, barriers, strands, ops, events, log_hash\n");
+    for (const Fixture &fixture : fixtures) {
+        writeTraceFile(dir + "/" + fixture.name + ".trc", fixture.trace);
+        for (const GoldenConfig &config : configs) {
+            const GoldenObservation seen =
+                observeReplay(fixture.trace, config.timing);
+            std::printf("    {\"%s\", \"%s\", %a, %lluu, %lluu, %lluu, "
+                        "%lluu,\n     %lluu, %lluu, %lluu, %lluu, "
+                        "0x%016llxu},\n",
+                        fixture.name.c_str(), config.name,
+                        seen.critical_path,
+                        static_cast<unsigned long long>(seen.persists),
+                        static_cast<unsigned long long>(seen.coalesced),
+                        static_cast<unsigned long long>(
+                            seen.window_blocked),
+                        static_cast<unsigned long long>(seen.races),
+                        static_cast<unsigned long long>(seen.barriers),
+                        static_cast<unsigned long long>(seen.strands),
+                        static_cast<unsigned long long>(seen.ops),
+                        static_cast<unsigned long long>(seen.events),
+                        static_cast<unsigned long long>(seen.log_hash));
+        }
+    }
+    return 0;
+}

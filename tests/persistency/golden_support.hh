@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Shared definitions of the golden-replay regression surface.
+ *
+ * The golden tests freeze the timing engine's observable behavior:
+ * a fixed set of committed trace fixtures is replayed under a fixed
+ * set of engine configurations, and the exact results — critical
+ * path, persist/coalesce counters, and an order-sensitive checksum
+ * of the full persist log (times, bindings, dependence sets) — must
+ * match numbers recorded before any engine refactor. Both the
+ * fixture generator (golden_gen) and the regression test
+ * (golden_replay_test) use these helpers so the surface cannot
+ * drift between them.
+ */
+
+#ifndef PERSIM_TESTS_PERSISTENCY_GOLDEN_SUPPORT_HH
+#define PERSIM_TESTS_PERSISTENCY_GOLDEN_SUPPORT_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memtrace/sink.hh"
+#include "persistency/timing_engine.hh"
+
+namespace persim::test {
+
+/** One frozen engine configuration applied to every fixture. */
+struct GoldenConfig
+{
+    const char *name;
+    TimingConfig timing;
+};
+
+/** The frozen configuration matrix (order matters: it is indexed). */
+inline std::vector<GoldenConfig>
+goldenConfigs()
+{
+    std::vector<GoldenConfig> configs;
+    auto add = [&configs](const char *name, ModelConfig model,
+                          auto &&tweak) {
+        TimingConfig timing;
+        timing.model = model;
+        timing.record_log = true;
+        tweak(timing);
+        configs.push_back({name, timing});
+    };
+    auto nop = [](TimingConfig &) {};
+    add("strict", ModelConfig::strict(), nop);
+    add("epoch", ModelConfig::epoch(), nop);
+    add("strand", ModelConfig::strand(), nop);
+    add("bpfs", ModelConfig::bpfs(), nop);
+    add("strict_a64", ModelConfig::strict(), [](TimingConfig &t) {
+        t.model.atomic_granularity = 64;
+    });
+    add("epoch_t64", ModelConfig::epoch(), [](TimingConfig &t) {
+        t.model.tracking_granularity = 64;
+    });
+    add("epoch_w16", ModelConfig::epoch(), [](TimingConfig &t) {
+        t.coalesce_window = 16;
+    });
+    add("epoch_a64_deps", ModelConfig::epoch(), [](TimingConfig &t) {
+        t.model.atomic_granularity = 64;
+        t.record_deps = true;
+    });
+    add("epoch_races", ModelConfig::epoch(), [](TimingConfig &t) {
+        t.detect_races = true;
+    });
+    add("epoch_stoch", ModelConfig::epoch(), [](TimingConfig &t) {
+        t.clock = ClockMode::Stochastic;
+        t.seed = 42;
+    });
+    return configs;
+}
+
+/** Everything a golden comparison pins down for one (fixture, config). */
+struct GoldenObservation
+{
+    double critical_path = 0.0;
+    std::uint64_t persists = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t window_blocked = 0;
+    std::uint64_t races = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t strands = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t events = 0;
+    std::uint64_t log_hash = 0;
+};
+
+/** FNV-1a over the bytes of @p v (doubles hashed bit-exactly). */
+inline void
+fnv1a(std::uint64_t &hash, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (v >> (8 * i)) & 0xff;
+        hash *= 0x100000001b3ULL;
+    }
+}
+
+/**
+ * Order-sensitive checksum of the whole persist log: every field of
+ * every record, including completion/start times bit-for-bit and the
+ * full dependence sets. Two logs hash equal iff the engine made the
+ * same timing and coalescing decisions everywhere.
+ */
+inline std::uint64_t
+hashPersistLog(const PersistLog &log)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const PersistRecord &record : log) {
+        fnv1a(hash, record.id);
+        fnv1a(hash, record.seq);
+        fnv1a(hash, record.addr);
+        fnv1a(hash, record.size);
+        fnv1a(hash, record.value);
+        fnv1a(hash, std::bit_cast<std::uint64_t>(record.time));
+        fnv1a(hash, std::bit_cast<std::uint64_t>(record.start));
+        fnv1a(hash, record.thread);
+        fnv1a(hash, record.op);
+        fnv1a(hash, static_cast<std::uint64_t>(record.role));
+        fnv1a(hash, record.binding);
+        fnv1a(hash, static_cast<std::uint64_t>(record.binding_source));
+        fnv1a(hash, record.deps.size());
+        for (const PersistId dep : record.deps)
+            fnv1a(hash, dep);
+    }
+    return hash;
+}
+
+/** Replay @p trace under @p config and collect the observation. */
+inline GoldenObservation
+observeReplay(const InMemoryTrace &trace, const TimingConfig &config)
+{
+    PersistTimingEngine engine(config);
+    trace.replay(engine);
+    GoldenObservation seen;
+    const TimingResult &result = engine.result();
+    seen.critical_path = result.critical_path;
+    seen.persists = result.persists;
+    seen.coalesced = result.coalesced;
+    seen.window_blocked = result.window_blocked;
+    seen.races = result.races;
+    seen.barriers = result.barriers;
+    seen.strands = result.strands;
+    seen.ops = result.ops;
+    seen.events = result.events;
+    seen.log_hash = hashPersistLog(engine.log());
+    return seen;
+}
+
+/** Names of the committed fixtures, in table order. */
+inline std::vector<std::string>
+goldenFixtureNames()
+{
+    return {"cwl1", "tlc2", "strand1", "mixed"};
+}
+
+} // namespace persim::test
+
+#endif // PERSIM_TESTS_PERSISTENCY_GOLDEN_SUPPORT_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Replay-throughput regression smoke test (ISSUE 4).
+ *
+ * Rebuilds the synthetic trace that bench/replay_baseline.cc measures
+ * (identical SyntheticTraceConfig defaults), replays it under strict,
+ * epoch, and strand persistency, and fails when the achieved
+ * events/sec drops below half of the committed baseline in
+ * BENCH_replay.json (env PERSIM_BENCH_BASELINE, wired by
+ * tests/CMakeLists.txt to the repo-root copy).
+ *
+ * Wall-clock assertions are inherently machine-sensitive, so this
+ * test is NOT part of the default tier-1 suite: it is registered
+ * under the ctest `perf` configuration with LABELS perf and a 2x
+ * safety factor. Run it via `ctest -C perf -L perf` (scripts/check.sh
+ * does, in the release config) after refreshing the baseline with
+ * bench/replay_baseline on the same machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench/bench_common.hh"
+#include "bench_util/bench_report.hh"
+#include "bench_util/synthetic_trace.hh"
+#include "persistency/timing_engine.hh"
+
+using namespace persim;
+
+namespace {
+
+/** Best-of-N replay, mirroring bench/replay_baseline.cc. */
+double
+bestReplaySeconds(const InMemoryTrace &trace, const ModelConfig &model)
+{
+    constexpr int reps = 5;
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        TimingConfig config;
+        config.model = model;
+        PersistTimingEngine engine(config);
+        bench::Stopwatch watch;
+        trace.replay(engine);
+        const double wall = watch.seconds();
+        if (rep == 0 || wall < best)
+            best = wall;
+    }
+    return best;
+}
+
+} // namespace
+
+TEST(PerfReplay, SyntheticTraceHoldsBaselineThroughput)
+{
+    const char *baseline_path = std::getenv("PERSIM_BENCH_BASELINE");
+    ASSERT_NE(baseline_path, nullptr)
+        << "PERSIM_BENCH_BASELINE not set (run via ctest -C perf)";
+    const std::map<std::string, BenchSample> baseline =
+        readBenchJson(baseline_path);
+
+    const InMemoryTrace trace =
+        buildSyntheticTrace(SyntheticTraceConfig{});
+
+    struct Model
+    {
+        const char *name;
+        ModelConfig model;
+    };
+    const Model models[] = {
+        {"strict", ModelConfig::strict()},
+        {"epoch", ModelConfig::epoch()},
+        {"strand", ModelConfig::strand()},
+    };
+    for (const Model &entry : models) {
+        const auto it = baseline.find(std::string("replay/synthetic/") +
+                                      entry.name);
+        ASSERT_NE(it, baseline.end())
+            << "baseline key missing for " << entry.name
+            << " (regenerate with bench/replay_baseline)";
+        ASSERT_EQ(it->second.events, trace.size())
+            << "baseline trace shape changed; regenerate "
+            << baseline_path;
+
+        const double wall = bestReplaySeconds(trace, entry.model);
+        const double rate = static_cast<double>(trace.size()) / wall;
+        const double floor = 0.5 * it->second.events_per_sec;
+        std::cout << entry.name << ": " << rate / 1e6
+                  << " M events/s (baseline "
+                  << it->second.events_per_sec / 1e6 << ", floor "
+                  << floor / 1e6 << ")\n";
+        EXPECT_GE(rate, floor)
+            << entry.name << " replay dropped below 50% of the "
+            << "committed baseline; investigate or refresh "
+            << baseline_path << " with bench/replay_baseline";
+    }
+}
