@@ -20,6 +20,7 @@
 #include "bench_util/bench_report.hh"
 #include "bench_util/queue_workload.hh"
 #include "common/task_pool.hh"
+#include "persistency/segment_replay.hh"
 #include "persistency/timing_engine.hh"
 
 namespace persim::bench {
@@ -38,6 +39,12 @@ struct BenchOptions
 
     /** Streaming chunk size in events. */
     std::uint64_t chunk_events = 1ULL << 16;
+
+    /**
+     * Replay file-backed traces through the zero-copy mmap reader
+     * (MmapTraceReader) instead of the streaming decoder.
+     */
+    bool mmap = false;
 
     /** Write machine-readable replay samples here (empty = don't). */
     std::string json_path;
@@ -60,6 +67,8 @@ parseBenchOptions(int argc, char **argv)
         };
         if (arg == "--stream") {
             options.stream = true;
+        } else if (arg == "--mmap") {
+            options.mmap = true;
         } else if (!value("--jobs").empty()) {
             options.jobs =
                 static_cast<std::uint32_t>(std::stoul(value("--jobs")));
@@ -69,12 +78,14 @@ parseBenchOptions(int argc, char **argv)
             options.json_path = value("--json");
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--jobs=N] [--stream] [--chunk-events=N]"
-                         " [--json=PATH]\n"
+                      << " [--jobs=N] [--stream] [--mmap]"
+                         " [--chunk-events=N] [--json=PATH]\n"
                       << "  --jobs=N    analysis worker threads "
                          "(1 = serial baseline, 0 = hardware)\n"
                       << "  --stream    replay analyses from a trace "
                          "file in chunks\n"
+                      << "  --mmap      replay file-backed traces via "
+                         "the zero-copy mmap reader\n"
                       << "  --json=PATH write BENCH_replay.json-style "
                          "replay samples\n";
             std::exit(2);
@@ -88,6 +99,30 @@ inline std::uint32_t
 effectiveJobs(std::uint32_t jobs)
 {
     return jobs == 0 ? TaskPool::defaultWorkers() : jobs;
+}
+
+/**
+ * Replay @p trace under @p config the way the bench's --jobs flag
+ * asks: serial through one engine at jobs <= 1, segment-parallel
+ * (persistency/segment_replay.hh, bit-identical to serial) on the
+ * shared @p pool otherwise. Benches that fan out per-config on the
+ * same pool stay deadlock-free because parallelFor help-executes
+ * nested batches.
+ */
+inline TimingResult
+replayForOptions(const InMemoryTrace &trace, const TimingConfig &config,
+                 const BenchOptions &options, TaskPool &pool)
+{
+    const std::uint32_t jobs = effectiveJobs(options.jobs);
+    if (jobs <= 1) {
+        PersistTimingEngine engine(config);
+        trace.replay(engine);
+        return engine.result();
+    }
+    SegmentReplayOptions segment;
+    segment.jobs = jobs;
+    segment.pool = &pool;
+    return segmentReplay(trace, config, segment);
 }
 
 /** Wall-clock stopwatch for per-analysis timing. */

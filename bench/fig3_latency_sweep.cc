@@ -63,7 +63,8 @@ main(int argc, char **argv)
     // throughput rather than simulate+analyze.
     Stopwatch analysis_watch;
     TaskPool pool(options.jobs);
-    pool.parallelFor(series.size(), [&series](std::size_t i) {
+    pool.parallelFor(series.size(), [&series, &options,
+                                     &pool](std::size_t i) {
         auto &entry = series[i];
         QueueWorkloadConfig config;
         config.kind = QueueKind::CopyWhileLocked;
@@ -75,13 +76,13 @@ main(int argc, char **argv)
         TimingConfig timing = levels(entry.model);
         if (i == 3)
             timing.coalesce_window = 64;
-        PersistTimingEngine engine(timing);
         Stopwatch watch;
-        trace.replay(engine);
+        const TimingResult result =
+            replayForOptions(trace, timing, options, pool);
         entry.wall_seconds = watch.seconds();
-        entry.critical_path = engine.result().critical_path;
+        entry.critical_path = result.critical_path;
         entry.ops = workload.inserts;
-        entry.events = engine.result().events;
+        entry.events = result.events;
     });
     const double analysis_wall = analysis_watch.seconds();
 

@@ -10,8 +10,9 @@
  * already concurrent).
  *
  * The 12 analyses run through granularitySweep: serial single-pass by
- * default, one engine replay per task with --jobs=N, and --stream
- * replays them from an on-disk trace file in batched chunks.
+ * default, one engine replay per task with --jobs=N, --stream
+ * replays them from an on-disk trace file in batched chunks, and
+ * --mmap replays them from a zero-copy mapped view of that file.
  */
 
 #include <cstdio>
@@ -45,11 +46,12 @@ main(int argc, char **argv)
     SweepOptions sweep;
     sweep.jobs = options.jobs;
     sweep.chunk_events = options.chunk_events;
+    sweep.mmap = options.mmap;
 
     // One trace, 12 analyses (2 models x 6 granularities).
     std::vector<SweepSeries> series;
     double analysis_wall = 0.0;
-    if (options.stream) {
+    if (options.stream || options.mmap) {
         const std::string path = tempTracePath("fig4");
         {
             TraceFileWriter writer(path);

@@ -10,8 +10,9 @@
  * persists are already serialized).
  *
  * The 12 analyses run through granularitySweep: serial single-pass by
- * default, one engine replay per task with --jobs=N, and --stream
- * replays them from an on-disk trace file in batched chunks.
+ * default, one engine replay per task with --jobs=N, --stream
+ * replays them from an on-disk trace file in batched chunks, and
+ * --mmap replays them from a zero-copy mapped view of that file.
  */
 
 #include <cstdio>
@@ -45,10 +46,11 @@ main(int argc, char **argv)
     SweepOptions sweep;
     sweep.jobs = options.jobs;
     sweep.chunk_events = options.chunk_events;
+    sweep.mmap = options.mmap;
 
     std::vector<SweepSeries> series;
     double analysis_wall = 0.0;
-    if (options.stream) {
+    if (options.stream || options.mmap) {
         const std::string path = tempTracePath("fig5");
         {
             TraceFileWriter writer(path);

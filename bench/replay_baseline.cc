@@ -12,6 +12,14 @@
  *  - "cwl1": the Copy While Locked single-thread queue workload the
  *    fig3/fig4/fig5 sweeps analyze.
  *
+ * Besides the serial rows ("replay/<trace>/<model>") each model is
+ * also replayed through the segment-parallel path at --jobs levels
+ * 1/2/4/8 ("replay/<trace>/<model>/jN"), so the committed baseline
+ * records the scaling curve of segmentReplay() on the baseline
+ * machine alongside the serial numbers. With --mmap the file-backed
+ * variant is measured instead: the trace is spilled to a .trc file
+ * once and replayed from MmapTraceReader's zero-copy span.
+ *
  * Each sample is the best of five replays (the minimum wall time is
  * the least noise-polluted estimate of achievable throughput). Run
  * with --json=BENCH_replay.json to refresh the committed baseline;
@@ -19,12 +27,16 @@
  */
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.hh"
 #include "bench_util/synthetic_trace.hh"
 #include "bench_util/table.hh"
+#include "memtrace/trace_io.hh"
+#include "persistency/segment_replay.hh"
 
 using namespace persim;
 using namespace persim::bench;
@@ -33,15 +45,40 @@ namespace {
 
 constexpr int replay_reps = 5;
 
-/** Best-of-N replay of @p trace under @p timing; returns seconds. */
+/** The --jobs levels the committed scaling curve records. */
+constexpr std::uint32_t job_levels[] = {1, 2, 4, 8};
+
+/** Best-of-N serial replay of @p events; returns seconds. */
 double
-timedReplay(const InMemoryTrace &trace, const TimingConfig &timing)
+timedReplay(const TraceEvent *events, std::size_t count,
+            const TimingConfig &timing)
 {
     double best = 0.0;
     for (int rep = 0; rep < replay_reps; ++rep) {
         PersistTimingEngine engine(timing);
         Stopwatch watch;
-        trace.replay(engine);
+        engine.onBatch(events, count);
+        engine.onFinish();
+        const double wall = watch.seconds();
+        if (rep == 0 || wall < best)
+            best = wall;
+    }
+    return best;
+}
+
+/** Best-of-N segment-parallel replay at @p jobs workers. */
+double
+timedSegmentReplay(const TraceEvent *events, std::size_t count,
+                   const TimingConfig &timing, std::uint32_t jobs,
+                   TaskPool &pool)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < replay_reps; ++rep) {
+        SegmentReplayOptions options;
+        options.jobs = jobs;
+        options.pool = &pool;
+        Stopwatch watch;
+        (void)segmentReplay(events, count, timing, options);
         const double wall = watch.seconds();
         if (rep == 0 || wall < best)
             best = wall;
@@ -58,7 +95,7 @@ main(int argc, char **argv)
     if (options.json_path.empty())
         options.json_path = "BENCH_replay.json";
     banner("Replay baseline: pure timing-engine throughput "
-           "(best of 5 replays per model)",
+           "(best of 5 replays per model and jobs level)",
            "establishes the BENCH_replay.json perf trajectory the "
            "ctest perf smoke test regresses against");
 
@@ -92,22 +129,58 @@ main(int argc, char **argv)
         traces.push_back({"cwl1", std::move(trace)});
     }
 
+    // --mmap: spill each trace to a .trc file once and replay from
+    // the zero-copy mapped span instead of the in-memory vector.
+    std::vector<std::unique_ptr<MmapTraceReader>> readers;
+    std::vector<std::string> spill_paths;
+
     BenchReport report;
     TextTable table;
-    table.header({"trace", "model", "events", "wall(s)", "events/s"});
+    table.header({"trace", "model", "jobs", "events", "wall(s)",
+                  "events/s"});
     for (const TraceEntry &entry : traces) {
+        const TraceEvent *events = entry.trace.events().data();
+        std::size_t count = entry.trace.size();
+        if (options.mmap) {
+            const std::string path =
+                tempTracePath("replay_baseline_" + entry.name);
+            {
+                TraceFileWriter writer(path);
+                entry.trace.replay(writer);
+            }
+            readers.push_back(std::make_unique<MmapTraceReader>(path));
+            spill_paths.push_back(path);
+            events = readers.back()->events().data();
+            count = readers.back()->eventCount();
+        }
         for (const Model &model : model_list) {
-            const double wall =
-                timedReplay(entry.trace, levels(model.model));
-            const std::uint64_t events = entry.trace.size();
-            table.row({entry.name, model.name, std::to_string(events),
-                       formatDouble(wall, 4),
-                       formatEventsPerSec(events, wall)});
+            const TimingConfig timing = levels(model.model);
+            const double wall = timedReplay(events, count, timing);
+            table.row({entry.name, model.name, "serial",
+                       std::to_string(count), formatDouble(wall, 4),
+                       formatEventsPerSec(count, wall)});
             report.add("replay/" + entry.name + "/" + model.name,
-                       events, wall);
+                       count, wall);
+            for (const std::uint32_t jobs : job_levels) {
+                TaskPool pool(jobs);
+                const double pwall = timedSegmentReplay(
+                    events, count, timing, jobs, pool);
+                const std::string label =
+                    "j" + std::to_string(jobs);
+                table.row({entry.name, model.name, label,
+                           std::to_string(count),
+                           formatDouble(pwall, 4),
+                           formatEventsPerSec(count, pwall)});
+                report.add("replay/" + entry.name + "/" + model.name +
+                               "/" + label,
+                           count, pwall);
+            }
         }
     }
     std::cout << "\n" << table.render() << "\n";
     writeBenchReport(report, options);
+    readers.clear();
+    for (const std::string &path : spill_paths)
+        std::remove(path.c_str());
     return 0;
 }

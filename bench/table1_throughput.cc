@@ -43,7 +43,8 @@ struct Cell
 };
 
 void
-analyzeCell(Cell &cell, const AnalysisVariant &variant)
+analyzeCell(Cell &cell, const AnalysisVariant &variant,
+            const BenchOptions &options, TaskPool &pool)
 {
     QueueWorkloadConfig config;
     config.kind = cell.kind;
@@ -52,20 +53,22 @@ analyzeCell(Cell &cell, const AnalysisVariant &variant)
     config.inserts_per_thread = cell.threads == 1 ? 20000 : 2500;
     config.seed = 42;
 
-    // Trace untimed, then time the replay alone (see fig3).
+    // Trace untimed, then time the replay alone (see fig3). At
+    // --jobs>1 the replay itself goes segment-parallel on the shared
+    // pool, nested inside the per-cell parallelFor.
     InMemoryTrace trace;
     const auto workload = runQueueWorkload(config, {&trace});
-    PersistTimingEngine engine(levels(variant.model));
     Stopwatch watch;
-    trace.replay(engine);
+    const TimingResult result =
+        replayForOptions(trace, levels(variant.model), options, pool);
     cell.wall_seconds = watch.seconds();
 
     const auto throughput = makeThroughput(
-        cell.native_rate, workload.inserts,
-        engine.result().critical_path, paper_latency_ns);
+        cell.native_rate, workload.inserts, result.critical_path,
+        paper_latency_ns);
     cell.normalized = throughput.normalized();
-    cell.critical_path_per_op = engine.result().criticalPathPerOp();
-    cell.events = engine.result().events;
+    cell.critical_path_per_op = result.criticalPathPerOp();
+    cell.events = result.events;
 }
 
 } // namespace
@@ -110,8 +113,9 @@ main(int argc, char **argv)
 
     Stopwatch analysis_watch;
     TaskPool pool(options.jobs);
-    pool.parallelFor(cells.size(), [&cells, &variants](std::size_t i) {
-        analyzeCell(cells[i], variants[cells[i].variant]);
+    pool.parallelFor(cells.size(), [&cells, &variants, &options,
+                                    &pool](std::size_t i) {
+        analyzeCell(cells[i], variants[cells[i].variant], options, pool);
     });
     const double analysis_wall = analysis_watch.seconds();
 

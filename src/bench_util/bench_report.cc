@@ -39,6 +39,12 @@ BenchReport::add(const std::string &key, std::uint64_t events,
         ? static_cast<double>(events) / wall_seconds
         : 0.0;
     sample.peak_rss_kb = peakRssKb();
+    // ru_maxrss is a high-water mark, so the delta is never negative;
+    // guard anyway in case getrusage failed and returned 0.
+    sample.rss_delta_kb = sample.peak_rss_kb > last_peak_rss_kb_
+        ? sample.peak_rss_kb - last_peak_rss_kb_
+        : 0;
+    last_peak_rss_kb_ = sample.peak_rss_kb;
     entries_.emplace_back(key, sample);
 }
 
@@ -58,7 +64,8 @@ BenchReport::renderJson() const
         std::snprintf(number, sizeof(number), "%.9g",
                       sample.events_per_sec);
         oss << "    \"events_per_sec\": " << number << ",\n";
-        oss << "    \"peak_rss_kb\": " << sample.peak_rss_kb << "\n";
+        oss << "    \"peak_rss_kb\": " << sample.peak_rss_kb << ",\n";
+        oss << "    \"rss_delta_kb\": " << sample.rss_delta_kb << "\n";
         oss << "  }" << (i + 1 < entries_.size() ? "," : "") << "\n";
     }
     oss << "}\n";
@@ -185,6 +192,9 @@ readBenchJson(const std::string &path)
                     sample.events_per_sec = value;
                 else if (field == "peak_rss_kb")
                     sample.peak_rss_kb =
+                        static_cast<std::uint64_t>(value);
+                else if (field == "rss_delta_kb")
+                    sample.rss_delta_kb =
                         static_cast<std::uint64_t>(value);
                 else
                     PERSIM_REQUIRE(false,

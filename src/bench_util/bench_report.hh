@@ -32,7 +32,28 @@ struct BenchSample
     std::uint64_t events = 0;       //!< Trace events consumed.
     double wall_seconds = 0.0;      //!< Replay wall time.
     double events_per_sec = 0.0;    //!< events / wall_seconds.
-    std::uint64_t peak_rss_kb = 0;  //!< Process peak RSS when sampled.
+
+    /**
+     * Process-wide peak RSS (getrusage ru_maxrss) at the moment the
+     * sample was recorded. This is a high-water mark for the WHOLE
+     * process, not the footprint of this sample's replay: it never
+     * decreases across samples in one report, and early samples
+     * inherit whatever setup (trace generation, prior benches) already
+     * touched. Compare it across runs of the same bench binary, not
+     * across keys within one file.
+     */
+    std::uint64_t peak_rss_kb = 0;
+
+    /**
+     * Growth of the peak-RSS high-water mark since the previous add()
+     * on the same report (since BenchReport construction for the first
+     * sample). When a sample's replay allocated past every earlier
+     * peak, this is the new memory it needed; 0 means the sample fit
+     * entirely inside memory some earlier phase already reached —
+     * which is why per-key attribution needs the samples ordered
+     * smallest-footprint first.
+     */
+    std::uint64_t rss_delta_kb = 0;
 };
 
 /** Current process peak resident set size in KiB (getrusage). */
@@ -42,10 +63,13 @@ std::uint64_t peakRssKb();
 class BenchReport
 {
   public:
+    BenchReport() : last_peak_rss_kb_(peakRssKb()) {}
+
     /**
      * Record a sample under @p key (e.g. "fig3/epoch/replay"); the
-     * events/sec and peak-RSS fields are derived here. Keys must be
-     * unique per report and free of '"' and '\\'.
+     * events/sec and both RSS fields are derived here (rss_delta_kb
+     * against the previous add(), or construction for the first).
+     * Keys must be unique per report and free of '"' and '\\'.
      */
     void add(const std::string &key, std::uint64_t events,
              double wall_seconds);
@@ -61,6 +85,9 @@ class BenchReport
 
   private:
     std::vector<std::pair<std::string, BenchSample>> entries_;
+
+    /** Peak RSS observed at the last add() (rss_delta_kb baseline). */
+    std::uint64_t last_peak_rss_kb_ = 0;
 };
 
 /**

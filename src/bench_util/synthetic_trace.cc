@@ -29,8 +29,20 @@ buildSyntheticTrace(const SyntheticTraceConfig &config)
     };
 
     // Weights mirror a store-heavy workload (the regime the paper's
-    // queues live in): ~45% persistent stores/RMWs, ~20% loads, ~20%
-    // volatile traffic, the rest ordering and marker events.
+    // queues live in) by default: ~45% persistent stores/RMWs, ~20%
+    // loads, ~20% volatile traffic, the rest ordering and marker
+    // events. volatile_pct reapportions the 82% access weight between
+    // the volatile and persistent blocks, keeping the intra-block
+    // store/RMW/load ratios; at the default 20 the thresholds land on
+    // the historical 40/45/62/74/82 cut points exactly, so the
+    // default stream is unchanged.
+    PERSIM_REQUIRE(config.volatile_pct <= 82,
+                   "volatile_pct must leave room for ordering events");
+    const std::uint64_t vol = config.volatile_pct;
+    const std::uint64_t per = 82 - vol;
+    const std::uint64_t p_store = per * 40 / 62;
+    const std::uint64_t p_rmw = p_store + per * 5 / 62;
+    const std::uint64_t v_store = per + vol * 12 / 20;
     for (std::uint64_t i = 0; i < config.events; ++i) {
         const auto tid =
             static_cast<ThreadId>(rng.nextBounded(config.threads));
@@ -41,13 +53,13 @@ buildSyntheticTrace(const SyntheticTraceConfig &config)
             volatile_base + rng.nextBounded(config.volatile_span);
         const auto size =
             static_cast<unsigned>(1 + rng.nextBounded(max_access_size));
-        if (pick < 40) {
+        if (pick < p_store) {
             push(tid, EventKind::Store, paddr, size, rng.next());
-        } else if (pick < 45) {
+        } else if (pick < p_rmw) {
             push(tid, EventKind::Rmw, paddr, 8, rng.next());
-        } else if (pick < 62) {
+        } else if (pick < per) {
             push(tid, EventKind::Load, paddr, size, 0);
-        } else if (pick < 74) {
+        } else if (pick < v_store) {
             push(tid, EventKind::Store, vaddr, size, rng.next());
         } else if (pick < 82) {
             push(tid, EventKind::Load, vaddr, size, 0);

@@ -68,11 +68,11 @@ TaskPool::parallelFor(std::size_t n,
         return;
 
     // Private completion latch so a parallelFor is well-defined even
-    // alongside unrelated submit() traffic on the same pool.
+    // alongside unrelated submit() traffic on the same pool. Guarded
+    // by the pool mutex so the help-execute loop below can wait for
+    // "batch done OR new work" on one condition variable.
     struct Batch
     {
-        std::mutex mutex;
-        std::condition_variable cv;
         std::size_t remaining = 0;
         std::exception_ptr error;
     };
@@ -82,23 +82,57 @@ TaskPool::parallelFor(std::size_t n,
     // `body` is captured by reference: this frame outlives the batch
     // because it blocks below until remaining == 0.
     for (std::size_t i = 0; i < n; ++i) {
-        submit([batch, &body, i] {
+        submit([this, batch, &body, i] {
             std::exception_ptr error;
             try {
                 body(i);
             } catch (...) {
                 error = std::current_exception();
             }
-            std::lock_guard<std::mutex> guard(batch->mutex);
+            std::lock_guard<std::mutex> guard(mutex_);
             if (error && !batch->error)
                 batch->error = error;
+            // Completion must wake help-execute loops sleeping on
+            // work_cv_ (their batch may just have finished), not only
+            // a plain-wait owner. The spurious worker wakeup per
+            // batch is noise.
             if (--batch->remaining == 0)
-                batch->cv.notify_all();
+                work_cv_.notify_all();
         });
     }
 
-    std::unique_lock<std::mutex> lock(batch->mutex);
-    batch->cv.wait(lock, [&batch] { return batch->remaining == 0; });
+    // Help execute while the batch is outstanding instead of blocking:
+    // a parallelFor issued from inside a pool task would otherwise
+    // park the worker it runs on, and nested fan-outs could park every
+    // worker with their subtasks still queued. Progress argument: if
+    // remaining > 0, some wrapper task is queued (we pop and run it)
+    // or running on another thread (it completes and notifies).
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (batch->remaining != 0) {
+        if (!queue_.empty()) {
+            Task task = std::move(queue_.back());
+            queue_.pop_back();
+            lock.unlock();
+
+            std::exception_ptr error;
+            try {
+                task();
+            } catch (...) {
+                error = std::current_exception();
+            }
+
+            lock.lock();
+            if (error && !error_)
+                error_ = error;
+            if (--pending_ == 0)
+                done_cv_.notify_all();
+            continue;
+        }
+        work_cv_.wait(lock, [this, &batch] {
+            return batch->remaining == 0 || !queue_.empty();
+        });
+    }
+    lock.unlock();
     if (batch->error)
         std::rethrow_exception(batch->error);
 }

@@ -20,8 +20,12 @@
  * first exception is captured and rethrown from the owner's wait()
  * (or parallelFor()); later exceptions of the same batch are dropped.
  *
- * wait() and parallelFor() must be called from outside the pool: a
- * worker blocking on the pool it serves can deadlock it.
+ * wait() must be called from outside the pool: a worker blocking on
+ * the pool it serves can deadlock it. parallelFor() is nest-safe: a
+ * caller running *inside* a pool task helps execute queued tasks
+ * while its batch is outstanding instead of parking the worker, so
+ * intra-trace segment replay can fan out from within a bench's
+ * per-series parallelFor on the same pool.
  */
 
 #ifndef PERSIM_COMMON_TASK_POOL_HH
@@ -73,7 +77,9 @@ class TaskPool
      * Run body(i) for every i in [0, n) on the pool and wait for the
      * batch; rethrows the first exception a body raised. Independent
      * of submit()/wait() bookkeeping errors-wise: a concurrent
-     * submit()'s failure is not reported here. Owner thread only.
+     * submit()'s failure is not reported here. Safe to call from
+     * inside a pool task: the caller help-executes queued tasks
+     * (possibly from unrelated batches) until its own batch is done.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);

@@ -1,7 +1,15 @@
 #include "memtrace/trace_io.hh"
 
 #include <array>
+#include <bit>
+#include <cstddef>
 #include <cstring>
+#include <type_traits>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/error.hh"
 
@@ -15,8 +23,34 @@ constexpr std::uint32_t trace_version = 1;
 constexpr std::size_t header_size = 8 + 4 + 4 + 8;
 constexpr std::size_t record_size = 32;
 
-/** Records per buffered I/O burst (writer and readBatch). */
+/** Records per buffered write burst. */
 constexpr std::size_t io_batch_records = 4096;
+
+/**
+ * Records per bulk read burst (512 KiB). The streaming reader is the
+ * fallback for pipes and cold caches, so bursts are sized to amortize
+ * the syscall + decode loop rather than to fit a stdio buffer.
+ */
+constexpr std::size_t read_batch_records = 16384;
+
+/**
+ * The zero-copy reader reinterprets the on-disk record array as
+ * TraceEvent directly; pin the layout equivalence it relies on.
+ * packEvent writes fields in declaration order at these offsets, so
+ * on a little-endian host a mapped record *is* a TraceEvent.
+ */
+static_assert(std::is_standard_layout_v<TraceEvent> &&
+              std::is_trivially_copyable_v<TraceEvent>);
+static_assert(sizeof(TraceEvent) == record_size);
+static_assert(offsetof(TraceEvent, seq) == 0 &&
+              offsetof(TraceEvent, addr) == 8 &&
+              offsetof(TraceEvent, value) == 16 &&
+              offsetof(TraceEvent, thread) == 24 &&
+              offsetof(TraceEvent, kind) == 28 &&
+              offsetof(TraceEvent, size) == 29 &&
+              offsetof(TraceEvent, marker) == 30);
+static_assert(header_size % alignof(TraceEvent) == 0,
+              "mapped record array must stay 8-byte aligned");
 
 /** Highest EventKind a record may carry (reject garbage above it). */
 constexpr std::uint64_t max_event_kind =
@@ -217,6 +251,14 @@ TraceFileReader::TraceFileReader(const std::string &path)
             << event_count_ << " events (" << expected
             << " bytes) but the file holds " << file_size
             << " bytes: " << path);
+
+#ifdef POSIX_FADV_SEQUENTIAL
+    // Replay scans the file front to back exactly once: ask the
+    // kernel for aggressive readahead and early page reclaim so a
+    // cold-cache replay is not bounded by 128 KiB default readahead.
+    // Advisory only; ignore the result.
+    (void)::posix_fadvise(::fileno(file_), 0, 0, POSIX_FADV_SEQUENTIAL);
+#endif
 }
 
 TraceFileReader::~TraceFileReader()
@@ -247,12 +289,14 @@ TraceFileReader::readBatch(TraceEvent *out, std::size_t max)
         want = static_cast<std::size_t>(remaining);
     if (want == 0)
         return 0;
-    if (want > io_batch_records)
-        want = io_batch_records;
+    if (want > read_batch_records)
+        want = read_batch_records;
     if (buffer_records_ < want) {
-        buffer_ =
-            std::make_unique<unsigned char[]>(want * record_size);
-        buffer_records_ = want;
+        // Size the staging buffer for full bursts up front instead of
+        // growing it to each caller's max.
+        buffer_ = std::make_unique<unsigned char[]>(read_batch_records *
+                                                    record_size);
+        buffer_records_ = read_batch_records;
     }
     const std::size_t bytes = want * record_size;
     const std::size_t got = std::fread(buffer_.get(), 1, bytes, file_);
@@ -266,7 +310,7 @@ TraceFileReader::readBatch(TraceEvent *out, std::size_t max)
 void
 TraceFileReader::readAll(TraceSink &sink)
 {
-    std::vector<TraceEvent> batch(io_batch_records);
+    std::vector<TraceEvent> batch(read_batch_records);
     while (true) {
         const std::size_t got =
             readBatch(batch.data(), batch.size());
@@ -274,6 +318,107 @@ TraceFileReader::readAll(TraceSink &sink)
             break;
         sink.onBatch(batch.data(), got);
     }
+    sink.onFinish();
+}
+
+MmapTraceReader::MmapTraceReader(const std::string &path)
+{
+    PERSIM_REQUIRE(std::endian::native == std::endian::little,
+                   "MmapTraceReader requires a little-endian host "
+                   "(use TraceFileReader): " << path);
+
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    PERSIM_REQUIRE(fd >= 0,
+                   "cannot open trace file for mapping: " << path);
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        PERSIM_REQUIRE(false,
+                       "cannot map trace: not a regular file: " << path);
+    }
+    const auto file_size = static_cast<std::uint64_t>(st.st_size);
+    if (file_size < header_size) {
+        ::close(fd);
+        PERSIM_REQUIRE(false, "trace file too short: " << path);
+    }
+
+    map_size_ = static_cast<std::size_t>(file_size);
+    map_ = ::mmap(nullptr, map_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // The mapping keeps the file alive.
+    PERSIM_REQUIRE(map_ != MAP_FAILED,
+                   "cannot mmap trace file: " << path);
+
+    try {
+        const auto *base = static_cast<const unsigned char *>(map_);
+        PERSIM_REQUIRE(std::memcmp(base, trace_magic.data(),
+                                   trace_magic.size()) == 0,
+                       "bad trace file magic: " << path);
+        const auto version =
+            static_cast<std::uint32_t>(getLe(base + 8, 4));
+        PERSIM_REQUIRE(version == trace_version,
+                       "unsupported trace version " << version << ": "
+                                                    << path);
+        thread_count_ = static_cast<ThreadId>(getLe(base + 12, 4));
+        event_count_ = getLe(base + 16, 8);
+        const std::uint64_t expected =
+            header_size + event_count_ * record_size;
+        PERSIM_REQUIRE(
+            event_count_ <= (file_size - header_size) / record_size &&
+                file_size == expected,
+            "trace file size mismatch: header claims "
+                << event_count_ << " events (" << expected
+                << " bytes) but the file holds " << file_size
+                << " bytes: " << path);
+
+        events_ = reinterpret_cast<const TraceEvent *>(base +
+                                                       header_size);
+
+#ifdef POSIX_MADV_WILLNEED
+        (void)::posix_madvise(map_, map_size_, POSIX_MADV_WILLNEED);
+#endif
+
+        // Validate every record's kind byte once, here, so the views
+        // handed out need no per-event checks (matching the streaming
+        // reader's unpackEvent guarantee). This also pre-faults the
+        // mapping, which replay would pay for anyway.
+        for (std::uint64_t i = 0; i < event_count_; ++i) {
+            const auto kind =
+                static_cast<std::uint64_t>(events_[i].kind);
+            PERSIM_REQUIRE(kind <= max_event_kind,
+                           "corrupt trace record " << i
+                               << ": event kind byte " << kind
+                               << " is out of range (max "
+                               << max_event_kind << "): " << path);
+        }
+    } catch (...) {
+        ::munmap(map_, map_size_);
+        map_ = nullptr;
+        throw;
+    }
+}
+
+MmapTraceReader::~MmapTraceReader()
+{
+    if (map_ != nullptr)
+        ::munmap(map_, map_size_);
+}
+
+std::span<const TraceEvent>
+MmapTraceReader::segment(std::uint64_t offset, std::uint64_t count) const
+{
+    PERSIM_REQUIRE(offset <= event_count_ &&
+                       count <= event_count_ - offset,
+                   "trace segment [" << offset << ", "
+                       << offset + count << ") out of range (trace has "
+                       << event_count_ << " events)");
+    return {events_ + offset, static_cast<std::size_t>(count)};
+}
+
+void
+MmapTraceReader::readAll(TraceSink &sink) const
+{
+    if (event_count_ > 0)
+        sink.onBatch(events_, static_cast<std::size_t>(event_count_));
     sink.onFinish();
 }
 

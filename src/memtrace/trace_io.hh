@@ -21,6 +21,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "memtrace/sink.hh"
@@ -68,7 +69,13 @@ class TraceFileWriter : public TraceSink
     std::size_t buffered_ = 0; //!< Records currently in buffer_.
 };
 
-/** Reads a trace file, streaming events into a sink. */
+/**
+ * Reads a trace file, streaming events into a sink. Works on pipes
+ * and regular files alike; on regular files the open hints the kernel
+ * for sequential readahead (posix_fadvise) and records are decoded
+ * from large bulk reads. For segment-parallel replay of on-disk
+ * traces prefer MmapTraceReader, which hands out zero-copy views.
+ */
 class TraceFileReader
 {
   public:
@@ -109,6 +116,56 @@ class TraceFileReader
     /** Raw-record staging for readBatch (lazily sized). */
     std::unique_ptr<unsigned char[]> buffer_;
     std::size_t buffer_records_ = 0;
+};
+
+/**
+ * Zero-copy trace reader: maps the whole .trc file and hands out
+ * `std::span<const TraceEvent>` views directly over the mapping, so
+ * parallel segment workers never copy or re-decode records.
+ *
+ * Validity rests on the on-disk record layout matching TraceEvent
+ * byte for byte on a little-endian host: the 32-byte packed record
+ * (seq u64, addr u64, value u64, thread u32, kind u8, size u8,
+ * marker u16, little-endian) is exactly TraceEvent's field layout,
+ * pinned by static_asserts in trace_io.cc, and the 24-byte header
+ * keeps the record array 8-byte aligned within the page-aligned
+ * mapping. Opening fatals on a big-endian host (the streaming reader
+ * still works there) and validates the header *and every record's
+ * event-kind byte* once up front, so downstream consumers can trust
+ * the views without per-event checks.
+ */
+class MmapTraceReader
+{
+  public:
+    /** Map @p path; fatals on malformed files like TraceFileReader. */
+    explicit MmapTraceReader(const std::string &path);
+    ~MmapTraceReader();
+
+    MmapTraceReader(const MmapTraceReader &) = delete;
+    MmapTraceReader &operator=(const MmapTraceReader &) = delete;
+
+    std::uint64_t eventCount() const { return event_count_; }
+    ThreadId threadCount() const { return thread_count_; }
+
+    /** The whole trace as a zero-copy view. */
+    std::span<const TraceEvent> events() const
+    {
+        return {events_, static_cast<std::size_t>(event_count_)};
+    }
+
+    /** Bounds-checked sub-view [offset, offset + count). */
+    std::span<const TraceEvent> segment(std::uint64_t offset,
+                                        std::uint64_t count) const;
+
+    /** Stream every event into @p sink and call its onFinish. */
+    void readAll(TraceSink &sink) const;
+
+  private:
+    const TraceEvent *events_ = nullptr;
+    std::uint64_t event_count_ = 0;
+    ThreadId thread_count_ = 0;
+    void *map_ = nullptr;
+    std::size_t map_size_ = 0;
 };
 
 /** Convenience: write a whole in-memory trace to @p path. */

@@ -1,0 +1,403 @@
+#include "persistency/segment_replay.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/flat_map.hh"
+
+namespace persim {
+namespace {
+
+/** Local-slot sentinel: this op has no slot of that bank. */
+constexpr std::uint32_t no_local = ~0u;
+
+/**
+ * One compiled micro-op. Pieces carry their pre-split address range
+ * and pre-masked value plus segment-local slot ids; control ops carry
+ * only what the serial dispatch switch reads. 40 bytes, POD.
+ */
+struct MicroOp
+{
+    enum Kind : std::uint8_t {
+        Piece,    //!< One <=8-byte access piece (tslot resolved).
+        Barrier,  //!< PersistBarrier / PersistSync.
+        Strand,   //!< NewStrand.
+        OpBegin,  //!< Marker OpBegin (operation id in value).
+        OpEnd,    //!< Marker OpEnd.
+        RoleData, //!< Marker RoleData.
+        RoleHead, //!< Marker RoleHead.
+    };
+
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    SeqNum seq = 0;
+    std::uint32_t tslot = no_local; //!< Segment-local tracking slot.
+    std::uint32_t aslot = no_local; //!< Segment-local atomic slot.
+    ThreadId thread = 0;
+    std::uint8_t kind = Piece;
+    std::uint8_t size = 0;
+    std::uint8_t is_write = 0;
+};
+
+/** Compiled form of one trace segment. */
+struct SegmentProgram
+{
+    std::vector<MicroOp> ops;
+    /** Interned block keys, indexed by local slot id. */
+    std::vector<std::uint64_t> track_keys;
+    std::vector<std::uint64_t> atomic_keys; //!< Non-unified only.
+    /** Raw events consumed (including uncompiled kinds). */
+    std::uint64_t events = 0;
+};
+
+/** Engine-config facts the compiler needs; entry-state independent. */
+struct CompileSpec
+{
+    unsigned track_shift = 3;
+    unsigned atomic_shift = 3;
+    bool unified = false;
+    bool all_scope = true;
+    bool detect_races = false;
+};
+
+/**
+ * Compile @p count events into a micro-op program. Mirrors
+ * PersistTimingEngine::process()/handlePiece() up to (but not
+ * including) the first read of engine state: the piece split, the
+ * scope filter, and the block-key computation are pure functions of
+ * the event and the configuration.
+ */
+void
+compileSegment(const TraceEvent *events, std::size_t count,
+               const CompileSpec &spec, SegmentProgram &out)
+{
+    FlatIndexMap track_local;
+    FlatIndexMap atomic_local;
+    // Start at a quarter of the worst case: scope-filtered configs
+    // emit far fewer ops than events, and growth on the POD vector is
+    // a cheap memcpy, while a full-size reserve costs real page
+    // faults per segment.
+    out.ops.reserve(count / 4 + 16);
+    out.events = count;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceEvent &event = events[i];
+        switch (event.kind) {
+          case EventKind::Load:
+          case EventKind::Store:
+          case EventKind::Rmw: {
+            // Same 8-byte-aligned split as process(), so each piece
+            // lies within one tracking block and one atomic block.
+            Addr addr = event.addr;
+            unsigned remaining = event.size;
+            while (remaining > 0) {
+                const auto room = static_cast<unsigned>(
+                    max_access_size - (addr % max_access_size));
+                const unsigned chunk = std::min(remaining, room);
+                const unsigned shift =
+                    static_cast<unsigned>(8 * (addr - event.addr));
+                std::uint64_t piece_value = event.value >> shift;
+                if (chunk < 8)
+                    piece_value &= (1ULL << (8 * chunk)) - 1;
+
+                const bool persistent = isPersistentAddr(addr);
+                const bool in_scope = spec.all_scope || persistent;
+                if (in_scope || spec.detect_races) {
+                    MicroOp op;
+                    op.addr = addr;
+                    op.value = piece_value;
+                    op.seq = event.seq;
+                    op.thread = event.thread;
+                    op.kind = MicroOp::Piece;
+                    op.size = static_cast<std::uint8_t>(chunk);
+                    op.is_write = event.isWrite() ? 1 : 0;
+
+                    bool inserted = false;
+                    op.tslot = track_local.findOrInsert(
+                        addr >> spec.track_shift, inserted);
+                    if (inserted)
+                        out.track_keys.push_back(addr >> spec.track_shift);
+                    // Only persist pieces probe the atomic bank, and
+                    // in unified mode it shares the tracking index.
+                    if (!spec.unified && op.is_write && persistent) {
+                        op.aslot = atomic_local.findOrInsert(
+                            addr >> spec.atomic_shift, inserted);
+                        if (inserted)
+                            out.atomic_keys.push_back(
+                                addr >> spec.atomic_shift);
+                    }
+                    out.ops.push_back(op);
+                }
+                addr += chunk;
+                remaining -= chunk;
+            }
+            break;
+          }
+          case EventKind::PersistBarrier:
+          case EventKind::PersistSync: {
+            MicroOp op;
+            op.kind = MicroOp::Barrier;
+            op.thread = event.thread;
+            out.ops.push_back(op);
+            break;
+          }
+          case EventKind::NewStrand: {
+            MicroOp op;
+            op.kind = MicroOp::Strand;
+            op.thread = event.thread;
+            out.ops.push_back(op);
+            break;
+          }
+          case EventKind::Marker: {
+            MicroOp op;
+            op.thread = event.thread;
+            switch (event.markerCode()) {
+              case MarkerCode::OpBegin:
+                op.kind = MicroOp::OpBegin;
+                op.value = event.value;
+                out.ops.push_back(op);
+                break;
+              case MarkerCode::OpEnd:
+                op.kind = MicroOp::OpEnd;
+                out.ops.push_back(op);
+                break;
+              case MarkerCode::RoleData:
+                op.kind = MicroOp::RoleData;
+                out.ops.push_back(op);
+                break;
+              case MarkerCode::RoleHead:
+                op.kind = MicroOp::RoleHead;
+                out.ops.push_back(op);
+                break;
+              default:
+                break; // Counted, like process()'s default arm.
+            }
+            break;
+          }
+          default:
+            // PMalloc/PFree/ThreadStart/ThreadEnd/Fence: the serial
+            // engine only counts them.
+            break;
+        }
+    }
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+/**
+ * Friend of PersistTimingEngine: executes compiled segment programs
+ * on one engine in trace order through the engine's own handlers.
+ */
+class SegmentReplayer
+{
+  public:
+    static TimingResult
+    run(const TraceEvent *events, std::size_t count,
+        const TimingConfig &config, const SegmentReplayOptions &options,
+        PersistLog *log_out, SegmentReplayStats *stats)
+    {
+        PersistTimingEngine engine(config);
+
+        CompileSpec spec;
+        spec.track_shift = engine.track_shift_;
+        spec.atomic_shift = engine.atomic_shift_;
+        spec.unified = engine.unified_;
+        spec.all_scope = engine.all_scope_;
+        spec.detect_races = engine.detect_races_;
+
+        const std::uint32_t jobs = options.jobs > 0
+            ? options.jobs : TaskPool::defaultWorkers();
+
+        // Segment size: a few segments per worker (load balance for
+        // skewed event mixes) with a floor so tiny traces are not
+        // shredded into per-op overheads.
+        std::uint64_t seg = options.segment_events;
+        if (seg == 0) {
+            constexpr std::uint64_t min_segment = 16384;
+            seg = std::max<std::uint64_t>(min_segment,
+                                          count / (4ULL * jobs + 1));
+        }
+        const std::size_t segments =
+            count == 0 ? 0 : (count + seg - 1) / seg;
+
+        // One pool serves both the segment compile and the deferred
+        // log materialization; borrow the caller's when provided.
+        TaskPool *pool = options.pool;
+        std::unique_ptr<TaskPool> owned;
+        if (pool == nullptr && jobs > 1 &&
+            (segments > 1 || engine.config_.record_log)) {
+            owned = std::make_unique<TaskPool>(jobs);
+            pool = owned.get();
+        }
+
+        // Defer persist-record materialization (field copies plus
+        // dep-set vector builds — most of record_log's cost) out of
+        // the serial stitch; it fans out over the pool afterwards.
+        const bool parallel_log =
+            engine.config_.record_log && jobs > 1 && pool != nullptr;
+        engine.defer_log_ = parallel_log;
+
+        std::vector<SegmentProgram> programs(segments);
+        const auto compile_one = [&](std::size_t i) {
+            const std::size_t begin = i * seg;
+            const std::size_t n =
+                std::min<std::size_t>(seg, count - begin);
+            compileSegment(events + begin, n, spec, programs[i]);
+        };
+
+        const auto prep_start = std::chrono::steady_clock::now();
+        std::uint32_t used_jobs = 1;
+        if (jobs <= 1 || segments <= 1 || pool == nullptr) {
+            for (std::size_t i = 0; i < segments; ++i)
+                compile_one(i);
+        } else {
+            used_jobs = pool->workerCount();
+            pool->parallelFor(segments, compile_one);
+        }
+        const double prep_seconds = secondsSince(prep_start);
+
+        // Sequential stitch: translate local slots to global ones and
+        // drive the engine's handlers in global order.
+        const auto stitch_start = std::chrono::steady_clock::now();
+        const ModelKind kind = engine.config_.model.kind;
+        const bool fold_barrier = kind != ModelKind::Strict &&
+            engine.config_.mutant != EngineMutant::ElideEpochBarrier;
+        const bool strand_model = kind == ModelKind::Strand;
+
+        std::uint64_t micro_ops = 0;
+        std::vector<std::uint32_t> tmap;
+        std::vector<std::uint32_t> amap;
+        for (SegmentProgram &program : programs) {
+            tmap.clear();
+            tmap.reserve(program.track_keys.size());
+            for (const std::uint64_t key : program.track_keys)
+                tmap.push_back(engine.trackSlot(key));
+            amap.clear();
+            amap.reserve(program.atomic_keys.size());
+            for (const std::uint64_t key : program.atomic_keys)
+                amap.push_back(engine.atomicSlot(key));
+
+            micro_ops += program.ops.size();
+            for (const MicroOp &op : program.ops) {
+                PersistTimingEngine::ThreadState &thread =
+                    engine.threadState(op.thread);
+                switch (op.kind) {
+                  case MicroOp::Piece:
+                    engine.handlePieceAt(
+                        tmap[op.tslot],
+                        op.aslot == no_local
+                            ? PersistTimingEngine::no_slot_hint
+                            : amap[op.aslot],
+                        op.seq, op.thread, thread, op.addr, op.size,
+                        op.value, op.is_write != 0);
+                    break;
+                  case MicroOp::Barrier:
+                    ++engine.result_.barriers;
+                    if (fold_barrier)
+                        engine.mergeInto(thread.epoch_dep,
+                                         thread.accum_dep);
+                    break;
+                  case MicroOp::Strand:
+                    ++engine.result_.strands;
+                    if (strand_model) {
+                        thread.epoch_dep = PersistTimingEngine::Tag{};
+                        thread.accum_dep = PersistTimingEngine::Tag{};
+                    }
+                    break;
+                  case MicroOp::OpBegin:
+                    thread.op = op.value;
+                    thread.role = PersistRole::None;
+                    break;
+                  case MicroOp::OpEnd:
+                    ++engine.result_.ops;
+                    thread.op = no_operation;
+                    thread.role = PersistRole::None;
+                    break;
+                  case MicroOp::RoleData:
+                    thread.role = PersistRole::Data;
+                    break;
+                  case MicroOp::RoleHead:
+                    thread.role = PersistRole::Head;
+                    break;
+                  default:
+                    break;
+                }
+            }
+            engine.result_.events += program.events;
+            // Programs are consumed in order; release each one's ops
+            // as soon as it is stitched to bound peak memory.
+            program = SegmentProgram{};
+        }
+        engine.onFinish();
+        const double stitch_seconds = secondsSince(stitch_start);
+
+        if (parallel_log) {
+            // onFinish flushed the staged tail, so deferred_ now holds
+            // every record in final log order; build the PersistRecords
+            // in parallel over disjoint chunks. materializeRecord only
+            // reads the post-replay dep-set pool, so this is race-free.
+            const auto &deferred = engine.deferred_;
+            PersistLog &log = engine.log_;
+            log.resize(deferred.size());
+            const std::size_t per =
+                deferred.size() / (4ULL * jobs) + 1;
+            const std::size_t chunks =
+                (deferred.size() + per - 1) / per;
+            pool->parallelFor(chunks, [&](std::size_t c) {
+                const std::size_t begin = c * per;
+                const std::size_t end =
+                    std::min(begin + per, deferred.size());
+                for (std::size_t i = begin; i < end; ++i)
+                    log[i] = engine.materializeRecord(deferred[i]);
+            });
+            engine.deferred_.clear();
+            engine.deferred_.shrink_to_fit();
+            engine.defer_log_ = false;
+        }
+
+        if (stats != nullptr) {
+            stats->segments = static_cast<std::uint32_t>(segments);
+            stats->jobs = used_jobs;
+            stats->micro_ops = micro_ops;
+            stats->prep_seconds = prep_seconds;
+            stats->stitch_seconds = stitch_seconds;
+        }
+        if (log_out != nullptr)
+            *log_out = engine.takeLog();
+        return engine.result();
+    }
+};
+
+TimingResult
+segmentReplay(const TraceEvent *events, std::size_t count,
+              const TimingConfig &config,
+              const SegmentReplayOptions &options, PersistLog *log_out,
+              SegmentReplayStats *stats)
+{
+    PERSIM_REQUIRE(events != nullptr || count == 0,
+                   "segmentReplay needs a valid event range");
+    return SegmentReplayer::run(events, count, config, options, log_out,
+                                stats);
+}
+
+TimingResult
+segmentReplay(const InMemoryTrace &trace, const TimingConfig &config,
+              const SegmentReplayOptions &options, PersistLog *log_out,
+              SegmentReplayStats *stats)
+{
+    return segmentReplay(trace.events().data(), trace.events().size(),
+                         config, options, log_out, stats);
+}
+
+} // namespace persim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Intra-trace parallel replay: segment-partitioned timing analysis
+ * with a deterministic sequential stitch (DESIGN.md Section 12).
+ *
+ * The trace is split into K contiguous segments. A parallel *prep*
+ * pass compiles each segment — independently, on the shared TaskPool
+ * — into a dense micro-op program: accesses are pre-split into
+ * <=8-byte pieces, out-of-scope pieces are filtered per the engine
+ * configuration, uncompiled event kinds collapse into an event count,
+ * and every piece's tracking/atomic block key is interned into a
+ * segment-local slot table. None of this depends on engine entry
+ * state, so segments compile in any order on any worker.
+ *
+ * A sequential *stitch* pass then executes the compiled programs in
+ * segment order on one PersistTimingEngine: it translates each
+ * segment's local slots to global engine slots (one hash probe per
+ * distinct block per segment instead of one per piece) and drives the
+ * engine's own piece handlers. Because every timing decision — tag
+ * merges, coalescing, persist-id assignment, stochastic clock draws,
+ * log staging — runs serially in global trace order on one engine,
+ * the result is bit-identical to plain serial replay for every model
+ * and configuration, including record_log/record_deps/detect_races
+ * and the stochastic clock. The parallel win is bounded by the
+ * decode/split/intern share of serial replay cost (see EXPERIMENTS.md
+ * for the measured split); exact-parallel execution of the timing
+ * recurrence itself is impossible beyond thread-count parallelism
+ * because every persist threads through its thread's dependence
+ * accumulator (DESIGN.md Section 12 walks the rejected designs).
+ */
+
+#ifndef PERSIM_PERSISTENCY_SEGMENT_REPLAY_HH
+#define PERSIM_PERSISTENCY_SEGMENT_REPLAY_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/task_pool.hh"
+#include "memtrace/sink.hh"
+#include "persistency/timing_engine.hh"
+
+namespace persim {
+
+/** Knobs for segmentReplay. */
+struct SegmentReplayOptions
+{
+    /** Prep workers (0 = one per hardware thread, 1 = inline). */
+    std::uint32_t jobs = 1;
+
+    /**
+     * Events per segment; 0 picks automatically (a few segments per
+     * worker, with a floor so tiny traces are not over-split). Tests
+     * force small values to exercise many segment boundaries.
+     */
+    std::uint64_t segment_events = 0;
+
+    /**
+     * Pool to compile on; nullptr creates a transient pool of `jobs`
+     * workers. Sharing the bench-wide pool lets intra-trace prep and
+     * cross-series parallelism draw from one set of OS threads
+     * (parallelFor is nest-safe).
+     */
+    TaskPool *pool = nullptr;
+};
+
+/** Optional instrumentation of one segmentReplay call. */
+struct SegmentReplayStats
+{
+    std::uint32_t segments = 0;      //!< Segments the trace split into.
+    std::uint32_t jobs = 0;          //!< Prep workers actually used.
+    std::uint64_t micro_ops = 0;     //!< Compiled micro-ops executed.
+    double prep_seconds = 0.0;       //!< Wall time of the parallel prep.
+    double stitch_seconds = 0.0;     //!< Wall time of the serial stitch.
+};
+
+/**
+ * Replay @p count events through a PersistTimingEngine configured by
+ * @p config using the segment-parallel path. Bit-identical to
+ * constructing the engine and streaming the events through it
+ * serially. @p log_out, when non-null, receives the persist log
+ * (config.record_log implied by record_deps as usual). @p stats,
+ * when non-null, is filled with phase timings.
+ */
+TimingResult segmentReplay(const TraceEvent *events, std::size_t count,
+                           const TimingConfig &config,
+                           const SegmentReplayOptions &options = {},
+                           PersistLog *log_out = nullptr,
+                           SegmentReplayStats *stats = nullptr);
+
+/** Convenience overload over an in-memory trace. */
+TimingResult segmentReplay(const InMemoryTrace &trace,
+                           const TimingConfig &config,
+                           const SegmentReplayOptions &options = {},
+                           PersistLog *log_out = nullptr,
+                           SegmentReplayStats *stats = nullptr);
+
+} // namespace persim
+
+#endif // PERSIM_PERSISTENCY_SEGMENT_REPLAY_HH

@@ -127,6 +127,28 @@ granularitySweepFile(const std::string &path,
     auto engines = buildEngines(models, granularities, knob);
     std::vector<double> wall_seconds(engines.size(), 0.0);
 
+    if (options.mmap) {
+        // Zero-copy path: every engine replays straight out of the
+        // shared read-only mapping, one full-span batch each.
+        MmapTraceReader reader(path);
+        const auto view = reader.events();
+        auto run = [&](std::size_t i) {
+            const auto start = SteadyClock::now();
+            engines[i]->onBatch(view.data(), view.size());
+            engines[i]->onFinish();
+            wall_seconds[i] = secondsSince(start);
+        };
+        if (options.jobs != 1) {
+            TaskPool pool(options.jobs);
+            pool.parallelFor(engines.size(), run);
+        } else {
+            for (std::size_t i = 0; i < engines.size(); ++i)
+                run(i);
+        }
+        return collectSeries(engines, models, granularities,
+                             wall_seconds);
+    }
+
     // Feed one chunk to engine i, accumulating its analysis time.
     std::vector<TraceEvent> chunk(
         static_cast<std::size_t>(options.chunk_events));

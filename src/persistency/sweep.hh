@@ -48,6 +48,15 @@ struct SweepOptions
 
     /** Streaming batch size in events (granularitySweepFile). */
     std::uint64_t chunk_events = 1ULL << 16;
+
+    /**
+     * granularitySweepFile only: map the trace file with
+     * MmapTraceReader and feed every engine the zero-copy event span
+     * in one batch instead of copying chunks through a read buffer.
+     * Results are identical to both the streaming and the in-memory
+     * paths; peak memory is the map itself (shared, read-only).
+     */
+    bool mmap = false;
 };
 
 /** One sweep sample: the knob value and the analysis result. */

@@ -188,6 +188,19 @@ PersistTimingEngine::trackSlot(std::uint64_t key)
     return slot;
 }
 
+std::uint32_t
+PersistTimingEngine::atomicSlot(std::uint64_t block)
+{
+    bool inserted = false;
+    const std::uint32_t aslot = atomic_index_.findOrInsert(block, inserted);
+    if (inserted) {
+        atomic_last_.push_back(Tag{});
+        atomic_group_start_.push_back(invalid_persist);
+        atomic_group_begin_.push_back(0.0);
+    }
+    return aslot;
+}
+
 void
 PersistTimingEngine::handlePiece(const TraceEvent &event,
                                  ThreadState &thread, Addr addr,
@@ -203,20 +216,34 @@ PersistTimingEngine::handlePiece(const TraceEvent &event,
     }
 
     const std::uint32_t slot = trackSlot(addr >> track_shift_);
+    handlePieceAt(slot, no_slot_hint, event.seq, event.thread, thread,
+                  addr, size, value, is_write);
+}
+
+void
+PersistTimingEngine::handlePieceAt(std::uint32_t track_slot,
+                                   std::uint32_t aslot_hint, SeqNum seq,
+                                   ThreadId tid, ThreadState &thread,
+                                   Addr addr, unsigned size,
+                                   std::uint64_t value, bool is_write)
+{
+    const std::uint32_t slot = track_slot;
+    const bool persistent = isPersistentAddr(addr);
+    const bool in_scope = all_scope_ || persistent;
 
     if (detect_races_) {
         // Shadow SC propagation (all addresses, regardless of the
         // model's conflict scope): inherit the latest foreign persist
         // SC-ordered before the previous access of this block.
         const ThreadId sc_src = track_sc_src_[slot];
-        if (sc_src != invalid_thread && sc_src != event.thread &&
+        if (sc_src != invalid_thread && sc_src != tid &&
             track_sc_[slot].t > thread.shadow.t)
             thread.shadow = track_sc_[slot];
     }
 
     if (!in_scope) {
         // The SC shadow above still records ground truth.
-        recordScTag(slot, thread, event.thread);
+        recordScTag(slot, thread, tid);
         return;
     }
 
@@ -231,7 +258,7 @@ PersistTimingEngine::handlePiece(const TraceEvent &event,
         if (track_loads_)
             mergeInto(track_load_[slot], thread.epoch_dep);
         if (detect_races_)
-            recordScTag(slot, thread, event.thread);
+            recordScTag(slot, thread, tid);
         return;
     }
 
@@ -253,10 +280,10 @@ PersistTimingEngine::handlePiece(const TraceEvent &event,
     }
 
     if (persistent) {
-        persistPiece(event, thread, slot, addr, size, value, dep,
-                     dep_source);
+        persistPieceAt(seq, tid, thread, slot, aslot_hint, addr, size,
+                       value, dep, dep_source);
         if (detect_races_)
-            recordScTag(slot, thread, event.thread);
+            recordScTag(slot, thread, tid);
         return;
     }
 
@@ -265,7 +292,7 @@ PersistTimingEngine::handlePiece(const TraceEvent &event,
     mergeInto(strict_ ? thread.epoch_dep : thread.accum_dep, dep);
     mergeInto(track_store_[slot], thread.epoch_dep);
     if (detect_races_)
-        recordScTag(slot, thread, event.thread);
+        recordScTag(slot, thread, tid);
 }
 
 void
@@ -284,11 +311,12 @@ PersistTimingEngine::recordScTag(std::uint32_t track_slot,
 }
 
 void
-PersistTimingEngine::persistPiece(const TraceEvent &event,
-                                  ThreadState &thread,
-                                  std::uint32_t track_slot, Addr addr,
-                                  unsigned size, std::uint64_t value,
-                                  const Tag &dep, DepSource dep_source)
+PersistTimingEngine::persistPieceAt(SeqNum seq, ThreadId tid,
+                                    ThreadState &thread,
+                                    std::uint32_t track_slot,
+                                    std::uint32_t aslot_hint, Addr addr,
+                                    unsigned size, std::uint64_t value,
+                                    const Tag &dep, DepSource dep_source)
 {
     const std::uint64_t block = addr >> atomic_shift_;
     std::uint32_t aslot;
@@ -296,14 +324,11 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
         // Same granularity: the tracking probe already found (or
         // created) this block's atomic slot.
         aslot = track_slot;
+    } else if (aslot_hint != no_slot_hint) {
+        // Segment replay pre-resolved the slot during the stitch.
+        aslot = aslot_hint;
     } else {
-        bool inserted = false;
-        aslot = atomic_index_.findOrInsert(block, inserted);
-        if (inserted) {
-            atomic_last_.push_back(Tag{});
-            atomic_group_start_.push_back(invalid_persist);
-            atomic_group_begin_.push_back(0.0);
-        }
+        aslot = atomicSlot(block);
     }
     // Copy, not reference: the banks never grow below, but a copy of
     // five hot words also dodges aliasing with the writes at the end.
@@ -369,8 +394,8 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
             ++result_.races;
             if (race_samples_.size() < 16) {
                 RaceSample sample;
-                sample.seq = event.seq;
-                sample.thread = event.thread;
+                sample.seq = seq;
+                sample.thread = tid;
                 sample.persist = id;
                 sample.foreign = thread.shadow.src;
                 race_samples_.push_back(sample);
@@ -420,14 +445,14 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
             flushStage();
         StagedRecord &staged = stage_[stage_count_++];
         staged.id = id;
-        staged.seq = event.seq;
+        staged.seq = seq;
         staged.addr = addr;
         staged.value = value;
         staged.time = time;
         staged.start = start;
         staged.op = thread.op;
         staged.binding = binding;
-        staged.thread = event.thread;
+        staged.thread = tid;
         staged.deps = record_ref;
         staged.role = thread.role;
         staged.binding_source = binding_source;
@@ -435,34 +460,61 @@ PersistTimingEngine::persistPiece(const TraceEvent &event,
     }
 }
 
+PersistRecord
+PersistTimingEngine::materializeRecord(const StagedRecord &staged) const
+{
+    PersistRecord record;
+    record.id = staged.id;
+    record.seq = staged.seq;
+    record.addr = staged.addr;
+    record.size = staged.size;
+    record.value = staged.value;
+    record.time = staged.time;
+    record.start = staged.start;
+    record.thread = staged.thread;
+    record.op = staged.op;
+    record.role = staged.role;
+    record.binding = staged.binding;
+    record.binding_source = staged.binding_source;
+    if (staged.deps != 0)
+        record.deps.assign(deps_.data(staged.deps),
+                           deps_.data(staged.deps) +
+                               deps_.size(staged.deps));
+    return record;
+}
+
 void
 PersistTimingEngine::flushStage() const
 {
     if (stage_count_ == 0)
         return;
-    log_.reserve(log_.size() + stage_count_);
-    for (std::size_t i = 0; i < stage_count_; ++i) {
-        const StagedRecord &staged = stage_[i];
-        PersistRecord record;
-        record.id = staged.id;
-        record.seq = staged.seq;
-        record.addr = staged.addr;
-        record.size = staged.size;
-        record.value = staged.value;
-        record.time = staged.time;
-        record.start = staged.start;
-        record.thread = staged.thread;
-        record.op = staged.op;
-        record.role = staged.role;
-        record.binding = staged.binding;
-        record.binding_source = staged.binding_source;
-        if (staged.deps != 0)
-            record.deps.assign(deps_.data(staged.deps),
-                               deps_.data(staged.deps) +
-                                   deps_.size(staged.deps));
-        log_.push_back(std::move(record));
+    if (defer_log_) {
+        deferred_.insert(deferred_.end(), stage_.data(),
+                         stage_.data() + stage_count_);
+        stage_count_ = 0;
+        return;
     }
+    // Grow geometrically: reserve(size + batch) on every flush pins
+    // capacity to exactly that, reallocating the whole log every 256
+    // records — O(persists^2) record moves on big traces.
+    if (log_.capacity() < log_.size() + stage_count_)
+        log_.reserve(std::max(log_.size() + stage_count_,
+                              2 * log_.capacity()));
+    for (std::size_t i = 0; i < stage_count_; ++i)
+        log_.push_back(materializeRecord(stage_[i]));
     stage_count_ = 0;
+}
+
+void
+PersistTimingEngine::materializeDeferred() const
+{
+    if (deferred_.empty())
+        return;
+    log_.reserve(log_.size() + deferred_.size());
+    for (const StagedRecord &staged : deferred_)
+        log_.push_back(materializeRecord(staged));
+    deferred_.clear();
+    deferred_.shrink_to_fit();
 }
 
 void

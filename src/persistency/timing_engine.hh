@@ -214,6 +214,7 @@ class PersistTimingEngine : public TraceSink
     const PersistLog &log() const
     {
         flushStage();
+        materializeDeferred();
         return log_;
     }
 
@@ -221,10 +222,19 @@ class PersistTimingEngine : public TraceSink
     PersistLog takeLog()
     {
         flushStage();
+        materializeDeferred();
         return std::move(log_);
     }
 
   private:
+    /**
+     * Intra-trace parallel replay (segment_replay.cc) compiles trace
+     * segments into micro-ops in parallel, then executes them through
+     * this engine's own piece handlers in serial trace order so the
+     * results stay bit-identical to plain replay.
+     */
+    friend class SegmentReplayer;
+
     /** Handle into the DepSetPool; 0 is the empty set. */
     using DepSetRef = std::uint32_t;
 
@@ -416,23 +426,52 @@ class PersistTimingEngine : public TraceSink
     /** Slot of a tracking block, extending the SoA banks on insert. */
     std::uint32_t trackSlot(std::uint64_t key);
 
+    /** Slot of an atomic block (non-unified), extending on insert. */
+    std::uint32_t atomicSlot(std::uint64_t block);
+
+    /** "No pre-resolved atomic slot" sentinel for *At handlers. */
+    static constexpr std::uint32_t no_slot_hint = ~0u;
+
     /** Process one <=8-byte piece of an access event. */
     void handlePiece(const TraceEvent &event, ThreadState &thread,
                      Addr addr, unsigned size, std::uint64_t value,
                      bool is_write);
+
+    /**
+     * Piece body after the tracking probe: everything handlePiece
+     * does once the slot is known. Split out so the segment-replay
+     * stitch can feed pre-resolved slots; @p aslot_hint is the
+     * pre-resolved atomic slot (no_slot_hint to probe on demand,
+     * ignored in unified mode).
+     */
+    void handlePieceAt(std::uint32_t track_slot,
+                       std::uint32_t aslot_hint, SeqNum seq,
+                       ThreadId tid, ThreadState &thread, Addr addr,
+                       unsigned size, std::uint64_t value,
+                       bool is_write);
 
     /** Record the shadow SC tag on a block after an access. */
     void recordScTag(std::uint32_t track_slot, ThreadState &thread,
                      ThreadId tid);
 
     /** Handle a persist piece (timing, coalescing, logging). */
-    void persistPiece(const TraceEvent &event, ThreadState &thread,
-                      std::uint32_t track_slot, Addr addr, unsigned size,
-                      std::uint64_t value, const Tag &dep,
-                      DepSource dep_source);
+    void persistPieceAt(SeqNum seq, ThreadId tid, ThreadState &thread,
+                        std::uint32_t track_slot,
+                        std::uint32_t aslot_hint, Addr addr,
+                        unsigned size, std::uint64_t value,
+                        const Tag &dep, DepSource dep_source);
 
     /** Publish staged records into log_ (const: called from log()). */
     void flushStage() const;
+
+    /** Convert one staged record to its published form. Pure: reads
+        only the (post-replay read-only) dep-set pool, so deferred
+        materialization may run it from several threads on disjoint
+        records. */
+    PersistRecord materializeRecord(const StagedRecord &staged) const;
+
+    /** Publish any deferred records serially (no-op when empty). */
+    void materializeDeferred() const;
 
     TimingConfig config_;
     TimingResult result_;
@@ -482,6 +521,18 @@ class PersistTimingEngine : public TraceSink
     mutable PersistLog log_;
     mutable std::array<StagedRecord, stage_capacity> stage_;
     mutable std::size_t stage_count_ = 0;
+
+    /**
+     * Deferred-materialization mode (segment_replay.cc): flushStage
+     * parks staged PODs here instead of building PersistRecords, so
+     * the record construction (field copies plus dep-set vector
+     * allocations — the bulk of record_log's cost) can fan out across
+     * workers after the serial stitch, in exact log order. log() and
+     * takeLog() fall back to serial materialization if the parallel
+     * pass has not consumed the backlog.
+     */
+    mutable std::vector<StagedRecord> deferred_;
+    bool defer_log_ = false;
 
     std::vector<RaceSample> race_samples_;
     PersistId next_persist_id_ = 0;

@@ -1,13 +1,18 @@
 /**
  * @file
  * Tests for the experiment support library: the throughput model,
- * table formatting, and the queue workload driver configuration.
+ * bench-report JSON round-tripping, table formatting, and the queue
+ * workload driver configuration.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util/bench_report.hh"
 #include "bench_util/queue_workload.hh"
 #include "bench_util/table.hh"
 #include "bench_util/throughput.hh"
@@ -45,6 +50,50 @@ TEST(Throughput, ZeroInstructionRateIsFatal)
     t.instruction_rate = 0.0;
     t.persist_rate = 1.0;
     EXPECT_THROW(t.normalized(), FatalError);
+}
+
+TEST(BenchReport, SamplesCarryRssFieldsAndRoundTrip)
+{
+    BenchReport report;
+    report.add("replay/a", 1000, 0.5);
+    // Touch enough memory between samples that the process high-water
+    // mark moves, so the second sample's delta is visibly attributed
+    // to work done after the first add().
+    std::vector<char> ballast(32 << 20, 1);
+    report.add("replay/b", 2000, 0.25);
+    ASSERT_EQ(report.size(), 2u);
+    EXPECT_NE(ballast[16 << 20], 0);
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "persim_bench_report.json";
+    report.writeJson(path);
+    const auto samples = readBenchJson(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(samples.size(), 2u);
+    const BenchSample &a = samples.at("replay/a");
+    EXPECT_EQ(a.events, 1000u);
+    EXPECT_DOUBLE_EQ(a.wall_seconds, 0.5);
+    EXPECT_DOUBLE_EQ(a.events_per_sec, 2000.0);
+    const BenchSample &b = samples.at("replay/b");
+    EXPECT_DOUBLE_EQ(b.events_per_sec, 8000.0);
+
+    // peak_rss_kb is the process-wide high-water mark: nonzero and
+    // non-decreasing across samples. The ballast guarantees sample b
+    // saw a peak at least ~32 MiB above sample a, so its delta
+    // reflects the growth since the previous add().
+    EXPECT_GT(a.peak_rss_kb, 0u);
+    EXPECT_GE(b.peak_rss_kb, a.peak_rss_kb + (30u << 10));
+    EXPECT_GE(b.rss_delta_kb, 30u << 10);
+    EXPECT_EQ(b.rss_delta_kb, b.peak_rss_kb - a.peak_rss_kb);
+}
+
+TEST(BenchReport, RejectsDuplicateAndUnescapableKeys)
+{
+    BenchReport report;
+    report.add("k", 1, 1.0);
+    EXPECT_THROW(report.add("k", 1, 1.0), FatalError);
+    EXPECT_THROW(report.add("quote\"key", 1, 1.0), FatalError);
 }
 
 TEST(Table, AlignsColumns)

@@ -106,6 +106,54 @@ TEST(TaskPool, ParallelForRethrowsBodyError)
     pool.wait();
 }
 
+TEST(TaskPool, NestedParallelForDoesNotDeadlock)
+{
+    // A parallelFor body issuing its own parallelFor on the same pool
+    // must make progress even when the pool is smaller than the outer
+    // fan-out: every outer body parks in an inner batch, so the inner
+    // tasks can only run if waiting callers help-execute.
+    TaskPool pool(2);
+    std::atomic<int> inner_hits{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        pool.parallelFor(8, [&](std::size_t) { ++inner_hits; });
+    });
+    EXPECT_EQ(inner_hits.load(), 64);
+}
+
+TEST(TaskPool, DeeplyNestedParallelForOnOneWorker)
+{
+    // One worker, three levels of nesting: progress relies entirely
+    // on help-execution, never on a free worker.
+    TaskPool pool(1);
+    std::atomic<int> leaves{0};
+    pool.parallelFor(3, [&](std::size_t) {
+        pool.parallelFor(3, [&](std::size_t) {
+            pool.parallelFor(3, [&](std::size_t) { ++leaves; });
+        });
+    });
+    EXPECT_EQ(leaves.load(), 27);
+}
+
+TEST(TaskPool, NestedParallelForPropagatesInnerError)
+{
+    TaskPool pool(2);
+    std::atomic<int> outer_done{0};
+    EXPECT_THROW(
+        pool.parallelFor(4,
+                         [&](std::size_t i) {
+                             pool.parallelFor(2, [&](std::size_t j) {
+                                 if (i == 2 && j == 1)
+                                     throw FatalError("inner boom");
+                             });
+                             ++outer_done;
+                         }),
+        FatalError);
+    // The other outer bodies finished their inner batches normally.
+    EXPECT_EQ(outer_done.load(), 3);
+    pool.submit([] {});
+    pool.wait();
+}
+
 TEST(TaskPool, DefaultWorkersIsPositive)
 {
     EXPECT_GE(TaskPool::defaultWorkers(), 1u);

@@ -314,6 +314,111 @@ TEST(TraceIo, BadEventKindByteIsRejected)
     std::remove(path.c_str());
 }
 
+TEST(MmapTraceIo, RoundTripAndSegmentViews)
+{
+    const std::string path = writeSmallTrace("mmap_roundtrip");
+    MmapTraceReader reader(path);
+    EXPECT_EQ(reader.eventCount(), 2u);
+    EXPECT_EQ(reader.threadCount(), 4u);
+
+    const auto all = reader.events();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].value, 1u);
+    EXPECT_EQ(all[1].value, 2u);
+    EXPECT_EQ(all[1].thread, 3u);
+    EXPECT_EQ(all[1].kind, EventKind::Store);
+
+    // The mapped records must read back exactly as the streaming
+    // decoder produces them (layout equivalence, not just field
+    // plausibility).
+    const InMemoryTrace streamed = readTraceFile(path);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(all[i].seq, streamed.events()[i].seq);
+        EXPECT_EQ(all[i].addr, streamed.events()[i].addr);
+        EXPECT_EQ(all[i].value, streamed.events()[i].value);
+        EXPECT_EQ(all[i].marker, streamed.events()[i].marker);
+    }
+
+    const auto tail = reader.segment(1, 1);
+    ASSERT_EQ(tail.size(), 1u);
+    EXPECT_EQ(tail[0].value, 2u);
+    EXPECT_EQ(reader.segment(2, 0).size(), 0u);
+    EXPECT_THROW(reader.segment(1, 2), FatalError);
+    EXPECT_THROW(reader.segment(3, 0), FatalError);
+
+    InMemoryTrace sunk;
+    reader.readAll(sunk);
+    EXPECT_EQ(sunk.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(MmapTraceIo, MissingFileIsFatal)
+{
+    EXPECT_THROW(MmapTraceReader("/nonexistent/path/trace.trc"),
+                 FatalError);
+}
+
+TEST(MmapTraceIo, BadMagicIsFatal)
+{
+    const std::string path = tempPath("mmap_badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTATRACEFILE_________________", f);
+    std::fclose(f);
+    EXPECT_THROW(MmapTraceReader reader(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(MmapTraceIo, TruncatedFileIsRejectedAtOpen)
+{
+    const std::string path = writeSmallTrace("mmap_truncated");
+    auto bytes = readBytes(path);
+    bytes.resize(bytes.size() - 10);
+    writeBytes(path, bytes);
+    try {
+        MmapTraceReader reader(path);
+        FAIL() << "expected a size-mismatch error";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("size mismatch"),
+                  std::string::npos)
+            << error.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MmapTraceIo, OverstatedEventCountIsRejectedAtOpen)
+{
+    const std::string path = writeSmallTrace("mmap_overcount");
+    auto bytes = readBytes(path);
+    bytes[16] = 200; // event_count LE low byte: claim 200 events.
+    writeBytes(path, bytes);
+    EXPECT_THROW(MmapTraceReader reader(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(MmapTraceIo, BadEventKindByteIsRejectedAtOpen)
+{
+    // Unlike the streaming reader, the mmap reader validates every
+    // record's kind byte up front: the views it hands out must be
+    // safe to consume without per-event checks, so the poisoned
+    // record fails the OPEN, not some later segment replay.
+    const std::string path = writeSmallTrace("mmap_badkind");
+    auto bytes = readBytes(path);
+    const std::size_t kind_offset = 24 + 32 + 28;
+    ASSERT_GT(bytes.size(), kind_offset);
+    bytes[kind_offset] = 0xee;
+    writeBytes(path, bytes);
+    try {
+        MmapTraceReader reader(path);
+        FAIL() << "expected a bad-kind error";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("kind byte"),
+                  std::string::npos)
+            << error.what();
+    }
+    std::remove(path.c_str());
+}
+
 TEST(TraceIo, WriterDestructorIsBestEffortOnFullDisk)
 {
     // /dev/full returns ENOSPC on flush: the explicit onFinish() must

@@ -20,6 +20,12 @@
  *  - every consistent cut of every model's persist DAG satisfies the
  *    program's publish invariant (flag[t] <= data[t]).
  *
+ * Odd seeds run all three replays through the segment-parallel path
+ * (persistency/segment_replay.hh) with seed-varied worker counts and
+ * segment sizes, asserted bit-identical to serial replay before the
+ * invariants run — so the fuzzer exercises segment compile/stitch
+ * boundaries against the same refinement and recovery-image checks.
+ *
  * Iteration count comes from PERSIM_FUZZ_ITERS (default 25; the
  * check.sh fuzz stage runs 500). Any failure prints a one-line repro:
  * re-run this binary with PERSIM_FUZZ_SEED=<seed> to replay exactly
@@ -42,6 +48,7 @@
 
 #include "explore/programs.hh"
 #include "memtrace/sink.hh"
+#include "persistency/segment_replay.hh"
 #include "persistency/timing_engine.hh"
 #include "recovery/cuts.hh"
 #include "recovery/recovery.hh"
@@ -82,9 +89,20 @@ struct Replay
     PersistLog log;
 };
 
+/** Field-for-field persist-log equality; mismatch description or "". */
+std::string compareLogs(const PersistLog &a, const PersistLog &b);
+
+/**
+ * Replay @p trace serially; when @p parallel_seed is nonzero, ALSO
+ * replay it through the segment-parallel path (seed-varied worker
+ * count and segment size) and assert bit-identical results and logs,
+ * so every downstream invariant in checkSeed exercises the
+ * segment-merge machinery too.
+ */
 Replay
 replayTrace(const InMemoryTrace &trace, const ModelConfig &model,
-            EngineMutant mutant = EngineMutant::None)
+            EngineMutant mutant = EngineMutant::None,
+            std::uint64_t parallel_seed = 0)
 {
     TimingConfig config;
     config.model = model;
@@ -93,10 +111,29 @@ replayTrace(const InMemoryTrace &trace, const ModelConfig &model,
     config.mutant = mutant;
     PersistTimingEngine engine(config);
     trace.replay(engine);
-    return Replay{engine.result(), engine.takeLog()};
+    Replay serial{engine.result(), engine.takeLog()};
+    if (parallel_seed == 0)
+        return serial;
+
+    SegmentReplayOptions options;
+    options.jobs = 2 + static_cast<std::uint32_t>(parallel_seed % 3);
+    options.segment_events = 16 + parallel_seed % 113;
+    Replay parallel;
+    parallel.result =
+        segmentReplay(trace, config, options, &parallel.log);
+    EXPECT_EQ(compareLogs(serial.log, parallel.log), "")
+        << "segment-parallel replay diverged from serial";
+    EXPECT_EQ(serial.result.critical_path,
+              parallel.result.critical_path);
+    EXPECT_EQ(serial.result.persists, parallel.result.persists);
+    EXPECT_EQ(serial.result.coalesced, parallel.result.coalesced);
+    EXPECT_EQ(serial.result.events, parallel.result.events);
+    EXPECT_EQ(serial.result.barriers, parallel.result.barriers);
+    EXPECT_EQ(serial.result.strands, parallel.result.strands);
+    EXPECT_EQ(serial.result.ops, parallel.result.ops);
+    return parallel;
 }
 
-/** Field-for-field persist-log equality; mismatch description or "". */
 std::string
 compareLogs(const PersistLog &a, const PersistLog &b)
 {
@@ -122,6 +159,7 @@ struct FuzzStats
 {
     std::uint64_t programs = 0;
     std::uint64_t strand_free = 0;
+    std::uint64_t parallel_replays = 0;
     std::uint64_t events = 0;
     std::uint64_t persists = 0;
     std::uint64_t cuts_checked = 0;
@@ -144,9 +182,21 @@ checkSeed(std::uint64_t seed, FuzzStats &stats)
     sim.runSetup(program.setup);
     sim.run(program.workers);
 
-    const Replay strict = replayTrace(trace, ModelConfig::strict());
-    const Replay epoch = replayTrace(trace, ModelConfig::epoch());
-    const Replay strand = replayTrace(trace, ModelConfig::strand());
+    // Odd seeds route the replays through the segment-parallel path
+    // (asserted bit-identical to serial inside replayTrace), so the
+    // refinement/recovery invariants below also fuzz segment merging.
+    const std::uint64_t pseed = seed % 2 == 1 ? seed : 0;
+    if (pseed != 0)
+        ++stats.parallel_replays;
+    const Replay strict =
+        replayTrace(trace, ModelConfig::strict(), EngineMutant::None,
+                    pseed);
+    const Replay epoch =
+        replayTrace(trace, ModelConfig::epoch(), EngineMutant::None,
+                    pseed);
+    const Replay strand =
+        replayTrace(trace, ModelConfig::strand(), EngineMutant::None,
+                    pseed);
 
     // Refinement: each relaxation may only shorten the critical path.
     EXPECT_GE(strict.result.critical_path, epoch.result.critical_path);
@@ -211,7 +261,9 @@ TEST(DifferentialFuzz, RandomPrograms)
             checkSeed(i + 1, stats);
     }
     std::cout << "fuzz: " << stats.programs << " programs ("
-              << stats.strand_free << " strand-free), " << stats.events
+              << stats.strand_free << " strand-free, "
+              << stats.parallel_replays
+              << " via segment-parallel replay), " << stats.events
               << " events, " << stats.persists << " persists, "
               << stats.cuts_checked << " cuts checked ("
               << stats.cut_budget_skips << " enumerations hit the "

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Bit-identity tests for intra-trace segment-parallel replay.
+ *
+ * segmentReplay's contract is exact equivalence with serial replay —
+ * not "close", bit-identical — for every model and engine
+ * configuration. These tests enforce it two ways:
+ *
+ *  - the 1M-event synthetic bench trace (shrinkable via
+ *    PERSIM_SYNTH_EVENTS for sanitizer runs) under strict, epoch, and
+ *    strand at jobs in {1, 2, 7, 16} (the odd count exercises
+ *    remainder segments), comparing the full observation including an
+ *    order-sensitive hash of the persist log;
+ *  - the four committed golden fixtures, loaded zero-copy through
+ *    MmapTraceReader, under the complete frozen golden configuration
+ *    matrix (bpfs scope filtering, non-unified granularities, finite
+ *    coalesce windows, record_deps, race detection, stochastic clock)
+ *    with deliberately tiny segments so every segment boundary shape
+ *    gets hit.
+ *
+ * Plus edge cases: one-event segments, empty traces, shared/nested
+ * TaskPool use, and prep/stitch stats sanity.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/synthetic_trace.hh"
+#include "common/task_pool.hh"
+#include "memtrace/trace_io.hh"
+#include "persistency/segment_replay.hh"
+#include "tests/persistency/golden_support.hh"
+
+namespace persim::test {
+namespace {
+
+std::string
+goldenDir()
+{
+    const char *dir = std::getenv("PERSIM_GOLDEN_DIR");
+    return dir != nullptr ? dir : "tests/persistency/golden";
+}
+
+std::uint64_t
+syntheticEvents()
+{
+    // Sanitizer stages (check.sh TSan) shrink the trace; identity
+    // must hold at any size.
+    const char *env = std::getenv("PERSIM_SYNTH_EVENTS");
+    if (env != nullptr && *env != '\0')
+        return std::strtoull(env, nullptr, 10);
+    return 1'000'000;
+}
+
+/** observeReplay's twin for the segment-parallel path. */
+GoldenObservation
+observeSegmentReplay(const TraceEvent *events, std::size_t count,
+                     const TimingConfig &config,
+                     const SegmentReplayOptions &options,
+                     SegmentReplayStats *stats = nullptr)
+{
+    PersistLog log;
+    TimingConfig with_log = config;
+    with_log.record_log = true;
+    const TimingResult result =
+        segmentReplay(events, count, with_log, options, &log, stats);
+    GoldenObservation seen;
+    seen.critical_path = result.critical_path;
+    seen.persists = result.persists;
+    seen.coalesced = result.coalesced;
+    seen.window_blocked = result.window_blocked;
+    seen.races = result.races;
+    seen.barriers = result.barriers;
+    seen.strands = result.strands;
+    seen.ops = result.ops;
+    seen.events = result.events;
+    seen.log_hash = hashPersistLog(log);
+    return seen;
+}
+
+void
+expectSame(const GoldenObservation &serial,
+           const GoldenObservation &parallel)
+{
+    // Exact double equality is intentional: the stitch runs the same
+    // arithmetic in the same order as serial replay.
+    EXPECT_EQ(serial.critical_path, parallel.critical_path);
+    EXPECT_EQ(serial.persists, parallel.persists);
+    EXPECT_EQ(serial.coalesced, parallel.coalesced);
+    EXPECT_EQ(serial.window_blocked, parallel.window_blocked);
+    EXPECT_EQ(serial.races, parallel.races);
+    EXPECT_EQ(serial.barriers, parallel.barriers);
+    EXPECT_EQ(serial.strands, parallel.strands);
+    EXPECT_EQ(serial.ops, parallel.ops);
+    EXPECT_EQ(serial.events, parallel.events);
+    EXPECT_EQ(serial.log_hash, parallel.log_hash);
+}
+
+TEST(SegmentReplay, SyntheticTraceMatchesSerialAcrossModels)
+{
+    SyntheticTraceConfig trace_config;
+    trace_config.events = syntheticEvents();
+    const InMemoryTrace trace = buildSyntheticTrace(trace_config);
+
+    const struct
+    {
+        const char *name;
+        ModelConfig model;
+    } models[] = {
+        {"strict", ModelConfig::strict()},
+        {"epoch", ModelConfig::epoch()},
+        {"strand", ModelConfig::strand()},
+    };
+    for (const auto &entry : models) {
+        TimingConfig config;
+        config.model = entry.model;
+        config.record_log = true;
+        const GoldenObservation serial = observeReplay(trace, config);
+        for (const std::uint32_t jobs : {1u, 2u, 7u, 16u}) {
+            SCOPED_TRACE(std::string(entry.name) + "/j" +
+                         std::to_string(jobs));
+            SegmentReplayOptions options;
+            options.jobs = jobs;
+            const GoldenObservation parallel = observeSegmentReplay(
+                trace.events().data(), trace.events().size(), config,
+                options);
+            expectSame(serial, parallel);
+        }
+    }
+}
+
+TEST(SegmentReplay, GoldenFixturesMatchSerialUnderEveryConfig)
+{
+    const auto configs = goldenConfigs();
+    for (const std::string &fixture : goldenFixtureNames()) {
+        // Zero-copy load: the parallel path consumes the mapping
+        // directly, which also cross-checks MmapTraceReader against
+        // the streaming reader (the serial baseline).
+        const MmapTraceReader mapped(goldenDir() + "/" + fixture +
+                                     ".trc");
+        const InMemoryTrace trace =
+            readTraceFile(goldenDir() + "/" + fixture + ".trc");
+        ASSERT_EQ(mapped.eventCount(), trace.size());
+
+        const auto span = mapped.events();
+        for (const GoldenConfig &config : configs) {
+            const GoldenObservation serial =
+                observeReplay(trace, config.timing);
+            for (const std::uint32_t jobs : {1u, 2u, 7u, 16u}) {
+                SCOPED_TRACE(fixture + "/" + config.name + "/j" +
+                             std::to_string(jobs));
+                SegmentReplayOptions options;
+                options.jobs = jobs;
+                // Tiny prime-sized segments: many boundaries, uneven
+                // remainder, segments smaller than the event mix's
+                // natural structure.
+                options.segment_events = 509;
+                const GoldenObservation parallel = observeSegmentReplay(
+                    span.data(), span.size(), config.timing, options);
+                expectSame(serial, parallel);
+            }
+        }
+    }
+}
+
+TEST(SegmentReplay, OneEventSegmentsAreExact)
+{
+    const InMemoryTrace trace =
+        readTraceFile(goldenDir() + "/mixed.trc");
+    for (const char *name : {"strict", "epoch", "strand"}) {
+        TimingConfig config;
+        config.model = std::string(name) == "strict"
+            ? ModelConfig::strict()
+            : (std::string(name) == "epoch" ? ModelConfig::epoch()
+                                            : ModelConfig::strand());
+        config.record_log = true;
+        const GoldenObservation serial = observeReplay(trace, config);
+        SegmentReplayOptions options;
+        options.jobs = 2;
+        options.segment_events = 1; // One segment per event.
+        SCOPED_TRACE(name);
+        const GoldenObservation parallel = observeSegmentReplay(
+            trace.events().data(), trace.events().size(), config,
+            options);
+        expectSame(serial, parallel);
+    }
+}
+
+TEST(SegmentReplay, EmptyTraceIsWellDefined)
+{
+    TimingConfig config;
+    config.model = ModelConfig::epoch();
+    SegmentReplayStats stats;
+    const TimingResult result =
+        segmentReplay(nullptr, 0, config, {}, nullptr, &stats);
+    EXPECT_EQ(result.events, 0u);
+    EXPECT_EQ(result.persists, 0u);
+    EXPECT_EQ(result.critical_path, 0.0);
+    EXPECT_EQ(stats.segments, 0u);
+}
+
+TEST(SegmentReplay, StatsReportSegmentsAndMicroOps)
+{
+    const InMemoryTrace trace =
+        readTraceFile(goldenDir() + "/mixed.trc");
+    TimingConfig config;
+    config.model = ModelConfig::epoch();
+    SegmentReplayOptions options;
+    options.jobs = 2;
+    options.segment_events = 500;
+    SegmentReplayStats stats;
+    const TimingResult result = segmentReplay(
+        trace.events().data(), trace.events().size(), config, options,
+        nullptr, &stats);
+    EXPECT_EQ(result.events, trace.size());
+    EXPECT_EQ(stats.segments, (trace.size() + 499) / 500);
+    EXPECT_GE(stats.micro_ops, result.persists);
+    EXPECT_GE(stats.prep_seconds, 0.0);
+    EXPECT_GE(stats.stitch_seconds, 0.0);
+}
+
+TEST(SegmentReplay, SharedPoolAndNestedParallelForWork)
+{
+    // The fig benches replay several series inside one parallelFor
+    // and each series fans its segment prep out on the SAME pool;
+    // this is the nest-safety contract in miniature.
+    const InMemoryTrace trace =
+        readTraceFile(goldenDir() + "/tlc2.trc");
+    TimingConfig config;
+    config.model = ModelConfig::epoch();
+    config.record_log = true;
+    const GoldenObservation serial = observeReplay(trace, config);
+
+    TaskPool pool(3);
+    std::vector<GoldenObservation> seen(4);
+    pool.parallelFor(seen.size(), [&](std::size_t i) {
+        SegmentReplayOptions options;
+        options.jobs = 3;
+        options.segment_events = 777;
+        options.pool = &pool;
+        seen[i] = observeSegmentReplay(trace.events().data(),
+                                       trace.events().size(), config,
+                                       options);
+    });
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        SCOPED_TRACE(i);
+        expectSame(serial, seen[i]);
+    }
+}
+
+} // namespace
+} // namespace persim::test
