@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_util/bench_report.hh"
 #include "bench_util/queue_workload.hh"
@@ -48,6 +49,14 @@ struct BenchOptions
 
     /** Write machine-readable replay samples here (empty = don't). */
     std::string json_path;
+
+    /**
+     * Extra persistency models (--model=NAME, repeatable) to analyze
+     * on top of the bench's built-in set; see modelByName() for the
+     * accepted names. Duplicates of built-in rows are skipped by the
+     * benches.
+     */
+    std::vector<std::string> models;
 };
 
 /**
@@ -76,10 +85,13 @@ parseBenchOptions(int argc, char **argv)
             options.chunk_events = std::stoull(value("--chunk-events"));
         } else if (!value("--json").empty()) {
             options.json_path = value("--json");
+        } else if (!value("--model").empty()) {
+            options.models.push_back(value("--model"));
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--jobs=N] [--stream] [--mmap]"
-                         " [--chunk-events=N] [--json=PATH]\n"
+                         " [--chunk-events=N] [--json=PATH]"
+                         " [--model=NAME]...\n"
                       << "  --jobs=N    analysis worker threads "
                          "(1 = serial baseline, 0 = hardware)\n"
                       << "  --stream    replay analyses from a trace "
@@ -87,11 +99,55 @@ parseBenchOptions(int argc, char **argv)
                       << "  --mmap      replay file-backed traces via "
                          "the zero-copy mmap reader\n"
                       << "  --json=PATH write BENCH_replay.json-style "
-                         "replay samples\n";
+                         "replay samples\n"
+                      << "  --model=NAME add a persistency model "
+                         "(strict|epoch|strand|bpfs|px86) to the "
+                         "analysis set; repeatable\n";
             std::exit(2);
         }
     }
     return options;
+}
+
+/** Look up a ModelConfig preset by its CLI name; exits on unknown. */
+inline ModelConfig
+modelByName(const std::string &name)
+{
+    if (name == "strict")
+        return ModelConfig::strict();
+    if (name == "epoch")
+        return ModelConfig::epoch();
+    if (name == "strand")
+        return ModelConfig::strand();
+    if (name == "bpfs")
+        return ModelConfig::bpfs();
+    if (name == "px86")
+        return ModelConfig::px86();
+    std::cerr << "unknown --model: " << name
+              << " (expected strict|epoch|strand|bpfs|px86)\n";
+    std::exit(2);
+}
+
+/**
+ * The ModelConfigs the --model flags name, minus any whose name() is
+ * already in the bench's built-in set @p have.
+ */
+inline std::vector<ModelConfig>
+extraModels(const BenchOptions &options,
+            const std::vector<std::string> &have = {})
+{
+    std::vector<ModelConfig> extra;
+    for (const std::string &name : options.models) {
+        const ModelConfig model = modelByName(name);
+        bool known = false;
+        for (const std::string &existing : have)
+            known = known || existing == model.name();
+        for (const ModelConfig &picked : extra)
+            known = known || picked.name() == model.name();
+        if (!known)
+            extra.push_back(model);
+    }
+    return extra;
 }
 
 /** Effective worker count a jobs flag resolves to. */

@@ -37,9 +37,10 @@ main(int argc, char **argv)
 
     struct Series
     {
-        const char *name;
+        std::string name;
         AnnotationVariant variant;
         ModelConfig model;
+        std::uint32_t window = 0;
         double critical_path = 0.0;
         std::uint64_t ops = 0;
         std::uint64_t events = 0;
@@ -53,8 +54,16 @@ main(int argc, char **argv)
         // window (a pending persist drains after 64 issued persists),
         // modeling bounded persist buffering instead of the
         // unbounded best case.
-        {"strand/w64", AnnotationVariant::Strand, ModelConfig::strand()},
+        {"strand/w64", AnnotationVariant::Strand, ModelConfig::strand(),
+         64},
     };
+    // --model rows analyze the conservative (epoch-annotated) trace;
+    // px86 replays it through the canonical barrier->flush-all+sfence
+    // compilation.
+    for (const ModelConfig &model :
+         extraModels(options, {"strict", "epoch", "strand"}))
+        series.push_back(
+            {model.name(), AnnotationVariant::Conservative, model});
 
     // Each series traces its own annotation variant, so the whole
     // simulate-and-analyze pipeline fans out per series. Tracing is
@@ -74,8 +83,8 @@ main(int argc, char **argv)
         InMemoryTrace trace;
         const auto workload = runQueueWorkload(config, {&trace});
         TimingConfig timing = levels(entry.model);
-        if (i == 3)
-            timing.coalesce_window = 64;
+        if (entry.window != 0)
+            timing.coalesce_window = entry.window;
         Stopwatch watch;
         const TimingResult result =
             replayForOptions(trace, timing, options, pool);
@@ -89,8 +98,10 @@ main(int argc, char **argv)
     std::cout << "\nnative instruction rate: " << formatRate(native_rate)
               << "\n\n";
     TextTable table;
-    table.header({"latency(ns)", "strict(M/s)", "epoch(M/s)",
-                  "strand(M/s)", "strand/w64(M/s)"});
+    std::vector<std::string> header{"latency(ns)"};
+    for (const auto &entry : series)
+        header.push_back(entry.name + "(M/s)");
+    table.header(header);
     // Log sweep, 10 ns .. 100 us, four points per decade.
     for (double exponent = 1.0; exponent <= 5.01; exponent += 0.25) {
         const double latency_ns = std::pow(10.0, exponent);

@@ -41,8 +41,14 @@ main(int argc, char **argv)
     config.inserts_per_thread = 20000;
 
     const std::vector<std::uint64_t> grans{8, 16, 32, 64, 128, 256};
-    const std::vector<ModelConfig> models{ModelConfig::strict(),
-                                          ModelConfig::epoch()};
+    std::vector<ModelConfig> models{ModelConfig::strict(),
+                                    ModelConfig::epoch()};
+    // --model rows ride the same sweep; their points land in the
+    // timing table and the fig4/<model>/aN report keys. The paper
+    // table above stays the strict-vs-epoch comparison.
+    for (const ModelConfig &model :
+         extraModels(options, {"strict", "epoch"}))
+        models.push_back(model);
     SweepOptions sweep;
     sweep.jobs = options.jobs;
     sweep.chunk_events = options.chunk_events;

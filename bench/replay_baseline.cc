@@ -108,6 +108,11 @@ main(int argc, char **argv)
         {"strict", ModelConfig::strict()},
         {"epoch", ModelConfig::epoch()},
         {"strand", ModelConfig::strand()},
+        // Px86 replays the same barrier-annotated traces through the
+        // operational flush/fence model (canonical epoch->x86
+        // compilation), so the committed baseline tracks the
+        // dirty-line bank's overhead against the SC models.
+        {"px86", ModelConfig::px86()},
     };
 
     struct TraceEntry

@@ -83,7 +83,13 @@ main(int argc, char **argv)
            "compute-bound (>1); 8T racing epochs and strand exceed 1; "
            "2LC 8T reaches instruction rate under epoch persistency");
 
-    const auto variants = table1Variants();
+    auto variants = table1Variants();
+    // --model columns replay the conservative (epoch-annotated)
+    // trace; px86 exercises the canonical barrier compilation.
+    for (const ModelConfig &model :
+         extraModels(options, {"strict", "epoch", "strand"}))
+        variants.push_back(
+            {model.name(), AnnotationVariant::Conservative, model});
     const QueueKind kinds[] = {QueueKind::CopyWhileLocked,
                                QueueKind::TwoLockConcurrent};
 
@@ -128,10 +134,16 @@ main(int argc, char **argv)
         PERSIM_PANIC("missing table1 cell");
     };
 
+    std::vector<std::string> variant_names;
+    for (const auto &variant : variants)
+        variant_names.push_back(variant.name);
+
     for (const auto kind : kinds) {
         TextTable table;
-        table.header({"threads", "native(ins/s)", "Strict", "Epoch",
-                      "RacingEpochs", "Strand"});
+        std::vector<std::string> header{"threads", "native(ins/s)"};
+        header.insert(header.end(), variant_names.begin(),
+                      variant_names.end());
+        table.header(header);
         for (const std::uint32_t threads : {1u, 8u}) {
             std::vector<std::string> row{
                 std::to_string(threads),
@@ -154,8 +166,10 @@ main(int argc, char **argv)
     // cell, plus the per-analysis wall time and events/sec.
     std::cout << "\nPersist critical path per insert (levels):\n";
     TextTable detail;
-    detail.header({"queue", "threads", "Strict", "Epoch", "RacingEpochs",
-                   "Strand"});
+    std::vector<std::string> detail_header{"queue", "threads"};
+    detail_header.insert(detail_header.end(), variant_names.begin(),
+                         variant_names.end());
+    detail.header(detail_header);
     for (const auto kind : kinds) {
         for (const std::uint32_t threads : {1u, 8u}) {
             std::vector<std::string> row{queueKindName(kind),

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then
-# smoke-test the bounded model checker with small budgets, fuzz the
-# timing engine differentially (--fuzz-iters=N, default 500), and run
-# the perf-labeled replay-throughput regression.
+# smoke-test the bounded model checker with small budgets, diff the
+# px86 conformance report against its golden copy, fuzz the timing
+# engine differentially (--fuzz-iters=N, default 500), and run the
+# perf-labeled replay-throughput regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +28,15 @@ fi
 ./build/bench/explore_litmus --program=queue --max-executions=256 \
     --samples=32
 
+# Conformance stage: the labeled tests assert the px86-vs-epoch
+# divergences by name, and the full runner must reproduce the
+# committed golden report byte-for-byte even when run in parallel.
+ctest --test-dir build -L conformance --output-on-failure
+CONF_OUT=$(mktemp)
+./build/bench/conformance_report --jobs=4 --out="$CONF_OUT" >/dev/null
+cmp "$CONF_OUT" tests/conformance/golden/conformance_report.txt
+rm -f "$CONF_OUT"
+
 # ThreadSanitizer pass: the task pool, the pool-driven parallel sweep,
 # the segment-parallel replay path (prep fan-out + deferred log
 # materialization), and the sharded explorer must be race-free.
@@ -38,7 +48,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j \
     --target task_pool_test sweep_test segment_replay_test \
-    explore_test explore_litmus
+    explore_test explore_litmus tso_test conformance_test
 ./build-tsan/tests/task_pool_test
 ./build-tsan/tests/sweep_test
 PERSIM_SYNTH_EVENTS=150000 PERSIM_GOLDEN_DIR=tests/persistency/golden \
@@ -47,6 +57,11 @@ PERSIM_SYNTH_EVENTS=150000 PERSIM_GOLDEN_DIR=tests/persistency/golden \
 ./build-tsan/bench/explore_litmus --model=epoch --threads=2
 ./build-tsan/bench/explore_litmus --program=queue --shards=4 \
     --max-executions=256 --samples=32
+# The TSO store-buffer scheduler and the parallel (--jobs) conformance
+# harness are new concurrency surfaces: run both instrumented.
+./build-tsan/tests/tso_test
+PERSIM_CONFORMANCE_GOLDEN=tests/conformance/golden/conformance_report.txt \
+    ./build-tsan/tests/conformance_test
 
 # AddressSanitizer + UBSan pass: the fault-injection machinery does a
 # lot of raw byte slicing (torn persists, checksummed record parsing,

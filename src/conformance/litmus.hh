@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Px86 conformance harness: litmus programs replayed under every
+ * persistency model, cross-checking reachable post-crash states.
+ *
+ * Each litmus test is a small bounded program (hand-written idiom or
+ * a seeded random program from src/explore/programs.hh) executed on
+ * the TSO simulator under a deterministic set of schedules. Every
+ * resulting trace is replayed under each persistency model with
+ * record_deps, the exhaustive recovery observer (src/recovery/
+ * cuts.hh) enumerates every consistent cut, and each crash state is
+ * fingerprinted over the test's observed cells. The per-model sets of
+ * reachable post-crash states are then compared pairwise and
+ * rendered as a divergence report (DESIGN.md Section 13.4) whose
+ * committed golden copy documents, among others:
+ *
+ *  - the epoch-vs-sfence disagreement (an sfence alone persists
+ *    nothing, while an epoch barrier orders the surrounding
+ *    persists), and
+ *  - the clflushopt-reordering/coalescing disagreements (weak
+ *    flushes expose intermediate per-line states that epoch
+ *    persistency's same-block coalescing hides).
+ *
+ * Everything here is deterministic: schedules are round-robin plus
+ * fixed random seeds, state sets are sorted, and the suite runner
+ * writes results into a pre-sized slot per test, so the report is
+ * byte-identical for any --jobs value.
+ */
+
+#ifndef PERSIM_CONFORMANCE_LITMUS_HH
+#define PERSIM_CONFORMANCE_LITMUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hh"
+#include "persistency/model.hh"
+
+namespace persim {
+
+/** One named persistent cell whose post-crash value is observed. */
+struct ObservedCell
+{
+    std::string name;
+    Addr addr = invalid_addr;
+    std::uint32_t size = 8;
+};
+
+/**
+ * A litmus program: the bounded program plus the cells its crash
+ * states are fingerprinted over. `observed` is filled in during the
+ * program's setup phase (addresses exist only once the simulated
+ * allocator has run); the allocator is deterministic, so every
+ * execution observes the same layout.
+ */
+struct LitmusProgram
+{
+    ExploreProgram program;
+    std::shared_ptr<std::vector<ObservedCell>> observed;
+};
+
+/** Builds a fresh instance of a litmus program (one per execution). */
+using LitmusFactory = std::function<LitmusProgram()>;
+
+/** One named litmus test. */
+struct LitmusTest
+{
+    std::string name;
+    /** One-line intent note rendered into the report. */
+    std::string note;
+    LitmusFactory make;
+};
+
+/** The hand-written x86-persistency litmus suite (>= 8 tests). */
+std::vector<LitmusTest> handwrittenLitmusTests();
+
+/**
+ * Seeded random litmus tests: flush-enabled random programs
+ * (programs.hh randomProgram with allow_flushes) observing the whole
+ * scratch/data/flag working set. Pure function of (count, seed0).
+ */
+std::vector<LitmusTest> generatedLitmusTests(std::size_t count = 20,
+                                             std::uint64_t seed0 = 1);
+
+/** Hand-written followed by generated tests. */
+std::vector<LitmusTest> allLitmusTests();
+
+/** Conformance run parameters. */
+struct ConformanceOptions
+{
+    /** Worker threads across tests (results are jobs-invariant). */
+    std::uint32_t jobs = 1;
+
+    /** Random-frontier schedules per test, on top of round-robin. */
+    std::uint32_t random_schedules = 4;
+
+    /** Consistent-cut budget per (trace, model) replay. */
+    std::uint64_t max_cuts = 1ULL << 20;
+};
+
+/** Reachable crash states of one test under one model. */
+struct ModelStates
+{
+    std::string model; //!< ModelConfig::name().
+
+    /** Sorted canonical states ("cell=value cell=value ..."). */
+    std::vector<std::string> states;
+
+    /** Some replay hit max_cuts (the set may be incomplete). */
+    bool budget_exhausted = false;
+};
+
+/** Full result of one litmus test. */
+struct LitmusResult
+{
+    std::string name;
+    std::string note;
+
+    /** Distinct executions replayed (duplicates pruned). */
+    std::uint64_t schedules = 0;
+
+    /** One entry per model, in conformanceModels() order. */
+    std::vector<ModelStates> models;
+};
+
+/**
+ * The models every test replays under: strict, epoch, and strand at
+ * Px86's cache-line atomic granularity (so state sets differ only in
+ * ordering semantics, never in persist unit), plus px86 itself.
+ */
+std::vector<ModelConfig> conformanceModels();
+
+/** Run @p tests; result i corresponds to tests[i]. */
+std::vector<LitmusResult>
+runConformanceSuite(const std::vector<LitmusTest> &tests,
+                    const ConformanceOptions &options = {});
+
+/**
+ * Render the canonical divergence report: per test, the reachable
+ * state set under each model plus the px86-vs-epoch delta. Byte
+ * stable across runs and --jobs values (golden-tested).
+ */
+std::string
+formatDivergenceReport(const std::vector<LitmusResult> &results);
+
+} // namespace persim
+
+#endif // PERSIM_CONFORMANCE_LITMUS_HH

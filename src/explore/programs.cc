@@ -112,6 +112,11 @@ enum class RandOpKind : std::uint8_t {
     NewStrand, //!< newStrand() (allow_strands only).
     VStore,    //!< Store to a volatile scratch cell.
     VLoad,     //!< Load from a volatile scratch cell.
+    Flush,     //!< clflush a scratch cell (allow_flushes only).
+    FlushOpt,  //!< clflushopt a scratch cell (allow_flushes only).
+    Clwb,      //!< clwb a scratch cell (allow_flushes only).
+    Sfence,    //!< sfence (allow_flushes only).
+    Mfence,    //!< mfence (allow_flushes only).
 };
 
 struct RandInstr
@@ -134,7 +139,8 @@ struct RandomState
 } // namespace
 
 ProgramFactory
-randomProgram(std::uint64_t seed, const RandomProgramOptions &options)
+randomProgram(std::uint64_t seed, const RandomProgramOptions &options,
+              std::shared_ptr<RandomProgramLayout> layout)
 {
     PERSIM_REQUIRE(options.threads >= 1, "need at least one thread");
     PERSIM_REQUIRE(options.ops_per_thread >= 1, "need at least one op");
@@ -156,6 +162,63 @@ randomProgram(std::uint64_t seed, const RandomProgramOptions &options)
         while (ops.size() < options.ops_per_thread) {
             const std::uint64_t roll = thread_rng.nextBounded(100);
             RandInstr instr;
+            if (options.allow_flushes) {
+                // A separate table (rather than reshuffling the one
+                // below) keeps the frozen no-flush corpus bit-exact
+                // for old seeds. Flushes and fences take their mass
+                // mostly from barriers: explicit x86 persistency is
+                // the point of these programs.
+                if (roll < 14) {
+                    instr.kind = RandOpKind::Publish;
+                    instr.value = ++published;
+                } else if (roll < 38) {
+                    instr.kind = RandOpKind::Store;
+                    instr.cell = static_cast<std::uint32_t>(
+                        thread_rng.nextBounded(options.scratch_cells));
+                    instr.value = thread_rng.next();
+                    instr.size = static_cast<std::uint8_t>(
+                        1U << thread_rng.nextBounded(4));
+                } else if (roll < 46) {
+                    instr.kind = RandOpKind::Rmw;
+                    instr.cell = static_cast<std::uint32_t>(
+                        thread_rng.nextBounded(options.scratch_cells));
+                    instr.value = thread_rng.nextBounded(1ULL << 20);
+                } else if (roll < 54) {
+                    instr.kind = RandOpKind::Load;
+                    instr.cell = static_cast<std::uint32_t>(
+                        thread_rng.nextBounded(options.scratch_cells));
+                } else if (roll < 60) {
+                    instr.kind = RandOpKind::Barrier;
+                } else if (roll < 68) {
+                    instr.kind = RandOpKind::Flush;
+                    instr.cell = static_cast<std::uint32_t>(
+                        thread_rng.nextBounded(options.scratch_cells));
+                } else if (roll < 76) {
+                    instr.kind = roll % 2 == 0 ? RandOpKind::FlushOpt
+                                               : RandOpKind::Clwb;
+                    instr.cell = static_cast<std::uint32_t>(
+                        thread_rng.nextBounded(options.scratch_cells));
+                } else if (roll < 84) {
+                    instr.kind = roll % 2 == 0 ? RandOpKind::Sfence
+                                               : RandOpKind::Mfence;
+                } else if (roll < 90) {
+                    instr.kind = options.allow_strands
+                        ? RandOpKind::NewStrand : RandOpKind::Load;
+                    instr.cell = static_cast<std::uint32_t>(
+                        thread_rng.nextBounded(options.scratch_cells));
+                } else if (roll < 95) {
+                    instr.kind = RandOpKind::VStore;
+                    instr.cell = static_cast<std::uint32_t>(
+                        thread_rng.nextBounded(options.volatile_cells));
+                    instr.value = thread_rng.next();
+                } else {
+                    instr.kind = RandOpKind::VLoad;
+                    instr.cell = static_cast<std::uint32_t>(
+                        thread_rng.nextBounded(options.volatile_cells));
+                }
+                ops.push_back(instr);
+                continue;
+            }
             if (roll < 18) {
                 instr.kind = RandOpKind::Publish;
                 instr.value = ++published;
@@ -198,15 +261,21 @@ randomProgram(std::uint64_t seed, const RandomProgramOptions &options)
         }
     }
 
-    return [options, script]() {
+    return [options, script, layout]() {
         auto state = std::make_shared<RandomState>();
 
         ExploreProgram program;
-        program.setup = [state, options](ThreadCtx &ctx) {
+        program.setup = [state, options, layout](ThreadCtx &ctx) {
             state->scratch = ctx.pmalloc(options.scratch_cells * 8ULL);
             state->data = ctx.pmalloc(options.threads * 8ULL);
             state->flag = ctx.pmalloc(options.threads * 8ULL);
             state->vscratch = ctx.vmalloc(options.volatile_cells * 8ULL);
+            if (layout != nullptr) {
+                layout->scratch = state->scratch;
+                layout->vscratch = state->vscratch;
+                layout->data = state->data;
+                layout->flag = state->flag;
+            }
         };
         for (std::uint32_t t = 0; t < options.threads; ++t) {
             program.workers.push_back(
@@ -242,6 +311,22 @@ randomProgram(std::uint64_t seed, const RandomProgramOptions &options)
                             break;
                         case RandOpKind::VLoad:
                             ctx.load(state->vscratch + instr.cell * 8ULL);
+                            break;
+                        case RandOpKind::Flush:
+                            ctx.clflush(state->scratch + instr.cell * 8ULL);
+                            break;
+                        case RandOpKind::FlushOpt:
+                            ctx.clflushopt(state->scratch +
+                                           instr.cell * 8ULL);
+                            break;
+                        case RandOpKind::Clwb:
+                            ctx.clwb(state->scratch + instr.cell * 8ULL);
+                            break;
+                        case RandOpKind::Sfence:
+                            ctx.sfence();
+                            break;
+                        case RandOpKind::Mfence:
+                            ctx.mfence();
                             break;
                         }
                     }

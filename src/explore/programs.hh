@@ -14,6 +14,7 @@
 #define PERSIM_EXPLORE_PROGRAMS_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "explore/explore.hh"
 #include "queue/payload.hh"
@@ -98,6 +99,31 @@ struct RandomProgramOptions
      * invariant: the two persist logs must match field for field).
      */
     bool allow_strands = true;
+
+    /**
+     * Mix x86 persistency instructions into the instruction stream:
+     * clflush/clflushopt/clwb on scratch cells and sfence/mfence.
+     * Under the SC models flushes are inert and fences act as persist
+     * barriers; under Px86 they are the only way scratch stores ever
+     * become durable. The publish idiom keeps using persistBarrier
+     * (replayed under Px86 as flush-all + sfence), so the flag<=data
+     * invariant stays valid under every model. Off by default: the
+     * frozen differential-fuzz corpus predates these instructions.
+     */
+    bool allow_flushes = false;
+};
+
+/**
+ * Simulated addresses of a random program's working set, filled in
+ * during setup (pass to randomProgram to observe them — conformance
+ * fingerprints crash states cell by cell).
+ */
+struct RandomProgramLayout
+{
+    Addr scratch = invalid_addr;  //!< scratch_cells persistent cells.
+    Addr vscratch = invalid_addr; //!< volatile_cells volatile cells.
+    Addr data = invalid_addr;     //!< One 8-byte cell per thread.
+    Addr flag = invalid_addr;     //!< One 8-byte cell per thread.
 };
 
 /**
@@ -119,8 +145,9 @@ struct RandomProgramOptions
  * EngineMutant::ElideEpochBarrier — admits a crash state with
  * flag > data, which is how the fuzzer proves it has teeth.
  */
-ProgramFactory randomProgram(std::uint64_t seed,
-                             const RandomProgramOptions &options = {});
+ProgramFactory randomProgram(
+    std::uint64_t seed, const RandomProgramOptions &options = {},
+    std::shared_ptr<RandomProgramLayout> layout = nullptr);
 
 } // namespace persim
 

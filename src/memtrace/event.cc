@@ -32,6 +32,16 @@ eventKindName(EventKind kind)
         return "marker";
       case EventKind::Fence:
         return "fence";
+      case EventKind::CacheFlush:
+        return "clflush";
+      case EventKind::CacheFlushOpt:
+        return "clflushopt";
+      case EventKind::CacheWriteBack:
+        return "clwb";
+      case EventKind::StoreFence:
+        return "sfence";
+      case EventKind::FullFence:
+        return "mfence";
     }
     return "unknown";
 }
@@ -56,6 +66,10 @@ formatEvent(const TraceEvent &event)
         oss << " addr=0x" << std::hex << event.addr << std::dec;
     } else if (event.kind == EventKind::Marker) {
         oss << " code=" << event.marker << " arg=" << event.value;
+    } else if (event.kind == EventKind::CacheFlush ||
+               event.kind == EventKind::CacheFlushOpt ||
+               event.kind == EventKind::CacheWriteBack) {
+        oss << " addr=0x" << std::hex << event.addr << std::dec;
     }
     return oss.str();
 }

@@ -60,7 +60,35 @@ enum class EventKind : std::uint8_t {
     Fence = 11,         //!< Consistency fence: under TSO execution,
                         //!< the point where the thread drained its
                         //!< store buffer. Not a persist barrier.
+    CacheFlush = 12,    //!< clflush: flush one cache line, strongly
+                        //!< ordered against stores and other
+                        //!< clflushes (Px86).
+    CacheFlushOpt = 13, //!< clflushopt: flush one cache line, ordered
+                        //!< only against same-line stores and fences.
+    CacheWriteBack = 14, //!< clwb: write back one cache line; same
+                        //!< ordering as clflushopt.
+    StoreFence = 15,    //!< sfence: orders clflushopt/clwb with
+                        //!< surrounding stores (a persistency fence).
+    FullFence = 16,     //!< mfence: full fence; same persistency
+                        //!< semantics as sfence.
 };
+
+/**
+ * Highest valid EventKind value. The single source of truth for every
+ * kind-byte validator (trace_io read, MmapTraceReader, the segment
+ * decoder reasserts it): keep it on the last enumerator above when
+ * extending the enum — eventKindName's exhaustive switch (-Wswitch)
+ * is the compile-time reminder.
+ */
+constexpr std::uint8_t kMaxEventKind =
+    static_cast<std::uint8_t>(EventKind::FullFence);
+
+/**
+ * Simulated cache line size in bytes: the unit clflush/clflushopt/
+ * clwb operate on, and the atomic persist granularity of the Px86
+ * persistency model.
+ */
+constexpr std::uint64_t cache_line_bytes = 64;
 
 /** Marker codes carried by EventKind::Marker events. */
 enum class MarkerCode : std::uint16_t {

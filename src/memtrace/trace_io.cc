@@ -52,9 +52,9 @@ static_assert(offsetof(TraceEvent, seq) == 0 &&
 static_assert(header_size % alignof(TraceEvent) == 0,
               "mapped record array must stay 8-byte aligned");
 
-/** Highest EventKind a record may carry (reject garbage above it). */
-constexpr std::uint64_t max_event_kind =
-    static_cast<std::uint64_t>(EventKind::Fence);
+/** Highest EventKind a record may carry (reject garbage above it);
+    centralized in event.hh so every validator agrees. */
+constexpr std::uint64_t max_event_kind = kMaxEventKind;
 
 /** Store @p v little-endian into out[0..bytes). */
 void

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/error.hh"
+#include "memtrace/event.hh"
 
 namespace persim {
 
@@ -21,12 +22,21 @@ ModelConfig::name() const
       case ModelKind::Strand:
         oss << "strand";
         break;
+      case ModelKind::Px86:
+        oss << "px86";
+        break;
     }
+    // Suffixes mark deviations from the kind's own preset: Px86's
+    // natural state is cache-line atomicity with TSO conflict
+    // detection, so the plain preset still names itself "px86".
+    const bool is_px86 = kind == ModelKind::Px86;
+    const std::uint64_t default_atomic = is_px86 ? cache_line_bytes : 8;
+    const bool default_lbs = !is_px86;
     if (conflict_scope == ConflictScope::PersistentOnly)
         oss << "-ponly";
-    if (!detect_load_before_store)
-        oss << "-tso";
-    if (atomic_granularity != 8)
+    if (detect_load_before_store != default_lbs)
+        oss << (detect_load_before_store ? "-lbs" : "-tso");
+    if (atomic_granularity != default_atomic)
         oss << "-a" << atomic_granularity;
     if (tracking_granularity != 8)
         oss << "-t" << tracking_granularity;
@@ -65,6 +75,20 @@ ModelConfig::strand()
 {
     ModelConfig config;
     config.kind = ModelKind::Strand;
+    return config;
+}
+
+ModelConfig
+ModelConfig::px86()
+{
+    ModelConfig config;
+    config.kind = ModelKind::Px86;
+    // Flushes persist whole cache lines; that line is the atomic
+    // persist unit.
+    config.atomic_granularity = cache_line_bytes;
+    // Load-before-store conflicts are an SC-persistency notion; x86
+    // propagates durable facts only along observed (TSO) order.
+    config.detect_load_before_store = false;
     return config;
 }
 

@@ -44,6 +44,19 @@ enum class ModelKind : std::uint8_t {
      * persist barriers within the strand.
      */
     Strand,
+
+    /**
+     * Px86: the operational persistency model of real x86 persistent
+     * memory ("Taming x86-TSO Persistency", PAPERS.md). Stores dirty
+     * their cache line but never persist by themselves; clflush /
+     * clflushopt / clwb issue an asynchronous per-line persist;
+     * sfence / mfence order the weak flushes with surrounding stores;
+     * persist barriers replay as their canonical x86 compilation
+     * (weak-flush the thread's dirty lines, then sfence). DESIGN.md
+     * Section 13 gives the full semantics and the divergence
+     * catalogue against epoch persistency.
+     */
+    Px86,
 };
 
 /** Which address space participates in conflict-based ordering. */
@@ -105,6 +118,8 @@ struct ModelConfig
     static ModelConfig strand();
     /** BPFS-like epoch variant (persistent-only, TSO detection). */
     static ModelConfig bpfs();
+    /** Px86: cache-line atomic persists, TSO conflict detection. */
+    static ModelConfig px86();
     ///@}
 };
 

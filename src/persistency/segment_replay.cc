@@ -11,6 +11,11 @@
 namespace persim {
 namespace {
 
+static_assert(kMaxEventKind ==
+                  static_cast<std::uint8_t>(EventKind::FullFence),
+              "EventKind grew: teach compileSegment about the new "
+              "kinds, then update this assertion");
+
 /** Local-slot sentinel: this op has no slot of that bank. */
 constexpr std::uint32_t no_local = ~0u;
 
@@ -25,6 +30,8 @@ struct MicroOp
         Piece,    //!< One <=8-byte access piece (tslot resolved).
         Barrier,  //!< PersistBarrier / PersistSync.
         Strand,   //!< NewStrand.
+        Flush,    //!< clflush/clflushopt/clwb (is_write = strong).
+        FenceOp,  //!< sfence / mfence.
         OpBegin,  //!< Marker OpBegin (operation id in value).
         OpEnd,    //!< Marker OpEnd.
         RoleData, //!< Marker RoleData.
@@ -61,6 +68,7 @@ struct CompileSpec
     bool unified = false;
     bool all_scope = true;
     bool detect_races = false;
+    bool px86 = false; //!< Flush/fence ops act (and intern slots).
 };
 
 /**
@@ -141,6 +149,47 @@ compileSegment(const TraceEvent *events, std::size_t count,
             MicroOp op;
             op.kind = MicroOp::Barrier;
             op.thread = event.thread;
+            // Px86 replays barriers as flushes, which log records
+            // carrying the trace position.
+            op.seq = event.seq;
+            out.ops.push_back(op);
+            break;
+          }
+          case EventKind::CacheFlush:
+          case EventKind::CacheFlushOpt:
+          case EventKind::CacheWriteBack: {
+            // Always compiled (the SC models count flushes too); the
+            // slot is interned only when Px86 will act on it.
+            MicroOp op;
+            op.kind = MicroOp::Flush;
+            op.thread = event.thread;
+            op.addr = event.addr;
+            op.seq = event.seq;
+            op.is_write = event.kind == EventKind::CacheFlush ? 1 : 0;
+            if (spec.px86) {
+                bool inserted = false;
+                if (spec.unified) {
+                    op.tslot = track_local.findOrInsert(
+                        event.addr >> spec.track_shift, inserted);
+                    if (inserted)
+                        out.track_keys.push_back(
+                            event.addr >> spec.track_shift);
+                } else {
+                    op.aslot = atomic_local.findOrInsert(
+                        event.addr >> spec.atomic_shift, inserted);
+                    if (inserted)
+                        out.atomic_keys.push_back(
+                            event.addr >> spec.atomic_shift);
+                }
+            }
+            out.ops.push_back(op);
+            break;
+          }
+          case EventKind::StoreFence:
+          case EventKind::FullFence: {
+            MicroOp op;
+            op.kind = MicroOp::FenceOp;
+            op.thread = event.thread;
             out.ops.push_back(op);
             break;
           }
@@ -215,6 +264,7 @@ class SegmentReplayer
         spec.unified = engine.unified_;
         spec.all_scope = engine.all_scope_;
         spec.detect_races = engine.detect_races_;
+        spec.px86 = engine.px86_;
 
         const std::uint32_t jobs = options.jobs > 0
             ? options.jobs : TaskPool::defaultWorkers();
@@ -271,7 +321,8 @@ class SegmentReplayer
         // drive the engine's handlers in global order.
         const auto stitch_start = std::chrono::steady_clock::now();
         const ModelKind kind = engine.config_.model.kind;
-        const bool fold_barrier = kind != ModelKind::Strict &&
+        const bool px86 = engine.px86_;
+        const bool fold_barrier = !px86 && kind != ModelKind::Strict &&
             engine.config_.mutant != EngineMutant::ElideEpochBarrier;
         const bool strand_model = kind == ModelKind::Strand;
 
@@ -304,7 +355,28 @@ class SegmentReplayer
                     break;
                   case MicroOp::Barrier:
                     ++engine.result_.barriers;
-                    if (fold_barrier)
+                    if (px86)
+                        engine.px86Barrier(op.seq, op.thread, thread);
+                    else if (fold_barrier)
+                        engine.mergeInto(thread.epoch_dep,
+                                         thread.accum_dep);
+                    break;
+                  case MicroOp::Flush:
+                    ++engine.result_.flushes;
+                    if (px86)
+                        engine.handleFlushAt(
+                            op.is_write != 0, op.seq, op.thread,
+                            thread, op.addr,
+                            op.tslot != no_local ? tmap[op.tslot]
+                            : op.aslot != no_local
+                                ? amap[op.aslot]
+                                : PersistTimingEngine::no_slot_hint);
+                    break;
+                  case MicroOp::FenceOp:
+                    ++engine.result_.fences;
+                    if (px86)
+                        engine.px86Fence(thread);
+                    else if (fold_barrier)
                         engine.mergeInto(thread.epoch_dep,
                                          thread.accum_dep);
                     break;

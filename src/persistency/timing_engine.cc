@@ -39,7 +39,9 @@ PersistTimingEngine::PersistTimingEngine(const TimingConfig &config)
     : config_(config), rng_(config.seed), track_store_(arena_),
       track_load_(arena_), track_sc_(arena_), track_sc_src_(arena_),
       atomic_last_(arena_), atomic_group_start_(arena_),
-      atomic_group_begin_(arena_), deps_(arena_)
+      atomic_group_begin_(arena_), px86_ctx_(arena_),
+      px86_dirty_head_(arena_), px86_dirty_tail_(arena_),
+      px86_mark_(arena_), deps_(arena_)
 {
     config_.model.validate();
     PERSIM_REQUIRE(config_.mean_latency > 0.0,
@@ -48,6 +50,7 @@ PersistTimingEngine::PersistTimingEngine(const TimingConfig &config)
         config_.record_log = true;
 
     strict_ = config_.model.kind == ModelKind::Strict;
+    px86_ = config_.model.kind == ModelKind::Px86;
     track_loads_ = config_.model.detect_load_before_store;
     record_deps_ = config_.record_deps;
     detect_races_ = config_.detect_races;
@@ -127,8 +130,32 @@ PersistTimingEngine::process(const TraceEvent &event)
       case EventKind::PersistBarrier:
       case EventKind::PersistSync:
         ++result_.barriers;
-        if (kind != ModelKind::Strict &&
-            config_.mutant != EngineMutant::ElideEpochBarrier)
+        if (px86_)
+            px86Barrier(event.seq, event.thread, thread);
+        else if (kind != ModelKind::Strict &&
+                 config_.mutant != EngineMutant::ElideEpochBarrier)
+            mergeInto(thread.epoch_dep, thread.accum_dep);
+        break;
+      case EventKind::CacheFlush:
+      case EventKind::CacheFlushOpt:
+      case EventKind::CacheWriteBack:
+        // Under the SC-persistency models a flush carries no ordering
+        // (persists are implicit in stores); only Px86 acts on it.
+        ++result_.flushes;
+        if (px86_)
+            handleFlushAt(event.kind == EventKind::CacheFlush,
+                          event.seq, event.thread, thread, event.addr,
+                          no_slot_hint);
+        break;
+      case EventKind::StoreFence:
+      case EventKind::FullFence:
+        ++result_.fences;
+        if (px86_)
+            px86Fence(thread);
+        else if (kind != ModelKind::Strict &&
+                 config_.mutant != EngineMutant::ElideEpochBarrier)
+            // Under the SC models an x86 fence acts as the persist
+            // barrier of its canonical epoch counterpart.
             mergeInto(thread.epoch_dep, thread.accum_dep);
         break;
       case EventKind::NewStrand:
@@ -183,6 +210,12 @@ PersistTimingEngine::trackSlot(std::uint64_t key)
             atomic_last_.push_back(Tag{});
             atomic_group_start_.push_back(invalid_persist);
             atomic_group_begin_.push_back(0.0);
+            if (px86_) {
+                px86_ctx_.push_back(Tag{});
+                px86_dirty_head_.push_back(no_piece);
+                px86_dirty_tail_.push_back(no_piece);
+                px86_mark_.push_back(invalid_thread);
+            }
         }
     }
     return slot;
@@ -197,6 +230,12 @@ PersistTimingEngine::atomicSlot(std::uint64_t block)
         atomic_last_.push_back(Tag{});
         atomic_group_start_.push_back(invalid_persist);
         atomic_group_begin_.push_back(0.0);
+        if (px86_) {
+            px86_ctx_.push_back(Tag{});
+            px86_dirty_head_.push_back(no_piece);
+            px86_dirty_tail_.push_back(no_piece);
+            px86_mark_.push_back(invalid_thread);
+        }
     }
     return aslot;
 }
@@ -250,8 +289,12 @@ PersistTimingEngine::handlePieceAt(std::uint32_t track_slot,
     if (!is_write) {
         // Load: conflicts with prior stores to the block; persists
         // ordered before those stores must precede this thread's
-        // post-barrier persists (immediately, under strict).
-        mergeInto(strict_ ? thread.epoch_dep : thread.accum_dep,
+        // post-barrier persists (immediately, under strict — and
+        // under Px86, where the published facts are already durable
+        // before the store was visible, so no fence is needed to
+        // inherit them).
+        mergeInto(strict_ || px86_ ? thread.epoch_dep
+                                   : thread.accum_dep,
                   track_store_[slot]);
         // Record the load so later conflicting stores inherit order
         // (the load-before-store conflicts BPFS cannot detect).
@@ -280,17 +323,36 @@ PersistTimingEngine::handlePieceAt(std::uint32_t track_slot,
     }
 
     if (persistent) {
-        persistPieceAt(seq, tid, thread, slot, aslot_hint, addr, size,
-                       value, dep, dep_source);
+        if (px86_) {
+            // Px86: the store only dirties its cache line; it becomes
+            // durable when a later flush covers the line. The thread's
+            // completed clflushes are strongly ordered before it, and
+            // so is its fence-folded flush history: a store issued
+            // after an sfence cannot persist ahead of the persists
+            // that sfence ordered, no matter which thread eventually
+            // flushes the line (false sharing flushes foreign pieces).
+            Tag pdep = dep;
+            mergeInto(pdep, thread.strong_dep);
+            mergeInto(pdep, thread.epoch_dep);
+            px86StorePiece(slot, aslot_hint, tid, thread, addr, size,
+                           value, pdep);
+        } else {
+            persistPieceAt(seq, tid, thread, slot, aslot_hint, addr,
+                           size, value, dep, dep_source);
+        }
         if (detect_races_)
             recordScTag(slot, thread, tid);
         return;
     }
 
     // Volatile store: inherit the conflict order; record that persists
-    // already barrier-ordered before this store precede it.
-    mergeInto(strict_ ? thread.epoch_dep : thread.accum_dep, dep);
+    // already barrier-ordered before this store precede it. (Under
+    // Px86 the inherited facts are already durable, hence epoch_dep.)
+    mergeInto(strict_ || px86_ ? thread.epoch_dep : thread.accum_dep,
+              dep);
     mergeInto(track_store_[slot], thread.epoch_dep);
+    if (px86_)
+        mergeInto(track_store_[slot], thread.strong_dep);
     if (detect_races_)
         recordScTag(slot, thread, tid);
 }
@@ -343,7 +405,7 @@ PersistTimingEngine::persistPieceAt(SeqNum seq, ThreadId tid,
     // before it: either the whole dependence summary is earlier, or
     // its top dependence *is* the pending group and the rest (oth)
     // is earlier.
-    bool coalesce = valid &&
+    bool coalesce = valid && !px86_fresh_group_ &&
         (dep.t < last.t ||
          (dep.block == block && dep.t == last.t && dep.oth < last.t));
     if (coalesce && config_.coalesce_window > 0 &&
@@ -435,8 +497,16 @@ PersistTimingEngine::persistPieceAt(SeqNum seq, ThreadId tid,
         thread.own_persist = own;
     }
 
-    mergeInto(track_store_[track_slot], out);
-    mergeInto(strict_ ? thread.epoch_dep : thread.accum_dep, out);
+    if (px86_flush_route_ != nullptr) {
+        // Px86 flush persist: durability routes to the flushing
+        // thread's pending-order tag (strong_dep for clflush,
+        // accum_dep for clflushopt/clwb); nothing is published to
+        // readers or to the thread's epoch until a fence orders it.
+        mergeInto(*px86_flush_route_, out);
+    } else {
+        mergeInto(track_store_[track_slot], out);
+        mergeInto(strict_ ? thread.epoch_dep : thread.accum_dep, out);
+    }
 
     result_.critical_path = std::max(result_.critical_path, time);
 
@@ -458,6 +528,151 @@ PersistTimingEngine::persistPieceAt(SeqNum seq, ThreadId tid,
         staged.binding_source = binding_source;
         staged.size = static_cast<std::uint8_t>(size);
     }
+}
+
+void
+PersistTimingEngine::px86StorePiece(std::uint32_t track_slot,
+                                    std::uint32_t aslot_hint,
+                                    ThreadId tid, ThreadState &thread,
+                                    Addr addr, unsigned size,
+                                    std::uint64_t value, const Tag &dep)
+{
+    std::uint32_t aslot;
+    if (unified_)
+        aslot = track_slot;
+    else if (aslot_hint != no_slot_hint)
+        aslot = aslot_hint;
+    else
+        aslot = atomicSlot(addr >> atomic_shift_);
+
+    mergeInto(px86_ctx_[aslot], dep);
+
+    const std::uint32_t tail = px86_dirty_tail_[aslot];
+    if (tail != no_piece && px86_pieces_[tail].addr == addr &&
+        px86_pieces_[tail].size == size) {
+        // Same-word overwrite in cache: only the newest value can
+        // ever reach persistent memory from this line.
+        px86_pieces_[tail].value = value;
+    } else {
+        std::uint32_t idx;
+        if (px86_free_ != no_piece) {
+            idx = px86_free_;
+            px86_free_ = px86_pieces_[idx].next;
+        } else {
+            idx = static_cast<std::uint32_t>(px86_pieces_.size());
+            px86_pieces_.push_back(DirtyPiece{});
+        }
+        DirtyPiece &piece = px86_pieces_[idx];
+        piece.addr = addr;
+        piece.value = value;
+        piece.next = no_piece;
+        piece.tslot = track_slot;
+        piece.size = static_cast<std::uint8_t>(size);
+        if (tail == no_piece)
+            px86_dirty_head_[aslot] = idx;
+        else
+            px86_pieces_[tail].next = idx;
+        px86_dirty_tail_[aslot] = idx;
+    }
+
+    // Durable-before-visible: a thread that later conflicts with this
+    // cell inherits the store's persist dependences — they were
+    // durable before the store became visible.
+    mergeInto(track_store_[track_slot], dep);
+
+    if (px86_mark_[aslot] != tid) {
+        px86_mark_[aslot] = tid;
+        thread.dirty_lines.push_back(aslot);
+    }
+}
+
+void
+PersistTimingEngine::handleFlushAt(bool strong, SeqNum seq,
+                                   ThreadId tid, ThreadState &thread,
+                                   Addr addr, std::uint32_t aslot_hint)
+{
+    std::uint32_t aslot;
+    if (aslot_hint != no_slot_hint)
+        aslot = aslot_hint;
+    else if (unified_)
+        aslot = trackSlot(addr >> track_shift_);
+    else
+        aslot = atomicSlot(addr >> atomic_shift_);
+
+    std::uint32_t idx = px86_dirty_head_[aslot];
+    Tag &pending = strong ? thread.strong_dep : thread.accum_dep;
+    if (idx == no_piece) {
+        // Clean line: nothing to persist. But same-line flushes are
+        // ordered with each other, so flushing a line whose dirty
+        // pieces a FOREIGN thread's flush already took must still
+        // fold that line's in-flight persists into this thread's
+        // pending flush order — the foreign clflushopt may never be
+        // fenced, and without this fold a barrier over a stolen line
+        // would publish later stores ahead of the stolen data
+        // (observed as a flag-ahead-of-data cut under false sharing).
+        mergeInto(pending, px86_ctx_[aslot]);
+        return;
+    }
+
+    // The flush's persist is ordered after everything the line's
+    // dirty stores depended on plus the thread's fence-ordered
+    // history; clflush is additionally ordered after the thread's
+    // earlier clflushes.
+    Tag dep = thread.epoch_dep;
+    mergeInto(dep, px86_ctx_[aslot]);
+    if (strong)
+        mergeInto(dep, thread.strong_dep);
+    const DepSource dep_source = dep.src != invalid_persist
+        ? DepSource::ThreadEpoch : DepSource::None;
+
+    // Collect the persists' out-tags locally: they become the
+    // thread's pending flush order AND the line's persist history
+    // (px86_ctx_ survives the clear so later same-line flushes and
+    // stores order after this one).
+    Tag out_acc;
+    px86_flush_route_ = &out_acc;
+    bool first = true;
+    while (idx != no_piece) {
+        const DirtyPiece piece = px86_pieces_[idx];
+        px86_fresh_group_ = first;
+        first = false;
+        persistPieceAt(seq, tid, thread, piece.tslot, aslot,
+                       piece.addr, piece.size, piece.value, dep,
+                       dep_source);
+        px86_pieces_[idx].next = px86_free_;
+        px86_free_ = idx;
+        idx = piece.next;
+    }
+    px86_fresh_group_ = false;
+    px86_flush_route_ = nullptr;
+    mergeInto(pending, out_acc);
+
+    px86_dirty_head_[aslot] = no_piece;
+    px86_dirty_tail_[aslot] = no_piece;
+    px86_ctx_[aslot] = out_acc;
+    px86_mark_[aslot] = invalid_thread;
+}
+
+void
+PersistTimingEngine::px86Fence(ThreadState &thread)
+{
+    if (config_.mutant == EngineMutant::ElideEpochBarrier)
+        return;
+    mergeInto(thread.epoch_dep, thread.accum_dep);
+    mergeInto(thread.epoch_dep, thread.strong_dep);
+}
+
+void
+PersistTimingEngine::px86Barrier(SeqNum seq, ThreadId tid,
+                                 ThreadState &thread)
+{
+    // Canonical epoch->x86 compilation: weak-flush every line the
+    // thread dirtied since its last barrier, then sfence. Flushing a
+    // line someone else already flushed is a clean-line no-op.
+    for (const std::uint32_t aslot : thread.dirty_lines)
+        handleFlushAt(false, seq, tid, thread, 0, aslot);
+    thread.dirty_lines.clear();
+    px86Fence(thread);
 }
 
 PersistRecord
@@ -520,6 +735,16 @@ PersistTimingEngine::materializeDeferred() const
 void
 PersistTimingEngine::onFinish()
 {
+    if (px86_) {
+        // Tail audit: dirty pieces no flush ever covered. They are
+        // simply not durable — deliberately not persisted here, so
+        // recovery analyses see exactly what the hardware promises.
+        const std::size_t lines = px86_dirty_head_.size();
+        for (std::size_t i = 0; i < lines; ++i)
+            for (std::uint32_t idx = px86_dirty_head_[i];
+                 idx != no_piece; idx = px86_pieces_[idx].next)
+                ++result_.unflushed;
+    }
     flushStage();
 }
 

@@ -178,6 +178,17 @@ struct TimingResult
     /** NewStrand events seen. */
     std::uint64_t strands = 0;
 
+    /** clflush/clflushopt/clwb events seen (Px86 persists them). */
+    std::uint64_t flushes = 0;
+
+    /** sfence/mfence events seen. */
+    std::uint64_t fences = 0;
+
+    /** Px86 only: dirty pieces still unflushed at end of trace —
+        stores that never became durable because no flush covered
+        them. Always 0 under the SC-persistency models. */
+    std::uint64_t unflushed = 0;
+
     /** Average critical path per completed operation. */
     double criticalPathPerOp() const;
 };
@@ -328,6 +339,14 @@ class PersistTimingEngine : public TraceSink
         Tag shadow;
         /** Latest persist time this thread itself issued. */
         Tag own_persist;
+        /** Px86: persists of the thread's clflushes — strongly
+            ordered before its younger stores and flushes; folded into
+            epoch_dep at fences (weak flushes go to accum_dep). */
+        Tag strong_dep;
+        /** Px86: atomic slots this thread dirtied since its last
+            persist barrier (so barriers can replay as flush-all +
+            sfence, the canonical epoch->x86 compilation). */
+        std::vector<std::uint32_t> dirty_lines;
     };
 
     /** One staged (not yet published) persist-log record, POD. */
@@ -461,6 +480,45 @@ class PersistTimingEngine : public TraceSink
                         unsigned size, std::uint64_t value,
                         const Tag &dep, DepSource dep_source);
 
+    /** @name Px86 operational model (DESIGN.md Section 13) */
+    ///@{
+
+    /**
+     * Px86 persistent store: dirties the cache line (records the
+     * piece in the line's dirty list and folds @p dep into the line
+     * context) without issuing any persist. Durability happens only
+     * when a flush covers the line.
+     */
+    void px86StorePiece(std::uint32_t track_slot,
+                        std::uint32_t aslot_hint, ThreadId tid,
+                        ThreadState &thread, Addr addr, unsigned size,
+                        std::uint64_t value, const Tag &dep);
+
+    /**
+     * clflush (@p strong) or clflushopt/clwb (weak) of the line
+     * holding @p addr: issue one asynchronous persist per dirty piece
+     * of the line (they coalesce into a single atomic persist), then
+     * mark the line clean. The persist's completion routes to
+     * strong_dep (clflush: ordered before the thread's younger stores)
+     * or accum_dep (weak: ordered only by the next fence). A clean
+     * line is a no-op. @p aslot_hint as in handlePieceAt.
+     */
+    void handleFlushAt(bool strong, SeqNum seq, ThreadId tid,
+                       ThreadState &thread, Addr addr,
+                       std::uint32_t aslot_hint);
+
+    /** sfence/mfence: fold pending flush order into epoch_dep. */
+    void px86Fence(ThreadState &thread);
+
+    /**
+     * PersistBarrier replayed under Px86 as its canonical x86
+     * compilation: weak-flush every line the thread has dirtied,
+     * then sfence.
+     */
+    void px86Barrier(SeqNum seq, ThreadId tid, ThreadState &thread);
+
+    ///@}
+
     /** Publish staged records into log_ (const: called from log()). */
     void flushStage() const;
 
@@ -480,6 +538,7 @@ class PersistTimingEngine : public TraceSink
     /** @name Configuration unpacked for the hot path */
     ///@{
     bool strict_ = false;
+    bool px86_ = false;         //!< ModelKind::Px86
     bool track_loads_ = true;   //!< model.detect_load_before_store
     bool record_deps_ = false;
     bool detect_races_ = false;
@@ -513,6 +572,56 @@ class PersistTimingEngine : public TraceSink
     ArenaVector<Tag> atomic_last_;
     ArenaVector<PersistId> atomic_group_start_;
     ArenaVector<double> atomic_group_begin_;
+    ///@}
+
+    /**
+     * @name Px86 dirty-line bank (SoA, same index as the atomic bank;
+     * populated only when px86_). Each line carries the merged
+     * dependences of its dirty stores (`px86_ctx_`), an intrusive
+     * list of dirty pieces in store order (head/tail into
+     * `px86_pieces_`, linked via DirtyPiece::next), and the last
+     * thread that enqueued it on a dirty_lines list (`px86_mark_`,
+     * dedup so barriers flush each line once). Flushed pieces recycle
+     * through the `px86_free_` free list, so steady state allocates
+     * nothing.
+     */
+    ///@{
+    struct DirtyPiece
+    {
+        Addr addr;
+        std::uint64_t value;
+        std::uint32_t next;
+        std::uint32_t tslot;
+        std::uint8_t size;
+    };
+
+    static constexpr std::uint32_t no_piece = ~0u;
+
+    ArenaVector<Tag> px86_ctx_;
+    ArenaVector<std::uint32_t> px86_dirty_head_;
+    ArenaVector<std::uint32_t> px86_dirty_tail_;
+    ArenaVector<ThreadId> px86_mark_;
+    std::vector<DirtyPiece> px86_pieces_;
+    std::uint32_t px86_free_ = no_piece;
+
+    /**
+     * Non-null exactly while handleFlushAt runs: persistPieceAt
+     * merges each persist's out-tag here (the flushing thread's
+     * strong_dep or accum_dep) instead of publishing it to
+     * track_store_/epoch/accum — a flush makes data durable but says
+     * nothing to readers until a fence orders it.
+     */
+    Tag *px86_flush_route_ = nullptr;
+
+    /**
+     * True exactly for the first piece of a flush: a flush begins its
+     * own atomic persist and may not merge into a persist issued by
+     * an earlier flush of the line — the earlier flush can complete
+     * alone, so crash states between the two are reachable. The
+     * remaining pieces of the same flush still coalesce into the
+     * group the first one founds.
+     */
+    bool px86_fresh_group_ = false;
     ///@}
 
     DepSetPool deps_;

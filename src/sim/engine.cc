@@ -279,6 +279,25 @@ ExecutionEngine::drainAll(ThreadId tid)
         drainOne(tid);
 }
 
+void
+ExecutionEngine::drainLine(ThreadId tid, Addr addr)
+{
+    const std::uint64_t line = addr / cache_line_bytes;
+    auto &buffer = storeBuffer(tid);
+    // Find the newest buffered store of the line; everything up to it
+    // must drain first (the buffer is FIFO), which is always legal —
+    // the background drain may retire those stores at any time.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+        const BufferedStore &entry = buffer[i];
+        if (entry.addr / cache_line_bytes == line ||
+            (entry.addr + entry.size - 1) / cache_line_bytes == line)
+            keep = i + 1;
+    }
+    for (std::size_t i = 0; i < keep; ++i)
+        drainOne(tid);
+}
+
 std::uint64_t
 ThreadCtx::load(Addr addr, unsigned size)
 {
@@ -446,6 +465,56 @@ ThreadCtx::fence()
     if (engine_->config_.consistency == ConsistencyModel::TSO)
         engine_->drainAll(tid_);
     engine_->emit(tid_, EventKind::Fence, 0, 0, 0);
+}
+
+void
+ThreadCtx::clflush(Addr addr)
+{
+    engine_->schedulePoint(tid_);
+    // clflush is ordered against all older stores: they must be
+    // globally visible before the flush takes effect.
+    if (engine_->config_.consistency == ConsistencyModel::TSO)
+        engine_->drainAll(tid_);
+    engine_->emit(tid_, EventKind::CacheFlush, addr, 0, 0);
+}
+
+void
+ThreadCtx::clflushopt(Addr addr)
+{
+    engine_->schedulePoint(tid_);
+    // clflushopt/clwb are ordered only against older stores to the
+    // flushed line: drain the FIFO prefix covering those and nothing
+    // more, so the flush can overtake older stores to other lines.
+    if (engine_->config_.consistency == ConsistencyModel::TSO)
+        engine_->drainLine(tid_, addr);
+    engine_->emit(tid_, EventKind::CacheFlushOpt, addr, 0, 0);
+}
+
+void
+ThreadCtx::clwb(Addr addr)
+{
+    engine_->schedulePoint(tid_);
+    if (engine_->config_.consistency == ConsistencyModel::TSO)
+        engine_->drainLine(tid_, addr);
+    engine_->emit(tid_, EventKind::CacheWriteBack, addr, 0, 0);
+}
+
+void
+ThreadCtx::sfence()
+{
+    engine_->schedulePoint(tid_);
+    if (engine_->config_.consistency == ConsistencyModel::TSO)
+        engine_->drainAll(tid_);
+    engine_->emit(tid_, EventKind::StoreFence, 0, 0, 0);
+}
+
+void
+ThreadCtx::mfence()
+{
+    engine_->schedulePoint(tid_);
+    if (engine_->config_.consistency == ConsistencyModel::TSO)
+        engine_->drainAll(tid_);
+    engine_->emit(tid_, EventKind::FullFence, 0, 0, 0);
 }
 
 void

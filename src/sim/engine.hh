@@ -171,9 +171,40 @@ class ThreadCtx
     /**
      * Consistency fence: under TSO, drain this thread's store buffer
      * (making all its stores visible) and mark the point in the
-     * trace. A no-op event under SC.
+     * trace. A no-op event under SC. Carries no persistency
+     * semantics — sfence()/mfence() are the persistency fences.
      */
     void fence();
+
+    /** @name Px86 flush / fence instructions
+     *
+     * The x86 persistent-memory primitives, traced as first-class
+     * events for the Px86 timing model (src/persistency/). Under TSO
+     * execution the drain behavior mirrors the ISA's ordering rules:
+     * clflush, sfence, and mfence drain the whole store buffer (they
+     * are ordered against all older stores), while clflushopt/clwb
+     * drain only up to the newest buffered store of the flushed cache
+     * line — so a weak flush can appear in the trace *before* an
+     * older store to a different line, exposing the real clflushopt
+     * reordering to the analyses. Under SC the event is emitted
+     * directly (stores are already globally visible).
+     */
+    ///@{
+    /** Flush @p addr's cache line; strongly ordered (clflush). */
+    void clflush(Addr addr);
+
+    /** Flush @p addr's cache line; weakly ordered (clflushopt). */
+    void clflushopt(Addr addr);
+
+    /** Write back @p addr's cache line without evicting (clwb). */
+    void clwb(Addr addr);
+
+    /** Store fence: orders weak flushes with stores (sfence). */
+    void sfence();
+
+    /** Full fence: same persistency semantics as sfence (mfence). */
+    void mfence();
+    ///@}
 
     /** Emit an operation marker (op begin/end, persist roles, ...). */
     void marker(MarkerCode code, std::uint64_t arg = 0);
@@ -308,6 +339,11 @@ class ExecutionEngine
 
     /** Drain every buffered store of @p tid (token held). */
     void drainAll(ThreadId tid);
+
+    /** Drain @p tid's buffer up to and including the newest store
+        that overlaps @p addr's cache line (FIFO order; a no-op when
+        no buffered store touches the line). */
+    void drainLine(ThreadId tid, Addr addr);
 
     /** Body of one simulated thread. */
     void workerBody(ThreadId tid, const WorkerFn &fn);

@@ -314,6 +314,73 @@ TEST(TraceIo, BadEventKindByteIsRejected)
     std::remove(path.c_str());
 }
 
+// The x86 flush/fence kinds (ISSUE 6) must survive every trace
+// surface: the buffered reader, the streaming reader, and the mmap
+// reader all reproduce them bit-exactly.
+TEST(TraceIo, FlushAndFenceKindsRoundTrip)
+{
+    test::TraceBuilder builder;
+    builder.store(0, paddr(0), 1)
+        .clflush(0, paddr(0))
+        .clflushopt(1, paddr(8))
+        .clwb(0, paddr(16))
+        .sfence(1)
+        .mfence(0);
+    const std::string path = tempPath("flushkinds");
+    writeTraceFile(path, builder.trace());
+
+    const InMemoryTrace buffered = readTraceFile(path);
+    MmapTraceReader mapped(path);
+    TraceFileReader streaming(path);
+    const auto &expect = builder.trace().events();
+    ASSERT_EQ(buffered.size(), expect.size());
+    ASSERT_EQ(mapped.events().size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        TraceEvent streamed;
+        ASSERT_TRUE(streaming.readNext(streamed));
+        EXPECT_EQ(buffered.events()[i].kind, expect[i].kind) << i;
+        EXPECT_EQ(mapped.events()[i].kind, expect[i].kind) << i;
+        EXPECT_EQ(streamed.kind, expect[i].kind) << i;
+        EXPECT_EQ(buffered.events()[i].addr, expect[i].addr) << i;
+        EXPECT_EQ(mapped.events()[i].addr, expect[i].addr) << i;
+        EXPECT_EQ(streamed.thread, expect[i].thread) << i;
+    }
+
+    EXPECT_STREQ(eventKindName(EventKind::CacheFlush), "clflush");
+    EXPECT_STREQ(eventKindName(EventKind::CacheFlushOpt),
+                 "clflushopt");
+    EXPECT_STREQ(eventKindName(EventKind::CacheWriteBack), "clwb");
+    EXPECT_STREQ(eventKindName(EventKind::StoreFence), "sfence");
+    EXPECT_STREQ(eventKindName(EventKind::FullFence), "mfence");
+    std::remove(path.c_str());
+}
+
+// The kind validators accept exactly [0, kMaxEventKind]: the highest
+// legal byte (mfence) reads back, while kMaxEventKind + 1 is rejected
+// by both the streaming and the mmap decoder. Guards against the
+// validator bound lagging behind a future EventKind growth.
+TEST(TraceIo, KindJustBeyondMaxIsRejected)
+{
+    test::TraceBuilder builder;
+    builder.store(0, paddr(0), 1).mfence(0);
+    const std::string path = tempPath("overmax");
+    writeTraceFile(path, builder.trace());
+
+    auto bytes = readBytes(path);
+    const std::size_t kind_offset = 24 + 32 + 28;
+    ASSERT_GT(bytes.size(), kind_offset);
+    ASSERT_EQ(bytes[kind_offset], kMaxEventKind); // mfence is the max
+    bytes[kind_offset] = kMaxEventKind + 1;
+    writeBytes(path, bytes);
+
+    TraceFileReader reader(path);
+    TraceEvent event;
+    EXPECT_TRUE(reader.readNext(event));
+    EXPECT_THROW(reader.readNext(event), FatalError);
+    EXPECT_THROW(MmapTraceReader mapped(path), FatalError);
+    std::remove(path.c_str());
+}
+
 TEST(MmapTraceIo, RoundTripAndSegmentViews)
 {
     const std::string path = writeSmallTrace("mmap_roundtrip");

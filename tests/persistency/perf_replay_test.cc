@@ -4,7 +4,7 @@
  *
  * Rebuilds the synthetic trace that bench/replay_baseline.cc measures
  * (identical SyntheticTraceConfig defaults), replays it under strict,
- * epoch, and strand persistency, and fails when the achieved
+ * epoch, strand, and px86 persistency, and fails when the achieved
  * events/sec drops below half of the committed baseline in
  * BENCH_replay.json (env PERSIM_BENCH_BASELINE, wired by
  * tests/CMakeLists.txt to the repo-root copy).
@@ -76,6 +76,7 @@ TEST(PerfReplay, SyntheticTraceHoldsBaselineThroughput)
         {"strict", ModelConfig::strict()},
         {"epoch", ModelConfig::epoch()},
         {"strand", ModelConfig::strand()},
+        {"px86", ModelConfig::px86()},
     };
     for (const Model &entry : models) {
         const auto it = baseline.find(std::string("replay/synthetic/") +

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Px86 timing-model unit tests: flush/fence result counters, the
+ * dirty-line bank (stores persist only when flushed), strong-vs-weak
+ * flush ordering, sfence/mfence folding, intra-flush coalescing vs
+ * the fresh-group rule across flushes, and the canonical epoch-to-x86
+ * compilation of PersistBarrier.
+ *
+ * These pin the operational semantics at the engine level; the
+ * cross-model reachable-state consequences are covered end-to-end by
+ * tests/conformance/conformance_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "persistency/timing_engine.hh"
+#include "tests/support/trace_builder.hh"
+
+namespace persim {
+namespace {
+
+using test::paddr;
+using test::TraceBuilder;
+
+/** paddr() slots per 64-byte cache line (slots are 8 bytes). */
+constexpr std::uint64_t slots_per_line =
+    cache_line_bytes / 8;
+
+TEST(Px86, FlushAndFenceCountersAreTallied)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .clflush(0, paddr(0))
+           .clflushopt(0, paddr(slots_per_line))
+           .clwb(0, paddr(2 * slots_per_line))
+           .sfence(0)
+           .mfence(0);
+    const auto result = builder.analyze(ModelConfig::px86());
+    EXPECT_EQ(result.events, 6u);
+    EXPECT_EQ(result.flushes, 3u);
+    EXPECT_EQ(result.fences, 2u);
+}
+
+TEST(Px86, UnflushedStoreNeverPersists)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 7);
+    const auto result = builder.analyze(ModelConfig::px86());
+    EXPECT_EQ(result.persists, 0u);
+    EXPECT_EQ(result.unflushed, 1u);
+    EXPECT_TRUE(builder.analyzeLog(ModelConfig::px86()).empty());
+}
+
+TEST(Px86, FlushPersistsTheDirtyLine)
+{
+    TraceBuilder builder;
+    builder.store(1, paddr(3), 0xabcd, 8).clflush(1, paddr(3));
+    const auto result = builder.analyze(ModelConfig::px86());
+    EXPECT_EQ(result.persists, 1u);
+    EXPECT_EQ(result.unflushed, 0u);
+
+    const auto log = builder.analyzeLog(ModelConfig::px86());
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0].addr, paddr(3));
+    EXPECT_EQ(log[0].size, 8u);
+    EXPECT_EQ(log[0].value, 0xabcdu);
+    EXPECT_EQ(log[0].thread, 1u);
+}
+
+TEST(Px86, CleanLineFlushIsANoop)
+{
+    TraceBuilder builder;
+    builder.clflush(0, paddr(0)).clflushopt(0, paddr(0)).sfence(0);
+    const auto result = builder.analyze(ModelConfig::px86());
+    EXPECT_EQ(result.flushes, 2u);
+    EXPECT_EQ(result.persists, 0u);
+    EXPECT_EQ(result.unflushed, 0u);
+}
+
+TEST(Px86, FlushOnlyCoversItsOwnLine)
+{
+    // Two dirty lines, one flush: the other line stays unflushed.
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .store(0, paddr(slots_per_line))
+           .clflush(0, paddr(0));
+    const auto result = builder.analyze(ModelConfig::px86());
+    EXPECT_EQ(result.persists, 1u);
+    EXPECT_EQ(result.unflushed, 1u);
+}
+
+// clflush is strongly ordered: a younger flush (of either kind) on
+// another line starts only after it completes.
+TEST(Px86, StrongFlushOrdersYoungerFlushes)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .clflush(0, paddr(0))
+           .store(0, paddr(slots_per_line))
+           .clflushopt(0, paddr(slots_per_line));
+    const auto log = builder.analyzeLog(ModelConfig::px86());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_GT(log[1].time, log[0].time);
+}
+
+// clflushopt is weak: two unfenced clflushopts of independent lines
+// may persist in either order (equal levels, no constraint).
+TEST(Px86, WeakFlushesAreUnordered)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .clflushopt(0, paddr(0))
+           .store(0, paddr(slots_per_line))
+           .clflushopt(0, paddr(slots_per_line));
+    const auto log = builder.analyzeLog(ModelConfig::px86());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0].time, log[1].time);
+}
+
+TEST(Px86, SfenceOrdersPriorWeakFlushes)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .clflushopt(0, paddr(0))
+           .sfence(0)
+           .store(0, paddr(slots_per_line))
+           .clflushopt(0, paddr(slots_per_line));
+    const auto log = builder.analyzeLog(ModelConfig::px86());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_GT(log[1].time, log[0].time);
+}
+
+TEST(Px86, MfenceOrdersLikeSfence)
+{
+    TraceBuilder sf, mf;
+    sf.store(0, paddr(0)).clflushopt(0, paddr(0)).sfence(0)
+      .store(0, paddr(slots_per_line))
+      .clflushopt(0, paddr(slots_per_line));
+    mf.store(0, paddr(0)).clflushopt(0, paddr(0)).mfence(0)
+      .store(0, paddr(slots_per_line))
+      .clflushopt(0, paddr(slots_per_line));
+    const auto a = sf.analyzeLog(ModelConfig::px86());
+    const auto b = mf.analyzeLog(ModelConfig::px86());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].time, b[i].time) << i;
+        EXPECT_EQ(a[i].addr, b[i].addr) << i;
+    }
+}
+
+// Pieces flushed by ONE flush coalesce into a single atomic group.
+TEST(Px86, PiecesOfOneFlushCoalesce)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1)
+           .store(0, paddr(1), 2) // same 64-byte line
+           .clflushopt(0, paddr(0));
+    const auto result = builder.analyze(ModelConfig::px86());
+    EXPECT_EQ(result.persists, 2u);
+    EXPECT_EQ(result.coalesced, 1u);
+    const auto log = builder.analyzeLog(ModelConfig::px86());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0].time, log[1].time); // one atomic group
+}
+
+// ... but each flush founds a FRESH group: re-dirtying and re-flushing
+// the same line must not coalesce into the earlier flush's group,
+// otherwise the intermediate per-line crash state disappears.
+TEST(Px86, SecondFlushOfALineFoundsAFreshGroup)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1)
+           .clflushopt(0, paddr(0))
+           .store(0, paddr(1), 2) // same line, after the first flush
+           .clflushopt(0, paddr(0));
+    const auto result = builder.analyze(ModelConfig::px86());
+    EXPECT_EQ(result.persists, 2u);
+    EXPECT_EQ(result.coalesced, 0u);
+    const auto log = builder.analyzeLog(ModelConfig::px86());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_GT(log[1].time, log[0].time); // same-block persist order
+}
+
+// Same-line overwrite BEFORE any flush keeps only the newest piece:
+// the store buffer/cache holds one value per (addr, size).
+TEST(Px86, SameAddressOverwriteKeepsNewestValue)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0), 1)
+           .store(0, paddr(0), 2)
+           .clflush(0, paddr(0));
+    const auto log = builder.analyzeLog(ModelConfig::px86());
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0].value, 2u);
+}
+
+// Canonical epoch->x86 compilation: a PersistBarrier behaves as
+// "flush every dirty line of this thread, then sfence".
+TEST(Px86, PersistBarrierCompilesToFlushAllPlusSfence)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .barrier(0)
+           .store(0, paddr(slots_per_line))
+           .clflushopt(0, paddr(slots_per_line));
+    const auto result = builder.analyze(ModelConfig::px86());
+    EXPECT_EQ(result.persists, 2u);
+    EXPECT_EQ(result.unflushed, 0u);
+    EXPECT_EQ(result.barriers, 1u);
+    const auto log = builder.analyzeLog(ModelConfig::px86());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0].addr, paddr(0)); // barrier flushed it
+    EXPECT_GT(log[1].time, log[0].time); // and fence-ordered it
+}
+
+TEST(Px86, BarrierFlushesOnlyTheIssuingThread)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .store(1, paddr(slots_per_line))
+           .barrier(0);
+    const auto result = builder.analyze(ModelConfig::px86());
+    EXPECT_EQ(result.persists, 1u);
+    EXPECT_EQ(result.unflushed, 1u); // thread 1's line is still dirty
+}
+
+// Under the SC-persistency models the new events still count but
+// sfence/mfence act as persist barriers and flushes are timing-free;
+// nothing is ever "unflushed" because stores persist at the store.
+TEST(Px86, ScModelsTreatSfenceAsBarrierAndNeverLeaveDirt)
+{
+    TraceBuilder builder;
+    builder.store(0, paddr(0))
+           .clflushopt(0, paddr(0))
+           .sfence(0)
+           .store(0, paddr(slots_per_line));
+    const auto result = builder.analyze(ModelConfig::epoch());
+    EXPECT_EQ(result.persists, 2u);
+    EXPECT_EQ(result.unflushed, 0u);
+    EXPECT_EQ(result.flushes, 1u);
+    EXPECT_EQ(result.fences, 1u);
+    const auto log = builder.analyzeLog(ModelConfig::epoch());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_GT(log[1].time, log[0].time); // sfence == epoch boundary
+}
+
+TEST(Px86, ModelPresetNameAndShape)
+{
+    const ModelConfig model = ModelConfig::px86();
+    EXPECT_EQ(model.name(), "px86");
+    EXPECT_EQ(model.kind, ModelKind::Px86);
+    EXPECT_EQ(model.atomic_granularity, cache_line_bytes);
+}
+
+} // namespace
+} // namespace persim

@@ -242,6 +242,103 @@ TEST(Tso, FenceIsHarmlessUnderSc)
     EXPECT_EQ(fences, 1);
 }
 
+/** Visibility-ordered kinds of thread 0 (start/end markers elided). */
+std::vector<EventKind>
+threadKinds(const InMemoryTrace &trace)
+{
+    std::vector<EventKind> kinds;
+    for (const auto &event : trace.events())
+        if (event.thread == 0 &&
+            event.kind != EventKind::ThreadStart &&
+            event.kind != EventKind::ThreadEnd)
+            kinds.push_back(event.kind);
+    return kinds;
+}
+
+// clflush is ordered against ALL older stores: both buffered stores
+// (even the one to an unrelated line) drain before the flush event.
+TEST(Tso, ClflushDrainsAllOlderStores)
+{
+    InMemoryTrace trace;
+    ExecutionEngine engine(tsoConfig(8), &trace);
+    Addr a = 0;
+    engine.runSetup([&a](ThreadCtx &ctx) {
+        a = ctx.vmalloc(3 * cache_line_bytes, cache_line_bytes);
+    });
+    engine.run({[a](ThreadCtx &ctx) {
+        ctx.store(a, 1);
+        ctx.store(a + cache_line_bytes, 2);
+        ctx.clflush(a);
+    }});
+    EXPECT_EQ(threadKinds(trace),
+              (std::vector<EventKind>{EventKind::Store,
+                                      EventKind::Store,
+                                      EventKind::CacheFlush}));
+}
+
+// clflushopt/clwb drain only the FIFO prefix covering the flushed
+// line: with no buffered store to that line, the flush overtakes an
+// older store to another line.
+TEST(Tso, ClflushoptOvertakesStoresToOtherLines)
+{
+    InMemoryTrace trace;
+    ExecutionEngine engine(tsoConfig(8), &trace);
+    Addr a = 0;
+    engine.runSetup([&a](ThreadCtx &ctx) {
+        a = ctx.vmalloc(3 * cache_line_bytes, cache_line_bytes);
+    });
+    engine.run({[a](ThreadCtx &ctx) {
+        ctx.store(a, 1);                          // Line A, buffered.
+        ctx.clflushopt(a + cache_line_bytes);     // Line B: no drain.
+        ctx.clwb(a + 2 * cache_line_bytes);       // Line C: no drain.
+    }});
+    // Both weak flushes become visible BEFORE the store drains.
+    EXPECT_EQ(threadKinds(trace),
+              (std::vector<EventKind>{EventKind::CacheFlushOpt,
+                                      EventKind::CacheWriteBack,
+                                      EventKind::Store}));
+}
+
+// ... but a buffered store to the flushed line (and the FIFO prefix
+// in front of it) must drain first.
+TEST(Tso, ClflushoptDrainsItsOwnLinePrefix)
+{
+    InMemoryTrace trace;
+    ExecutionEngine engine(tsoConfig(8), &trace);
+    Addr a = 0;
+    engine.runSetup([&a](ThreadCtx &ctx) {
+        a = ctx.vmalloc(2 * cache_line_bytes, cache_line_bytes);
+    });
+    engine.run({[a](ThreadCtx &ctx) {
+        ctx.store(a, 1);                      // Line A (older).
+        ctx.store(a + cache_line_bytes, 2);   // Line B.
+        ctx.clflushopt(a + cache_line_bytes); // Must drain both.
+    }});
+    EXPECT_EQ(threadKinds(trace),
+              (std::vector<EventKind>{EventKind::Store,
+                                      EventKind::Store,
+                                      EventKind::CacheFlushOpt}));
+}
+
+TEST(Tso, SfenceAndMfenceDrainTheBuffer)
+{
+    InMemoryTrace trace;
+    ExecutionEngine engine(tsoConfig(8), &trace);
+    Addr a = 0;
+    engine.runSetup([&a](ThreadCtx &ctx) { a = ctx.vmalloc(16); });
+    engine.run({[a](ThreadCtx &ctx) {
+        ctx.store(a, 1);
+        ctx.sfence();
+        ctx.store(a + 8, 2);
+        ctx.mfence();
+    }});
+    EXPECT_EQ(threadKinds(trace),
+              (std::vector<EventKind>{EventKind::Store,
+                                      EventKind::StoreFence,
+                                      EventKind::Store,
+                                      EventKind::FullFence}));
+}
+
 TEST(Tso, QuantumOneInterleavesBufferedThreads)
 {
     // Sanity: a multi-threaded TSO run with tiny quantum completes

@@ -79,6 +79,41 @@ class TraceBuilder
     }
 
     TraceBuilder &
+    clflush(ThreadId tid, Addr addr)
+    {
+        push(tid, EventKind::CacheFlush, addr, 0, 0);
+        return *this;
+    }
+
+    TraceBuilder &
+    clflushopt(ThreadId tid, Addr addr)
+    {
+        push(tid, EventKind::CacheFlushOpt, addr, 0, 0);
+        return *this;
+    }
+
+    TraceBuilder &
+    clwb(ThreadId tid, Addr addr)
+    {
+        push(tid, EventKind::CacheWriteBack, addr, 0, 0);
+        return *this;
+    }
+
+    TraceBuilder &
+    sfence(ThreadId tid)
+    {
+        push(tid, EventKind::StoreFence, 0, 0, 0);
+        return *this;
+    }
+
+    TraceBuilder &
+    mfence(ThreadId tid)
+    {
+        push(tid, EventKind::FullFence, 0, 0, 0);
+        return *this;
+    }
+
+    TraceBuilder &
     opBegin(ThreadId tid, std::uint64_t op)
     {
         push(tid, EventKind::Marker, 0, 0, op,
