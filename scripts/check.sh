@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then
 # smoke-test the bounded model checker with small budgets, diff the
-# px86 conformance report against its golden copy, fuzz the timing
-# engine differentially (--fuzz-iters=N, default 500), and run the
+# px86 conformance report against its golden copy, run the analysis
+# stage (PersistRace detector + crash-state pruner tests and the
+# explore-scaling acceptance gate), fuzz the timing engine
+# differentially (--fuzz-iters=N, default 500), and run the
 # perf-labeled replay-throughput regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,6 +38,17 @@ CONF_OUT=$(mktemp)
 ./build/bench/conformance_report --jobs=4 --out="$CONF_OUT" >/dev/null
 cmp "$CONF_OUT" tests/conformance/golden/conformance_report.txt
 rm -f "$CONF_OUT"
+
+# Analysis stage: the plugin-based analyses (PersistRace detector,
+# constraint-guided crash-state pruner) by label, then the explore-
+# scaling acceptance gate — pruning must complete a program >=5x
+# larger than blind cut enumeration under one cut budget. The JSON
+# goes to a scratch path; the committed BENCH_explore.json baseline
+# is refreshed deliberately, like BENCH_replay.json.
+ctest --test-dir build -L analysis --output-on-failure
+EXPLORE_JSON=$(mktemp)
+./build/bench/explore_scaling --check --json="$EXPLORE_JSON"
+rm -f "$EXPLORE_JSON"
 
 # ThreadSanitizer pass: the task pool, the pool-driven parallel sweep,
 # the segment-parallel replay path (prep fan-out + deferred log
@@ -71,13 +84,20 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j \
     --target faults_test fault_campaign_test recovery_test \
-    log_test queue_test queue_negative_test differential_fuzz_test
+    log_test queue_test queue_negative_test differential_fuzz_test \
+    persist_race_test pruned_cuts_test
 ./build-asan/tests/faults_test
 ./build-asan/tests/fault_campaign_test
 ./build-asan/tests/recovery_test
 ./build-asan/tests/log_test
 ./build-asan/tests/queue_test
 ./build-asan/tests/queue_negative_test
+# The race detector and crash-state pruner index raw addresses into
+# flat maps and arena spans on the hook hot path: run both
+# instrumented too.
+PERSIM_GOLDEN_DIR=tests/persistency/golden \
+    ./build-asan/tests/persist_race_test
+./build-asan/tests/pruned_cuts_test
 
 # Fuzz stage: the differential fuzzer at full depth, instrumented —
 # 500 seeded random programs (default) replayed under all three

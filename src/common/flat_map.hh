@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hh"
+
 namespace persim {
 
 /** Hash map u64 key -> dense u32 slot; keys must not be ~0ULL. */
@@ -27,7 +29,20 @@ class FlatIndexMap
     static constexpr std::uint64_t empty_key = ~0ULL;
     static constexpr std::uint32_t no_slot = ~0U;
 
-    FlatIndexMap() { rehash(initial_buckets); }
+    /**
+     * @p max_slots bounds the number of distinct keys; inserting past
+     * it is a hard FatalError. The default (= no_slot) is the largest
+     * safe bound: it keeps every handed-out slot strictly below the
+     * no_slot sentinel, so an unchecked `count_++` can never mint a
+     * slot that find() would report as "absent" (the sentinel
+     * collision this guard exists for — 2^32 keys would previously
+     * have wrapped count_ silently).
+     */
+    explicit FlatIndexMap(std::uint32_t max_slots = no_slot)
+        : max_slots_(max_slots)
+    {
+        rehash(initial_buckets);
+    }
 
     /** Number of distinct keys inserted. */
     std::uint32_t size() const { return count_; }
@@ -39,6 +54,12 @@ class FlatIndexMap
     std::uint32_t
     findOrInsert(std::uint64_t key, bool &inserted)
     {
+        // The sentinel key would silently alias the first empty
+        // bucket probed (and corrupt the table if inserted); one
+        // never-taken compare is noise next to the hash + probe.
+        PERSIM_REQUIRE(key != empty_key,
+                       "FlatIndexMap: key ~0 is reserved as the "
+                       "empty-bucket sentinel");
         std::size_t at = static_cast<std::size_t>(mix(key)) & mask_;
         while (true) {
             Bucket &bucket = buckets_[at];
@@ -47,6 +68,11 @@ class FlatIndexMap
                 return bucket.slot;
             }
             if (bucket.key == empty_key) {
+                // Cold path (first sighting of the key): the capacity
+                // bound sits here, off the per-event probe loop.
+                if (count_ >= max_slots_)
+                    PERSIM_FATAL("FlatIndexMap: slot capacity "
+                                 "exhausted (max_slots reached)");
                 inserted = true;
                 const std::uint32_t slot = count_++;
                 bucket.key = key;
@@ -126,6 +152,7 @@ class FlatIndexMap
     std::vector<Bucket> buckets_;
     std::size_t mask_ = 0;
     std::uint32_t count_ = 0;
+    std::uint32_t max_slots_ = no_slot;
 };
 
 } // namespace persim

@@ -8,6 +8,7 @@
 #include "common/task_pool.hh"
 #include "explore/programs.hh"
 #include "memtrace/event.hh"
+#include "persistency/persist_race.hh"
 #include "persistency/timing_engine.hh"
 #include "recovery/cuts.hh"
 #include "sim/scheduler.hh"
@@ -247,6 +248,27 @@ handwrittenLitmusTests()
         }}));
 
     tests.push_back(makeHandTest(
+        "dirty_read_race",
+        "seeded persistency race: the consumer reads x while it is "
+        "dirty (never flushed) and persists y — recovery can see y "
+        "without x; PersistRace flags it (dirty_read under px86, "
+        "unordered_persist under the SC-shadow models)",
+        {"x", "y"}, true,
+        {[](ThreadCtx &ctx, const LitmusCells &c) {
+             ctx.store(c.cell[0], 1);
+             // Bug under test: no flush of x before publishing.
+             ctx.store(c.vflag, 1);
+         },
+         [](ThreadCtx &ctx, const LitmusCells &c) {
+             if (awaitFlag(ctx, c.vflag)) {
+                 (void)ctx.load(c.cell[0]);
+                 ctx.store(c.cell[1], 1);
+                 ctx.clflushopt(c.cell[1]);
+                 ctx.sfence();
+             }
+         }}));
+
+    tests.push_back(makeHandTest(
         "independent_flushes",
         "unrelated lines flushed by unrelated threads stay unordered "
         "under every model (schedule-union sanity row)",
@@ -399,10 +421,14 @@ runOneTest(const LitmusTest &test, const ConformanceOptions &options,
             tcfg.model = model;
             tcfg.record_log = true;
             tcfg.record_deps = true;
+            PersistRaceDetector detector;
+            if (options.detect_persist_races)
+                tcfg.plugins.push_back(&detector);
             PersistTimingEngine engine(tcfg);
             engine.onBatch(execution.trace.events().data(),
                            execution.trace.events().size());
             engine.onFinish();
+            entry.persist_races += detector.total();
             const PersistLog log = engine.takeLog();
             const PersistDag dag = buildPersistDag(log);
 
@@ -421,8 +447,18 @@ runOneTest(const LitmusTest &test, const ConformanceOptions &options,
                 states.insert(std::move(state));
                 return "";
             };
-            const CutCheckResult cuts =
-                checkAllCuts(log, dag, fingerprint, options.max_cuts);
+            CutCheckResult cuts;
+            if (options.prune_cuts) {
+                std::vector<AddrRange> ranges;
+                ranges.reserve(execution.observed.size());
+                for (const ObservedCell &cell : execution.observed)
+                    ranges.push_back(AddrRange{cell.addr, cell.size});
+                cuts = checkObservedCuts(log, dag, fingerprint, ranges,
+                                         options.max_cuts);
+            } else {
+                cuts = checkAllCuts(log, dag, fingerprint,
+                                    options.max_cuts);
+            }
             entry.budget_exhausted |= cuts.budget_exhausted;
         }
         entry.states.assign(states.begin(), states.end());
@@ -503,6 +539,8 @@ formatDivergenceReport(const std::vector<LitmusResult> &results)
             renderStates(oss, entry.states);
             if (entry.budget_exhausted)
                 oss << " [cut budget exhausted]";
+            if (entry.persist_races > 0)
+                oss << " [persist races: " << entry.persist_races << "]";
             oss << "\n";
             if (entry.model == "px86")
                 px86 = &entry;

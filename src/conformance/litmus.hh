@@ -41,20 +41,13 @@
 
 namespace persim {
 
-/** One named persistent cell whose post-crash value is observed. */
-struct ObservedCell
-{
-    std::string name;
-    Addr addr = invalid_addr;
-    std::uint32_t size = 8;
-};
-
 /**
  * A litmus program: the bounded program plus the cells its crash
- * states are fingerprinted over. `observed` is filled in during the
- * program's setup phase (addresses exist only once the simulated
- * allocator has run); the allocator is deterministic, so every
- * execution observes the same layout.
+ * states are fingerprinted over (ObservedCell lives in
+ * explore/explore.hh so the explorer's pruner shares the type).
+ * `observed` is filled in during the program's setup phase (addresses
+ * exist only once the simulated allocator has run); the allocator is
+ * deterministic, so every execution observes the same layout.
  */
 struct LitmusProgram
 {
@@ -99,6 +92,18 @@ struct ConformanceOptions
 
     /** Consistent-cut budget per (trace, model) replay. */
     std::uint64_t max_cuts = 1ULL << 20;
+
+    /**
+     * Enumerate crash states with checkObservedCuts over the test's
+     * observed cells instead of checkAllCuts. State sets are
+     * guaranteed identical (pinned by tests/conformance); the option
+     * exists for that cross-check and for large generated programs.
+     */
+    bool prune_cuts = false;
+
+    /** Attach the PersistRace detector to every model replay and sum
+        race counts into ModelStates::persist_races. */
+    bool detect_persist_races = true;
 };
 
 /** Reachable crash states of one test under one model. */
@@ -111,6 +116,10 @@ struct ModelStates
 
     /** Some replay hit max_cuts (the set may be incomplete). */
     bool budget_exhausted = false;
+
+    /** PersistRace reports summed over the schedule set (0 when
+        ConformanceOptions::detect_persist_races is off). */
+    std::uint64_t persist_races = 0;
 };
 
 /** Full result of one litmus test. */

@@ -1,0 +1,76 @@
+#include "explore/crash_pruner.hh"
+
+#include "common/bitops.hh"
+#include "persistency/timing_engine.hh"
+
+namespace persim {
+
+CrashStatePruner::CrashStatePruner(std::vector<AddrRange> observed)
+    : observed_(std::move(observed))
+{
+}
+
+void
+CrashStatePruner::onAttach(const TimingConfig &config)
+{
+    atomic_shift_ = log2Exact(config.model.atomic_granularity);
+}
+
+bool
+CrashStatePruner::overlapsObserved(Addr addr, std::uint32_t size) const
+{
+    for (const AddrRange &range : observed_)
+        if (addr < range.addr + range.size && range.addr < addr + size)
+            return true;
+    return false;
+}
+
+std::uint32_t
+CrashStatePruner::lineSlot(Addr line)
+{
+    bool inserted = false;
+    const std::uint32_t slot = line_index_.findOrInsert(line, inserted);
+    if (inserted) {
+        line_last_commit_.push_back(0.0);
+        line_last_flush_.push_back(0);
+    }
+    return slot;
+}
+
+void
+CrashStatePruner::onPersistComplete(const PersistInfo &info)
+{
+    ++total_persists_;
+    if (overlapsObserved(info.addr, info.size))
+        ++observed_persists_;
+    const std::uint32_t slot = lineSlot(info.addr >> atomic_shift_);
+    if (info.time > line_last_commit_[slot])
+        line_last_commit_[slot] = info.time;
+}
+
+void
+CrashStatePruner::onFlush(const FlushInfo &info)
+{
+    ++flushes_;
+    if (info.line_base == invalid_addr)
+        return;
+    const std::uint32_t slot = lineSlot(info.line_base >> atomic_shift_);
+    if (info.seq > line_last_flush_[slot])
+        line_last_flush_[slot] = info.seq;
+}
+
+double
+CrashStatePruner::lastCommitTime(Addr addr) const
+{
+    const std::uint32_t slot = line_index_.find(addr >> atomic_shift_);
+    return slot == FlatIndexMap::no_slot ? 0.0 : line_last_commit_[slot];
+}
+
+SeqNum
+CrashStatePruner::lastFlushSeq(Addr addr) const
+{
+    const std::uint32_t slot = line_index_.find(addr >> atomic_shift_);
+    return slot == FlatIndexMap::no_slot ? 0 : line_last_flush_[slot];
+}
+
+} // namespace persim

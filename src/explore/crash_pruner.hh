@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Constraint-guided crash-state pruning census (DESIGN.md §14).
+ *
+ * Blind cut enumeration scales with the antichain width of the whole
+ * persist DAG, but an explorer invariant only ever reads the
+ * program's observed cells. This plugin rides along on the timing
+ * replay (persistency/analysis_plugin.hh) and tracks, per cache line
+ * and in aggregate, which persists could change an observed byte —
+ * the census Explorer::analyze consults to pick the cheapest sound
+ * enumeration:
+ *
+ *  - zero observed persists: every consistent cut projects to the
+ *    initial image, so a single invariant check replaces the whole
+ *    enumeration (the DAG is not even built);
+ *  - otherwise checkObservedCuts (recovery/cuts.hh) enumerates only
+ *    the observable projections, folding unobserved groups into the
+ *    reachability relation.
+ *
+ * The per-line last-committed time and last-flushed seq are exposed
+ * for diagnostics and the explore_scaling bench.
+ */
+
+#ifndef PERSIM_EXPLORE_CRASH_PRUNER_HH
+#define PERSIM_EXPLORE_CRASH_PRUNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/types.hh"
+#include "persistency/analysis_plugin.hh"
+#include "recovery/cuts.hh"
+
+namespace persim {
+
+/** Observed-persist census over one replay (attach via TimingConfig). */
+class CrashStatePruner : public AnalysisPlugin
+{
+  public:
+    explicit CrashStatePruner(std::vector<AddrRange> observed);
+
+    void onAttach(const TimingConfig &config) override;
+    void onPersistComplete(const PersistInfo &info) override;
+    void onFlush(const FlushInfo &info) override;
+
+    /** Persists overlapping at least one observed range. */
+    std::uint64_t observedPersists() const { return observed_persists_; }
+
+    /** Every persist the engine tracked. */
+    std::uint64_t totalPersists() const { return total_persists_; }
+
+    /** Distinct atomic-granularity lines that persisted or flushed. */
+    std::uint64_t linesTouched() const { return line_index_.size(); }
+
+    /** Flush events seen (only px86-family models fire these). */
+    std::uint64_t flushesSeen() const { return flushes_; }
+
+    /** Completion time of the latest persist on @p addr's line
+        (0 when the line never persisted). */
+    double lastCommitTime(Addr addr) const;
+
+    /** Seq of the latest flush naming @p addr's line (0 when none). */
+    SeqNum lastFlushSeq(Addr addr) const;
+
+  private:
+    bool overlapsObserved(Addr addr, std::uint32_t size) const;
+    std::uint32_t lineSlot(Addr line);
+
+    std::vector<AddrRange> observed_;
+    unsigned atomic_shift_ = 6;
+
+    /** Per-line epochs, keyed by addr >> atomic_shift_. */
+    FlatIndexMap line_index_;
+    std::vector<double> line_last_commit_;
+    std::vector<SeqNum> line_last_flush_;
+
+    std::uint64_t observed_persists_ = 0;
+    std::uint64_t total_persists_ = 0;
+    std::uint64_t flushes_ = 0;
+};
+
+} // namespace persim
+
+#endif // PERSIM_EXPLORE_CRASH_PRUNER_HH

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <unordered_set>
 
 #include "common/error.hh"
+#include "explore/crash_pruner.hh"
 #include "persistency/timing_engine.hh"
 #include "recovery/cuts.hh"
 
@@ -72,6 +74,9 @@ ExploreResult::summary() const
         << sampled_executions << " sampled, " << truncated_executions
         << " truncated), " << cuts_checked << " crash states checked, "
         << violations << " violations";
+    if (pruned_analyses > 0)
+        oss << "; " << pruned_analyses << " pruned analyses ("
+            << pruned_short_circuits << " short-circuited)";
     if (schedule_budget_exhausted)
         oss << "; schedule budget exhausted";
     if (cut_budget_exhausted)
@@ -128,6 +133,8 @@ Explorer::execute(const std::vector<std::uint32_t> &prefix,
     out.fingerprint = fingerprintTrace(out.trace);
     if (program.invariant)
         out.invariant = program.invariant();
+    if (program.observed)
+        out.observed = *program.observed;
     return out;
 }
 
@@ -163,22 +170,53 @@ void
 Explorer::analyze(Shared &shared, const Execution &execution,
                   const std::vector<std::uint32_t> &decision_prefix)
 {
+    const bool prune = config_.prune_cuts && !execution.observed.empty();
+    std::vector<AddrRange> ranges;
+    if (prune) {
+        ranges.reserve(execution.observed.size());
+        for (const ObservedCell &cell : execution.observed)
+            ranges.push_back(AddrRange{cell.addr, cell.size});
+    }
+
     TimingConfig timing;
     timing.model = config_.model;
     timing.clock = ClockMode::Levels;
     timing.record_log = true;
     timing.record_deps = true;
+    std::optional<CrashStatePruner> pruner;
+    if (prune) {
+        pruner.emplace(ranges);
+        timing.plugins.push_back(&*pruner);
+    }
     PersistTimingEngine timing_engine(timing);
     execution.trace.replay(timing_engine);
     const PersistLog log = timing_engine.takeLog();
-    const PersistDag dag = buildPersistDag(log);
 
     RecoveryInvariant invariant = execution.invariant;
     if (!invariant)
         invariant = [](const MemoryImage &) { return std::string(); };
 
-    const CutCheckResult cuts =
-        checkAllCuts(log, dag, invariant, config_.max_cuts);
+    CutCheckResult cuts;
+    PersistDag dag;
+    bool short_circuited = false;
+    if (prune && pruner->observedPersists() == 0) {
+        // No persist ever touches an observed byte, so every
+        // consistent cut projects to the initial image: one invariant
+        // check covers the whole lattice, and the DAG is not needed.
+        short_circuited = true;
+        cuts.cuts = 1;
+        const std::string verdict = invariant(MemoryImage{});
+        if (!verdict.empty()) {
+            cuts.violations = 1;
+            cuts.first_violation = verdict;
+        }
+    } else {
+        dag = buildPersistDag(log);
+        cuts = prune ? checkObservedCuts(log, dag, invariant, ranges,
+                                         config_.max_cuts)
+                     : checkAllCuts(log, dag, invariant,
+                                    config_.max_cuts);
+    }
 
     bool claim = false;
     {
@@ -186,6 +224,10 @@ Explorer::analyze(Shared &shared, const Execution &execution,
         shared.result.cuts_checked += cuts.cuts;
         shared.result.violations += cuts.violations;
         shared.result.cut_budget_exhausted |= cuts.budget_exhausted;
+        if (prune)
+            ++shared.result.pruned_analyses;
+        if (short_circuited)
+            ++shared.result.pruned_short_circuits;
         if (cuts.violations > 0 && !shared.counterexample_claimed) {
             shared.counterexample_claimed = true;
             claim = true;

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,6 +44,14 @@
 #include "sim/scheduler.hh"
 
 namespace persim {
+
+/** One named persistent cell whose post-crash value is observed. */
+struct ObservedCell
+{
+    std::string name;
+    Addr addr = invalid_addr;
+    std::uint32_t size = 8;
+};
 
 /**
  * A bounded program under test. The factory below is invoked once
@@ -72,6 +81,16 @@ struct ExploreProgram
      * scheduler fields are overridden by the explorer's ReplayPolicy.
      */
     EngineConfig engine;
+
+    /**
+     * Cells the invariant reads, filled during setup (addresses exist
+     * only once the simulated allocator has run; the allocator is
+     * deterministic, so every execution observes the same layout).
+     * Optional — but required for ExploreConfig::prune_cuts, which
+     * restricts crash-state enumeration to cuts that can differ on
+     * these byte ranges.
+     */
+    std::shared_ptr<std::vector<ObservedCell>> observed;
 };
 
 /** Builds a fresh instance of the program under test. */
@@ -114,6 +133,17 @@ struct ExploreConfig
 
     /** Minimize counterexamples (costs a few replays). */
     bool minimize = true;
+
+    /**
+     * Constraint-guided crash-state pruning (DESIGN.md §14): when the
+     * program declares observed cells, enumerate only consistent cuts
+     * that can read a distinct value on them (checkObservedCuts),
+     * instead of every order ideal of the full persist DAG. Verdicts
+     * are identical; the cut count collapses from exponential in the
+     * whole trace's antichain width to exponential in the *observed*
+     * groups only. Ignored for programs without observed cells.
+     */
+    bool prune_cuts = false;
 };
 
 /** A concrete, replayable recovery-correctness failure. */
@@ -153,6 +183,13 @@ struct ExploreResult
     std::uint64_t branch_points = 0;      //!< Alternatives discovered.
     std::uint64_t cuts_checked = 0;       //!< Crash states examined.
     std::uint64_t violations = 0;         //!< Crash states that failed.
+
+    /** Analyses that used the observed-projection enumeration. */
+    std::uint64_t pruned_analyses = 0;
+
+    /** Pruned analyses with zero observed persists: one invariant
+        check replaced the whole enumeration (no DAG built). */
+    std::uint64_t pruned_short_circuits = 0;
 
     /** DFS stopped with untried alternatives (budget or depth). */
     bool schedule_budget_exhausted = false;
@@ -197,6 +234,8 @@ class Explorer
         std::vector<BranchPoint> decisions;
         std::uint64_t fingerprint = 0;
         RecoveryInvariant invariant;
+        /** Copy of the program's observed cells (post-setup). */
+        std::vector<ObservedCell> observed;
         bool diverged = false;
     };
 

@@ -28,10 +28,17 @@ publishLitmusProgram(bool consumer_barrier)
         auto state = std::make_shared<LitmusState>();
 
         ExploreProgram program;
-        program.setup = [state](ThreadCtx &ctx) {
+        program.observed = std::make_shared<std::vector<ObservedCell>>();
+        auto observed = program.observed;
+        program.setup = [state, observed](ThreadCtx &ctx) {
             state->data = ctx.pmalloc(8);
             state->seen = ctx.pmalloc(8);
             state->flag = ctx.vmalloc(8);
+            // The invariant reads exactly these two cells, so the
+            // explorer's constraint-guided pruning may restrict cut
+            // enumeration to them.
+            observed->assign({ObservedCell{"data", state->data, 8},
+                              ObservedCell{"seen", state->seen, 8}});
         };
         program.workers.push_back([state](ThreadCtx &ctx) {
             ctx.store(state->data, 1);

@@ -1,0 +1,216 @@
+#include "persistency/persist_race.hh"
+
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "persistency/timing_engine.hh"
+
+namespace persim {
+
+const char *
+raceKindName(PersistRaceDetector::RaceKind kind)
+{
+    switch (kind) {
+      case PersistRaceDetector::RaceKind::UnorderedPersist:
+        return "unordered_persist";
+      case PersistRaceDetector::RaceKind::DirtyRead:
+        return "dirty_read";
+    }
+    return "unknown";
+}
+
+PersistRaceDetector::PersistRaceDetector(Options options)
+    : options_(options)
+{
+}
+
+void
+PersistRaceDetector::onAttach(const TimingConfig &config)
+{
+    track_shift_ = log2Exact(config.model.tracking_granularity);
+    atomic_shift_ = log2Exact(config.model.atomic_granularity);
+    px86_ = config.model.kind == ModelKind::Px86;
+}
+
+PersistRaceDetector::ThreadShadow &
+PersistRaceDetector::shadowState(ThreadId tid)
+{
+    if (tid >= threads_.size())
+        threads_.resize(tid + 1);
+    return threads_[tid];
+}
+
+void
+PersistRaceDetector::recordRace(const Race &race)
+{
+    if (race.kind == RaceKind::UnorderedPersist)
+        ++unordered_;
+    else
+        ++dirty_reads_;
+    if (samples_.size() < options_.max_samples)
+        samples_.push_back(race);
+}
+
+void
+PersistRaceDetector::commitPending()
+{
+    if (!pending_)
+        return;
+    pending_ = false;
+    const ThreadShadow &state = shadowState(pending_tid_);
+    // Mirrors the engine's recordScTag: the block's SC tag becomes
+    // the accessing thread's own latest persist or inherited shadow,
+    // whichever completes later (shadow wins ties). Evaluated now —
+    // after the access's own persist, before any other state moved —
+    // exactly when the engine evaluated it.
+    const ScTag &best =
+        state.own.t > state.shadow.t ? state.own : state.shadow;
+    if (best.src != invalid_persist &&
+        best.t > sc_tag_[pending_slot_].t) {
+        sc_tag_[pending_slot_] = best;
+        sc_writer_[pending_slot_] = pending_tid_;
+    }
+}
+
+void
+PersistRaceDetector::onAccess(const AccessInfo &info)
+{
+    commitPending();
+
+    // Rule 1: inherit the block's SC tag when a foreign thread wrote
+    // it later than anything we already carry.
+    bool inserted = false;
+    const std::uint32_t slot =
+        sc_index_.findOrInsert(info.addr >> track_shift_, inserted);
+    if (inserted) {
+        sc_tag_.push_back(ScTag{});
+        sc_writer_.push_back(invalid_thread);
+    }
+    ThreadShadow &state = shadowState(info.thread);
+    if (sc_writer_[slot] != invalid_thread &&
+        sc_writer_[slot] != info.thread &&
+        sc_tag_[slot].t > state.shadow.t)
+        state.shadow = sc_tag_[slot];
+    pending_ = true;
+    pending_slot_ = slot;
+    pending_tid_ = info.thread;
+
+    // Rule 2: conflicting access to a foreign thread's dirty line.
+    if (!px86_ || !info.persistent)
+        return;
+    const std::uint32_t lslot = line_index_.findOrInsert(
+        info.addr >> atomic_shift_, inserted);
+    if (inserted) {
+        line_owner_.push_back(invalid_thread);
+        line_store_seq_.push_back(0);
+        line_reported_.push_back(0);
+    }
+    const ThreadId owner = line_owner_[lslot];
+    if (owner != invalid_thread && owner != info.thread) {
+        const std::uint64_t bit = 1ULL << (info.thread & 63);
+        if ((line_reported_[lslot] & bit) == 0) {
+            line_reported_[lslot] |= bit;
+            Race race;
+            race.kind = RaceKind::DirtyRead;
+            race.seq = info.seq;
+            race.addr = (info.addr >> atomic_shift_) << atomic_shift_;
+            race.thread = info.thread;
+            race.other = owner;
+            recordRace(race);
+        }
+    }
+    if (info.is_write) {
+        if (owner != info.thread)
+            line_reported_[lslot] = 0;
+        line_owner_[lslot] = info.thread;
+        line_store_seq_[lslot] = info.seq;
+    }
+}
+
+void
+PersistRaceDetector::onPersistIssue(const PersistInfo &info)
+{
+    ThreadShadow &state = shadowState(info.thread);
+    // Every persist in this persist's constraint cone completes no
+    // later than race_bound, so an SC-preceding foreign persist past
+    // the bound is provably unordered with it.
+    if (state.shadow.src != invalid_persist &&
+        state.shadow.t > info.race_bound) {
+        Race race;
+        race.kind = RaceKind::UnorderedPersist;
+        race.seq = info.seq;
+        race.addr = info.addr;
+        race.thread = info.thread;
+        race.persist = info.id;
+        race.foreign = state.shadow.src;
+        recordRace(race);
+    }
+    if (info.time > state.own.t) {
+        state.own.t = info.time;
+        state.own.src = info.id;
+    }
+}
+
+void
+PersistRaceDetector::onFlush(const FlushInfo &info)
+{
+    // A flush's persists update the flushing thread's `own` before
+    // the engine re-reads any SC tag, so flush the deferred commit
+    // first (it must see the pre-flush state).
+    commitPending();
+    if (info.line_base == invalid_addr)
+        return;
+    const std::uint32_t lslot =
+        line_index_.find(info.line_base >> atomic_shift_);
+    if (lslot == FlatIndexMap::no_slot)
+        return;
+    line_owner_[lslot] = invalid_thread;
+    line_reported_[lslot] = 0;
+}
+
+void
+PersistRaceDetector::onTraceEnd(const TimingResult &result)
+{
+    (void)result;
+    commitPending();
+}
+
+void
+PersistRaceDetector::reset()
+{
+    sc_index_.clear();
+    sc_tag_.clear();
+    sc_writer_.clear();
+    threads_.clear();
+    pending_ = false;
+    line_index_.clear();
+    line_owner_.clear();
+    line_store_seq_.clear();
+    line_reported_.clear();
+    unordered_ = 0;
+    dirty_reads_ = 0;
+    samples_.clear();
+}
+
+std::string
+PersistRaceDetector::format() const
+{
+    std::ostringstream out;
+    out << "persist races: " << total() << " (unordered_persist="
+        << unordered_ << ", dirty_read=" << dirty_reads_ << ")\n";
+    for (const Race &race : samples_) {
+        out << "  [" << raceKindName(race.kind) << "] seq="
+            << race.seq << " thread=" << race.thread;
+        if (race.kind == RaceKind::DirtyRead)
+            out << " line=0x" << std::hex << race.addr << std::dec
+                << " owner=" << race.other;
+        else
+            out << " addr=0x" << std::hex << race.addr << std::dec
+                << " persist=" << race.persist << " foreign="
+                << race.foreign;
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace persim

@@ -190,6 +190,9 @@ compileSegment(const TraceEvent *events, std::size_t count,
             MicroOp op;
             op.kind = MicroOp::FenceOp;
             op.thread = event.thread;
+            // The engine folds both the same way; plugins are told
+            // which one fired (is_write = full fence).
+            op.is_write = event.kind == EventKind::FullFence ? 1 : 0;
             out.ops.push_back(op);
             break;
           }
@@ -320,12 +323,6 @@ class SegmentReplayer
         // Sequential stitch: translate local slots to global ones and
         // drive the engine's handlers in global order.
         const auto stitch_start = std::chrono::steady_clock::now();
-        const ModelKind kind = engine.config_.model.kind;
-        const bool px86 = engine.px86_;
-        const bool fold_barrier = !px86 && kind != ModelKind::Strict &&
-            engine.config_.mutant != EngineMutant::ElideEpochBarrier;
-        const bool strand_model = kind == ModelKind::Strand;
-
         std::uint64_t micro_ops = 0;
         std::vector<std::uint32_t> tmap;
         std::vector<std::uint32_t> amap;
@@ -354,38 +351,24 @@ class SegmentReplayer
                         op.value, op.is_write != 0);
                     break;
                   case MicroOp::Barrier:
-                    ++engine.result_.barriers;
-                    if (px86)
-                        engine.px86Barrier(op.seq, op.thread, thread);
-                    else if (fold_barrier)
-                        engine.mergeInto(thread.epoch_dep,
-                                         thread.accum_dep);
+                    engine.handleBarrierEvent(op.seq, op.thread,
+                                              thread);
                     break;
                   case MicroOp::Flush:
-                    ++engine.result_.flushes;
-                    if (px86)
-                        engine.handleFlushAt(
-                            op.is_write != 0, op.seq, op.thread,
-                            thread, op.addr,
-                            op.tslot != no_local ? tmap[op.tslot]
-                            : op.aslot != no_local
-                                ? amap[op.aslot]
-                                : PersistTimingEngine::no_slot_hint);
+                    engine.handleFlushEvent(
+                        op.is_write != 0, op.seq, op.thread, thread,
+                        op.addr,
+                        op.tslot != no_local ? tmap[op.tslot]
+                        : op.aslot != no_local
+                            ? amap[op.aslot]
+                            : PersistTimingEngine::no_slot_hint);
                     break;
                   case MicroOp::FenceOp:
-                    ++engine.result_.fences;
-                    if (px86)
-                        engine.px86Fence(thread);
-                    else if (fold_barrier)
-                        engine.mergeInto(thread.epoch_dep,
-                                         thread.accum_dep);
+                    engine.handleFenceEvent(op.is_write != 0,
+                                            op.thread, thread);
                     break;
                   case MicroOp::Strand:
-                    ++engine.result_.strands;
-                    if (strand_model) {
-                        thread.epoch_dep = PersistTimingEngine::Tag{};
-                        thread.accum_dep = PersistTimingEngine::Tag{};
-                    }
+                    engine.handleStrandEvent(op.thread, thread);
                     break;
                   case MicroOp::OpBegin:
                     thread.op = op.value;

@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/error.hh"
+#include "persistency/analysis_plugin.hh"
 
 namespace persim {
 
@@ -59,11 +60,25 @@ PersistTimingEngine::PersistTimingEngine(const TimingConfig &config)
     track_shift_ = log2Exact(config_.model.tracking_granularity);
     atomic_shift_ = log2Exact(config_.model.atomic_granularity);
     unified_ = track_shift_ == atomic_shift_;
+    has_plugins_ = !config_.plugins.empty();
+    fold_barrier_ = !strict_ && !px86_ &&
+        config_.mutant != EngineMutant::ElideEpochBarrier;
+
+    for (AnalysisPlugin *plugin : config_.plugins)
+        plugin->onAttach(config_);
 }
 
 PersistTimingEngine::DepSetRef
 PersistTimingEngine::DepSetPool::unionOf(DepSetRef a, DepSetRef b)
 {
+    // Handle-0 invariant (ISSUE 7 audit): spans_[0] is pushed by the
+    // constructor as the canonical empty set, so singleton() and the
+    // push below always return refs >= 1 and `Tag::deps = 0` can
+    // never alias a real allocation. There is no reset path — the
+    // pool lives exactly as long as one analysis (the engine is
+    // rebuilt per replay), so steady-state reuse cannot recycle
+    // handle 0 either. Pinned by DepSetHandleZeroIsAlwaysEmpty in
+    // tests/persistency/timing_engine_test.cc.
     if (a == 0 || spans_[a].len == 0)
         return b;
     if (b == 0 || spans_[b].len == 0)
@@ -73,6 +88,15 @@ PersistTimingEngine::DepSetPool::unionOf(DepSetRef a, DepSetRef b)
     scratch_.clear();
     std::set_union(data(a), data(a) + size(a), data(b),
                    data(b) + size(b), std::back_inserter(scratch_));
+    // Subset short-circuit: mergeInto unions overlapping sets on the
+    // hottest path, and chains of same-block persists repeatedly
+    // union a set with a subset of itself. When the union equals one
+    // side, reuse that handle instead of appending a copy — handles
+    // change but set contents never do, so logs are unaffected.
+    if (scratch_.size() == size(a))
+        return a;
+    if (scratch_.size() == size(b))
+        return b;
     const std::uint64_t off =
         ids_.appendSpan(scratch_.data(), scratch_.size());
     spans_.push_back(
@@ -100,7 +124,6 @@ PersistTimingEngine::process(const TraceEvent &event)
 {
     ++result_.events;
     ThreadState &thread = threadState(event.thread);
-    const ModelKind kind = config_.model.kind;
 
     switch (event.kind) {
       case EventKind::Load:
@@ -129,41 +152,22 @@ PersistTimingEngine::process(const TraceEvent &event)
       }
       case EventKind::PersistBarrier:
       case EventKind::PersistSync:
-        ++result_.barriers;
-        if (px86_)
-            px86Barrier(event.seq, event.thread, thread);
-        else if (kind != ModelKind::Strict &&
-                 config_.mutant != EngineMutant::ElideEpochBarrier)
-            mergeInto(thread.epoch_dep, thread.accum_dep);
+        handleBarrierEvent(event.seq, event.thread, thread);
         break;
       case EventKind::CacheFlush:
       case EventKind::CacheFlushOpt:
       case EventKind::CacheWriteBack:
-        // Under the SC-persistency models a flush carries no ordering
-        // (persists are implicit in stores); only Px86 acts on it.
-        ++result_.flushes;
-        if (px86_)
-            handleFlushAt(event.kind == EventKind::CacheFlush,
-                          event.seq, event.thread, thread, event.addr,
-                          no_slot_hint);
+        handleFlushEvent(event.kind == EventKind::CacheFlush,
+                         event.seq, event.thread, thread, event.addr,
+                         no_slot_hint);
         break;
       case EventKind::StoreFence:
       case EventKind::FullFence:
-        ++result_.fences;
-        if (px86_)
-            px86Fence(thread);
-        else if (kind != ModelKind::Strict &&
-                 config_.mutant != EngineMutant::ElideEpochBarrier)
-            // Under the SC models an x86 fence acts as the persist
-            // barrier of its canonical epoch counterpart.
-            mergeInto(thread.epoch_dep, thread.accum_dep);
+        handleFenceEvent(event.kind == EventKind::FullFence,
+                         event.thread, thread);
         break;
       case EventKind::NewStrand:
-        ++result_.strands;
-        if (kind == ModelKind::Strand) {
-            thread.epoch_dep = Tag{};
-            thread.accum_dep = Tag{};
-        }
+        handleStrandEvent(event.thread, thread);
         break;
       case EventKind::Marker:
         switch (event.markerCode()) {
@@ -269,6 +273,19 @@ PersistTimingEngine::handlePieceAt(std::uint32_t track_slot,
     const std::uint32_t slot = track_slot;
     const bool persistent = isPersistentAddr(addr);
     const bool in_scope = all_scope_ || persistent;
+
+    if (has_plugins_) {
+        AccessInfo info;
+        info.seq = seq;
+        info.addr = addr;
+        info.value = value;
+        info.thread = tid;
+        info.size = static_cast<std::uint8_t>(size);
+        info.is_write = is_write;
+        info.persistent = persistent;
+        for (AnalysisPlugin *plugin : config_.plugins)
+            plugin->onAccess(info);
+    }
 
     if (detect_races_) {
         // Shadow SC propagation (all addresses, regardless of the
@@ -510,6 +527,11 @@ PersistTimingEngine::persistPieceAt(SeqNum seq, ThreadId tid,
 
     result_.critical_path = std::max(result_.critical_path, time);
 
+    if (has_plugins_)
+        notifyPersist(seq, tid, addr, size, value, time, start,
+                      race_bound, id, binding, binding_source,
+                      thread.op, coalesce, record_ref);
+
     if (config_.record_log) {
         if (stage_count_ == stage_capacity)
             flushStage();
@@ -600,6 +622,24 @@ PersistTimingEngine::handleFlushAt(bool strong, SeqNum seq,
         aslot = atomicSlot(addr >> atomic_shift_);
 
     std::uint32_t idx = px86_dirty_head_[aslot];
+
+    if (has_plugins_) {
+        FlushInfo info;
+        info.seq = seq;
+        info.thread = tid;
+        info.strong = strong;
+        info.line_dirty = idx != no_piece;
+        if (idx != no_piece)
+            // Dirty: the first dirty piece names the line (barrier
+            // legs arrive with addr 0, so the event address cannot).
+            info.line_base = (px86_pieces_[idx].addr >> atomic_shift_)
+                             << atomic_shift_;
+        else if (addr != 0)
+            info.line_base = (addr >> atomic_shift_) << atomic_shift_;
+        for (AnalysisPlugin *plugin : config_.plugins)
+            plugin->onFlush(info);
+    }
+
     Tag &pending = strong ? thread.strong_dep : thread.accum_dep;
     if (idx == no_piece) {
         // Clean line: nothing to persist. But same-line flushes are
@@ -675,6 +715,99 @@ PersistTimingEngine::px86Barrier(SeqNum seq, ThreadId tid,
     px86Fence(thread);
 }
 
+void
+PersistTimingEngine::handleBarrierEvent(SeqNum seq, ThreadId tid,
+                                        ThreadState &thread)
+{
+    ++result_.barriers;
+    if (px86_)
+        px86Barrier(seq, tid, thread);
+    else if (fold_barrier_)
+        mergeInto(thread.epoch_dep, thread.accum_dep);
+    if (has_plugins_)
+        for (AnalysisPlugin *plugin : config_.plugins)
+            plugin->onFence(FenceEvent::PersistBarrier, tid);
+}
+
+void
+PersistTimingEngine::handleFenceEvent(bool full, ThreadId tid,
+                                      ThreadState &thread)
+{
+    ++result_.fences;
+    if (px86_)
+        px86Fence(thread);
+    else if (fold_barrier_)
+        // Under the SC models an x86 fence acts as the persist
+        // barrier of its canonical epoch counterpart.
+        mergeInto(thread.epoch_dep, thread.accum_dep);
+    if (has_plugins_)
+        for (AnalysisPlugin *plugin : config_.plugins)
+            plugin->onFence(full ? FenceEvent::FullFence
+                                 : FenceEvent::StoreFence,
+                            tid);
+}
+
+void
+PersistTimingEngine::handleFlushEvent(bool strong, SeqNum seq,
+                                      ThreadId tid, ThreadState &thread,
+                                      Addr addr,
+                                      std::uint32_t aslot_hint)
+{
+    // Under the SC-persistency models a flush carries no ordering
+    // (persists are implicit in stores); only Px86 acts on it, and
+    // only Px86 reports it to plugins.
+    ++result_.flushes;
+    if (px86_)
+        handleFlushAt(strong, seq, tid, thread, addr, aslot_hint);
+}
+
+void
+PersistTimingEngine::handleStrandEvent(ThreadId tid, ThreadState &thread)
+{
+    ++result_.strands;
+    if (config_.model.kind == ModelKind::Strand) {
+        thread.epoch_dep = Tag{};
+        thread.accum_dep = Tag{};
+    }
+    if (has_plugins_)
+        for (AnalysisPlugin *plugin : config_.plugins)
+            plugin->onStrand(tid);
+}
+
+void
+PersistTimingEngine::notifyPersist(SeqNum seq, ThreadId tid, Addr addr,
+                                   unsigned size, std::uint64_t value,
+                                   double time, double start,
+                                   double race_bound, PersistId id,
+                                   PersistId binding,
+                                   DepSource binding_source,
+                                   std::uint64_t op, bool coalesced,
+                                   DepSetRef record_ref)
+{
+    PersistInfo info;
+    info.id = id;
+    info.seq = seq;
+    info.addr = addr;
+    info.value = value;
+    info.start = start;
+    info.time = time;
+    info.race_bound = race_bound;
+    info.thread = tid;
+    info.op = op;
+    info.binding = binding;
+    info.binding_source = binding_source;
+    if (record_deps_ && record_ref != 0) {
+        info.deps = deps_.data(record_ref);
+        info.dep_count = deps_.size(record_ref);
+    }
+    info.size = static_cast<std::uint8_t>(size);
+    info.coalesced = coalesced;
+    for (AnalysisPlugin *plugin : config_.plugins)
+        plugin->onPersistIssue(info);
+    for (AnalysisPlugin *plugin : config_.plugins)
+        plugin->onPersistComplete(info);
+}
+
 PersistRecord
 PersistTimingEngine::materializeRecord(const StagedRecord &staged) const
 {
@@ -746,6 +879,9 @@ PersistTimingEngine::onFinish()
                 ++result_.unflushed;
     }
     flushStage();
+    if (has_plugins_)
+        for (AnalysisPlugin *plugin : config_.plugins)
+            plugin->onTraceEnd(result_);
 }
 
 } // namespace persim

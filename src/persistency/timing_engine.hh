@@ -65,6 +65,11 @@
 
 namespace persim {
 
+class AnalysisPlugin;
+struct AccessInfo;
+struct FlushInfo;
+enum class FenceEvent : std::uint8_t;
+
 /** How persist completion times advance. */
 enum class ClockMode : std::uint8_t {
     /** Discrete levels: each non-coalesced persist is +1. */
@@ -145,6 +150,14 @@ struct TimingConfig
 
     /** Deliberate engine breakage for harness validation (tests). */
     EngineMutant mutant = EngineMutant::None;
+
+    /**
+     * Analysis plugins notified at persist/flush/fence/access and
+     * end-of-trace boundaries (analysis_plugin.hh). Non-owning: the
+     * plugins must outlive the engine. An empty list costs one
+     * untaken branch per hook site.
+     */
+    std::vector<AnalysisPlugin *> plugins;
 };
 
 /** Aggregate results of one timing analysis. */
@@ -442,6 +455,33 @@ class PersistTimingEngine : public TraceSink
     /** Non-virtual event dispatch shared by onEvent and onBatch. */
     void process(const TraceEvent &event);
 
+    /**
+     * @name Centralized non-access event handlers
+     *
+     * Both process() and the segment-replay stitch dispatch barriers,
+     * fences, flushes, and strand switches through these, so the
+     * counters, the model folds, and the analysis-plugin hooks are
+     * guaranteed to behave identically on the serial and parallel
+     * replay paths (previously the stitch re-implemented the arms).
+     */
+    ///@{
+    void handleBarrierEvent(SeqNum seq, ThreadId tid,
+                            ThreadState &thread);
+    void handleFenceEvent(bool full, ThreadId tid, ThreadState &thread);
+    void handleFlushEvent(bool strong, SeqNum seq, ThreadId tid,
+                          ThreadState &thread, Addr addr,
+                          std::uint32_t aslot_hint);
+    void handleStrandEvent(ThreadId tid, ThreadState &thread);
+    ///@}
+
+    /** Build a PersistInfo and fire the issue/complete hooks. */
+    void notifyPersist(SeqNum seq, ThreadId tid, Addr addr,
+                       unsigned size, std::uint64_t value, double time,
+                       double start, double race_bound, PersistId id,
+                       PersistId binding, DepSource binding_source,
+                       std::uint64_t op, bool coalesced,
+                       DepSetRef record_ref);
+
     /** Slot of a tracking block, extending the SoA banks on insert. */
     std::uint32_t trackSlot(std::uint64_t key);
 
@@ -544,6 +584,8 @@ class PersistTimingEngine : public TraceSink
     bool detect_races_ = false;
     bool all_scope_ = true;     //!< ConflictScope::AllAddresses
     bool unified_ = false;      //!< tracking == atomic granularity
+    bool has_plugins_ = false;  //!< !config_.plugins.empty()
+    bool fold_barrier_ = false; //!< non-strict SC fold at barriers
     /** log2 of the granularities (powers of two by validate()), so
         block indexing is a shift rather than a 64-bit division. */
     unsigned track_shift_ = 3;

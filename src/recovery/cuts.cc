@@ -182,6 +182,164 @@ checkAllCuts(const PersistLog &log, const PersistDag &dag,
     return result;
 }
 
+std::vector<char>
+observedGroupMask(const PersistLog &log, const PersistDag &dag,
+                  const std::vector<AddrRange> &observed)
+{
+    std::vector<char> mask(dag.groupCount(), 0);
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        const PersistRecord &record = log[i];
+        for (const AddrRange &range : observed) {
+            if (record.addr < range.addr + range.size &&
+                range.addr < record.addr + record.size) {
+                mask[dag.group_of_record[i]] = 1;
+                break;
+            }
+        }
+    }
+    return mask;
+}
+
+std::vector<std::uint32_t>
+downwardClosure(const PersistDag &dag,
+                const std::vector<std::uint32_t> &groups)
+{
+    std::vector<char> included(dag.groupCount(), 0);
+    for (const std::uint32_t g : groups) {
+        PERSIM_REQUIRE(g < dag.groupCount(), "cut names unknown group");
+        included[g] = 1;
+    }
+    // Ids are topologically sorted, so predecessors are strictly
+    // smaller and one descending pass reaches the fixpoint.
+    for (std::uint32_t g = static_cast<std::uint32_t>(dag.groupCount());
+         g-- > 0;) {
+        if (!included[g])
+            continue;
+        for (const std::uint32_t p : dag.groups[g].preds)
+            included[p] = 1;
+    }
+    std::vector<std::uint32_t> closure;
+    for (std::uint32_t g = 0; g < dag.groupCount(); ++g)
+        if (included[g])
+            closure.push_back(g);
+    return closure;
+}
+
+CutCheckResult
+checkObservedCuts(const PersistLog &log, const PersistDag &dag,
+                  const RecoveryInvariant &invariant,
+                  const std::vector<AddrRange> &observed,
+                  std::uint64_t max_cuts)
+{
+    const std::size_t n = dag.groupCount();
+    const std::vector<char> mask = observedGroupMask(log, dag, observed);
+
+    // Observed groups, in (topological) id order, plus each group's
+    // dense position among them.
+    std::vector<std::uint32_t> obs;
+    std::vector<std::uint32_t> obs_pos(n, ~0u);
+    for (std::uint32_t g = 0; g < n; ++g) {
+        if (mask[g]) {
+            obs_pos[g] = static_cast<std::uint32_t>(obs.size());
+            obs.push_back(g);
+        }
+    }
+    if (obs.size() == n)
+        return checkAllCuts(log, dag, invariant, max_cuts);
+
+    CutCheckResult result;
+    if (obs.empty()) {
+        // No persist touches observed state: every crash state
+        // projects to the same observable image. One check decides.
+        ++result.cuts;
+        const MemoryImage image;
+        const std::string verdict = invariant(image);
+        if (!verdict.empty()) {
+            ++result.violations;
+            result.first_violation = verdict;
+        }
+        return result;
+    }
+
+    // anc[g]: the observed groups reachable from g through *any*
+    // chain of predecessors (paths through unobserved groups count —
+    // dropping them from the constraint would admit projections no
+    // real cut has). Bitsets over observed positions, filled in one
+    // topological pass.
+    const std::size_t m = obs.size();
+    const std::size_t words = (m + 63) / 64;
+    std::vector<std::uint64_t> anc(n * words, 0);
+    for (std::uint32_t g = 0; g < n; ++g) {
+        std::uint64_t *row = &anc[g * words];
+        for (const std::uint32_t p : dag.groups[g].preds) {
+            const std::uint64_t *prow = &anc[p * words];
+            for (std::size_t w = 0; w < words; ++w)
+                row[w] |= prow[w];
+            if (mask[p])
+                row[obs_pos[p] / 64] |= 1ULL << (obs_pos[p] % 64);
+        }
+    }
+
+    // DFS over observed groups only. A projection may include an
+    // observed group iff all its observed ancestors are included —
+    // exactly the ideals of the induced order, which are exactly the
+    // projections of the full cut lattice (closure in the full DAG
+    // restores any such set to a consistent cut without adding
+    // observed groups). Unobserved groups never write observed bytes
+    // (observedGroupMask), so the incremental image sees everything
+    // the invariant may read.
+    std::vector<std::uint64_t> inc(words, 0);
+    MemoryImage image;
+    std::vector<UndoEntry> undo;
+    std::vector<std::uint32_t> chosen;
+    bool stop = false;
+    auto visit = [&](auto &&self, std::size_t j) -> void {
+        if (stop)
+            return;
+        if (j == m) {
+            ++result.cuts;
+            const std::string verdict = invariant(image);
+            if (!verdict.empty()) {
+                ++result.violations;
+                if (result.first_violation.empty()) {
+                    result.first_violation = verdict;
+                    result.first_violation_groups =
+                        downwardClosure(dag, chosen);
+                }
+            }
+            if (max_cuts > 0 && result.cuts >= max_cuts) {
+                stop = true;
+                result.budget_exhausted = true;
+            }
+            return;
+        }
+        const std::uint32_t g = obs[j];
+        const std::uint64_t *row = &anc[g * words];
+        bool can_include = true;
+        for (std::size_t w = 0; w < words; ++w) {
+            if ((row[w] & ~inc[w]) != 0) {
+                can_include = false;
+                break;
+            }
+        }
+        // Exclude branch first, as in checkAllCuts: small states
+        // stay covered when the budget truncates.
+        self(self, j + 1);
+        if (!can_include || stop)
+            return;
+        const std::size_t mark = undo.size();
+        applyGroup(log, dag.groups[g], image, undo);
+        inc[j / 64] |= 1ULL << (j % 64);
+        chosen.push_back(g);
+        self(self, j + 1);
+        chosen.pop_back();
+        inc[j / 64] &= ~(1ULL << (j % 64));
+        undoGroup(image, undo, mark);
+    };
+    visit(visit, 0);
+    return result;
+}
+
 MemoryImage
 reconstructImageFromGroups(const PersistLog &log, const PersistDag &dag,
                            const std::vector<std::uint32_t> &groups)

@@ -97,6 +97,54 @@ CutCheckResult checkAllCuts(const PersistLog &log, const PersistDag &dag,
                             const RecoveryInvariant &invariant,
                             std::uint64_t max_cuts = 1ULL << 20);
 
+/** Half-open byte range [addr, addr + size) of observed state. */
+struct AddrRange
+{
+    Addr addr = 0;
+    std::uint64_t size = 0;
+};
+
+/**
+ * Per-group observation mask: mask[g] is nonzero iff any member
+ * record of group @p g overlaps one of the @p observed byte ranges.
+ * Groups outside the mask cannot change any observed byte.
+ */
+std::vector<char> observedGroupMask(const PersistLog &log,
+                                    const PersistDag &dag,
+                                    const std::vector<AddrRange> &observed);
+
+/**
+ * Downward closure of @p groups under the DAG's predecessor relation:
+ * the smallest consistent cut containing them. Used to expand a
+ * pruned (observed-only) counterexample back into an observable
+ * crash state.
+ */
+std::vector<std::uint32_t> downwardClosure(
+    const PersistDag &dag, const std::vector<std::uint32_t> &groups);
+
+/**
+ * Constraint-guided pruned enumeration (DESIGN.md §14): like
+ * checkAllCuts, but enumerates only cuts that can differ on the
+ * @p observed byte ranges. The observable projections of the full
+ * cut lattice are exactly the order ideals of the observed groups
+ * under reachability *through* unobserved groups, so the count of
+ * states examined collapses from O(2^antichain) in all groups to
+ * O(2^antichain) in observed groups only — identical verdicts, same
+ * observed-state coverage in both directions.
+ *
+ * Contract: @p invariant must depend only on bytes inside
+ * @p observed (unobserved groups are never applied to the image it
+ * sees). `cuts` counts distinct observable projections enumerated;
+ * `first_violation_groups` is expanded via downwardClosure to a
+ * genuine consistent cut, directly usable by minimizeViolatingCut.
+ * Falls back to checkAllCuts when every group is observed.
+ */
+CutCheckResult checkObservedCuts(const PersistLog &log,
+                                 const PersistDag &dag,
+                                 const RecoveryInvariant &invariant,
+                                 const std::vector<AddrRange> &observed,
+                                 std::uint64_t max_cuts = 1ULL << 20);
+
 /**
  * Reconstruct the persistent image of one cut: apply the records of
  * every group in @p groups in log order. @p groups must be downward

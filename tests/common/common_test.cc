@@ -10,6 +10,7 @@
 
 #include "common/bitops.hh"
 #include "common/error.hh"
+#include "common/flat_map.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 
@@ -278,6 +279,55 @@ TEST(Error, AssertAndRequireMacros)
     EXPECT_THROW(PERSIM_ASSERT(1 + 1 == 3, "math"), PanicError);
     EXPECT_NO_THROW(PERSIM_REQUIRE(true, "ok"));
     EXPECT_THROW(PERSIM_REQUIRE(false, "no"), FatalError);
+}
+
+TEST(FlatIndexMap, AssignsDenseSlotsInInsertionOrder)
+{
+    FlatIndexMap map;
+    bool inserted = false;
+    EXPECT_EQ(map.findOrInsert(100, inserted), 0u);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(map.findOrInsert(7, inserted), 1u);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(map.findOrInsert(100, inserted), 0u);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(map.find(7), 1u);
+    EXPECT_EQ(map.find(8), FlatIndexMap::no_slot);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatIndexMap, SentinelKeyIsRejectedNotAliased)
+{
+    // ~0 is the empty-bucket sentinel: probing for it would match the
+    // first empty bucket and hand back no_slot as a "real" slot
+    // (silent corruption). It must be a hard error instead.
+    FlatIndexMap map;
+    bool inserted = false;
+    EXPECT_THROW(map.findOrInsert(FlatIndexMap::empty_key, inserted),
+                 FatalError);
+    // find() on the sentinel is benign "absent".
+    EXPECT_EQ(map.find(FlatIndexMap::empty_key),
+              FlatIndexMap::no_slot);
+}
+
+TEST(FlatIndexMap, CapacityBoundIsAHardError)
+{
+    // Beyond max_slots the unchecked count_++ would eventually mint
+    // no_slot itself as a live slot; the bound turns that into a
+    // deterministic FatalError at the first over-insert.
+    FlatIndexMap map(4);
+    bool inserted = false;
+    for (std::uint64_t key = 0; key < 4; ++key)
+        map.findOrInsert(key, inserted);
+    EXPECT_EQ(map.size(), 4u);
+    // Existing keys still resolve below the bound.
+    EXPECT_EQ(map.findOrInsert(3, inserted), 3u);
+    EXPECT_FALSE(inserted);
+    EXPECT_THROW(map.findOrInsert(99, inserted), FatalError);
+    // clear() frees the budget again.
+    map.clear();
+    EXPECT_EQ(map.findOrInsert(99, inserted), 0u);
+    EXPECT_TRUE(inserted);
 }
 
 } // namespace

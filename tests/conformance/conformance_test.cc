@@ -176,6 +176,41 @@ TEST(Conformance, AgreementRows)
     }
 }
 
+// The seeded persistency race: the consumer reads x while it is
+// dirty and persists y without anything ordering x's durability
+// first. The PersistRace detector must flag it under every model
+// that exhibits the hazard — dirty_read under px86 (TSO made the
+// dirty value visible), unordered_persist under the SC-shadow
+// models — and the px86 state set must actually contain the
+// y-without-x recovery the race warns about.
+TEST(Conformance, SeededPersistRaceIsFlagged)
+{
+    const LitmusResult &result =
+        findResult(handwrittenResults(), "dirty_read_race");
+    EXPECT_GT(findModel(result, "px86").persist_races, 0u);
+    EXPECT_GT(findModel(result, "epoch-a64").persist_races, 0u);
+    EXPECT_GT(findModel(result, "strand-a64").persist_races, 0u);
+    EXPECT_TRUE(hasState(findModel(result, "px86"), "x=0 y=1"));
+}
+
+// Properly synchronized rows must stay race-free: every persist is
+// ordered by its own thread's flush+fence chain (agreement rows) or
+// the threads touch disjoint lines with no conflicting access
+// carrying a stale shadow (independent_flushes under px86).
+TEST(Conformance, SynchronizedRowsAreRaceFree)
+{
+    for (const char *name :
+         {"clflush_chain", "flushopt_sfence_ordered",
+          "mfence_same_as_sfence", "clwb_same_as_clflushopt",
+          "independent_flushes"}) {
+        const LitmusResult &result =
+            findResult(handwrittenResults(), name);
+        for (const ModelStates &states : result.models)
+            EXPECT_EQ(states.persist_races, 0u)
+                << name << "/" << states.model;
+    }
+}
+
 // The full suite (hand-written + generated) must produce a
 // byte-identical report for every --jobs value.
 TEST(Conformance, ReportIsJobsDeterministic)

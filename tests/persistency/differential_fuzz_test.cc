@@ -48,6 +48,7 @@
 
 #include "explore/programs.hh"
 #include "memtrace/sink.hh"
+#include "persistency/persist_race.hh"
 #include "persistency/segment_replay.hh"
 #include "persistency/timing_engine.hh"
 #include "recovery/cuts.hh"
@@ -362,6 +363,90 @@ TEST(DifferentialFuzz, Px86FlushPrograms)
               << " flushes, " << stats.cuts_checked
               << " cuts checked (" << stats.cut_budget_skips
               << " enumerations hit the cut budget)\n";
+}
+
+/**
+ * The PersistRace leg (ISSUE 7): attach the PersistRaceDetector to
+ * replays of both fuzz corpora and hold it to the engine's ground
+ * truth. Rule 1 (UnorderedPersist) independently re-derives the
+ * engine's detect_races analysis from the plugin hook stream alone,
+ * so plugin count == TimingResult::races must hold EXACTLY on every
+ * (program, model) pair — serial and segment-parallel replay alike.
+ * The flush-enabled px86 corpus must additionally produce DirtyRead
+ * reports (rule 2 has teeth on random flush programs), and the
+ * combined corpus must produce unordered races at all (rule 1 is not
+ * vacuous).
+ */
+TEST(DifferentialFuzz, PersistRaceDetectorAgreesWithEngine)
+{
+    std::uint64_t unordered = 0;
+    std::uint64_t dirty_reads = 0;
+    std::uint64_t programs = 0;
+    const std::uint64_t iters = envU64("PERSIM_FUZZ_ITERS", 25);
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        const std::uint64_t seed = i + 1;
+        for (const bool flush_corpus : {false, true}) {
+            SCOPED_TRACE("repro: race leg, seed " + std::to_string(seed) +
+                         (flush_corpus ? " (flush corpus)" : ""));
+            RandomProgramOptions options = optionsFor(seed);
+            if (flush_corpus) {
+                options.allow_strands = false;
+                options.allow_flushes = true;
+            }
+            ExploreProgram program = randomProgram(seed, options)();
+
+            EngineConfig engine_config = program.engine;
+            engine_config.seed = seed;
+            InMemoryTrace trace;
+            ExecutionEngine sim(engine_config, &trace);
+            sim.runSetup(program.setup);
+            sim.run(program.workers);
+
+            const std::vector<ModelConfig> models = flush_corpus
+                ? std::vector<ModelConfig>{ModelConfig::px86()}
+                : std::vector<ModelConfig>{ModelConfig::strict(),
+                                           ModelConfig::epoch(),
+                                           ModelConfig::strand()};
+            for (const ModelConfig &model : models) {
+                PersistRaceDetector detector;
+                TimingConfig config;
+                config.model = model;
+                config.detect_races = true;
+                config.plugins.push_back(&detector);
+
+                TimingResult result;
+                if (seed % 2 == 1) {
+                    SegmentReplayOptions sopts;
+                    sopts.jobs =
+                        2 + static_cast<std::uint32_t>(seed % 3);
+                    sopts.segment_events = 16 + seed % 113;
+                    result = segmentReplay(trace, config, sopts, nullptr);
+                } else {
+                    PersistTimingEngine engine(config);
+                    trace.replay(engine);
+                    result = engine.result();
+                }
+                EXPECT_EQ(detector.unorderedPersists(), result.races)
+                    << "plugin diverged from engine ground truth";
+                unordered += detector.unorderedPersists();
+                if (flush_corpus)
+                    dirty_reads += detector.dirtyReads();
+                else
+                    EXPECT_EQ(detector.dirtyReads(), 0U)
+                        << "rule 2 must stay inert off px86";
+            }
+            ++programs;
+        }
+    }
+    EXPECT_GT(unordered, 0U)
+        << "corpus never produced an unordered persist; rule 1 is "
+           "vacuous";
+    EXPECT_GT(dirty_reads, 0U)
+        << "flush corpus never produced a dirty read; rule 2 is "
+           "vacuous";
+    std::cout << "fuzz(race): " << programs << " programs, "
+              << unordered << " unordered persists, " << dirty_reads
+              << " dirty reads\n";
 }
 
 /**

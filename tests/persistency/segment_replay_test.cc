@@ -166,6 +166,64 @@ TEST(SegmentReplay, GoldenFixturesMatchSerialUnderEveryConfig)
     }
 }
 
+// The dependence-set differential: hash equality (above) already
+// covers deps for the one frozen deps config, but a hash cannot say
+// WHICH record diverged, and record_deps interacts with the deferred
+// log staging (defer_log_) on every model. Force record_deps on under
+// each base model and diff the logs record-by-record — ids, seqs,
+// and the exact dependence sets — across jobs values.
+TEST(SegmentReplay, RecordDepsIdenticalUnderSerialAndJobsReplay)
+{
+    const struct
+    {
+        const char *name;
+        ModelConfig model;
+    } models[] = {
+        {"strict", ModelConfig::strict()},
+        {"epoch", ModelConfig::epoch()},
+        {"strand", ModelConfig::strand()},
+        {"bpfs", ModelConfig::bpfs()},
+        {"px86", ModelConfig::px86()},
+    };
+    for (const std::string &fixture : goldenFixtureNames()) {
+        const InMemoryTrace trace =
+            readTraceFile(goldenDir() + "/" + fixture + ".trc");
+        for (const auto &entry : models) {
+            TimingConfig config;
+            config.model = entry.model;
+            config.record_log = true;
+            config.record_deps = true;
+
+            PersistTimingEngine engine(config);
+            trace.replay(engine);
+            const PersistLog serial = engine.takeLog();
+
+            for (const std::uint32_t jobs : {2u, 7u}) {
+                SCOPED_TRACE(fixture + "/" + entry.name + "/j" +
+                             std::to_string(jobs));
+                SegmentReplayOptions options;
+                options.jobs = jobs;
+                options.segment_events = 311;
+                PersistLog parallel;
+                segmentReplay(trace, config, options, &parallel);
+
+                ASSERT_EQ(parallel.size(), serial.size());
+                for (std::size_t i = 0; i < serial.size(); ++i) {
+                    const PersistRecord &a = serial[i];
+                    const PersistRecord &b = parallel[i];
+                    ASSERT_EQ(a.id, b.id) << "record " << i;
+                    ASSERT_EQ(a.seq, b.seq) << "record " << i;
+                    ASSERT_EQ(a.addr, b.addr) << "record " << i;
+                    ASSERT_EQ(a.time, b.time) << "record " << i;
+                    ASSERT_EQ(a.deps, b.deps)
+                        << "dependence set of record " << i
+                        << " (id " << a.id << ") diverged";
+                }
+            }
+        }
+    }
+}
+
 TEST(SegmentReplay, OneEventSegmentsAreExact)
 {
     const InMemoryTrace trace =
