@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "bench_util/table.hh"
+#include "common/error.hh"
 #include "bench_util/queue_workload.hh"
 #include "persistency/timing_engine.hh"
 #include "pstruct/hash_map.hh"
@@ -65,7 +66,10 @@ mapTrace()
                 const std::uint64_t key =
                     t * ops_per_thread + 1 + (i % (ops_per_thread / 2));
                 ctx.marker(MarkerCode::OpBegin, t * 10000 + i);
-                map->put(ctx, t, key, key * 3 + i);
+                const PutStatus status =
+                    map->put(ctx, t, key, key * 3 + i);
+                PERSIM_REQUIRE(status != PutStatus::TableFull,
+                               "ablation map sized too small");
                 ctx.marker(MarkerCode::OpEnd, t * 10000 + i);
             }
         });

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Heavy-traffic KV-store load driver: the canonical producer of
+ * BENCH_kvstore.json (the committed copy lives at the repo root).
+ *
+ * Drives N client shards over a large key space — each client owns a
+ * hash-disjoint partition of the keys and runs its own single-worker
+ * execution engine, so trace generation fans out over the shared
+ * TaskPool with no cross-shard coordination (exactly how a sharded KV
+ * service scales writers). Three phases per update strategy
+ * (in_place / cow / log_structured):
+ *
+ *  1. generate: zipfian-or-uniform put/get/erase traffic into each
+ *     shard (golden recording off — the histories of millions of ops
+ *     are an audit artifact, not a perf artifact);
+ *  2. replay: every shard trace through the timing engine per
+ *     persistency model (strict/epoch/strand/px86), reporting replay
+ *     throughput and the persist critical path (max over shards — the
+ *     service-level recovery point lag);
+ *  3. audit: a smaller golden-enabled workload swept by the device-
+ *     fault campaign under Repair-tier recovery, reporting violation /
+ *     quarantine / repair rates per model. The acceptance bar: zero
+ *     violations — detected corruption quarantines or repairs, never
+ *     silently serves.
+ *
+ * --check shrinks everything to a smoke-test size and fails loudly on
+ * any audit violation or throughput collapse; scripts/check.sh runs
+ * it as a CI gate. Run with --json=BENCH_kvstore.json to refresh the
+ * committed baseline.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "bench_util/kv_workload.hh"
+#include "bench_util/table.hh"
+#include "kvstore/recovery.hh"
+#include "recovery/fault_campaign.hh"
+
+using namespace persim;
+using namespace persim::bench;
+
+namespace {
+
+struct DriverOptions
+{
+    std::uint32_t clients = 4;       //!< Client shards (>= 1).
+    std::uint64_t keys = 1ULL << 20; //!< Total key space (all shards).
+    std::uint64_t ops = 1ULL << 18;  //!< Ops per client.
+    double theta = 0.99;             //!< Zipfian skew (0 = uniform).
+    double put_ratio = 0.5;
+    double get_ratio = 0.4; // Erase ratio is the remainder.
+    std::uint64_t seed = 1;
+    std::uint32_t jobs = 0; //!< Replay/audit parallelism (0 = hw).
+    std::string json_path;
+    bool check = false; //!< CI smoke gate: tiny sizes, hard asserts.
+};
+
+DriverOptions
+parseDriver(int argc, char **argv)
+{
+    DriverOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&arg](const char *name) -> std::string {
+            const std::string prefix = std::string(name) + "=";
+            return arg.rfind(prefix, 0) == 0 ? arg.substr(prefix.size())
+                                             : std::string();
+        };
+        if (arg == "--check") {
+            options.check = true;
+        } else if (!value("--clients").empty()) {
+            options.clients = static_cast<std::uint32_t>(
+                std::stoul(value("--clients")));
+        } else if (!value("--keys").empty()) {
+            options.keys = std::stoull(value("--keys"));
+        } else if (!value("--ops").empty()) {
+            options.ops = std::stoull(value("--ops"));
+        } else if (!value("--theta").empty()) {
+            options.theta = std::stod(value("--theta"));
+        } else if (!value("--put").empty()) {
+            options.put_ratio = std::stod(value("--put"));
+        } else if (!value("--get").empty()) {
+            options.get_ratio = std::stod(value("--get"));
+        } else if (!value("--seed").empty()) {
+            options.seed = std::stoull(value("--seed"));
+        } else if (!value("--jobs").empty()) {
+            options.jobs = static_cast<std::uint32_t>(
+                std::stoul(value("--jobs")));
+        } else if (!value("--json").empty()) {
+            options.json_path = value("--json");
+        } else {
+            std::cerr
+                << "usage: " << argv[0]
+                << " [--clients=N] [--keys=N] [--ops=N(per client)]"
+                   " [--theta=F] [--put=F] [--get=F] [--seed=N]"
+                   " [--jobs=N] [--json=PATH] [--check]\n";
+            std::exit(2);
+        }
+    }
+    if (options.check) {
+        options.clients = std::min<std::uint32_t>(options.clients, 2);
+        options.keys = std::min<std::uint64_t>(options.keys, 1 << 12);
+        options.ops = std::min<std::uint64_t>(options.ops, 1 << 11);
+    }
+    return options;
+}
+
+std::uint64_t
+nextPow2(std::uint64_t n)
+{
+    std::uint64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/** Per-shard workload config for the heavy generation phase. */
+KvWorkloadConfig
+shardConfig(const DriverOptions &options, KvUpdateStrategy strategy,
+            std::uint32_t shard)
+{
+    KvWorkloadConfig config;
+    const std::uint64_t shard_keys =
+        std::max<std::uint64_t>(1, options.keys / options.clients);
+    // Room for every key the shard can ever hold plus tombstones:
+    // probing stays short and TableFull backpressure stays rare.
+    config.store.buckets =
+        std::max<std::uint64_t>(1024, nextPow2(2 * shard_keys));
+    // The bump heap never frees: every put allocates. Size for the
+    // expected put volume with headroom; overflow is counted
+    // backpressure, not failure.
+    const std::uint64_t puts =
+        static_cast<std::uint64_t>(static_cast<double>(options.ops) *
+                                   options.put_ratio) + 1024;
+    config.store.max_value_bytes = 64;
+    config.store.heap_bytes =
+        (puts + (puts >> 2)) * (config.store.max_value_bytes + 8);
+    config.store.log_capacity =
+        strategy == KvUpdateStrategy::LogStructured
+            ? (puts + (puts >> 1)) * 112 + (1 << 12)
+            : 1 << 12;
+    config.store.strategy = strategy;
+    // Golden histories for millions of ops are an audit artifact;
+    // recording them would dominate generation wall time.
+    config.store.record_golden = false;
+    config.threads = 1; // One simulated writer per shard.
+    config.ops_per_thread = options.ops;
+    config.key_space = shard_keys;
+    config.zipf_theta = options.theta;
+    config.put_ratio = options.put_ratio;
+    config.get_ratio = options.get_ratio;
+    config.min_value_bytes = 8;
+    config.max_value_bytes = 64;
+    config.seed = mixSeed(options.seed, shard + 1);
+    return config;
+}
+
+struct Strategy
+{
+    const char *name;
+    KvUpdateStrategy strategy;
+};
+
+constexpr Strategy strategies[] = {
+    {"in_place", KvUpdateStrategy::InPlace},
+    {"cow", KvUpdateStrategy::Cow},
+    {"log_structured", KvUpdateStrategy::LogStructured},
+};
+
+struct Model
+{
+    const char *name;
+    ModelConfig model;
+};
+
+const std::vector<Model> &
+modelList()
+{
+    static const std::vector<Model> models{
+        {"strict", ModelConfig::strict()},
+        {"epoch", ModelConfig::epoch()},
+        {"strand", ModelConfig::strand()},
+        {"px86", ModelConfig::px86()},
+    };
+    return models;
+}
+
+/** The audit campaign's fault mix: everything at once. */
+FaultConfig
+auditFaults()
+{
+    FaultConfig faults;
+    faults.tear_persists = true;
+    faults.atomic_write_unit = 4;
+    faults.media_error_per_write = 2e-4;
+    faults.drop_drain_p = 0.25;
+    faults.drain_latency = 0.5;
+    return faults;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const DriverOptions options = parseDriver(argc, argv);
+    const std::uint32_t jobs = effectiveJobs(options.jobs);
+    TaskPool pool(jobs);
+    banner("KV-store service under heavy traffic",
+           "a persistency model is only as useful as the service on "
+           "top of it: this driver measures what each model costs the "
+           "store's persist critical path and what the recovery "
+           "ladder absorbs when the device misbehaves");
+
+    std::cout << "clients=" << options.clients
+              << " keys=" << options.keys << " ops/client="
+              << options.ops << " theta=" << options.theta
+              << " put=" << options.put_ratio << " get="
+              << options.get_ratio << " erase="
+              << (1.0 - options.put_ratio - options.get_ratio)
+              << " jobs=" << jobs
+              << (options.check ? " (--check)" : "") << "\n\n";
+
+    BenchReport report;
+    bool check_failed = false;
+
+    TextTable generation;
+    generation.header({"strategy", "clients", "ops", "rejected",
+                       "wall(s)", "ops/s"});
+    TextTable replay;
+    replay.header({"strategy", "model", "events", "wall(s)", "events/s",
+                   "critical path", "persists"});
+    TextTable audit;
+    audit.header({"strategy", "model", "samples", "violations",
+                  "quarantined", "repaired", "discarded"});
+
+    for (const Strategy &strategy : strategies) {
+        // Phase 1: generate shard traces in parallel.
+        std::vector<InMemoryTrace> traces(options.clients);
+        std::vector<std::uint64_t> rejected(options.clients);
+        Stopwatch generate_watch;
+        pool.parallelFor(options.clients, [&](std::size_t shard) {
+            KvWorkloadResult result = runKvWorkload(shardConfig(
+                options, strategy.strategy,
+                static_cast<std::uint32_t>(shard)));
+            rejected[shard] = result.rejectedTotal();
+            traces[shard] = std::move(result.trace);
+        });
+        const double generate_wall = generate_watch.seconds();
+        const std::uint64_t total_ops =
+            static_cast<std::uint64_t>(options.clients) * options.ops;
+        std::uint64_t total_rejected = 0, total_events = 0;
+        for (std::uint32_t s = 0; s < options.clients; ++s) {
+            total_rejected += rejected[s];
+            total_events += traces[s].size();
+        }
+        generation.row({strategy.name, std::to_string(options.clients),
+                        std::to_string(total_ops),
+                        std::to_string(total_rejected),
+                        formatDouble(generate_wall, 3),
+                        formatEventsPerSec(total_ops, generate_wall)});
+        report.add(std::string("kvstore/") + strategy.name +
+                       "/generate",
+                   total_events, generate_wall);
+        if (options.check &&
+            total_rejected > total_ops / 10) {
+            std::cerr << "CHECK FAIL: " << strategy.name << " rejected "
+                      << total_rejected << "/" << total_ops
+                      << " ops — shard sizing is wrong\n";
+            check_failed = true;
+        }
+
+        // Phase 2: replay each shard per model; the service's persist
+        // critical path is the slowest shard's.
+        for (const Model &model : modelList()) {
+            const TimingConfig timing = levels(model.model);
+            std::vector<TimingResult> results(options.clients);
+            Stopwatch replay_watch;
+            pool.parallelFor(options.clients, [&](std::size_t shard) {
+                PersistTimingEngine engine(timing);
+                traces[shard].replay(engine);
+                results[shard] = engine.result();
+            });
+            const double replay_wall = replay_watch.seconds();
+            double critical_path = 0.0;
+            std::uint64_t persists = 0;
+            for (const TimingResult &result : results) {
+                critical_path =
+                    std::max(critical_path, result.critical_path);
+                persists += result.persists;
+            }
+            replay.row({strategy.name, model.name,
+                        std::to_string(total_events),
+                        formatDouble(replay_wall, 3),
+                        formatEventsPerSec(total_events, replay_wall),
+                        formatDouble(critical_path, 1),
+                        std::to_string(persists)});
+            report.add(std::string("kvstore/") + strategy.name + "/" +
+                           model.name + "/replay",
+                       total_events, replay_wall);
+        }
+
+        // Phase 3: audit. A smaller golden-enabled workload of the
+        // same shape, swept by the full fault mix under Repair-tier
+        // recovery, per model.
+        KvWorkloadConfig audit_config =
+            shardConfig(options, strategy.strategy, 0);
+        audit_config.store.record_golden = true;
+        audit_config.store.buckets = 256;
+        audit_config.store.heap_bytes = 1 << 16;
+        audit_config.store.log_capacity = 1 << 18;
+        audit_config.threads = 2;
+        audit_config.ops_per_thread = options.check ? 48 : 96;
+        audit_config.key_space = 48;
+        const KvWorkloadResult audit_workload =
+            runKvWorkload(audit_config);
+        KvRecoveryOptions recovery_options;
+        recovery_options.mode = KvRecoveryMode::Repair;
+        recovery_options.journal = audit_workload.journal;
+        for (const Model &model : modelList()) {
+            FaultCampaignConfig campaign;
+            campaign.injection.model = model.model;
+            campaign.injection.realizations = options.check ? 3 : 6;
+            campaign.injection.crashes_per_realization =
+                options.check ? 16 : 32;
+            campaign.injection.seed = options.seed + 77;
+            campaign.injection.jobs = jobs;
+            campaign.faults = auditFaults();
+            auto stats = std::make_shared<KvInvariantStats>();
+            const InjectionResult result = runFaultCampaign(
+                audit_workload.trace, campaign,
+                makeKvRecoveryInvariant(audit_workload.layout,
+                                        audit_workload.golden,
+                                        recovery_options, stats));
+            audit.row({strategy.name, model.name,
+                       std::to_string(result.samples),
+                       std::to_string(result.violations),
+                       std::to_string(stats->quarantined.load()),
+                       std::to_string(stats->repaired.load()),
+                       std::to_string(stats->discarded.load())});
+            if (!result.ok()) {
+                std::cerr << "AUDIT FAIL: " << strategy.name << "/"
+                          << model.name << ": "
+                          << result.first_violation << "\n";
+                check_failed = true;
+            }
+        }
+    }
+
+    std::cout << "generation (simulated clients on the task pool):\n"
+              << generation.render() << "\nreplay (per persistency "
+              << "model; critical path = slowest shard):\n"
+              << replay.render() << "\naudit (device-fault campaign, "
+              << "Repair-tier recovery — violations must be 0):\n"
+              << audit.render() << "\n";
+
+    if (!options.json_path.empty() && !report.empty()) {
+        report.writeJson(options.json_path);
+        std::cout << "bench report: " << report.size()
+                  << " samples -> " << options.json_path << "\n";
+    }
+    if (check_failed) {
+        std::cout << "--check: FAILED\n";
+        return 1;
+    }
+    if (options.check)
+        std::cout << "--check: OK\n";
+    return 0;
+}

@@ -20,6 +20,7 @@
 #include <iostream>
 #include <map>
 
+#include "common/error.hh"
 #include "persistency/timing_engine.hh"
 #include "pstruct/hash_map.hh"
 #include "pstruct/log.hh"
@@ -74,8 +75,11 @@ class DurableKv
         // 1. WAL append (commit point).
         Update update{key, value};
         wal_.append(ctx, slot, &update, sizeof(update));
-        // 2. Apply to the checkpoint structure.
-        map_.put(ctx, slot, key, value);
+        // 2. Apply to the checkpoint structure. The map is sized for
+        // the key space, so a full table here is a setup bug.
+        const PutStatus status = map_.put(ctx, slot, key, value);
+        PERSIM_REQUIRE(status != PutStatus::TableFull,
+                       "checkpoint map sized too small");
     }
 
     const PersistentLog &wal() const { return wal_; }

@@ -3,8 +3,9 @@
 # smoke-test the bounded model checker with small budgets, diff the
 # px86 conformance report against its golden copy, run the analysis
 # stage (PersistRace detector + crash-state pruner tests and the
-# explore-scaling acceptance gate), fuzz the timing engine
-# differentially (--fuzz-iters=N, default 500), and run the
+# explore-scaling acceptance gate), run the kvstore stage (recovery
+# ladder + corruption fuzzer + load-driver gate), fuzz the timing
+# engine differentially (--fuzz-iters=N, default 500), and run the
 # perf-labeled replay-throughput regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,6 +51,12 @@ EXPLORE_JSON=$(mktemp)
 ./build/bench/explore_scaling --check --json="$EXPLORE_JSON"
 rm -f "$EXPLORE_JSON"
 
+# KV-store stage: the recovery-ladder tests by label (functional,
+# bit-flip fuzzer, fault campaign), then the load driver's smoke gate
+# — zero audit violations across every strategy x model pair.
+ctest --test-dir build -L kvstore --output-on-failure
+./build/bench/kvstore_perf --check >/dev/null
+
 # ThreadSanitizer pass: the task pool, the pool-driven parallel sweep,
 # the segment-parallel replay path (prep fan-out + deferred log
 # materialization), and the sharded explorer must be race-free.
@@ -61,7 +68,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j \
     --target task_pool_test sweep_test segment_replay_test \
-    explore_test explore_litmus tso_test conformance_test
+    explore_test explore_litmus tso_test conformance_test kvstore_perf
 ./build-tsan/tests/task_pool_test
 ./build-tsan/tests/sweep_test
 PERSIM_SYNTH_EVENTS=150000 PERSIM_GOLDEN_DIR=tests/persistency/golden \
@@ -75,6 +82,9 @@ PERSIM_SYNTH_EVENTS=150000 PERSIM_GOLDEN_DIR=tests/persistency/golden \
 ./build-tsan/tests/tso_test
 PERSIM_CONFORMANCE_GOLDEN=tests/conformance/golden/conformance_report.txt \
     ./build-tsan/tests/conformance_test
+# The KV load driver fans shard generation, replay, and the audit
+# campaign out over the shared pool: run its smoke gate instrumented.
+./build-tsan/bench/kvstore_perf --check >/dev/null
 
 # AddressSanitizer + UBSan pass: the fault-injection machinery does a
 # lot of raw byte slicing (torn persists, checksummed record parsing,
@@ -85,7 +95,8 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-asan -j \
     --target faults_test fault_campaign_test recovery_test \
     log_test queue_test queue_negative_test differential_fuzz_test \
-    persist_race_test pruned_cuts_test
+    persist_race_test pruned_cuts_test \
+    kvstore_test kv_recovery_test kv_campaign_test
 ./build-asan/tests/faults_test
 ./build-asan/tests/fault_campaign_test
 ./build-asan/tests/recovery_test
@@ -98,6 +109,12 @@ cmake --build build-asan -j \
 PERSIM_GOLDEN_DIR=tests/persistency/golden \
     ./build-asan/tests/persist_race_test
 ./build-asan/tests/pruned_cuts_test
+# The KV recovery ladder parses checksummed buckets, journal records,
+# and deliberately bit-flipped images (the corruption fuzzer lives in
+# kv_recovery_test): run all three KV suites instrumented.
+./build-asan/tests/kvstore_test
+./build-asan/tests/kv_recovery_test
+./build-asan/tests/kv_campaign_test
 
 # Fuzz stage: the differential fuzzer at full depth, instrumented —
 # 500 seeded random programs (default) replayed under all three

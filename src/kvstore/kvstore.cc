@@ -1,0 +1,447 @@
+#include "kvstore/kvstore.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/error.hh"
+
+namespace persim {
+
+const char *
+kvUpdateStrategyName(KvUpdateStrategy strategy)
+{
+    switch (strategy) {
+      case KvUpdateStrategy::InPlace:
+        return "in_place";
+      case KvUpdateStrategy::Cow:
+        return "cow";
+      case KvUpdateStrategy::LogStructured:
+        return "log_structured";
+    }
+    return "unknown";
+}
+
+bool
+kvUpdateStrategyByName(const std::string &name,
+                       KvUpdateStrategy &strategy)
+{
+    for (KvUpdateStrategy s : {KvUpdateStrategy::InPlace,
+                               KvUpdateStrategy::Cow,
+                               KvUpdateStrategy::LogStructured}) {
+        if (name == kvUpdateStrategyName(s)) {
+            strategy = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+kvStatusName(KvStatus status)
+{
+    switch (status) {
+      case KvStatus::Ok:
+        return "ok";
+      case KvStatus::NotFound:
+        return "not-found";
+      case KvStatus::TableFull:
+        return "table-full";
+      case KvStatus::HeapFull:
+        return "heap-full";
+      case KvStatus::LogFull:
+        return "log-full";
+      case KvStatus::ValueTooLarge:
+        return "value-too-large";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+KvLayout::checksum(std::uint64_t bucket_index, std::uint64_t key,
+                   std::uint64_t val_off, std::uint64_t val_len,
+                   std::uint64_t seq, const std::uint8_t *payload)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    auto mix = [&hash](std::uint64_t word) {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (word >> (8 * i)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+    };
+    mix(bucket_index);
+    mix(key);
+    mix(val_off);
+    mix(val_len);
+    mix(seq);
+    for (std::uint64_t i = 0; i < val_len; ++i) {
+        hash ^= payload[i];
+        hash *= 0x100000001b3ULL;
+    }
+    // Zeroed memory must never validate.
+    return hash == 0 ? 1 : hash;
+}
+
+std::vector<std::uint8_t>
+KvJournalRecord::encode() const
+{
+    std::vector<std::uint8_t> payload(24 + value.size());
+    auto word = [&payload](std::size_t off, std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            payload[off + i] = (v >> (8 * i)) & 0xff;
+    };
+    word(0, kind);
+    word(8, key);
+    word(16, seq);
+    if (!value.empty())
+        std::memcpy(payload.data() + 24, value.data(), value.size());
+    return payload;
+}
+
+bool
+KvJournalRecord::decode(const std::vector<std::uint8_t> &payload,
+                        KvJournalRecord &record)
+{
+    if (payload.size() < 24)
+        return false;
+    auto word = [&payload](std::size_t off) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(payload[off + i]) << (8 * i);
+        return v;
+    };
+    record.kind = word(0);
+    record.key = word(8);
+    record.seq = word(16);
+    record.value.assign(payload.begin() + 24, payload.end());
+    if (record.kind != kind_put && record.kind != kind_erase)
+        return false;
+    if (record.key == 0 || record.seq == 0)
+        return false;
+    if (record.kind == kind_erase && !record.value.empty())
+        return false;
+    if (record.kind == kind_put && record.value.empty())
+        return false;
+    return true;
+}
+
+std::uint64_t
+KvStore::hashIndex(std::uint64_t key, std::uint64_t buckets)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    key *= 0xc4ceb9fe1a85ec53ULL;
+    key ^= key >> 33;
+    return key & (buckets - 1);
+}
+
+KvStore
+KvStore::create(ThreadCtx &ctx, const KvOptions &options,
+                std::size_t threads)
+{
+    PERSIM_REQUIRE(isPowerOfTwo(options.buckets) && options.buckets >= 2,
+                   "bucket count must be a power of two >= 2");
+    PERSIM_REQUIRE(options.heap_bytes >= 8 &&
+                   options.heap_bytes % 8 == 0,
+                   "heap bytes must be a multiple of 8, >= 8");
+    PERSIM_REQUIRE(options.max_value_bytes >= 1 &&
+                   options.max_value_bytes <= options.heap_bytes,
+                   "max value bytes must fit the heap");
+    PERSIM_REQUIRE(threads >= 1, "need at least one writer slot");
+
+    KvStore store;
+    store.options_ = options;
+    store.layout_.buckets = options.buckets;
+    store.layout_.table = ctx.pmalloc(
+        options.buckets * KvLayout::bucket_bytes, 64);
+    store.layout_.heap = ctx.pmalloc(options.heap_bytes, 64);
+    store.layout_.heap_bytes = options.heap_bytes;
+    store.layout_.max_value_bytes = options.max_value_bytes;
+    // Fresh persistent memory reads zero (state_empty); make the
+    // blank table the durable baseline.
+    ctx.persistBarrier();
+
+    if (options.strategy == KvUpdateStrategy::LogStructured) {
+        LogOptions log_options;
+        log_options.capacity = options.log_capacity;
+        log_options.use_strands = options.use_strands;
+        log_options.record_golden = options.record_golden;
+        store.journal_ = PersistentLog::create(ctx, log_options, threads);
+    }
+
+    store.seq_cell_ = ctx.vmalloc(8, 64);
+    ctx.store(store.seq_cell_, 1); // Seq 0 means "never written".
+    store.heap_cell_ = ctx.vmalloc(8, 64);
+    ctx.store(store.heap_cell_, 0);
+    store.lock_ = McsLock::create(ctx);
+    for (std::size_t i = 0; i < threads; ++i)
+        store.qnodes_.push_back(McsLock::createQnode(ctx));
+    store.golden_ = std::make_shared<Golden>();
+    return store;
+}
+
+bool
+KvStore::heapAlloc(ThreadCtx &ctx, std::uint64_t bytes,
+                   std::uint64_t &offset)
+{
+    const std::uint64_t aligned = alignUp(bytes, 8);
+    const std::uint64_t cursor = ctx.load(heap_cell_);
+    if (cursor + aligned > layout_.heap_bytes)
+        return false;
+    ctx.store(heap_cell_, cursor + aligned);
+    offset = cursor;
+    return true;
+}
+
+bool
+KvStore::journalAppend(ThreadCtx &ctx, std::size_t slot,
+                       const KvJournalRecord &record)
+{
+    const std::vector<std::uint8_t> payload = record.encode();
+    const std::uint64_t bytes =
+        LogLayout::recordBytes(payload.size());
+    if (journal_.tailOffset(ctx) + bytes > journalLayout().capacity)
+        return false;
+    journal_.append(ctx, slot, payload.data(), payload.size());
+    return true;
+}
+
+void
+KvStore::recordGolden(std::uint64_t key, std::uint64_t seq, bool erased,
+                      const std::uint8_t *value, std::uint64_t len)
+{
+    if (!options_.record_golden)
+        return;
+    std::lock_guard<std::mutex> guard(golden_->mutex);
+    KvGoldenVersion version;
+    version.seq = seq;
+    version.erased = erased;
+    if (!erased)
+        version.value.assign(value, value + len);
+    golden_->history[key].push_back(std::move(version));
+}
+
+KvGoldenHistory
+KvStore::goldenHistory() const
+{
+    PERSIM_REQUIRE(golden_ != nullptr, "store was not created");
+    std::lock_guard<std::mutex> guard(golden_->mutex);
+    return golden_->history;
+}
+
+KvStatus
+KvStore::put(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
+             const void *value, std::uint64_t len)
+{
+    PERSIM_REQUIRE(key != 0, "keys must be nonzero");
+    PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
+    PERSIM_REQUIRE(len >= 1, "values must be nonempty");
+    if (len > options_.max_value_bytes)
+        return KvStatus::ValueTooLarge;
+
+    McsGuard guard(ctx, lock_, qnodes_[slot]);
+    if (options_.use_strands)
+        ctx.newStrand();
+
+    // Probe for the key or the first dead bucket.
+    const std::uint64_t buckets = layout_.buckets;
+    std::uint64_t index = hashIndex(key, buckets);
+    std::uint64_t found_at = buckets;
+    std::uint64_t insert_at = buckets;
+    for (std::uint64_t probe = 0; probe < buckets; ++probe) {
+        const Addr bucket = layout_.bucketAddr(index);
+        const std::uint64_t state =
+            ctx.load(bucket + KvLayout::state_off);
+        if (state == KvLayout::state_live) {
+            if (ctx.load(bucket + KvLayout::key_off) == key) {
+                found_at = index;
+                break;
+            }
+        } else {
+            if (insert_at == buckets)
+                insert_at = index;
+            if (state == KvLayout::state_empty)
+                break; // Key cannot be live past an empty bucket.
+        }
+        index = (index + 1) & (buckets - 1);
+    }
+
+    const bool update = found_at != buckets;
+    if (!update && insert_at == buckets)
+        return KvStatus::TableFull;
+
+    const Addr bucket =
+        layout_.bucketAddr(update ? found_at : insert_at);
+    const std::uint64_t bucket_index = update ? found_at : insert_at;
+
+    // Reuse the payload region only for a same-length in-place
+    // update; everything else allocates.
+    std::uint64_t old_off = 0, old_len = 0;
+    if (update) {
+        old_off = ctx.load(bucket + KvLayout::val_off_off);
+        old_len = ctx.load(bucket + KvLayout::val_len_off);
+    }
+    const bool in_place =
+        update && old_len == len &&
+        options_.strategy != KvUpdateStrategy::Cow;
+
+    // All capacity rejections happen before any store: a rejected
+    // put leaves no trace in persistent memory or the journal.
+    if (!in_place &&
+        ctx.load(heap_cell_) + alignUp(len, 8) > layout_.heap_bytes)
+        return KvStatus::HeapFull;
+    const auto *bytes_in = static_cast<const std::uint8_t *>(value);
+    const std::uint64_t seq = ctx.load(seq_cell_);
+    if (options_.strategy == KvUpdateStrategy::LogStructured) {
+        KvJournalRecord record;
+        record.kind = KvJournalRecord::kind_put;
+        record.key = key;
+        record.seq = seq;
+        record.value.assign(bytes_in, bytes_in + len);
+        if (!journalAppend(ctx, slot, record))
+            return KvStatus::LogFull;
+    }
+    ctx.store(seq_cell_, seq + 1);
+
+    PBuffer heap(layout_.heap, layout_.heap_bytes);
+    if (in_place) {
+        // In-place update: overwrite the payload, then re-publish
+        // seq+checksum. A crash anywhere in this window leaves a
+        // checksum mismatch — detected, never silent — but the old
+        // value is gone (the LogStructured journal can rebuild it).
+        heap.write(ctx, old_off, bytes_in, len);
+        ctx.store(bucket + KvLayout::seq_off, seq);
+        if (!options_.omit_publish_barrier)
+            ctx.persistBarrier();
+        ctx.store(bucket + KvLayout::cksum_off,
+                  KvLayout::checksum(bucket_index, key, old_off, len,
+                                     seq, bytes_in));
+        recordGolden(key, seq, false, bytes_in, len);
+        return KvStatus::Ok;
+    }
+
+    std::uint64_t val_off = 0;
+    const bool allocated = heapAlloc(ctx, len, val_off);
+    PERSIM_ASSERT(allocated, "heap exhaustion was pre-checked");
+    heap.write(ctx, val_off, bytes_in, len);
+
+    if (update) {
+        // CoW update: the new payload is complete (barrier), then the
+        // bucket's reference words swing to it. The quarantine window
+        // shrinks to the four word stores below; any crash before
+        // them leaves the old value intact and valid.
+        if (!options_.omit_publish_barrier)
+            ctx.persistBarrier();
+        ctx.store(bucket + KvLayout::val_off_off, val_off);
+        ctx.store(bucket + KvLayout::val_len_off, len);
+        ctx.store(bucket + KvLayout::seq_off, seq);
+        ctx.store(bucket + KvLayout::cksum_off,
+                  KvLayout::checksum(bucket_index, key, val_off, len,
+                                     seq, bytes_in));
+    } else {
+        // Insert: fill the (empty or tombstone) bucket, barrier, then
+        // publish by flipping the state word — crash-atomic. A crash
+        // mid-fill of a reused tombstone leaves a tombstone whose
+        // dead words changed: harmless, recovery ignores them.
+        ctx.store(bucket + KvLayout::key_off, key);
+        ctx.store(bucket + KvLayout::val_off_off, val_off);
+        ctx.store(bucket + KvLayout::val_len_off, len);
+        ctx.store(bucket + KvLayout::seq_off, seq);
+        ctx.store(bucket + KvLayout::cksum_off,
+                  KvLayout::checksum(bucket_index, key, val_off, len,
+                                     seq, bytes_in));
+        if (!options_.omit_publish_barrier)
+            ctx.persistBarrier();
+        ctx.store(bucket + KvLayout::state_off, KvLayout::state_live);
+    }
+    recordGolden(key, seq, false, bytes_in, len);
+    return KvStatus::Ok;
+}
+
+KvStatus
+KvStore::erase(ThreadCtx &ctx, std::size_t slot, std::uint64_t key)
+{
+    PERSIM_REQUIRE(key != 0, "keys must be nonzero");
+    PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
+    McsGuard guard(ctx, lock_, qnodes_[slot]);
+    if (options_.use_strands)
+        ctx.newStrand();
+
+    const std::uint64_t buckets = layout_.buckets;
+    std::uint64_t index = hashIndex(key, buckets);
+    for (std::uint64_t probe = 0; probe < buckets; ++probe) {
+        const Addr bucket = layout_.bucketAddr(index);
+        const std::uint64_t state =
+            ctx.load(bucket + KvLayout::state_off);
+        if (state == KvLayout::state_empty)
+            return KvStatus::NotFound;
+        if (state == KvLayout::state_live &&
+            ctx.load(bucket + KvLayout::key_off) == key) {
+            const std::uint64_t seq = ctx.load(seq_cell_);
+            if (options_.strategy == KvUpdateStrategy::LogStructured) {
+                KvJournalRecord record;
+                record.kind = KvJournalRecord::kind_erase;
+                record.key = key;
+                record.seq = seq;
+                if (!journalAppend(ctx, slot, record))
+                    return KvStatus::LogFull;
+            }
+            ctx.store(seq_cell_, seq + 1);
+            // A single atomic state persist: erase is crash-atomic
+            // (strong persist atomicity orders same-address writes).
+            // Recovery never checksums tombstones, so the stale live
+            // words left behind are dead weight, not a fault.
+            ctx.store(bucket + KvLayout::state_off,
+                      KvLayout::state_tombstone);
+            recordGolden(key, seq, true, nullptr, 0);
+            return KvStatus::Ok;
+        }
+        index = (index + 1) & (buckets - 1);
+    }
+    return KvStatus::NotFound;
+}
+
+bool
+KvStore::get(ThreadCtx &ctx, std::uint64_t key,
+             std::vector<std::uint8_t> &value) const
+{
+    // Lock-free traced reads: a reader racing a writer can observe a
+    // mid-update bucket, exactly as real code would; tests that
+    // assert on values read without concurrent writers.
+    const std::uint64_t buckets = layout_.buckets;
+    std::uint64_t index = hashIndex(key, buckets);
+    for (std::uint64_t probe = 0; probe < buckets; ++probe) {
+        const Addr bucket = layout_.bucketAddr(index);
+        const std::uint64_t state =
+            ctx.load(bucket + KvLayout::state_off);
+        if (state == KvLayout::state_empty)
+            return false;
+        if (state == KvLayout::state_live &&
+            ctx.load(bucket + KvLayout::key_off) == key) {
+            const std::uint64_t val_off =
+                ctx.load(bucket + KvLayout::val_off_off);
+            const std::uint64_t val_len =
+                ctx.load(bucket + KvLayout::val_len_off);
+            value.resize(val_len);
+            PBuffer heap(layout_.heap, layout_.heap_bytes);
+            heap.read(ctx, val_off, value.data(), val_len);
+            return true;
+        }
+        index = (index + 1) & (buckets - 1);
+    }
+    return false;
+}
+
+std::uint64_t
+KvStore::count(ThreadCtx &ctx) const
+{
+    std::uint64_t live = 0;
+    for (std::uint64_t i = 0; i < layout_.buckets; ++i) {
+        if (ctx.load(layout_.bucketAddr(i) + KvLayout::state_off) ==
+            KvLayout::state_live)
+            ++live;
+    }
+    return live;
+}
+
+} // namespace persim

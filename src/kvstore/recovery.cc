@@ -1,0 +1,316 @@
+#include "kvstore/recovery.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace persim {
+
+const char *
+kvRecoveryModeName(KvRecoveryMode mode)
+{
+    switch (mode) {
+      case KvRecoveryMode::Strict:
+        return "strict";
+      case KvRecoveryMode::DetectAndDiscard:
+        return "detect_and_discard";
+      case KvRecoveryMode::Repair:
+        return "repair";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+KvRecovery::faultCount(BucketFaultKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const BucketFault &fault : faults)
+        if (fault.kind == kind)
+            ++n;
+    return n;
+}
+
+namespace {
+
+/** Final journal-implied state of one key. */
+struct RedoEntry
+{
+    std::uint64_t seq = 0;
+    bool erased = false;
+    std::vector<std::uint8_t> value;
+};
+
+/**
+ * Replay the journal image into a per-key final state. Decoding
+ * stops at the first malformed payload (truncate-at-first-bad, like
+ * the log scan itself); sequence numbers must be strictly
+ * increasing or the suffix is distrusted.
+ */
+std::map<std::uint64_t, RedoEntry>
+redoFromJournal(const MemoryImage &image, const LogLayout &journal,
+                std::uint64_t max_value_bytes,
+                std::uint64_t &decoded_records)
+{
+    std::map<std::uint64_t, RedoEntry> redo;
+    decoded_records = 0;
+    const LogRecovery log = PersistentLog::recover(image, journal);
+    std::uint64_t last_seq = 0;
+    for (const RecoveredRecord &raw : log.records) {
+        KvJournalRecord record;
+        if (!KvJournalRecord::decode(raw.payload, record))
+            break;
+        if (record.seq <= last_seq ||
+            record.value.size() > max_value_bytes)
+            break;
+        last_seq = record.seq;
+        ++decoded_records;
+        RedoEntry &entry = redo[record.key];
+        entry.seq = record.seq;
+        entry.erased = record.kind == KvJournalRecord::kind_erase;
+        entry.value = record.value;
+    }
+    return redo;
+}
+
+} // namespace
+
+KvRecovery
+recoverKvStore(const MemoryImage &image, const KvLayout &layout,
+               const KvRecoveryOptions &options)
+{
+    KvRecovery result;
+    result.mode = options.mode;
+
+    std::unordered_map<std::uint64_t, std::uint64_t> owner; // key->bucket
+    std::vector<std::uint64_t> states(layout.buckets);
+    std::vector<bool> healthy(layout.buckets, false);
+    std::map<std::uint64_t, std::uint64_t> entry_bucket; // key->bucket
+
+    auto fault = [&result](std::uint64_t bucket, BucketFaultKind kind,
+                           std::string detail) {
+        result.faults.push_back({bucket, kind, std::move(detail)});
+    };
+
+    // Pass 1: validate each bucket in isolation.
+    for (std::uint64_t i = 0; i < layout.buckets; ++i) {
+        const Addr bucket = layout.bucketAddr(i);
+        const std::uint64_t state =
+            image.load(bucket + KvLayout::state_off, 8);
+        states[i] = state;
+        if (state == KvLayout::state_empty)
+            continue;
+        if (state == KvLayout::state_tombstone) {
+            // A tombstone is self-describing by its state word alone;
+            // its other words are a dead previous generation.
+            ++result.tombstones;
+            continue;
+        }
+        if (state != KvLayout::state_live) {
+            std::ostringstream oss;
+            oss << "bucket " << i << " has invalid state " << state;
+            fault(i, BucketFaultKind::InvalidState, oss.str());
+            continue;
+        }
+        const std::uint64_t key =
+            image.load(bucket + KvLayout::key_off, 8);
+        if (key == 0) {
+            std::ostringstream oss;
+            oss << "live bucket " << i << " has a zero key";
+            fault(i, BucketFaultKind::ZeroKey, oss.str());
+            continue;
+        }
+        const std::uint64_t val_off =
+            image.load(bucket + KvLayout::val_off_off, 8);
+        const std::uint64_t val_len =
+            image.load(bucket + KvLayout::val_len_off, 8);
+        if (val_len == 0 || val_len > layout.max_value_bytes ||
+            val_off % 8 != 0 || val_off >= layout.heap_bytes ||
+            val_off + val_len > layout.heap_bytes) {
+            std::ostringstream oss;
+            oss << "live bucket " << i << " references heap ["
+                << val_off << ", " << val_off + val_len
+                << ") outside [0, " << layout.heap_bytes << ")";
+            fault(i, BucketFaultKind::BadValueRef, oss.str());
+            continue;
+        }
+        const std::uint64_t seq =
+            image.load(bucket + KvLayout::seq_off, 8);
+        std::vector<std::uint8_t> payload(val_len);
+        image.readBytes(payload.data(), layout.heap + val_off, val_len);
+        const std::uint64_t stored =
+            image.load(bucket + KvLayout::cksum_off, 8);
+        if (stored != KvLayout::checksum(i, key, val_off, val_len, seq,
+                                         payload.data())) {
+            std::ostringstream oss;
+            oss << "live bucket " << i << " (key " << key
+                << ") fails its checksum";
+            fault(i, BucketFaultKind::BadChecksum, oss.str());
+            continue;
+        }
+        auto claimed = owner.emplace(key, i);
+        if (!claimed.second) {
+            // Two valid live buckets for one key: keep the newer
+            // generation (higher seq), quarantine the stale one.
+            const std::uint64_t other = claimed.first->second;
+            const std::uint64_t other_seq = result.entries[key].seq;
+            const std::uint64_t stale = seq > other_seq ? other : i;
+            const std::uint64_t keep = seq > other_seq ? i : other;
+            std::ostringstream oss;
+            oss << "key " << key << " is live in two buckets ("
+                << other << " and " << i << "); keeping seq "
+                << std::max(seq, other_seq);
+            fault(stale, BucketFaultKind::DuplicateKey, oss.str());
+            healthy[stale] = false;
+            healthy[keep] = true;
+            claimed.first->second = keep;
+            entry_bucket[key] = keep;
+            if (keep == i) {
+                result.entries[key].seq = seq;
+                result.entries[key].value = std::move(payload);
+            }
+            continue;
+        }
+        healthy[i] = true;
+        entry_bucket[key] = i;
+        result.entries[key].seq = seq;
+        result.entries[key].value = std::move(payload);
+    }
+
+    // Pass 2: probe-chain reachability for healthy entries. Faulted
+    // buckets still occupy their slot (a reader would probe past
+    // them); only a raw empty state ends a chain.
+    for (const auto &[key, bucket_index] : entry_bucket) {
+        std::uint64_t index = KvStore::hashIndex(key, layout.buckets);
+        bool reachable = false;
+        for (std::uint64_t probe = 0; probe < layout.buckets; ++probe) {
+            if (index == bucket_index) {
+                reachable = true;
+                break;
+            }
+            if (states[index] == KvLayout::state_empty)
+                break;
+            index = (index + 1) & (layout.buckets - 1);
+        }
+        if (!reachable) {
+            std::ostringstream oss;
+            oss << "live key " << key << " in bucket " << bucket_index
+                << " is unreachable from its probe chain";
+            fault(bucket_index, BucketFaultKind::Unreachable,
+                  oss.str());
+            result.entries.erase(key);
+        }
+    }
+
+    if (!result.faults.empty())
+        result.error = result.faults.front().detail;
+
+    if (options.mode == KvRecoveryMode::Strict) {
+        result.ok = result.faults.empty();
+        result.discarded = 0; // Strict never serves degraded.
+        return result;
+    }
+
+    result.ok = true;
+    result.discarded = result.faults.size();
+    if (options.mode == KvRecoveryMode::DetectAndDiscard)
+        return result;
+
+    // Repair tier: replay the journal's per-key final state over the
+    // table. The journal is written *before* the table (WAL), so a
+    // journal record with a newer seq than the table's entry is the
+    // authority: adopt puts the table lost (torn insert/update),
+    // apply erases the table missed. Without a journal this tier
+    // degrades to DetectAndDiscard.
+    if (options.journal.base == invalid_addr ||
+        options.journal.capacity == 0)
+        return result;
+
+    const auto redo = redoFromJournal(image, options.journal,
+                                      layout.max_value_bytes,
+                                      result.log_records);
+    std::uint64_t budget = options.repair_budget;
+    for (const auto &[key, entry] : redo) {
+        auto it = result.entries.find(key);
+        const std::uint64_t table_seq =
+            it == result.entries.end() ? 0 : it->second.seq;
+        if (entry.seq <= table_seq)
+            continue; // The table already reflects this mutation.
+        if (budget == 0)
+            break; // Bounded effort: fall back to discard.
+        --budget;
+        if (entry.erased) {
+            if (it != result.entries.end()) {
+                result.entries.erase(it);
+                ++result.repaired;
+            }
+            continue;
+        }
+        KvRecoveredEntry &recovered = result.entries[key];
+        recovered.seq = entry.seq;
+        recovered.value = entry.value;
+        recovered.repaired = true;
+        ++result.repaired;
+    }
+    if (result.repaired <= result.discarded)
+        result.discarded -= result.repaired;
+    else
+        result.discarded = 0;
+    return result;
+}
+
+std::function<std::string(const MemoryImage &)>
+makeKvRecoveryInvariant(const KvLayout &layout,
+                        std::shared_ptr<const KvGoldenHistory> golden,
+                        const KvRecoveryOptions &options,
+                        std::shared_ptr<KvInvariantStats> stats)
+{
+    return [layout, golden = std::move(golden), options,
+            stats = std::move(stats)](const MemoryImage &image) {
+        const KvRecovery recovery =
+            recoverKvStore(image, layout, options);
+        if (stats) {
+            stats->images.fetch_add(1, std::memory_order_relaxed);
+            stats->quarantined.fetch_add(recovery.faults.size(),
+                                         std::memory_order_relaxed);
+            stats->repaired.fetch_add(recovery.repaired,
+                                      std::memory_order_relaxed);
+            stats->discarded.fetch_add(recovery.discarded,
+                                       std::memory_order_relaxed);
+            for (const BucketFault &fault : recovery.faults)
+                stats->by_cause[static_cast<std::size_t>(fault.kind)]
+                    .fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!recovery.ok)
+            return "strict recovery failed: " + recovery.error;
+        // Silent-corruption check: every served (seq, value) must be
+        // a version some writer actually issued for that key.
+        // Plausibility, not completeness — which versions persisted
+        // depends on the crash point and the tier's policy.
+        for (const auto &[key, entry] : recovery.entries) {
+            auto history = golden->find(key);
+            if (history == golden->end()) {
+                std::ostringstream oss;
+                oss << "recovered key " << key << " was never written";
+                return oss.str();
+            }
+            bool matches = false;
+            for (const KvGoldenVersion &version : history->second) {
+                if (version.seq == entry.seq && !version.erased &&
+                    version.value == entry.value) {
+                    matches = true;
+                    break;
+                }
+            }
+            if (!matches) {
+                std::ostringstream oss;
+                oss << "silent corruption: key " << key << " seq "
+                    << entry.seq
+                    << " has a value no writer issued";
+                return oss.str();
+            }
+        }
+        return std::string();
+    };
+}
+
+} // namespace persim

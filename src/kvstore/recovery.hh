@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Three-tier recovery ladder for the persistent KV store.
+ *
+ * Recovery of a crashed KvStore image is a pure function that
+ * validates every bucket (state, key, value reference bounds,
+ * checksum over bucket words + payload, duplicate keys, probe-chain
+ * reachability — the BucketFault taxonomy shared with
+ * PersistentHashMap) and then applies a *policy* to what it found:
+ *
+ *  - `Strict`: any fault is a recovery failure. The tier a
+ *    correctness proof wants — and exactly what a mid-update crash
+ *    window makes untenable for a live service, since a checksummed
+ *    bucket cannot be updated crash-atomically.
+ *  - `DetectAndDiscard`: quarantine faulted buckets with per-cause
+ *    accounting and serve the rest. Detected loss, bounded blast
+ *    radius, never a wrong answer.
+ *  - `Repair`: quarantine, then replay the LogStructured journal
+ *    suffix to rebuild what the table lost (torn inserts, torn
+ *    updates, unapplied erases), under a bounded budget, falling back
+ *    to discard for anything the journal cannot prove. Never a crash.
+ *
+ * The exported invariant factory plugs the ladder into the fault
+ * campaign (src/recovery/): a *violation* is silent corruption — a
+ * recovered value no writer ever issued, or a Strict-tier
+ * inconsistency. Quarantine, discard, and repair are graceful
+ * degradation, reported through KvInvariantStats, not violations.
+ */
+
+#ifndef PERSIM_KVSTORE_RECOVERY_HH
+#define PERSIM_KVSTORE_RECOVERY_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kvstore/kvstore.hh"
+#include "sim/memory_image.hh"
+
+namespace persim {
+
+/** Which policy recovery applies to faulted buckets. */
+enum class KvRecoveryMode : std::uint8_t {
+    Strict = 0,       //!< Any fault fails recovery.
+    DetectAndDiscard, //!< Quarantine faults, serve the rest.
+    Repair,           //!< Quarantine, then rebuild from the journal.
+};
+
+/** Human-readable mode name ("strict", "detect_and_discard", ...). */
+const char *kvRecoveryModeName(KvRecoveryMode mode);
+
+/** Knobs for recoverKvStore. */
+struct KvRecoveryOptions
+{
+    KvRecoveryMode mode = KvRecoveryMode::DetectAndDiscard;
+
+    /** Journal placement (Repair tier); ignored when invalid. */
+    LogLayout journal;
+
+    /**
+     * Repair budget: maximum journal-directed corrections. Redo work
+     * beyond the budget falls back to discard — bounded effort,
+     * graceful degradation.
+     */
+    std::uint64_t repair_budget = 1 << 20;
+};
+
+/** One recovered entry. */
+struct KvRecoveredEntry
+{
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> value;
+    bool repaired = false; //!< Rebuilt or corrected from the journal.
+};
+
+/** Result of recovering a KV store image. */
+struct KvRecovery
+{
+    /** False only under Strict with at least one fault. */
+    bool ok = false;
+
+    /** First fault's description (when any). */
+    std::string error;
+
+    KvRecoveryMode mode = KvRecoveryMode::Strict;
+
+    /** Entries served after the tier's policy was applied. */
+    std::map<std::uint64_t, KvRecoveredEntry> entries;
+
+    /** Every fault detected, in bucket order (pre-repair). */
+    std::vector<BucketFault> faults;
+
+    std::uint64_t tombstones = 0;
+
+    /** Faulted buckets not rebuilt by the journal. */
+    std::uint64_t discarded = 0;
+
+    /** Journal-directed corrections (adoptions and erases). */
+    std::uint64_t repaired = 0;
+
+    /** Valid journal records decoded (Repair tier). */
+    std::uint64_t log_records = 0;
+
+    /** Faulted buckets of one kind. */
+    std::uint64_t faultCount(BucketFaultKind kind) const;
+};
+
+/**
+ * Recover a KV store from a crashed image: validate every bucket,
+ * then apply @p options.mode (see file comment). Pure function of the
+ * image — never throws on corrupt input, never returns a value whose
+ * checksum did not validate.
+ */
+KvRecovery recoverKvStore(const MemoryImage &image,
+                          const KvLayout &layout,
+                          const KvRecoveryOptions &options);
+
+/**
+ * Order-independent accounting accumulated across the crash images an
+ * invariant inspects. Atomics keep parallel campaign runs
+ * bit-identical in their InjectionResult while still summing
+ * identically to serial runs.
+ */
+struct KvInvariantStats
+{
+    std::atomic<std::uint64_t> images{0};
+    std::atomic<std::uint64_t> quarantined{0};
+    std::atomic<std::uint64_t> repaired{0};
+    std::atomic<std::uint64_t> discarded{0};
+    std::array<std::atomic<std::uint64_t>, bucket_fault_kinds>
+        by_cause{};
+};
+
+/**
+ * Build a fault-campaign invariant over the recovery ladder: recover
+ * the image under @p options, then flag *silent corruption* — a
+ * recovered (seq, value) pair absent from @p golden — and, under
+ * Strict, any fault. Quarantine/repair/discard accumulate into
+ * @p stats (optional) instead of being violations.
+ */
+std::function<std::string(const MemoryImage &)>
+makeKvRecoveryInvariant(const KvLayout &layout,
+                        std::shared_ptr<const KvGoldenHistory> golden,
+                        const KvRecoveryOptions &options,
+                        std::shared_ptr<KvInvariantStats> stats = nullptr);
+
+} // namespace persim
+
+#endif // PERSIM_KVSTORE_RECOVERY_HH

@@ -1,0 +1,25 @@
+#include "pstruct/bucket_fault.hh"
+
+namespace persim {
+
+const char *
+bucketFaultKindName(BucketFaultKind kind)
+{
+    switch (kind) {
+      case BucketFaultKind::InvalidState:
+        return "bad-state";
+      case BucketFaultKind::ZeroKey:
+        return "zero-key";
+      case BucketFaultKind::DuplicateKey:
+        return "dup-key";
+      case BucketFaultKind::Unreachable:
+        return "unreachable";
+      case BucketFaultKind::BadValueRef:
+        return "bad-value-ref";
+      case BucketFaultKind::BadChecksum:
+        return "bad-checksum";
+    }
+    return "unknown";
+}
+
+} // namespace persim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-bucket recovery fault taxonomy.
+ *
+ * Recovery of an open-addressed persistent table can fail one bucket
+ * at a time, for structurally different reasons: an invalid state
+ * word, a zero live key, a duplicated live key, a live key stranded
+ * off its probe chain, a checksum mismatch, or a value reference
+ * pointing outside the value heap. The taxonomy is shared between
+ * PersistentHashMap::recover (which reports faults but has no
+ * checksums) and the KV store's recovery ladder (src/kvstore/), whose
+ * quarantine accounting is keyed by it — so campaign tables and tests
+ * can ask "how many buckets failed, and why" instead of parsing an
+ * error string.
+ */
+
+#ifndef PERSIM_PSTRUCT_BUCKET_FAULT_HH
+#define PERSIM_PSTRUCT_BUCKET_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace persim {
+
+/** Which structural invariant a bucket violated. */
+enum class BucketFaultKind : std::uint8_t {
+    InvalidState = 0, //!< State word is none of empty/live/tombstone.
+    ZeroKey,          //!< Live bucket with a zero key.
+    DuplicateKey,     //!< Key live in more than one bucket.
+    Unreachable,      //!< Live key unreachable from its probe chain.
+    BadValueRef,      //!< Value reference outside the value heap.
+    BadChecksum,      //!< Bucket checksum mismatch (torn or bit-rotted).
+};
+
+/** Number of BucketFaultKind enumerators (for per-cause counters). */
+constexpr std::size_t bucket_fault_kinds = 6;
+
+/** Short stable name ("bad-state", "dup-key", ...). */
+const char *bucketFaultKindName(BucketFaultKind kind);
+
+/** One quarantinable bucket failure. */
+struct BucketFault
+{
+    std::uint64_t bucket = 0;   //!< Bucket index in the table.
+    BucketFaultKind kind = BucketFaultKind::InvalidState;
+    std::string detail;         //!< Human-readable description.
+};
+
+} // namespace persim
+
+#endif // PERSIM_PSTRUCT_BUCKET_FAULT_HH

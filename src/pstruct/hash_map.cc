@@ -1,12 +1,36 @@
 #include "pstruct/hash_map.hh"
 
 #include <sstream>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "common/bitops.hh"
 #include "common/error.hh"
 
 namespace persim {
+
+const char *
+putStatusName(PutStatus status)
+{
+    switch (status) {
+      case PutStatus::Inserted:
+        return "inserted";
+      case PutStatus::Updated:
+        return "updated";
+      case PutStatus::TableFull:
+        return "table-full";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+HashMapRecovery::faultCount(BucketFaultKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const BucketFault &fault : faults)
+        if (fault.kind == kind)
+            ++n;
+    return n;
+}
 
 std::uint64_t
 PersistentHashMap::hashIndex(std::uint64_t key, std::uint64_t buckets)
@@ -42,7 +66,7 @@ PersistentHashMap::create(ThreadCtx &ctx, const HashMapOptions &options,
     return map;
 }
 
-void
+PutStatus
 PersistentHashMap::put(ThreadCtx &ctx, std::size_t slot,
                        std::uint64_t key, std::uint64_t value)
 {
@@ -64,7 +88,7 @@ PersistentHashMap::put(ThreadCtx &ctx, std::size_t slot,
                 // Update in place: one atomic persist; versions of
                 // this cell are ordered by strong persist atomicity.
                 ctx.store(bucket + HashMapLayout::value_off, value);
-                return;
+                return PutStatus::Updated;
             }
         } else {
             if (insert_at == buckets)
@@ -74,8 +98,8 @@ PersistentHashMap::put(ThreadCtx &ctx, std::size_t slot,
         }
         index = (index + 1) & (buckets - 1);
     }
-    PERSIM_REQUIRE(insert_at != buckets,
-                   "hash map is full (" << buckets << " buckets)");
+    if (insert_at == buckets)
+        return PutStatus::TableFull;
 
     // Insert: fill the dead bucket, then publish.
     const Addr bucket = layout_.bucketAddr(insert_at);
@@ -85,6 +109,7 @@ PersistentHashMap::put(ThreadCtx &ctx, std::size_t slot,
         ctx.persistBarrier();
     ctx.store(bucket + HashMapLayout::state_off,
               HashMapLayout::state_live);
+    return PutStatus::Inserted;
 }
 
 bool
@@ -158,8 +183,14 @@ PersistentHashMap::recover(const MemoryImage &image,
                            const HashMapLayout &layout)
 {
     HashMapRecovery result;
-    std::unordered_set<std::uint64_t> seen;
+    std::unordered_map<std::uint64_t, std::uint64_t> seen; // key -> bucket
     std::vector<std::uint64_t> states(layout.buckets);
+    std::vector<bool> healthy(layout.buckets, false);
+
+    auto fault = [&result](std::uint64_t bucket, BucketFaultKind kind,
+                           std::string detail) {
+        result.faults.push_back({bucket, kind, std::move(detail)});
+    };
 
     for (std::uint64_t i = 0; i < layout.buckets; ++i) {
         const Addr bucket = layout.bucketAddr(i);
@@ -175,31 +206,38 @@ PersistentHashMap::recover(const MemoryImage &image,
         if (state != HashMapLayout::state_live) {
             std::ostringstream oss;
             oss << "bucket " << i << " has invalid state " << state;
-            result.error = oss.str();
-            return result;
+            fault(i, BucketFaultKind::InvalidState, oss.str());
+            continue;
         }
         const std::uint64_t key =
             image.load(bucket + HashMapLayout::key_off, 8);
         if (key == 0) {
             std::ostringstream oss;
             oss << "live bucket " << i << " has a zero key";
-            result.error = oss.str();
-            return result;
+            fault(i, BucketFaultKind::ZeroKey, oss.str());
+            continue;
         }
-        if (!seen.insert(key).second) {
+        auto inserted = seen.emplace(key, i);
+        if (!inserted.second) {
+            // Quarantine the later bucket; the first occurrence keeps
+            // its entry.
             std::ostringstream oss;
-            oss << "key " << key << " is live in two buckets";
-            result.error = oss.str();
-            return result;
+            oss << "key " << key << " is live in two buckets ("
+                << inserted.first->second << " and " << i << ")";
+            fault(i, BucketFaultKind::DuplicateKey, oss.str());
+            continue;
         }
+        healthy[i] = true;
         result.entries[key] =
             image.load(bucket + HashMapLayout::value_off, 8);
     }
 
-    // Reachability: every live key must be findable by probing from
-    // its hash index without crossing an empty bucket first.
+    // Reachability: every healthy live key must be findable by probing
+    // from its hash index without crossing an empty bucket first.
+    // Buckets already faulted above still occupy their slot, so they
+    // keep probe chains alive for this check (as they would for get()).
     for (std::uint64_t i = 0; i < layout.buckets; ++i) {
-        if (states[i] != HashMapLayout::state_live)
+        if (!healthy[i])
             continue;
         const std::uint64_t key =
             image.load(layout.bucketAddr(i) + HashMapLayout::key_off, 8);
@@ -218,11 +256,13 @@ PersistentHashMap::recover(const MemoryImage &image,
             std::ostringstream oss;
             oss << "live key " << key << " in bucket " << i
                 << " is unreachable from its probe chain";
-            result.error = oss.str();
-            return result;
+            fault(i, BucketFaultKind::Unreachable, oss.str());
+            result.entries.erase(key);
         }
     }
-    result.ok = true;
+    result.ok = result.faults.empty();
+    if (!result.ok)
+        result.error = result.faults.front().detail;
     return result;
 }
 

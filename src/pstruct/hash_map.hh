@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "pstruct/bucket_fault.hh"
 #include "sim/engine.hh"
 #include "sim/memory_image.hh"
 #include "sync/locks.hh"
@@ -78,13 +79,37 @@ struct HashMapOptions
     bool omit_publish_barrier = false;
 };
 
-/** Entries parsed out of a (possibly crashed) map image. */
+/** Outcome of a put(). */
+enum class PutStatus : std::uint8_t {
+    Inserted, //!< A new entry was published.
+    Updated,  //!< An existing entry's value was overwritten.
+    TableFull, //!< No dead bucket on the probe chain; nothing written.
+};
+
+/** Human-readable PutStatus name. */
+const char *putStatusName(PutStatus status);
+
+/**
+ * Entries parsed out of a (possibly crashed) map image.
+ *
+ * recover() no longer stops at the first inconsistency: every bucket
+ * is validated and each failure is recorded as a BucketFault naming
+ * which invariant broke (state / zero key / dup key /
+ * probe-reachability). `entries` holds only buckets that passed every
+ * check, so a caller may serve them in degraded mode; `ok` is true
+ * iff no bucket faulted, and `error` keeps the first fault's
+ * description for single-verdict callers (recovery invariants).
+ */
 struct HashMapRecovery
 {
     bool ok = false;
     std::string error;
+    std::vector<BucketFault> faults;
     std::map<std::uint64_t, std::uint64_t> entries;
     std::uint64_t tombstones = 0;
+
+    /** Faulted buckets of one kind. */
+    std::uint64_t faultCount(BucketFaultKind kind) const;
 };
 
 /** A fixed-size recoverable hash map. */
@@ -102,11 +127,15 @@ class PersistentHashMap
                                     std::size_t threads);
 
     /**
-     * Insert or update @p key (nonzero). Fatals when the table is
-     * full (no empty or tombstone bucket on the probe chain).
+     * Insert or update @p key (nonzero). A full table (no empty or
+     * tombstone bucket on the probe chain) is a recoverable
+     * condition, not an error: nothing is written and
+     * PutStatus::TableFull is returned so the caller can shed load or
+     * back off — a fault campaign must never be aborted by a full
+     * table.
      */
-    void put(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
-             std::uint64_t value);
+    [[nodiscard]] PutStatus put(ThreadCtx &ctx, std::size_t slot,
+                                std::uint64_t key, std::uint64_t value);
 
     /**
      * Remove @p key.

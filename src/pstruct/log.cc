@@ -142,7 +142,7 @@ PersistentLog::append(ThreadCtx &ctx, std::size_t slot,
     ctx.store(cursor_, pos + bytes);
     ctx.store(seq_, seq + 1);
 
-    {
+    if (options_.record_golden) {
         std::lock_guard<std::mutex> golden_guard(golden_->mutex);
         GoldenLogRecord record;
         record.offset = pos;

@@ -80,6 +80,13 @@ struct LogOptions
      * before record k-1.
      */
     bool omit_order_annotations = false;
+
+    /**
+     * Keep a host-side golden copy of every append (for recovery
+     * cross-checking). Disable on multi-million-record perf runs where
+     * the copies would dominate memory.
+     */
+    bool record_golden = true;
 };
 
 /** One record parsed out of an image. */

@@ -53,6 +53,17 @@ MemoryImage::store(Addr addr, unsigned size, std::uint64_t value)
     }
 }
 
+MemoryImage
+MemoryImage::clone() const
+{
+    MemoryImage copy;
+    for (const auto &[page_num, page] : pages_) {
+        auto dup = std::make_unique<Page>(*page);
+        copy.pages_.emplace(page_num, std::move(dup));
+    }
+    return copy;
+}
+
 void
 MemoryImage::readBytes(void *dst, Addr src, std::size_t n) const
 {

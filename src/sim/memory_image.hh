@@ -41,6 +41,13 @@ class MemoryImage
     /** Number of pages materialized so far. */
     std::size_t pageCount() const { return pages_.size(); }
 
+    /**
+     * Deep copy. MemoryImage is deliberately move-only (pages are
+     * uniquely owned); copy-then-perturb analyses — fault models,
+     * corruption fuzzers — clone explicitly instead.
+     */
+    MemoryImage clone() const;
+
     /** Drop all contents. */
     void clear() { pages_.clear(); }
 

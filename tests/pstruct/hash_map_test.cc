@@ -21,10 +21,10 @@ TEST(HashMap, PutGetEraseBasics)
         auto map = PersistentHashMap::create(ctx, {.buckets = 64}, 1);
         std::uint64_t value = 0;
         EXPECT_FALSE(map.get(ctx, 5, value));
-        map.put(ctx, 0, 5, 500);
+        EXPECT_EQ(map.put(ctx, 0, 5, 500), PutStatus::Inserted);
         ASSERT_TRUE(map.get(ctx, 5, value));
         EXPECT_EQ(value, 500u);
-        map.put(ctx, 0, 5, 501); // Update.
+        EXPECT_EQ(map.put(ctx, 0, 5, 501), PutStatus::Updated);
         ASSERT_TRUE(map.get(ctx, 5, value));
         EXPECT_EQ(value, 501u);
         EXPECT_EQ(map.count(ctx), 1u);
@@ -42,7 +42,8 @@ TEST(HashMap, ManyKeysWithCollisions)
         // Tiny table: heavy collisions and wraparound probing.
         auto map = PersistentHashMap::create(ctx, {.buckets = 32}, 1);
         for (std::uint64_t key = 1; key <= 24; ++key)
-            map.put(ctx, 0, key, key * 10);
+            EXPECT_EQ(map.put(ctx, 0, key, key * 10),
+                      PutStatus::Inserted);
         EXPECT_EQ(map.count(ctx), 24u);
         std::uint64_t value = 0;
         for (std::uint64_t key = 1; key <= 24; ++key) {
@@ -61,26 +62,38 @@ TEST(HashMap, TombstoneReuseKeepsChainsIntact)
         // Fill a chain, delete the middle, ensure later keys stay
         // reachable and the tombstone is reused.
         for (std::uint64_t key = 1; key <= 6; ++key)
-            map.put(ctx, 0, key, key);
+            EXPECT_EQ(map.put(ctx, 0, key, key), PutStatus::Inserted);
         EXPECT_TRUE(map.erase(ctx, 0, 3));
         std::uint64_t value = 0;
         for (std::uint64_t key : {1, 2, 4, 5, 6})
             EXPECT_TRUE(map.get(ctx, key, value)) << key;
-        map.put(ctx, 0, 7, 70); // Should reuse the tombstone.
+        // Should reuse the tombstone.
+        EXPECT_EQ(map.put(ctx, 0, 7, 70), PutStatus::Inserted);
         EXPECT_TRUE(map.get(ctx, 7, value));
         EXPECT_EQ(value, 70u);
         EXPECT_EQ(map.count(ctx), 6u);
     }});
 }
 
-TEST(HashMap, FullTableIsFatal)
+TEST(HashMap, FullTableReturnsRecoverableStatus)
 {
     ExecutionEngine engine(EngineConfig{}, nullptr);
-    EXPECT_THROW(engine.run({[](ThreadCtx &ctx) {
+    engine.run({[](ThreadCtx &ctx) {
         auto map = PersistentHashMap::create(ctx, {.buckets = 4}, 1);
-        for (std::uint64_t key = 1; key <= 5; ++key)
-            map.put(ctx, 0, key, key);
-    }}), FatalError);
+        for (std::uint64_t key = 1; key <= 4; ++key)
+            EXPECT_EQ(map.put(ctx, 0, key, key), PutStatus::Inserted);
+        // Full table: rejected, nothing written, map still usable.
+        EXPECT_EQ(map.put(ctx, 0, 5, 5), PutStatus::TableFull);
+        EXPECT_EQ(map.count(ctx), 4u);
+        std::uint64_t value = 0;
+        EXPECT_FALSE(map.get(ctx, 5, value));
+        // Existing keys still update and erase fine.
+        EXPECT_EQ(map.put(ctx, 0, 2, 22), PutStatus::Updated);
+        EXPECT_TRUE(map.erase(ctx, 0, 3));
+        // Freeing a bucket makes inserts succeed again.
+        EXPECT_EQ(map.put(ctx, 0, 5, 5), PutStatus::Inserted);
+        EXPECT_STREQ(putStatusName(PutStatus::TableFull), "table-full");
+    }});
 }
 
 TEST(HashMap, ZeroKeyRejected)
@@ -88,7 +101,7 @@ TEST(HashMap, ZeroKeyRejected)
     ExecutionEngine engine(EngineConfig{}, nullptr);
     EXPECT_THROW(engine.run({[](ThreadCtx &ctx) {
         auto map = PersistentHashMap::create(ctx, {.buckets = 8}, 1);
-        map.put(ctx, 0, 0, 1);
+        (void)map.put(ctx, 0, 0, 1);
     }}), FatalError);
 }
 
@@ -119,7 +132,8 @@ TEST(HashMap, ConcurrentWritersAcrossSeeds)
             workers.push_back([map, t](ThreadCtx &ctx) {
                 for (std::uint64_t i = 1; i <= 25; ++i) {
                     const std::uint64_t key = t * 100 + i;
-                    map->put(ctx, t, key, key * 7);
+                    EXPECT_EQ(map->put(ctx, t, key, key * 7),
+                              PutStatus::Inserted);
                     if (i % 5 == 0)
                         EXPECT_TRUE(map->erase(ctx, t, key));
                 }
@@ -149,9 +163,9 @@ mapWorkload(std::uint64_t seed, HashMapOptions options)
         workers.push_back([map, t](ThreadCtx &ctx) {
             for (std::uint64_t i = 1; i <= 15; ++i) {
                 const std::uint64_t key = t * 50 + i;
-                map->put(ctx, t, key, key * 1000 + 1);
-                if (i % 3 == 0)
-                    map->put(ctx, t, key, key * 1000 + 2); // Update.
+                (void)map->put(ctx, t, key, key * 1000 + 1);
+                if (i % 3 == 0) // Update.
+                    (void)map->put(ctx, t, key, key * 1000 + 2);
                 if (i % 4 == 0)
                     map->erase(ctx, t, key);
             }
@@ -242,10 +256,13 @@ TEST(HashMapNegative, RecoverDetectsHandcraftedCorruption)
     layout.table = persistent_base;
     layout.buckets = 8;
 
-    // Duplicate live key.
+    // Duplicate live key (in its home bucket and the next probe slot,
+    // so the surviving copy stays reachable).
     {
         MemoryImage image;
-        for (std::uint64_t i : {0u, 1u}) {
+        const std::uint64_t home =
+            PersistentHashMap::hashIndex(42, layout.buckets);
+        for (std::uint64_t i : {home, home + 1}) {
             image.store(layout.bucketAddr(i) + HashMapLayout::key_off,
                         8, 42);
             image.store(layout.bucketAddr(i) + HashMapLayout::state_off,
@@ -254,6 +271,10 @@ TEST(HashMapNegative, RecoverDetectsHandcraftedCorruption)
         const auto result = PersistentHashMap::recover(image, layout);
         EXPECT_FALSE(result.ok);
         EXPECT_NE(result.error.find("two buckets"), std::string::npos);
+        ASSERT_EQ(result.faults.size(), 1u);
+        EXPECT_EQ(result.faults[0].kind, BucketFaultKind::DuplicateKey);
+        // The first occurrence keeps its entry.
+        EXPECT_EQ(result.entries.count(42), 1u);
     }
     // Zero live key.
     {
@@ -263,6 +284,9 @@ TEST(HashMapNegative, RecoverDetectsHandcraftedCorruption)
         const auto result = PersistentHashMap::recover(image, layout);
         EXPECT_FALSE(result.ok);
         EXPECT_NE(result.error.find("zero key"), std::string::npos);
+        ASSERT_EQ(result.faults.size(), 1u);
+        EXPECT_EQ(result.faults[0].kind, BucketFaultKind::ZeroKey);
+        EXPECT_EQ(result.faults[0].bucket, 3u);
     }
     // Invalid state.
     {
@@ -272,6 +296,8 @@ TEST(HashMapNegative, RecoverDetectsHandcraftedCorruption)
         const auto result = PersistentHashMap::recover(image, layout);
         EXPECT_FALSE(result.ok);
         EXPECT_NE(result.error.find("invalid state"), std::string::npos);
+        ASSERT_EQ(result.faults.size(), 1u);
+        EXPECT_EQ(result.faults[0].kind, BucketFaultKind::InvalidState);
     }
     // Unreachable live key (empty bucket breaks its probe chain).
     {
@@ -287,6 +313,10 @@ TEST(HashMapNegative, RecoverDetectsHandcraftedCorruption)
         const auto result = PersistentHashMap::recover(image, layout);
         EXPECT_FALSE(result.ok);
         EXPECT_NE(result.error.find("unreachable"), std::string::npos);
+        ASSERT_EQ(result.faults.size(), 1u);
+        EXPECT_EQ(result.faults[0].kind, BucketFaultKind::Unreachable);
+        // Unreachable entries are not served in degraded mode.
+        EXPECT_EQ(result.entries.count(key), 0u);
     }
     // A clean image parses.
     {
@@ -302,8 +332,62 @@ TEST(HashMapNegative, RecoverDetectsHandcraftedCorruption)
                     8, HashMapLayout::state_live);
         const auto result = PersistentHashMap::recover(image, layout);
         ASSERT_TRUE(result.ok) << result.error;
+        EXPECT_TRUE(result.faults.empty());
         EXPECT_EQ(result.entries.at(key), 9u);
     }
+}
+
+TEST(HashMapNegative, RecoverCollectsEveryFaultWithItsCause)
+{
+    HashMapLayout layout;
+    layout.table = persistent_base;
+    layout.buckets = 8;
+
+    // One image with three independent faults: recovery must report
+    // all of them (not stop at the first) and still serve the healthy
+    // entries.
+    MemoryImage image;
+    image.store(layout.bucketAddr(2) + HashMapLayout::state_off, 8, 77);
+    image.store(layout.bucketAddr(3) + HashMapLayout::state_off, 8,
+                HashMapLayout::state_live); // Zero key.
+    // Key 42 hashes to bucket 4; duplicate it in its home bucket and
+    // the next probe slot so the home copy stays valid and reachable.
+    const std::uint64_t dup_key = 42;
+    const std::uint64_t dup_home =
+        PersistentHashMap::hashIndex(dup_key, layout.buckets);
+    ASSERT_EQ(dup_home, 4u);
+    for (std::uint64_t i : {dup_home, dup_home + 1}) {
+        image.store(layout.bucketAddr(i) + HashMapLayout::key_off, 8,
+                    dup_key);
+        image.store(layout.bucketAddr(i) + HashMapLayout::value_off, 8,
+                    420 + i);
+        image.store(layout.bucketAddr(i) + HashMapLayout::state_off, 8,
+                    HashMapLayout::state_live);
+    }
+    // Key 19 hashes to bucket 1, away from all faulted chains.
+    const std::uint64_t good_key = 19;
+    const std::uint64_t home =
+        PersistentHashMap::hashIndex(good_key, layout.buckets);
+    ASSERT_EQ(home, 1u);
+    image.store(layout.bucketAddr(home) + HashMapLayout::key_off, 8,
+                good_key);
+    image.store(layout.bucketAddr(home) + HashMapLayout::value_off, 8,
+                90);
+    image.store(layout.bucketAddr(home) + HashMapLayout::state_off, 8,
+                HashMapLayout::state_live);
+
+    const auto result = PersistentHashMap::recover(image, layout);
+    EXPECT_FALSE(result.ok);
+    ASSERT_EQ(result.faults.size(), 3u);
+    EXPECT_EQ(result.faultCount(BucketFaultKind::InvalidState), 1u);
+    EXPECT_EQ(result.faultCount(BucketFaultKind::ZeroKey), 1u);
+    EXPECT_EQ(result.faultCount(BucketFaultKind::DuplicateKey), 1u);
+    // `error` still summarizes the first fault for old callers.
+    EXPECT_FALSE(result.error.empty());
+    // Healthy entries are still served in degraded mode; the dup key
+    // keeps its first (home-bucket) value.
+    EXPECT_EQ(result.entries.at(good_key), 90u);
+    EXPECT_EQ(result.entries.at(dup_key), 420u + dup_home);
 }
 
 TEST(HashMap, PersistConcurrencyUnderStrand)
