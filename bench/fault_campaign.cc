@@ -21,7 +21,17 @@
  *    quarantined/repaired columns show the graceful-degradation
  *    machinery absorbing the faults instead of violating;
  *  - kv-nobar: the KV store's publish-barrier-elision mutant under
- *    Strict recovery (the campaign must catch it).
+ *    Strict recovery (the campaign must catch it);
+ *  - kv-txn-{inplace,cow,log}: the cross-shard router running a
+ *    transaction-heavy workload, recovered with the fourth-tier
+ *    TxnResolve ladder (commit records roll forward, in-doubt
+ *    transactions roll back, uncommitted partials are scrubbed);
+ *  - kv-migrate-{inplace,cow,log}: the same router with periodic
+ *    partition rebalancing — crash-consistent migration must recover
+ *    to exactly one owner under every mix;
+ *  - kv-txn-nobar: the commit-barrier-elision mutant under the
+ *    Repair-tier invariant (no scrub), where partially visible
+ *    uncommitted transactions surface as violations.
  *
  * Every violation prints a one-line repro; re-run with
  * --replay="<line>" to re-evaluate exactly that crash state.
@@ -37,6 +47,7 @@
 #include "bench_util/kv_workload.hh"
 #include "bench_util/table.hh"
 #include "kvstore/recovery.hh"
+#include "kvstore/router.hh"
 #include "pstruct/log.hh"
 #include "queue/payload.hh"
 #include "recovery/fault_campaign.hh"
@@ -56,6 +67,9 @@ struct Surface
 
     /** Recovery-ladder accounting (KV surfaces only). */
     std::shared_ptr<KvInvariantStats> stats;
+
+    /** Group-level accounting (router surfaces only). */
+    std::shared_ptr<KvRouterInvariantStats> router_stats;
 };
 
 std::vector<std::uint8_t>
@@ -198,6 +212,55 @@ kvSurface(const std::string &name, KvUpdateStrategy strategy,
     return surface;
 }
 
+Surface
+routerSurface(const std::string &name, KvUpdateStrategy strategy,
+              bool migrate, bool mutant)
+{
+    KvRouterWorkloadConfig config;
+    config.router.shards = 2;
+    config.router.partitions = 8;
+    config.router.max_txns = 512;
+    config.router.group_log_capacity = 1 << 16;
+    config.router.store.buckets = 128;
+    config.router.store.heap_bytes = 1 << 15;
+    config.router.store.max_value_bytes = 64;
+    config.router.store.log_capacity = 1 << 17;
+    config.router.store.strategy = strategy;
+    config.router.omit_commit_barrier = mutant;
+    config.router.store.omit_publish_barrier = mutant;
+    config.threads = 2;
+    config.ops_per_thread = 48;
+    config.key_space = 32;
+    config.txn_ratio = 0.35;
+    config.snapshot_ratio = 0.05;
+    config.put_ratio = 0.35;
+    config.get_ratio = 0.15;
+    config.migrate_every = migrate ? 10 : 0;
+    config.max_value_bytes = 48;
+    config.seed = 27;
+
+    Surface surface;
+    surface.name = name;
+    // Strand: the widest model — the commit protocol's conflict
+    // re-reads and barriers are exactly what must hold it together.
+    surface.model = ModelConfig::strand();
+    surface.router_stats = std::make_shared<KvRouterInvariantStats>();
+
+    KvRouterWorkloadResult result = runKvRouterWorkload(config);
+    surface.trace = std::move(result.trace);
+
+    KvGroupRecoveryOptions options;
+    // The mutant runs under Repair (no uncommitted scrub) so its
+    // partially visible transactions surface as violations instead
+    // of being rolled back.
+    options.mode = mutant ? KvRecoveryMode::Repair
+                          : KvRecoveryMode::TxnResolve;
+    surface.invariant = makeKvRouterInvariant(
+        result.layout, result.golden, result.txn_golden, options,
+        surface.router_stats);
+    return surface;
+}
+
 /** Named fault mixes swept against every surface. */
 struct FaultMix
 {
@@ -319,6 +382,20 @@ main(int argc, char **argv)
         kvSurface("kv-log", KvUpdateStrategy::LogStructured, false));
     surfaces.push_back(
         kvSurface("kv-nobar", KvUpdateStrategy::Cow, true));
+    surfaces.push_back(routerSurface(
+        "kv-txn-inplace", KvUpdateStrategy::InPlace, false, false));
+    surfaces.push_back(routerSurface(
+        "kv-txn-cow", KvUpdateStrategy::Cow, false, false));
+    surfaces.push_back(routerSurface(
+        "kv-txn-log", KvUpdateStrategy::LogStructured, false, false));
+    surfaces.push_back(routerSurface(
+        "kv-migrate-inplace", KvUpdateStrategy::InPlace, true, false));
+    surfaces.push_back(routerSurface(
+        "kv-migrate-cow", KvUpdateStrategy::Cow, true, false));
+    surfaces.push_back(routerSurface(
+        "kv-migrate-log", KvUpdateStrategy::LogStructured, true, false));
+    surfaces.push_back(routerSurface(
+        "kv-txn-nobar", KvUpdateStrategy::Cow, false, true));
 
     if (!replay_line.empty())
         return replay(surfaces, replay_line, jobs);
@@ -338,10 +415,15 @@ main(int argc, char **argv)
         for (const FaultMix &mix : faultMixes()) {
             const auto config = campaignFor(surface, mix, jobs);
             // KV stats accumulate across runs; report per-mix deltas.
+            const KvInvariantStats *kv_stats =
+                surface.stats ? surface.stats.get()
+                              : surface.router_stats
+                                    ? &surface.router_stats->shard
+                                    : nullptr;
             const std::uint64_t quarantined_before =
-                surface.stats ? surface.stats->quarantined.load() : 0;
+                kv_stats ? kv_stats->quarantined.load() : 0;
             const std::uint64_t repaired_before =
-                surface.stats ? surface.stats->repaired.load() : 0;
+                kv_stats ? kv_stats->repaired.load() : 0;
             const InjectionResult result = runFaultCampaign(
                 surface.trace, config, surface.invariant);
             total_samples += result.samples;
@@ -350,13 +432,13 @@ main(int argc, char **argv)
                           100.0 * static_cast<double>(result.violations) /
                               static_cast<double>(result.samples));
             const std::string quarantined =
-                surface.stats
-                    ? std::to_string(surface.stats->quarantined.load() -
+                kv_stats
+                    ? std::to_string(kv_stats->quarantined.load() -
                                      quarantined_before)
                     : "-";
             const std::string repaired =
-                surface.stats
-                    ? std::to_string(surface.stats->repaired.load() -
+                kv_stats
+                    ? std::to_string(kv_stats->repaired.load() -
                                      repaired_before)
                     : "-";
             table.row({surface.name, surface.model.name(), mix.name,
@@ -382,7 +464,16 @@ main(int argc, char **argv)
               << "mix: the recovery ladder turns device faults into "
               << "quarantined (and, for kv-log, repaired) buckets "
               << "instead of wrong answers, while kv-nobar's Strict "
-              << "recovery catches the elided publish barrier.\n";
+              << "recovery catches the elided publish barrier. The "
+              << "kv-txn-* and kv-migrate-* surfaces stay at 0% under "
+              << "every mix too: TxnResolve rolls committed "
+              << "transactions forward from their staged records, "
+              << "rolls uncommitted ones back, and recovers every "
+              << "partition to exactly one owner — whereas "
+              << "kv-txn-nobar's missing commit barrier lets applies "
+              << "race the commit record, and the Repair-tier "
+              << "invariant reports the torn transactions it leaves "
+              << "behind.\n";
 
     if (!repro_lines.empty()) {
         std::cout << "\nviolation repros (re-run with "

@@ -23,6 +23,16 @@
  *     violations — detected corruption quarantines or repairs, never
  *     silently serves.
  *
+ * Plus a cross-shard transaction phase per strategy: every client
+ * shard behind one hash-partitioned KvRouter front end under a
+ * txn + snapshot + migration mix (4) generated once, (5) replayed per
+ * persistency model for the transaction path's persist critical path
+ * (the commit protocol's barriers are exactly what the models price
+ * differently — kvstore/txn_<strategy>/<model>/replay rows), and
+ * (6) audited by the full fault mix under TxnResolve-tier group
+ * recovery, where in-doubt and scrubbed transactions are counted
+ * degradation and violations must be zero.
+ *
  * --check shrinks everything to a smoke-test size and fails loudly on
  * any audit violation or throughput collapse; scripts/check.sh runs
  * it as a CI gate. Run with --json=BENCH_kvstore.json to refresh the
@@ -52,6 +62,7 @@ struct DriverOptions
     std::uint32_t clients = 4;       //!< Client shards (>= 1).
     std::uint64_t keys = 1ULL << 20; //!< Total key space (all shards).
     std::uint64_t ops = 1ULL << 18;  //!< Ops per client.
+    std::uint64_t txn_ops = 1ULL << 14; //!< Txn-phase ops per thread.
     double theta = 0.99;             //!< Zipfian skew (0 = uniform).
     double put_ratio = 0.5;
     double get_ratio = 0.4; // Erase ratio is the remainder.
@@ -81,6 +92,8 @@ parseDriver(int argc, char **argv)
             options.keys = std::stoull(value("--keys"));
         } else if (!value("--ops").empty()) {
             options.ops = std::stoull(value("--ops"));
+        } else if (!value("--txn-ops").empty()) {
+            options.txn_ops = std::stoull(value("--txn-ops"));
         } else if (!value("--theta").empty()) {
             options.theta = std::stod(value("--theta"));
         } else if (!value("--put").empty()) {
@@ -98,8 +111,9 @@ parseDriver(int argc, char **argv)
             std::cerr
                 << "usage: " << argv[0]
                 << " [--clients=N] [--keys=N] [--ops=N(per client)]"
-                   " [--theta=F] [--put=F] [--get=F] [--seed=N]"
-                   " [--jobs=N] [--json=PATH] [--check]\n";
+                   " [--txn-ops=N(per thread)] [--theta=F] [--put=F]"
+                   " [--get=F] [--seed=N] [--jobs=N] [--json=PATH]"
+                   " [--check]\n";
             std::exit(2);
         }
     }
@@ -107,6 +121,8 @@ parseDriver(int argc, char **argv)
         options.clients = std::min<std::uint32_t>(options.clients, 2);
         options.keys = std::min<std::uint64_t>(options.keys, 1 << 12);
         options.ops = std::min<std::uint64_t>(options.ops, 1 << 11);
+        options.txn_ops =
+            std::min<std::uint64_t>(options.txn_ops, 1 << 9);
     }
     return options;
 }
@@ -191,6 +207,95 @@ modelList()
     return models;
 }
 
+/** Router-group config for the cross-shard transaction phase: one
+    group of `clients` shards, all simulated client threads on one
+    engine (the front end is shared state; sharded trace generation
+    would lose the cross-shard ordering the phase exists to price). */
+KvRouterWorkloadConfig
+txnConfig(const DriverOptions &options, KvUpdateStrategy strategy)
+{
+    KvRouterWorkloadConfig config;
+    config.router.shards = std::max<std::uint32_t>(2, options.clients);
+    config.router.partitions =
+        static_cast<std::uint32_t>(nextPow2(4ULL *
+                                            config.router.shards));
+    config.threads = config.router.shards;
+    config.ops_per_thread = options.txn_ops;
+    const std::uint64_t total_ops =
+        static_cast<std::uint64_t>(config.threads) * options.txn_ops;
+    config.key_space = std::max<std::uint64_t>(256, total_ops / 8);
+    config.zipf_theta = options.theta;
+    config.txn_ratio = 0.2;
+    config.snapshot_ratio = 0.1;
+    config.put_ratio = 0.35;
+    config.get_ratio = 0.2; // Erase gets the remaining 0.15.
+    config.migrate_every = 64;
+    config.min_value_bytes = 8;
+    config.max_value_bytes = 48;
+    config.seed = mixSeed(options.seed, 0x7472);
+
+    // Every put allocates from the bump heap: direct puts plus staged
+    // transaction puts (~3 keys/txn, 80% of staged ops are puts).
+    const std::uint64_t puts = static_cast<std::uint64_t>(
+        static_cast<double>(total_ops) * (0.35 + 0.2 * 3 * 0.8));
+    const std::uint64_t shard_puts =
+        puts / config.router.shards + 1024;
+    config.router.store.strategy = strategy;
+    config.router.store.max_value_bytes = 48;
+    config.router.store.buckets = std::max<std::uint64_t>(
+        1024,
+        nextPow2(2 * (config.key_space / config.router.shards + 1)));
+    config.router.store.heap_bytes =
+        (shard_puts + (shard_puts >> 2)) *
+        (config.router.store.max_value_bytes + 8);
+    // Staged transaction records land in the shard journals under
+    // every strategy; LogStructured adds its per-put records on top.
+    const std::uint64_t journal_records =
+        strategy == KvUpdateStrategy::LogStructured
+            ? shard_puts + (shard_puts >> 1)
+            : shard_puts;
+    config.router.store.log_capacity =
+        journal_records * 112 + (1 << 12);
+    config.router.store.record_golden = false;
+
+    const std::uint64_t txns = static_cast<std::uint64_t>(
+        static_cast<double>(total_ops) * config.txn_ratio);
+    config.router.max_txns =
+        std::max<std::uint64_t>(512, nextPow2(2 * txns));
+    config.router.group_log_capacity = std::max<std::uint64_t>(
+        1 << 14, nextPow2(txns * 192 + (1 << 12)));
+    return config;
+}
+
+/** Golden-enabled miniature of the txn phase for the fault-campaign
+    audit (same shape as the kv-txn campaign surface). */
+KvRouterWorkloadConfig
+txnAuditConfig(const DriverOptions &options, KvUpdateStrategy strategy)
+{
+    KvRouterWorkloadConfig config;
+    config.router.shards = 2;
+    config.router.partitions = 8;
+    config.router.max_txns = 512;
+    config.router.group_log_capacity = 1 << 16;
+    config.router.store.buckets = 256;
+    config.router.store.heap_bytes = 1 << 16;
+    config.router.store.max_value_bytes = 64;
+    config.router.store.log_capacity = 1 << 18;
+    config.router.store.strategy = strategy;
+    config.router.store.record_golden = true;
+    config.threads = 2;
+    config.ops_per_thread = options.check ? 48 : 96;
+    config.key_space = 48;
+    config.txn_ratio = 0.35;
+    config.snapshot_ratio = 0.05;
+    config.put_ratio = 0.35;
+    config.get_ratio = 0.15;
+    config.migrate_every = 12;
+    config.max_value_bytes = 48;
+    config.seed = options.seed + 5;
+    return config;
+}
+
 /** The audit campaign's fault mix: everything at once. */
 FaultConfig
 auditFaults()
@@ -239,6 +344,16 @@ main(int argc, char **argv)
     TextTable audit;
     audit.header({"strategy", "model", "samples", "violations",
                   "quarantined", "repaired", "discarded"});
+    TextTable txn_generation;
+    txn_generation.header({"strategy", "ops", "txns", "committed",
+                           "snapshots", "migrations", "rejected",
+                           "wall(s)", "ops/s"});
+    TextTable txn_replay;
+    txn_replay.header({"strategy", "model", "events", "wall(s)",
+                       "events/s", "critical path", "persists"});
+    TextTable txn_audit;
+    txn_audit.header({"strategy", "model", "samples", "violations",
+                      "in_doubt", "partial", "lost", "stale"});
 
     for (const Strategy &strategy : strategies) {
         // Phase 1: generate shard traces in parallel.
@@ -351,6 +466,126 @@ main(int argc, char **argv)
                 check_failed = true;
             }
         }
+
+        // Phase 4: cross-shard transactions. One router group under a
+        // txn + snapshot + migration mix, generated once per strategy.
+        const KvRouterWorkloadConfig txn_config =
+            txnConfig(options, strategy.strategy);
+        Stopwatch txn_watch;
+        const KvRouterWorkloadResult txn_run =
+            runKvRouterWorkload(txn_config);
+        const double txn_wall = txn_watch.seconds();
+        const std::uint64_t txn_total_ops =
+            static_cast<std::uint64_t>(txn_config.threads) *
+            txn_config.ops_per_thread;
+        std::uint64_t txn_rejected = 0;
+        for (std::uint64_t r : txn_run.rejected)
+            txn_rejected += r;
+        for (std::uint64_t r : txn_run.txn_rejected)
+            txn_rejected += r;
+        txn_generation.row(
+            {strategy.name, std::to_string(txn_total_ops),
+             std::to_string(txn_run.txns),
+             std::to_string(txn_run.txns_committed),
+             std::to_string(txn_run.snapshots),
+             std::to_string(txn_run.migrations),
+             std::to_string(txn_rejected),
+             formatDouble(txn_wall, 3),
+             formatEventsPerSec(txn_total_ops, txn_wall)});
+        report.add(std::string("kvstore/txn_") + strategy.name +
+                       "/generate",
+                   txn_run.trace.size(), txn_wall);
+        if (options.check &&
+            (txn_run.txns_committed == 0 || txn_run.migrations == 0)) {
+            std::cerr << "CHECK FAIL: " << strategy.name
+                      << " txn phase committed "
+                      << txn_run.txns_committed << " txns, moved "
+                      << txn_run.migrations
+                      << " partitions — the mix never exercised the "
+                         "coordination layer\n";
+            check_failed = true;
+        }
+        if (options.check && txn_rejected > txn_total_ops / 10) {
+            std::cerr << "CHECK FAIL: " << strategy.name
+                      << " txn phase rejected " << txn_rejected << "/"
+                      << txn_total_ops
+                      << " ops — group sizing is wrong\n";
+            check_failed = true;
+        }
+
+        // Phase 5: replay the transaction trace per model. The
+        // commit protocol's barriers (journal append, status flip,
+        // applies) are exactly what the models price differently;
+        // segment replay fans the analysis over the shared pool,
+        // bit-identical to serial.
+        for (const Model &model : modelList()) {
+            const TimingConfig timing = levels(model.model);
+            Stopwatch txn_replay_watch;
+            TimingResult result;
+            if (jobs <= 1) {
+                PersistTimingEngine engine(timing);
+                txn_run.trace.replay(engine);
+                result = engine.result();
+            } else {
+                SegmentReplayOptions segment;
+                segment.jobs = jobs;
+                segment.pool = &pool;
+                result = segmentReplay(txn_run.trace, timing, segment);
+            }
+            const double txn_replay_wall = txn_replay_watch.seconds();
+            txn_replay.row({strategy.name, model.name,
+                            std::to_string(txn_run.trace.size()),
+                            formatDouble(txn_replay_wall, 3),
+                            formatEventsPerSec(txn_run.trace.size(),
+                                               txn_replay_wall),
+                            formatDouble(result.critical_path, 1),
+                            std::to_string(result.persists)});
+            report.add(std::string("kvstore/txn_") + strategy.name +
+                           "/" + model.name + "/replay",
+                       txn_run.trace.size(), txn_replay_wall);
+        }
+
+        // Phase 6: audit the transaction path. A golden-enabled
+        // miniature swept by the full fault mix per model under
+        // TxnResolve-tier group recovery: in-doubt and scrubbed
+        // transactions are counted degradation, violations are
+        // failure.
+        const KvRouterWorkloadResult txn_audit_run =
+            runKvRouterWorkload(txnAuditConfig(options,
+                                               strategy.strategy));
+        KvGroupRecoveryOptions group_options;
+        group_options.mode = KvRecoveryMode::TxnResolve;
+        for (const Model &model : modelList()) {
+            FaultCampaignConfig campaign;
+            campaign.injection.model = model.model;
+            campaign.injection.realizations = options.check ? 3 : 6;
+            campaign.injection.crashes_per_realization =
+                options.check ? 16 : 32;
+            campaign.injection.seed = options.seed + 177;
+            campaign.injection.jobs = jobs;
+            campaign.faults = auditFaults();
+            auto stats = std::make_shared<KvRouterInvariantStats>();
+            const InjectionResult result = runFaultCampaign(
+                txn_audit_run.trace, campaign,
+                makeKvRouterInvariant(txn_audit_run.layout,
+                                      txn_audit_run.golden,
+                                      txn_audit_run.txn_golden,
+                                      group_options, stats));
+            txn_audit.row(
+                {strategy.name, model.name,
+                 std::to_string(result.samples),
+                 std::to_string(result.violations),
+                 std::to_string(stats->in_doubt.load()),
+                 std::to_string(stats->txn_partial.load()),
+                 std::to_string(stats->txn_lost.load()),
+                 std::to_string(stats->stale_copies.load())});
+            if (!result.ok()) {
+                std::cerr << "TXN AUDIT FAIL: " << strategy.name
+                          << "/" << model.name << ": "
+                          << result.first_violation << "\n";
+                check_failed = true;
+            }
+        }
     }
 
     std::cout << "generation (simulated clients on the task pool):\n"
@@ -358,7 +593,15 @@ main(int argc, char **argv)
               << "model; critical path = slowest shard):\n"
               << replay.render() << "\naudit (device-fault campaign, "
               << "Repair-tier recovery — violations must be 0):\n"
-              << audit.render() << "\n";
+              << audit.render() << "\ntxn generation (one router "
+              << "group: cross-shard txns + snapshots + migrations):\n"
+              << txn_generation.render() << "\ntxn replay (per "
+              << "persistency model; critical path = the commit "
+              << "protocol's persist chain):\n"
+              << txn_replay.render() << "\ntxn audit (device-fault "
+              << "campaign, TxnResolve-tier group recovery — "
+              << "violations must be 0):\n"
+              << txn_audit.render() << "\n";
 
     if (!options.json_path.empty() && !report.empty()) {
         report.writeJson(options.json_path);

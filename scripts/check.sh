@@ -51,11 +51,25 @@ EXPLORE_JSON=$(mktemp)
 ./build/bench/explore_scaling --check --json="$EXPLORE_JSON"
 rm -f "$EXPLORE_JSON"
 
-# KV-store stage: the recovery-ladder tests by label (functional,
-# bit-flip fuzzer, fault campaign), then the load driver's smoke gate
-# — zero audit violations across every strategy x model pair.
+# KV-store stage: the recovery-ladder and cross-shard service tests
+# by label (functional, bit-flip fuzzers, fault campaigns, the txn
+# atomicity battery), then the load driver's smoke gate — zero audit
+# violations across every strategy x model pair on both the
+# single-shard Repair audit and the cross-shard TxnResolve audit —
+# and the emitted report must carry the per-model txn replay rows the
+# committed BENCH_kvstore.json baseline is built from.
 ctest --test-dir build -L kvstore --output-on-failure
-./build/bench/kvstore_perf --check >/dev/null
+KV_JSON=$(mktemp)
+./build/bench/kvstore_perf --check --json="$KV_JSON" >/dev/null
+for row in 'kvstore/txn_in_place/strict/replay' \
+           'kvstore/txn_cow/strand/replay' \
+           'kvstore/txn_log_structured/px86/replay'; do
+    if ! grep -q "$row" "$KV_JSON"; then
+        echo "check.sh: $row missing from kvstore_perf report" >&2
+        exit 1
+    fi
+done
+rm -f "$KV_JSON"
 
 # ThreadSanitizer pass: the task pool, the pool-driven parallel sweep,
 # the segment-parallel replay path (prep fan-out + deferred log
@@ -68,7 +82,8 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j \
     --target task_pool_test sweep_test segment_replay_test \
-    explore_test explore_litmus tso_test conformance_test kvstore_perf
+    explore_test explore_litmus tso_test conformance_test \
+    kv_txn_test kvstore_perf
 ./build-tsan/tests/task_pool_test
 ./build-tsan/tests/sweep_test
 PERSIM_SYNTH_EVENTS=150000 PERSIM_GOLDEN_DIR=tests/persistency/golden \
@@ -82,8 +97,12 @@ PERSIM_SYNTH_EVENTS=150000 PERSIM_GOLDEN_DIR=tests/persistency/golden \
 ./build-tsan/tests/tso_test
 PERSIM_CONFORMANCE_GOLDEN=tests/conformance/golden/conformance_report.txt \
     ./build-tsan/tests/conformance_test
-# The KV load driver fans shard generation, replay, and the audit
-# campaign out over the shared pool: run its smoke gate instrumented.
+# The router's global sequence counter is polled by real threads in
+# kv_txn_test's snapshot regression (acquire/release, no data race),
+# and the KV load driver fans shard generation, per-model replay of
+# the cross-shard txn mix, and both audit campaigns out over the
+# shared pool: run both instrumented.
+./build-tsan/tests/kv_txn_test
 ./build-tsan/bench/kvstore_perf --check >/dev/null
 
 # AddressSanitizer + UBSan pass: the fault-injection machinery does a
@@ -96,7 +115,8 @@ cmake --build build-asan -j \
     --target faults_test fault_campaign_test recovery_test \
     log_test queue_test queue_negative_test differential_fuzz_test \
     persist_race_test pruned_cuts_test \
-    kvstore_test kv_recovery_test kv_campaign_test
+    kvstore_test kv_recovery_test kv_campaign_test \
+    kv_txn_test kv_router_fuzz_test kv_txn_campaign_test
 ./build-asan/tests/faults_test
 ./build-asan/tests/fault_campaign_test
 ./build-asan/tests/recovery_test
@@ -115,6 +135,15 @@ PERSIM_GOLDEN_DIR=tests/persistency/golden \
 ./build-asan/tests/kvstore_test
 ./build-asan/tests/kv_recovery_test
 ./build-asan/tests/kv_campaign_test
+# The cross-shard service layer slices commit and migration records
+# out of the group journal and takes seeded bit flips straight to
+# those parsers (kv_router_fuzz_test): run the txn/router suites
+# instrumented too. The exhaustive atomicity battery stays in the
+# tier-1 run only — its cut enumeration is wall-clock heavy and
+# touches no byte-slicing the fuzz and campaign suites don't.
+./build-asan/tests/kv_txn_test
+./build-asan/tests/kv_router_fuzz_test
+./build-asan/tests/kv_txn_campaign_test
 
 # Fuzz stage: the differential fuzzer at full depth, instrumented —
 # 500 seeded random programs (default) replayed under all three

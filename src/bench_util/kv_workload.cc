@@ -164,4 +164,175 @@ runKvWorkload(const KvWorkloadConfig &config)
     return result;
 }
 
+namespace {
+
+/** Per-thread router-op counters (merged after the run). */
+struct RouterClientStats
+{
+    std::uint64_t puts = 0, gets = 0, erases = 0, hits = 0;
+    std::uint64_t txns = 0, txns_committed = 0;
+    std::uint64_t snapshots = 0, snapshots_failed = 0;
+    std::uint64_t migrations = 0, migrations_rejected = 0;
+    std::array<std::uint64_t, 6> rejected{};
+    std::array<std::uint64_t, 7> txn_rejected{};
+};
+
+} // namespace
+
+KvRouterWorkloadResult
+runKvRouterWorkload(const KvRouterWorkloadConfig &config)
+{
+    PERSIM_REQUIRE(config.threads >= 1, "need at least one client");
+    PERSIM_REQUIRE(config.key_space >= 1, "need a nonempty key space");
+    PERSIM_REQUIRE(config.min_value_bytes >= 1 &&
+                   config.min_value_bytes <= config.max_value_bytes,
+                   "bad value size range");
+    PERSIM_REQUIRE(config.min_txn_keys >= 1 &&
+                   config.min_txn_keys <= config.max_txn_keys,
+                   "bad txn key range");
+    const double mix = config.txn_ratio + config.snapshot_ratio +
+                       config.put_ratio + config.get_ratio;
+    PERSIM_REQUIRE(config.txn_ratio >= 0 &&
+                   config.snapshot_ratio >= 0 &&
+                   config.put_ratio >= 0 && config.get_ratio >= 0 &&
+                   mix <= 1.0 + 1e-9,
+                   "op ratios must be nonnegative and sum to <= 1");
+
+    KvRouterWorkloadResult result;
+    EngineConfig engine_config;
+    engine_config.seed = config.seed;
+    engine_config.quantum = config.quantum;
+    ExecutionEngine engine(engine_config, &result.trace);
+
+    auto router = std::make_shared<KvRouter>();
+    engine.runSetup([&router, &config](ThreadCtx &ctx) {
+        *router = KvRouter::create(ctx, config.router, config.threads);
+    });
+
+    const ZipfianSampler sampler(config.key_space, config.zipf_theta);
+    std::vector<RouterClientStats> stats(config.threads);
+    std::vector<ExecutionEngine::WorkerFn> workers;
+    for (std::uint32_t t = 0; t < config.threads; ++t) {
+        workers.push_back([router, &config, &sampler, &stats,
+                           t](ThreadCtx &ctx) {
+            Rng rng(mixSeed(config.seed, t + 1));
+            RouterClientStats &mine = stats[t];
+            std::vector<std::uint8_t> value;
+            const double txn_edge = config.txn_ratio;
+            const double snap_edge = txn_edge + config.snapshot_ratio;
+            const double put_edge = snap_edge + config.put_ratio;
+            const double get_edge = put_edge + config.get_ratio;
+            for (std::uint64_t i = 0; i < config.ops_per_thread; ++i) {
+                if (t == 0 && config.migrate_every != 0 &&
+                    i % config.migrate_every == 0) {
+                    const std::uint32_t partition =
+                        static_cast<std::uint32_t>(rng.nextBounded(
+                            config.router.partitions));
+                    const std::uint32_t to =
+                        static_cast<std::uint32_t>(
+                            rng.nextBounded(config.router.shards));
+                    const KvMigrateStatus status =
+                        router->migrate(ctx, t, partition, to);
+                    if (status == KvMigrateStatus::Ok)
+                        ++mine.migrations;
+                    else if (status != KvMigrateStatus::NoOp)
+                        ++mine.migrations_rejected;
+                }
+                const double kind = rng.nextDouble();
+                if (kind < txn_edge) {
+                    ++mine.txns;
+                    KvTxn txn;
+                    const std::uint32_t nkeys =
+                        static_cast<std::uint32_t>(rng.nextRange(
+                            config.min_txn_keys, config.max_txn_keys));
+                    for (std::uint32_t k = 0; k < nkeys; ++k) {
+                        const std::uint64_t key = kvWorkloadKey(
+                            sampler.sample(rng), config.key_space);
+                        if (rng.nextDouble() <
+                            config.txn_erase_ratio) {
+                            txn.erase(key);
+                        } else {
+                            const std::uint64_t len = rng.nextRange(
+                                config.min_value_bytes,
+                                config.max_value_bytes);
+                            fillValue(value, key, i, t, len);
+                            txn.put(key, value.data(), value.size());
+                        }
+                    }
+                    const KvTxnStatus status =
+                        router->commit(ctx, t, txn);
+                    if (status == KvTxnStatus::Committed)
+                        ++mine.txns_committed;
+                    else
+                        ++mine.txn_rejected[static_cast<std::size_t>(
+                            status)];
+                } else if (kind < snap_edge) {
+                    ++mine.snapshots;
+                    std::vector<std::uint64_t> keys;
+                    for (std::uint32_t k = 0; k < 3; ++k)
+                        keys.push_back(kvWorkloadKey(
+                            sampler.sample(rng), config.key_space));
+                    std::map<std::uint64_t,
+                             std::vector<std::uint8_t>> out;
+                    std::uint64_t snapshot_seq = 0;
+                    if (!router->multiGet(ctx, keys, out,
+                                          snapshot_seq))
+                        ++mine.snapshots_failed;
+                } else if (kind < put_edge) {
+                    ++mine.puts;
+                    const std::uint64_t key = kvWorkloadKey(
+                        sampler.sample(rng), config.key_space);
+                    const std::uint64_t len = rng.nextRange(
+                        config.min_value_bytes,
+                        config.max_value_bytes);
+                    fillValue(value, key, i, t, len);
+                    const KvStatus status = router->put(
+                        ctx, t, key, value.data(), value.size());
+                    if (status != KvStatus::Ok)
+                        ++mine.rejected[static_cast<std::size_t>(
+                            status)];
+                } else if (kind < get_edge) {
+                    ++mine.gets;
+                    const std::uint64_t key = kvWorkloadKey(
+                        sampler.sample(rng), config.key_space);
+                    if (router->get(ctx, key, value))
+                        ++mine.hits;
+                } else {
+                    ++mine.erases;
+                    const std::uint64_t key = kvWorkloadKey(
+                        sampler.sample(rng), config.key_space);
+                    const KvStatus status = router->erase(ctx, t, key);
+                    if (status != KvStatus::Ok &&
+                        status != KvStatus::NotFound)
+                        ++mine.rejected[static_cast<std::size_t>(
+                            status)];
+                }
+            }
+        });
+    }
+    engine.run(workers);
+
+    for (const RouterClientStats &s : stats) {
+        result.puts += s.puts;
+        result.gets += s.gets;
+        result.erases += s.erases;
+        result.hits += s.hits;
+        result.txns += s.txns;
+        result.txns_committed += s.txns_committed;
+        result.snapshots += s.snapshots;
+        result.snapshots_failed += s.snapshots_failed;
+        result.migrations += s.migrations;
+        result.migrations_rejected += s.migrations_rejected;
+        for (std::size_t i = 0; i < s.rejected.size(); ++i)
+            result.rejected[i] += s.rejected[i];
+        for (std::size_t i = 0; i < s.txn_rejected.size(); ++i)
+            result.txn_rejected[i] += s.txn_rejected[i];
+    }
+
+    result.layout = router->layout();
+    result.golden = router->goldenHistory();
+    result.txn_golden = router->txnGolden();
+    return result;
+}
+
 } // namespace persim

@@ -24,6 +24,7 @@
 
 #include "common/rng.hh"
 #include "kvstore/kvstore.hh"
+#include "kvstore/router.hh"
 #include "memtrace/sink.hh"
 
 namespace persim {
@@ -105,6 +106,79 @@ KvWorkloadResult runKvWorkload(const KvWorkloadConfig &config);
 /** The key a scrambled rank maps to (nonzero, < 2^63). */
 std::uint64_t kvWorkloadKey(std::uint64_t rank,
                             std::uint64_t key_space);
+
+/** One seeded router workload: single-key ops + cross-shard
+    transactions + snapshot reads + shard migrations. */
+struct KvRouterWorkloadConfig
+{
+    /** Group geometry (shards, partitions, per-shard store, ...). */
+    KvRouterOptions router;
+
+    std::uint32_t threads = 4;
+    std::uint64_t ops_per_thread = 400;
+    std::uint64_t key_space = 400;
+
+    /** Key popularity skew; 0 = uniform. */
+    double zipf_theta = 0.0;
+
+    /** Op mix: txn and snapshot first, the rest split between
+        put/get/erase (normalized internally; erase is remainder). */
+    double txn_ratio = 0.15;
+    double snapshot_ratio = 0.1;
+    double put_ratio = 0.4;
+    double get_ratio = 0.25;
+
+    /** Keys per transaction, drawn uniformly from [min, max]. */
+    std::uint32_t min_txn_keys = 2;
+    std::uint32_t max_txn_keys = 4;
+
+    /** Probability a staged txn op is an erase (rest are puts). */
+    double txn_erase_ratio = 0.2;
+
+    /** Thread 0 migrates a random partition every N of its ops
+        (0 disables migrations). */
+    std::uint64_t migrate_every = 0;
+
+    /** Value sizes drawn uniformly from [min, max]. */
+    std::uint64_t min_value_bytes = 8;
+    std::uint64_t max_value_bytes = 64;
+
+    std::uint64_t seed = 1;
+    std::uint64_t quantum = 4; //!< Engine scheduling quantum.
+};
+
+/** Counters and artifacts of one router run. */
+struct KvRouterWorkloadResult
+{
+    InMemoryTrace trace;
+    KvRouterLayout layout;
+    std::shared_ptr<const KvGoldenHistory> golden;
+    std::shared_ptr<const KvTxnGoldenList> txn_golden;
+
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t hits = 0;
+
+    std::uint64_t txns = 0;           //!< commit() attempts.
+    std::uint64_t txns_committed = 0; //!< ... that returned Committed.
+
+    std::uint64_t snapshots = 0;        //!< multiGet attempts.
+    std::uint64_t snapshots_failed = 0; //!< Retry budget exhausted.
+
+    std::uint64_t migrations = 0;          //!< Actual moves (Ok).
+    std::uint64_t migrations_rejected = 0; //!< Backpressured moves.
+
+    /** Single-key rejections by KvStatus enumerator. */
+    std::array<std::uint64_t, 6> rejected{};
+
+    /** Txn rejections by KvTxnStatus enumerator. */
+    std::array<std::uint64_t, 7> txn_rejected{};
+};
+
+/** Run the router workload; deterministic in the config. */
+KvRouterWorkloadResult
+runKvRouterWorkload(const KvRouterWorkloadConfig &config);
 
 } // namespace persim
 

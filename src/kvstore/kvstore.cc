@@ -84,7 +84,7 @@ KvLayout::checksum(std::uint64_t bucket_index, std::uint64_t key,
 std::vector<std::uint8_t>
 KvJournalRecord::encode() const
 {
-    std::vector<std::uint8_t> payload(24 + value.size());
+    std::vector<std::uint8_t> payload(32 + value.size());
     auto word = [&payload](std::size_t off, std::uint64_t v) {
         for (int i = 0; i < 8; ++i)
             payload[off + i] = (v >> (8 * i)) & 0xff;
@@ -92,8 +92,9 @@ KvJournalRecord::encode() const
     word(0, kind);
     word(8, key);
     word(16, seq);
+    word(24, txn);
     if (!value.empty())
-        std::memcpy(payload.data() + 24, value.data(), value.size());
+        std::memcpy(payload.data() + 32, value.data(), value.size());
     return payload;
 }
 
@@ -101,7 +102,7 @@ bool
 KvJournalRecord::decode(const std::vector<std::uint8_t> &payload,
                         KvJournalRecord &record)
 {
-    if (payload.size() < 24)
+    if (payload.size() < 32)
         return false;
     auto word = [&payload](std::size_t off) {
         std::uint64_t v = 0;
@@ -112,7 +113,8 @@ KvJournalRecord::decode(const std::vector<std::uint8_t> &payload,
     record.kind = word(0);
     record.key = word(8);
     record.seq = word(16);
-    record.value.assign(payload.begin() + 24, payload.end());
+    record.txn = word(24);
+    record.value.assign(payload.begin() + 32, payload.end());
     if (record.kind != kind_put && record.kind != kind_erase)
         return false;
     if (record.key == 0 || record.seq == 0)
@@ -137,7 +139,7 @@ KvStore::hashIndex(std::uint64_t key, std::uint64_t buckets)
 
 KvStore
 KvStore::create(ThreadCtx &ctx, const KvOptions &options,
-                std::size_t threads)
+                std::size_t threads, Addr shared_seq_cell)
 {
     PERSIM_REQUIRE(isPowerOfTwo(options.buckets) && options.buckets >= 2,
                    "bucket count must be a power of two >= 2");
@@ -161,7 +163,8 @@ KvStore::create(ThreadCtx &ctx, const KvOptions &options,
     // blank table the durable baseline.
     ctx.persistBarrier();
 
-    if (options.strategy == KvUpdateStrategy::LogStructured) {
+    if (options.strategy == KvUpdateStrategy::LogStructured ||
+        options.force_journal) {
         LogOptions log_options;
         log_options.capacity = options.log_capacity;
         log_options.use_strands = options.use_strands;
@@ -169,10 +172,17 @@ KvStore::create(ThreadCtx &ctx, const KvOptions &options,
         store.journal_ = PersistentLog::create(ctx, log_options, threads);
     }
 
-    store.seq_cell_ = ctx.vmalloc(8, 64);
-    ctx.store(store.seq_cell_, 1); // Seq 0 means "never written".
+    if (shared_seq_cell != invalid_addr) {
+        // Group-shared cell: the router initialized it (to 1) once.
+        store.seq_cell_ = shared_seq_cell;
+    } else {
+        store.seq_cell_ = ctx.vmalloc(8, 64);
+        ctx.store(store.seq_cell_, 1); // Seq 0 means "never written".
+    }
     store.heap_cell_ = ctx.vmalloc(8, 64);
     ctx.store(store.heap_cell_, 0);
+    store.live_cell_ = ctx.vmalloc(8, 64);
+    ctx.store(store.live_cell_, 0);
     store.lock_ = McsLock::create(ctx);
     for (std::size_t i = 0; i < threads; ++i)
         store.qnodes_.push_back(McsLock::createQnode(ctx));
@@ -229,26 +239,25 @@ KvStore::goldenHistory() const
     return golden_->history;
 }
 
-KvStatus
-KvStore::put(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
-             const void *value, std::uint64_t len)
+std::uint64_t
+KvStore::drawSeq(ThreadCtx &ctx)
 {
-    PERSIM_REQUIRE(key != 0, "keys must be nonzero");
-    PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
-    PERSIM_REQUIRE(len >= 1, "values must be nonempty");
-    if (len > options_.max_value_bytes)
-        return KvStatus::ValueTooLarge;
+    // Atomic fetch-add: with a group-shared cell, shard workers and
+    // snapshot readers race on this word, and a load/store pair would
+    // hand two mutations the same seq.
+    return ctx.rmwFetchAdd(seq_cell_, 1);
+}
 
-    McsGuard guard(ctx, lock_, qnodes_[slot]);
-    if (options_.use_strands)
-        ctx.newStrand();
-
+void
+KvStore::probe(ThreadCtx &ctx, std::uint64_t key,
+               std::uint64_t &found_at, std::uint64_t &insert_at) const
+{
     // Probe for the key or the first dead bucket.
     const std::uint64_t buckets = layout_.buckets;
     std::uint64_t index = hashIndex(key, buckets);
-    std::uint64_t found_at = buckets;
-    std::uint64_t insert_at = buckets;
-    for (std::uint64_t probe = 0; probe < buckets; ++probe) {
+    found_at = buckets;
+    insert_at = buckets;
+    for (std::uint64_t step = 0; step < buckets; ++step) {
         const Addr bucket = layout_.bucketAddr(index);
         const std::uint64_t state =
             ctx.load(bucket + KvLayout::state_off);
@@ -265,7 +274,15 @@ KvStore::put(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
         }
         index = (index + 1) & (buckets - 1);
     }
+}
 
+KvStatus
+KvStore::writeEntry(ThreadCtx &ctx, std::uint64_t key,
+                    const std::uint8_t *bytes_in, std::uint64_t len,
+                    std::uint64_t seq, std::uint64_t found_at,
+                    std::uint64_t insert_at)
+{
+    const std::uint64_t buckets = layout_.buckets;
     const bool update = found_at != buckets;
     if (!update && insert_at == buckets)
         return KvStatus::TableFull;
@@ -285,30 +302,12 @@ KvStore::put(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
         update && old_len == len &&
         options_.strategy != KvUpdateStrategy::Cow;
 
-    // All capacity rejections happen before any store: a rejected
-    // put leaves no trace in persistent memory or the journal.
-    if (!in_place &&
-        ctx.load(heap_cell_) + alignUp(len, 8) > layout_.heap_bytes)
-        return KvStatus::HeapFull;
-    const auto *bytes_in = static_cast<const std::uint8_t *>(value);
-    const std::uint64_t seq = ctx.load(seq_cell_);
-    if (options_.strategy == KvUpdateStrategy::LogStructured) {
-        KvJournalRecord record;
-        record.kind = KvJournalRecord::kind_put;
-        record.key = key;
-        record.seq = seq;
-        record.value.assign(bytes_in, bytes_in + len);
-        if (!journalAppend(ctx, slot, record))
-            return KvStatus::LogFull;
-    }
-    ctx.store(seq_cell_, seq + 1);
-
     PBuffer heap(layout_.heap, layout_.heap_bytes);
     if (in_place) {
         // In-place update: overwrite the payload, then re-publish
         // seq+checksum. A crash anywhere in this window leaves a
         // checksum mismatch — detected, never silent — but the old
-        // value is gone (the LogStructured journal can rebuild it).
+        // value is gone (the journal can rebuild it).
         heap.write(ctx, old_off, bytes_in, len);
         ctx.store(bucket + KvLayout::seq_off, seq);
         if (!options_.omit_publish_barrier)
@@ -316,13 +315,12 @@ KvStore::put(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
         ctx.store(bucket + KvLayout::cksum_off,
                   KvLayout::checksum(bucket_index, key, old_off, len,
                                      seq, bytes_in));
-        recordGolden(key, seq, false, bytes_in, len);
         return KvStatus::Ok;
     }
 
     std::uint64_t val_off = 0;
-    const bool allocated = heapAlloc(ctx, len, val_off);
-    PERSIM_ASSERT(allocated, "heap exhaustion was pre-checked");
+    if (!heapAlloc(ctx, len, val_off))
+        return KvStatus::HeapFull;
     heap.write(ctx, val_off, bytes_in, len);
 
     if (update) {
@@ -353,17 +351,88 @@ KvStore::put(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
         if (!options_.omit_publish_barrier)
             ctx.persistBarrier();
         ctx.store(bucket + KvLayout::state_off, KvLayout::state_live);
+        ctx.rmwFetchAdd(live_cell_, 1);
     }
-    recordGolden(key, seq, false, bytes_in, len);
     return KvStatus::Ok;
+}
+
+KvStatus
+KvStore::put(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
+             const void *value, std::uint64_t len)
+{
+    PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
+    McsGuard guard(ctx, lock_, qnodes_[slot]);
+    return putLocked(ctx, slot, key, value, len);
+}
+
+KvStatus
+KvStore::putLocked(ThreadCtx &ctx, std::size_t slot, std::uint64_t key,
+                   const void *value, std::uint64_t len)
+{
+    PERSIM_REQUIRE(key != 0, "keys must be nonzero");
+    PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
+    PERSIM_REQUIRE(len >= 1, "values must be nonempty");
+    if (len > options_.max_value_bytes)
+        return KvStatus::ValueTooLarge;
+
+    if (options_.use_strands)
+        ctx.newStrand();
+
+    std::uint64_t found_at = 0, insert_at = 0;
+    probe(ctx, key, found_at, insert_at);
+    const bool update = found_at != layout_.buckets;
+    if (!update && insert_at == layout_.buckets)
+        return KvStatus::TableFull;
+
+    // All capacity rejections happen before any persistent store: a
+    // rejected put leaves no trace in persistent memory or the
+    // journal. (A seq can still be consumed on LogFull — gaps are
+    // fine, the journal scan only requires monotonicity.)
+    std::uint64_t old_len = 0;
+    if (update) {
+        const Addr bucket = layout_.bucketAddr(found_at);
+        old_len = ctx.load(bucket + KvLayout::val_len_off);
+    }
+    const bool in_place =
+        update && old_len == len &&
+        options_.strategy != KvUpdateStrategy::Cow;
+    if (!in_place &&
+        ctx.load(heap_cell_) + alignUp(len, 8) > layout_.heap_bytes)
+        return KvStatus::HeapFull;
+
+    const auto *bytes_in = static_cast<const std::uint8_t *>(value);
+    const std::uint64_t seq = drawSeq(ctx);
+    if (options_.strategy == KvUpdateStrategy::LogStructured) {
+        KvJournalRecord record;
+        record.kind = KvJournalRecord::kind_put;
+        record.key = key;
+        record.seq = seq;
+        record.value.assign(bytes_in, bytes_in + len);
+        if (!journalAppend(ctx, slot, record))
+            return KvStatus::LogFull;
+    }
+
+    const KvStatus status =
+        writeEntry(ctx, key, bytes_in, len, seq, found_at, insert_at);
+    PERSIM_ASSERT(status == KvStatus::Ok,
+                  "capacity was pre-checked under the lock");
+    recordGolden(key, seq, false, bytes_in, len);
+    return status;
 }
 
 KvStatus
 KvStore::erase(ThreadCtx &ctx, std::size_t slot, std::uint64_t key)
 {
-    PERSIM_REQUIRE(key != 0, "keys must be nonzero");
     PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
     McsGuard guard(ctx, lock_, qnodes_[slot]);
+    return eraseLocked(ctx, slot, key);
+}
+
+KvStatus
+KvStore::eraseLocked(ThreadCtx &ctx, std::size_t slot, std::uint64_t key)
+{
+    PERSIM_REQUIRE(key != 0, "keys must be nonzero");
+    PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
     if (options_.use_strands)
         ctx.newStrand();
 
@@ -377,8 +446,13 @@ KvStore::erase(ThreadCtx &ctx, std::size_t slot, std::uint64_t key)
             return KvStatus::NotFound;
         if (state == KvLayout::state_live &&
             ctx.load(bucket + KvLayout::key_off) == key) {
-            const std::uint64_t seq = ctx.load(seq_cell_);
-            if (options_.strategy == KvUpdateStrategy::LogStructured) {
+            const std::uint64_t seq = drawSeq(ctx);
+            // Journal the erase whenever a journal exists (not just
+            // LogStructured): the tombstone persist below carries no
+            // seq, so without a record the Repair tier could replay
+            // an older journaled put (a staged txn mutation) over a
+            // later erase it cannot see.
+            if (hasJournal()) {
                 KvJournalRecord record;
                 record.kind = KvJournalRecord::kind_erase;
                 record.key = key;
@@ -386,13 +460,14 @@ KvStore::erase(ThreadCtx &ctx, std::size_t slot, std::uint64_t key)
                 if (!journalAppend(ctx, slot, record))
                     return KvStatus::LogFull;
             }
-            ctx.store(seq_cell_, seq + 1);
             // A single atomic state persist: erase is crash-atomic
             // (strong persist atomicity orders same-address writes).
             // Recovery never checksums tombstones, so the stale live
             // words left behind are dead weight, not a fault.
             ctx.store(bucket + KvLayout::state_off,
                       KvLayout::state_tombstone);
+            ctx.rmwFetchAdd(live_cell_,
+                            static_cast<std::uint64_t>(-1));
             recordGolden(key, seq, true, nullptr, 0);
             return KvStatus::Ok;
         }
@@ -430,6 +505,138 @@ KvStore::get(ThreadCtx &ctx, std::uint64_t key,
         index = (index + 1) & (buckets - 1);
     }
     return false;
+}
+
+bool
+KvStore::getWithSeq(ThreadCtx &ctx, std::uint64_t key,
+                    std::vector<std::uint8_t> &value,
+                    std::uint64_t &seq) const
+{
+    const std::uint64_t buckets = layout_.buckets;
+    std::uint64_t index = hashIndex(key, buckets);
+    for (std::uint64_t step = 0; step < buckets; ++step) {
+        const Addr bucket = layout_.bucketAddr(index);
+        const std::uint64_t state =
+            ctx.load(bucket + KvLayout::state_off);
+        if (state == KvLayout::state_empty)
+            return false;
+        if (state == KvLayout::state_live &&
+            ctx.load(bucket + KvLayout::key_off) == key) {
+            const std::uint64_t val_off =
+                ctx.load(bucket + KvLayout::val_off_off);
+            const std::uint64_t val_len =
+                ctx.load(bucket + KvLayout::val_len_off);
+            seq = ctx.load(bucket + KvLayout::seq_off);
+            value.resize(val_len);
+            PBuffer heap(layout_.heap, layout_.heap_bytes);
+            heap.read(ctx, val_off, value.data(), val_len);
+            return true;
+        }
+        index = (index + 1) & (buckets - 1);
+    }
+    return false;
+}
+
+bool
+KvStore::journalStaged(ThreadCtx &ctx, std::size_t slot,
+                       const KvJournalRecord &record,
+                       std::uint64_t &lsn)
+{
+    PERSIM_REQUIRE(hasJournal(), "staging needs a shard journal");
+    PERSIM_REQUIRE(record.txn != 0, "staged records carry a txn id");
+    const std::vector<std::uint8_t> payload = record.encode();
+    const std::uint64_t bytes =
+        LogLayout::recordBytes(payload.size());
+    if (journal_.tailOffset(ctx) + bytes > journalLayout().capacity)
+        return false;
+    lsn = journal_.append(ctx, slot, payload.data(), payload.size());
+    // Issued from here on: a staged mutation's commit can no longer
+    // fail, and recovery may roll it forward, so the version enters
+    // the golden history now (not at apply time).
+    recordGolden(record.key, record.seq,
+                 record.kind == KvJournalRecord::kind_erase,
+                 record.value.data(), record.value.size());
+    return true;
+}
+
+KvStatus
+KvStore::applyCommitted(ThreadCtx &ctx, std::uint64_t key,
+                        const void *value, std::uint64_t len,
+                        std::uint64_t seq)
+{
+    PERSIM_REQUIRE(key != 0, "keys must be nonzero");
+    PERSIM_REQUIRE(len >= 1 && len <= options_.max_value_bytes,
+                   "staged values were size-checked");
+    std::uint64_t found_at = 0, insert_at = 0;
+    probe(ctx, key, found_at, insert_at);
+    if (found_at != layout_.buckets) {
+        const Addr bucket = layout_.bucketAddr(found_at);
+        if (ctx.load(bucket + KvLayout::seq_off) >= seq)
+            return KvStatus::Ok; // Table already newer: idempotent.
+    }
+    const auto *bytes_in = static_cast<const std::uint8_t *>(value);
+    const KvStatus status =
+        writeEntry(ctx, key, bytes_in, len, seq, found_at, insert_at);
+    PERSIM_ASSERT(status == KvStatus::Ok,
+                  "commit capacity was pre-validated");
+    return status;
+}
+
+KvStatus
+KvStore::applyCommittedErase(ThreadCtx &ctx, std::uint64_t key,
+                             std::uint64_t seq)
+{
+    PERSIM_REQUIRE(key != 0, "keys must be nonzero");
+    std::uint64_t found_at = 0, insert_at = 0;
+    probe(ctx, key, found_at, insert_at);
+    if (found_at == layout_.buckets)
+        return KvStatus::NotFound;
+    const Addr bucket = layout_.bucketAddr(found_at);
+    if (ctx.load(bucket + KvLayout::seq_off) > seq)
+        return KvStatus::Ok; // Table already newer: idempotent.
+    ctx.store(bucket + KvLayout::state_off, KvLayout::state_tombstone);
+    ctx.rmwFetchAdd(live_cell_, static_cast<std::uint64_t>(-1));
+    return KvStatus::Ok;
+}
+
+void
+KvStore::scrub(ThreadCtx &ctx, std::uint64_t key)
+{
+    std::uint64_t found_at = 0, insert_at = 0;
+    probe(ctx, key, found_at, insert_at);
+    if (found_at == layout_.buckets)
+        return;
+    const Addr bucket = layout_.bucketAddr(found_at);
+    ctx.store(bucket + KvLayout::state_off, KvLayout::state_tombstone);
+    ctx.rmwFetchAdd(live_cell_, static_cast<std::uint64_t>(-1));
+}
+
+Addr
+KvStore::entryAddr(ThreadCtx &ctx, std::uint64_t key) const
+{
+    std::uint64_t found_at = 0, insert_at = 0;
+    probe(ctx, key, found_at, insert_at);
+    if (found_at == layout_.buckets)
+        return invalid_addr;
+    return layout_.bucketAddr(found_at);
+}
+
+std::uint64_t
+KvStore::liveCount(ThreadCtx &ctx) const
+{
+    return ctx.load(live_cell_);
+}
+
+std::uint64_t
+KvStore::heapUsed(ThreadCtx &ctx) const
+{
+    return ctx.load(heap_cell_);
+}
+
+std::uint64_t
+KvStore::journalTail(ThreadCtx &ctx) const
+{
+    return journal_.tailOffset(ctx);
 }
 
 std::uint64_t

@@ -149,6 +149,15 @@ struct KvOptions
     /** Journal capacity (LogStructured only). */
     std::uint64_t log_capacity = 1 << 20;
 
+    /**
+     * Create the journal even when the strategy is not LogStructured.
+     * Cross-shard transactions stage their per-shard redo records
+     * through the shard journal regardless of how single-key puts
+     * make updates durable, so a router-managed shard always needs
+     * one.
+     */
+    bool force_journal = false;
+
     /** Start a new persist strand at each mutation. */
     bool use_strands = true;
 
@@ -174,7 +183,7 @@ struct KvGoldenVersion
 using KvGoldenHistory =
     std::map<std::uint64_t, std::vector<KvGoldenVersion>>;
 
-/** One decoded journal record (LogStructured strategy). */
+/** One decoded journal record (WAL redo / staged txn mutation). */
 struct KvJournalRecord
 {
     static constexpr std::uint64_t kind_put = 1;
@@ -183,6 +192,15 @@ struct KvJournalRecord
     std::uint64_t kind = 0;
     std::uint64_t key = 0;
     std::uint64_t seq = 0;
+
+    /**
+     * Owning transaction (0 = standalone WAL record). A staged txn
+     * record is redo authority only once its transaction's commit
+     * record is durable in the group journal; recovery skips it
+     * otherwise (see recoverKvStore's committed-set option).
+     */
+    std::uint64_t txn = 0;
+
     std::vector<std::uint8_t> value; //!< Empty for erases.
 
     /** Serialize to a log payload. */
@@ -201,10 +219,15 @@ class KvStore
 
     /**
      * Allocate and initialize the store in persistent memory, with
-     * MCS qnodes for @p threads writer slots.
+     * MCS qnodes for @p threads writer slots. When @p shared_seq_cell
+     * is valid, sequence numbers are drawn from that (volatile) cell
+     * with an atomic fetch-add instead of a private one — a router
+     * passes one cell to every shard so seqs are globally unique and
+     * totally ordered across the group.
      */
     static KvStore create(ThreadCtx &ctx, const KvOptions &options,
-                          std::size_t threads);
+                          std::size_t threads,
+                          Addr shared_seq_cell = invalid_addr);
 
     /**
      * Insert or update @p key (nonzero) with @p len payload bytes.
@@ -219,12 +242,94 @@ class KvStore
     [[nodiscard]] KvStatus erase(ThreadCtx &ctx, std::size_t slot,
                                  std::uint64_t key);
 
+    /**
+     * put() without acquiring the shard lock: the caller already
+     * holds it (via mcsLock()/qnode()). A router takes the lock
+     * itself so it can re-validate partition ownership after
+     * acquisition — a migration may have moved the partition between
+     * routing and locking.
+     */
+    [[nodiscard]] KvStatus putLocked(ThreadCtx &ctx, std::size_t slot,
+                                     std::uint64_t key,
+                                     const void *value,
+                                     std::uint64_t len);
+
+    /** erase() without acquiring the shard lock (see putLocked). */
+    [[nodiscard]] KvStatus eraseLocked(ThreadCtx &ctx, std::size_t slot,
+                                       std::uint64_t key);
+
     /** Lock-free lookup. @return True iff found (payload appended). */
     bool get(ThreadCtx &ctx, std::uint64_t key,
              std::vector<std::uint8_t> &value) const;
 
+    /** Lock-free lookup that also reports the entry's seq. */
+    bool getWithSeq(ThreadCtx &ctx, std::uint64_t key,
+                    std::vector<std::uint8_t> &value,
+                    std::uint64_t &seq) const;
+
     /** Number of live entries (walks the table with traced loads). */
     std::uint64_t count(ThreadCtx &ctx) const;
+
+    /** @name Cross-shard transaction hooks (see src/kvstore/txn.hh)
+     *
+     * The commit protocol owns the shard lock across staging, the
+     * commit flip, and application, so these entry points do NOT
+     * acquire it — the caller must hold it (via mcsLock()/qnode()) —
+     * and do NOT start a new strand: a commit's persists must stay on
+     * one strand so its barriers order stage -> flip -> apply.
+     */
+    ///@{
+    /**
+     * Stage one txn mutation in the shard journal (no table effect).
+     * Records the version in the golden history: once staged, a
+     * commit cannot fail, so the version is "issued" from here on.
+     * @return False when the journal is full (nothing written).
+     */
+    [[nodiscard]] bool journalStaged(ThreadCtx &ctx, std::size_t slot,
+                                     const KvJournalRecord &record,
+                                     std::uint64_t &lsn);
+
+    /**
+     * Apply a committed put at a caller-chosen @p seq: same table
+     * protocol as put() (in-place / CoW / publish-by-state-flip) but
+     * no journaling, no seq draw, and no golden record (the version
+     * was recorded when staged). Skips (returns Ok) when the live
+     * entry already has seq >= @p seq — roll-forward idempotence.
+     * Capacity must have been pre-validated; exhaustion here fatals.
+     */
+    KvStatus applyCommitted(ThreadCtx &ctx, std::uint64_t key,
+                            const void *value, std::uint64_t len,
+                            std::uint64_t seq);
+
+    /** Apply a committed erase at @p seq (skips if table is newer). */
+    KvStatus applyCommittedErase(ThreadCtx &ctx, std::uint64_t key,
+                                 std::uint64_t seq);
+
+    /**
+     * Physically tombstone @p key without a seq draw, journal record,
+     * or golden entry: post-migration scrub of a copy that now lives
+     * in another shard. The logical entry is unaffected — ownership
+     * already routes readers to the new shard.
+     */
+    void scrub(ThreadCtx &ctx, std::uint64_t key);
+
+    /**
+     * Bucket base address of @p key's live entry (invalid_addr when
+     * absent). A migration's end record re-reads the copied buckets'
+     * state words so their persists order before it on a fresh strand.
+     */
+    Addr entryAddr(ThreadCtx &ctx, std::uint64_t key) const;
+
+    /** Capacity probes for commit pre-validation (caller holds lock). */
+    std::uint64_t liveCount(ThreadCtx &ctx) const;  //!< Live entries.
+    std::uint64_t heapUsed(ThreadCtx &ctx) const;   //!< Bump cursor.
+    std::uint64_t journalTail(ThreadCtx &ctx) const;
+
+    bool hasJournal() const { return journal_.layout().capacity != 0; }
+
+    const McsLock &mcsLock() const { return lock_; }
+    Addr qnode(std::size_t slot) const { return qnodes_.at(slot); }
+    ///@}
 
     const KvLayout &layout() const { return layout_; }
     const KvOptions &options() const { return options_; }
@@ -256,6 +361,19 @@ class KvStore
     bool heapAlloc(ThreadCtx &ctx, std::uint64_t bytes,
                    std::uint64_t &offset);
 
+    /** Draw the next sequence number (atomic on the shared cell). */
+    std::uint64_t drawSeq(ThreadCtx &ctx);
+
+    /** Probe for @p key; returns found/insert bucket indices. */
+    void probe(ThreadCtx &ctx, std::uint64_t key,
+               std::uint64_t &found_at, std::uint64_t &insert_at) const;
+
+    /** Table write shared by put() and applyCommitted(). */
+    KvStatus writeEntry(ThreadCtx &ctx, std::uint64_t key,
+                        const std::uint8_t *bytes_in, std::uint64_t len,
+                        std::uint64_t seq, std::uint64_t found_at,
+                        std::uint64_t insert_at);
+
     /** Journal one mutation (LogStructured); false when full. */
     bool journalAppend(ThreadCtx &ctx, std::size_t slot,
                        const KvJournalRecord &record);
@@ -265,9 +383,11 @@ class KvStore
 
     KvLayout layout_;
     KvOptions options_;
-    PersistentLog journal_;          //!< LogStructured only.
-    Addr seq_cell_ = invalid_addr;   //!< Volatile next-seq cell.
+    PersistentLog journal_;          //!< LogStructured or forced.
+    Addr seq_cell_ = invalid_addr;   //!< Volatile next-seq cell
+                                     //!< (possibly group-shared).
     Addr heap_cell_ = invalid_addr;  //!< Volatile heap bump cursor.
+    Addr live_cell_ = invalid_addr;  //!< Volatile live-entry count.
     McsLock lock_;
     std::vector<Addr> qnodes_;
     std::shared_ptr<Golden> golden_;

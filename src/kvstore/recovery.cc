@@ -16,6 +16,8 @@ kvRecoveryModeName(KvRecoveryMode mode)
         return "detect_and_discard";
       case KvRecoveryMode::Repair:
         return "repair";
+      case KvRecoveryMode::TxnResolve:
+        return "txn_resolve";
     }
     return "unknown";
 }
@@ -43,28 +45,48 @@ struct RedoEntry
 /**
  * Replay the journal image into a per-key final state. Decoding
  * stops at the first malformed payload (truncate-at-first-bad, like
- * the log scan itself); sequence numbers must be strictly
- * increasing or the suffix is distrusted.
+ * the log scan itself). Standalone records (txn == 0) must carry
+ * strictly increasing sequence numbers or the suffix is distrusted;
+ * staged txn records are exempt from that rule — a transaction's
+ * mutations share one commit seq, and a migration's copy records
+ * preserve their source seqs — and replay only when their txn is in
+ * the committed set (skipped, not distrusted, otherwise).
  */
 std::map<std::uint64_t, RedoEntry>
 redoFromJournal(const MemoryImage &image, const LogLayout &journal,
                 std::uint64_t max_value_bytes,
-                std::uint64_t &decoded_records)
+                const std::set<std::uint64_t> *committed,
+                std::uint64_t &decoded_records,
+                std::uint64_t &txn_skipped)
 {
     std::map<std::uint64_t, RedoEntry> redo;
     decoded_records = 0;
+    txn_skipped = 0;
     const LogRecovery log = PersistentLog::recover(image, journal);
     std::uint64_t last_seq = 0;
     for (const RecoveredRecord &raw : log.records) {
         KvJournalRecord record;
         if (!KvJournalRecord::decode(raw.payload, record))
             break;
-        if (record.seq <= last_seq ||
-            record.value.size() > max_value_bytes)
+        if (record.value.size() > max_value_bytes)
             break;
-        last_seq = record.seq;
+        if (record.txn == 0) {
+            if (record.seq <= last_seq)
+                break;
+            last_seq = record.seq;
+        }
         ++decoded_records;
+        if (record.txn != 0 &&
+            (committed == nullptr ||
+             committed->count(record.txn) == 0)) {
+            ++txn_skipped;
+            continue;
+        }
         RedoEntry &entry = redo[record.key];
+        // Scan order is append order (appends serialize on the shard
+        // lock), so the last record for a key is its final state —
+        // even when a migration copy's preserved seq is older than a
+        // later local put's.
         entry.seq = record.seq;
         entry.erased = record.kind == KvJournalRecord::kind_erase;
         entry.value = record.value;
@@ -227,7 +249,9 @@ recoverKvStore(const MemoryImage &image, const KvLayout &layout,
 
     const auto redo = redoFromJournal(image, options.journal,
                                       layout.max_value_bytes,
-                                      result.log_records);
+                                      options.committed_txns,
+                                      result.log_records,
+                                      result.txn_skipped);
     std::uint64_t budget = options.repair_budget;
     for (const auto &[key, entry] : redo) {
         auto it = result.entries.find(key);
@@ -235,8 +259,10 @@ recoverKvStore(const MemoryImage &image, const KvLayout &layout,
             it == result.entries.end() ? 0 : it->second.seq;
         if (entry.seq <= table_seq)
             continue; // The table already reflects this mutation.
-        if (budget == 0)
+        if (budget == 0) {
+            result.budget_exhausted = true;
             break; // Bounded effort: fall back to discard.
+        }
         --budget;
         if (entry.erased) {
             if (it != result.entries.end()) {

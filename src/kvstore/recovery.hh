@@ -36,6 +36,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,17 @@ enum class KvRecoveryMode : std::uint8_t {
     Strict = 0,       //!< Any fault fails recovery.
     DetectAndDiscard, //!< Quarantine faults, serve the rest.
     Repair,           //!< Quarantine, then rebuild from the journal.
+
+    /**
+     * Fourth tier (cross-shard): Repair, plus transaction resolution
+     * at the group level — committed transactions roll forward from
+     * their staged journal records, in-doubt transactions (commit
+     * flip durable but commit record lost) are detected, and partial
+     * state of uncommitted transactions is scrubbed. Per-shard
+     * recoverKvStore treats this tier as Repair; the resolution
+     * itself lives in recoverKvRouter (src/kvstore/router.hh).
+     */
+    TxnResolve,
 };
 
 /** Human-readable mode name ("strict", "detect_and_discard", ...). */
@@ -68,6 +80,15 @@ struct KvRecoveryOptions
      * graceful degradation.
      */
     std::uint64_t repair_budget = 1 << 20;
+
+    /**
+     * Transactions whose commit record is durable (group-journal
+     * authority, computed by recoverKvRouter). A staged record
+     * (txn != 0) replays only when its txn is in this set; when null,
+     * every staged record is skipped — the safe standalone default,
+     * since an unresolved staged mutation is not redo authority.
+     */
+    const std::set<std::uint64_t> *committed_txns = nullptr;
 };
 
 /** One recovered entry. */
@@ -105,6 +126,12 @@ struct KvRecovery
 
     /** Valid journal records decoded (Repair tier). */
     std::uint64_t log_records = 0;
+
+    /** Staged txn records skipped as uncommitted/unresolved. */
+    std::uint64_t txn_skipped = 0;
+
+    /** The repair loop ran out of budget (corrections were dropped). */
+    bool budget_exhausted = false;
 
     /** Faulted buckets of one kind. */
     std::uint64_t faultCount(BucketFaultKind kind) const;

@@ -86,6 +86,15 @@ std::uint64_t
 PersistentLog::append(ThreadCtx &ctx, std::size_t slot,
                       const void *payload, std::uint64_t len)
 {
+    static const std::vector<Addr> no_deps;
+    return append(ctx, slot, payload, len, no_deps);
+}
+
+std::uint64_t
+PersistentLog::append(ThreadCtx &ctx, std::size_t slot,
+                      const void *payload, std::uint64_t len,
+                      const std::vector<Addr> &order_after)
+{
     PERSIM_REQUIRE(slot < qnodes_.size(), "bad writer slot");
     PERSIM_REQUIRE(len >= 1, "empty records are not representable");
     McsGuard guard(ctx, lock_, qnodes_[slot]);
@@ -120,8 +129,15 @@ PersistentLog::append(ThreadCtx &ctx, std::size_t slot,
             const std::uint64_t prev = ctx.load(prev_start_);
             for (std::uint64_t word = prev; word < pos; word += 8)
                 ctx.load(layout_.base + word);
+            // Cross-structure predecessors (see the header comment):
+            // one conflicting load each pulls their pending persists
+            // into this strand's ordering before the barrier.
+            for (Addr dep : order_after)
+                ctx.load(dep);
             ctx.persistBarrier();
         } else {
+            for (Addr dep : order_after)
+                ctx.load(dep);
             ctx.persistBarrier(); // Leading: inherit the predecessor.
         }
     } else if (options_.use_strands) {
@@ -202,6 +218,31 @@ PersistentLog::recordDurableAt(const MemoryImage &image,
         layout.base + offset + 16 + alignUp(len, 8), 8);
     return stored == LogLayout::checksum(offset, seq, len,
                                          payload.data());
+}
+
+bool
+PersistentLog::recordAt(const MemoryImage &image,
+                        const LogLayout &layout, std::uint64_t offset,
+                        RecoveredRecord &record)
+{
+    if (offset % 8 != 0 ||
+        offset + LogLayout::recordBytes(1) > layout.capacity)
+        return false;
+    const std::uint64_t len = image.load(layout.base + offset, 8);
+    if (len == 0 ||
+        offset + LogLayout::recordBytes(len) > layout.capacity)
+        return false;
+    const std::uint64_t seq = image.load(layout.base + offset + 8, 8);
+    std::vector<std::uint8_t> payload(len);
+    image.readBytes(payload.data(), layout.base + offset + 16, len);
+    const std::uint64_t stored = image.load(
+        layout.base + offset + 16 + alignUp(len, 8), 8);
+    if (stored != LogLayout::checksum(offset, seq, len, payload.data()))
+        return false;
+    record.offset = offset;
+    record.seq = seq;
+    record.payload = std::move(payload);
+    return true;
 }
 
 std::string

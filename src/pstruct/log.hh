@@ -133,6 +133,21 @@ class PersistentLog
     std::uint64_t append(ThreadCtx &ctx, std::size_t slot,
                          const void *payload, std::uint64_t len);
 
+    /**
+     * Append, additionally ordering this record's persists after the
+     * words named in @p order_after. Under strand persistency a fresh
+     * strand only inherits ordering through conflicts, so a record
+     * that must follow persists made on *other* strands (a cross-shard
+     * commit record following the per-shard staged records it names)
+     * re-reads one word of each predecessor before writing. Under
+     * epoch models the extra loads are harmless; the barriers already
+     * order everything.
+     * @return The record's byte offset.
+     */
+    std::uint64_t append(ThreadCtx &ctx, std::size_t slot,
+                         const void *payload, std::uint64_t len,
+                         const std::vector<Addr> &order_after);
+
     /** Volatile view of the append cursor (traced load). */
     std::uint64_t tailOffset(ThreadCtx &ctx) const;
 
@@ -154,6 +169,18 @@ class PersistentLog
     static bool recordDurableAt(const MemoryImage &image,
                                 const LogLayout &layout,
                                 std::uint64_t offset, std::uint64_t seq);
+
+    /**
+     * Parse and validate the single record at byte offset @p offset,
+     * without knowing its sequence number in advance. Used by
+     * cross-shard commit resolution, which holds (shard, offset)
+     * pairs from a commit record and must check each named staged
+     * record independently of the prefix scan.
+     * @return True iff a fully valid record sits there.
+     */
+    static bool recordAt(const MemoryImage &image,
+                         const LogLayout &layout, std::uint64_t offset,
+                         RecoveredRecord &record);
 
   private:
     /** Appends from every copy of this log (create() returns by
