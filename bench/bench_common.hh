@@ -21,6 +21,7 @@
 #include "bench_util/bench_report.hh"
 #include "bench_util/queue_workload.hh"
 #include "common/task_pool.hh"
+#include "persistency/compiled_replay.hh"
 #include "persistency/segment_replay.hh"
 #include "persistency/timing_engine.hh"
 
@@ -57,6 +58,21 @@ struct BenchOptions
      * benches.
      */
     std::vector<std::string> models;
+
+    /**
+     * Replay through the compiled-trace path: compile each trace once
+     * per compile spec (persistency/compiled_replay.hh) and execute
+     * the micro-op columns directly, skipping decode/split/intern on
+     * every replay. Bit-identical to interpreted replay.
+     */
+    bool compiled = false;
+
+    /**
+     * Cache compiled artifacts here (.ctc files keyed by source hash
+     * and spec fingerprint); empty compiles in memory per run.
+     * Implies --compiled.
+     */
+    std::string compile_cache;
 };
 
 /**
@@ -87,11 +103,17 @@ parseBenchOptions(int argc, char **argv)
             options.json_path = value("--json");
         } else if (!value("--model").empty()) {
             options.models.push_back(value("--model"));
+        } else if (arg == "--compiled") {
+            options.compiled = true;
+        } else if (!value("--compile-cache").empty()) {
+            options.compiled = true;
+            options.compile_cache = value("--compile-cache");
         } else {
             std::cerr << "usage: " << argv[0]
                       << " [--jobs=N] [--stream] [--mmap]"
                          " [--chunk-events=N] [--json=PATH]"
-                         " [--model=NAME]...\n"
+                         " [--model=NAME]... [--compiled]"
+                         " [--compile-cache=DIR]\n"
                       << "  --jobs=N    analysis worker threads "
                          "(1 = serial baseline, 0 = hardware)\n"
                       << "  --stream    replay analyses from a trace "
@@ -102,7 +124,12 @@ parseBenchOptions(int argc, char **argv)
                          "replay samples\n"
                       << "  --model=NAME add a persistency model "
                          "(strict|epoch|strand|bpfs|px86) to the "
-                         "analysis set; repeatable\n";
+                         "analysis set; repeatable\n"
+                      << "  --compiled  replay through the "
+                         "compiled-trace executor (bit-identical)\n"
+                      << "  --compile-cache=DIR cache compiled "
+                         "artifacts as .ctc files in DIR (implies "
+                         "--compiled)\n";
             std::exit(2);
         }
     }
@@ -170,6 +197,24 @@ replayForOptions(const InMemoryTrace &trace, const TimingConfig &config,
                  const BenchOptions &options, TaskPool &pool)
 {
     const std::uint32_t jobs = effectiveJobs(options.jobs);
+    if (options.compiled) {
+        // Compiled path: segment-prep once (cached across runs and
+        // across same-spec models when --compile-cache is set), then
+        // execute the micro-op columns directly.
+        CompiledReplayOptions copts;
+        copts.jobs = jobs;
+        copts.pool = &pool;
+        if (!options.compile_cache.empty()) {
+            const CompiledTraceHandle handle = loadOrCompileTrace(
+                trace.events().data(), trace.events().size(), config,
+                options.compile_cache, {}, jobs, &pool);
+            return compiledReplay(handle.view(), config, copts);
+        }
+        const CompiledTrace compiled =
+            compileTrace(trace.events().data(), trace.events().size(),
+                         config, jobs, &pool);
+        return compiledReplay(compiled.view(), config, copts);
+    }
     if (jobs <= 1) {
         PersistTimingEngine engine(config);
         trace.replay(engine);

@@ -52,6 +52,8 @@ main(int argc, char **argv)
     sweep.jobs = options.jobs;
     sweep.chunk_events = options.chunk_events;
     sweep.mmap = options.mmap;
+    sweep.compiled = options.compiled;
+    sweep.compile_cache = options.compile_cache;
 
     std::vector<SweepSeries> series;
     double analysis_wall = 0.0;

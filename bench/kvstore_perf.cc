@@ -70,6 +70,8 @@ struct DriverOptions
     std::uint32_t jobs = 0; //!< Replay/audit parallelism (0 = hw).
     std::string json_path;
     bool check = false; //!< CI smoke gate: tiny sizes, hard asserts.
+    bool compiled = false; //!< Replay through the compiled-trace path.
+    std::string compile_cache; //!< .ctc cache dir (implies compiled).
 };
 
 DriverOptions
@@ -107,13 +109,18 @@ parseDriver(int argc, char **argv)
                 std::stoul(value("--jobs")));
         } else if (!value("--json").empty()) {
             options.json_path = value("--json");
+        } else if (arg == "--compiled") {
+            options.compiled = true;
+        } else if (!value("--compile-cache").empty()) {
+            options.compiled = true;
+            options.compile_cache = value("--compile-cache");
         } else {
             std::cerr
                 << "usage: " << argv[0]
                 << " [--clients=N] [--keys=N] [--ops=N(per client)]"
                    " [--txn-ops=N(per thread)] [--theta=F] [--put=F]"
                    " [--get=F] [--seed=N] [--jobs=N] [--json=PATH]"
-                   " [--check]\n";
+                   " [--check] [--compiled] [--compile-cache=DIR]\n";
             std::exit(2);
         }
     }
@@ -398,6 +405,28 @@ main(int argc, char **argv)
             std::vector<TimingResult> results(options.clients);
             Stopwatch replay_watch;
             pool.parallelFor(options.clients, [&](std::size_t shard) {
+                if (options.compiled) {
+                    // Compiled path: each shard trace compiles (or
+                    // cache-loads) its own artifact; execution is the
+                    // column walk, bit-identical to the engine replay.
+                    const InMemoryTrace &trace = traces[shard];
+                    if (!options.compile_cache.empty()) {
+                        const CompiledTraceHandle handle =
+                            loadOrCompileTrace(trace.events().data(),
+                                               trace.events().size(),
+                                               timing,
+                                               options.compile_cache);
+                        results[shard] =
+                            compiledReplay(handle.view(), timing);
+                    } else {
+                        const CompiledTrace compiled =
+                            compileTrace(trace.events().data(),
+                                         trace.events().size(), timing);
+                        results[shard] =
+                            compiledReplay(compiled.view(), timing);
+                    }
+                    return;
+                }
                 PersistTimingEngine engine(timing);
                 traces[shard].replay(engine);
                 results[shard] = engine.result();
@@ -522,7 +551,25 @@ main(int argc, char **argv)
             const TimingConfig timing = levels(model.model);
             Stopwatch txn_replay_watch;
             TimingResult result;
-            if (jobs <= 1) {
+            if (options.compiled) {
+                CompiledReplayOptions copts;
+                copts.jobs = jobs;
+                copts.pool = &pool;
+                if (!options.compile_cache.empty()) {
+                    const CompiledTraceHandle handle = loadOrCompileTrace(
+                        txn_run.trace.events().data(),
+                        txn_run.trace.events().size(), timing,
+                        options.compile_cache, {}, jobs, &pool);
+                    result = compiledReplay(handle.view(), timing, copts);
+                } else {
+                    const CompiledTrace compiled = compileTrace(
+                        txn_run.trace.events().data(),
+                        txn_run.trace.events().size(), timing, jobs,
+                        &pool);
+                    result = compiledReplay(compiled.view(), timing,
+                                            copts);
+                }
+            } else if (jobs <= 1) {
                 PersistTimingEngine engine(timing);
                 txn_run.trace.replay(engine);
                 result = engine.result();

@@ -13,10 +13,13 @@
  *    fig3/fig4/fig5 sweeps analyze.
  *
  * Besides the serial rows ("replay/<trace>/<model>") each model is
- * also replayed through the segment-parallel path at --jobs levels
- * 1/2/4/8 ("replay/<trace>/<model>/jN"), so the committed baseline
- * records the scaling curve of segmentReplay() on the baseline
- * machine alongside the serial numbers. With --mmap the file-backed
+ * also executed through the compiled-trace path
+ * ("replay/<trace>/<model>/compiled": the artifact is built outside
+ * the timer, the row measures pure column execution) and through the
+ * segment-parallel path at --jobs levels 1/2/4/8
+ * ("replay/<trace>/<model>/jN"), so the committed baseline records
+ * the compiled speedup and the scaling curve of segmentReplay() on
+ * the baseline machine alongside the serial numbers. With --mmap the file-backed
  * variant is measured instead: the trace is spilled to a .trc file
  * once and replayed from MmapTraceReader's zero-copy span.
  *
@@ -79,6 +82,22 @@ timedSegmentReplay(const TraceEvent *events, std::size_t count,
         options.pool = &pool;
         Stopwatch watch;
         (void)segmentReplay(events, count, timing, options);
+        const double wall = watch.seconds();
+        if (rep == 0 || wall < best)
+            best = wall;
+    }
+    return best;
+}
+
+/** Best-of-N compiled-path execution (artifact built outside). */
+double
+timedCompiledReplay(const CompiledTraceView &view,
+                    const TimingConfig &timing)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < replay_reps; ++rep) {
+        Stopwatch watch;
+        (void)compiledReplay(view, timing);
         const double wall = watch.seconds();
         if (rep == 0 || wall < best)
             best = wall;
@@ -166,6 +185,22 @@ main(int argc, char **argv)
                        formatEventsPerSec(count, wall)});
             report.add("replay/" + entry.name + "/" + model.name,
                        count, wall);
+            {
+                // Compiled path: the artifact is built once outside
+                // the timer (it is cached across runs in real use);
+                // the row measures pure execution of the columns.
+                const CompiledTrace compiled =
+                    compileTrace(events, count, timing);
+                const double cwall =
+                    timedCompiledReplay(compiled.view(), timing);
+                table.row({entry.name, model.name, "compiled",
+                           std::to_string(count),
+                           formatDouble(cwall, 4),
+                           formatEventsPerSec(count, cwall)});
+                report.add("replay/" + entry.name + "/" + model.name +
+                               "/compiled",
+                           count, cwall);
+            }
             for (const std::uint32_t jobs : job_levels) {
                 TaskPool pool(jobs);
                 const double pwall = timedSegmentReplay(

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Compiled-trace artifact tool: compile .trc traces into .ctc
+ * micro-op artifacts, pack/unpack the .ctp cold-storage encoding,
+ * and verify the whole chain end to end.
+ *
+ * Subcommands:
+ *
+ *   trace_pack compile <in.trc> <out.ctc> [--model=NAME] [--jobs=N]
+ *       Segment-prep <in.trc> once under NAME's compile spec
+ *       (default epoch; strict/epoch/strand share one spec) and
+ *       persist the SoA micro-op columns as a .ctc artifact.
+ *
+ *   trace_pack pack <in.ctc> <out.ctp>
+ *       Delta/varint-pack an artifact for cold storage.
+ *
+ *   trace_pack unpack <in.ctp> <out.ctc>
+ *       Expand a packed artifact back to the mmap-able layout.
+ *
+ *   trace_pack verify [--jobs=N] [--golden-dir=DIR]
+ *       Round-trip battery: for each golden fixture plus a seeded 1M
+ *       synthetic trace, compile -> pack -> unpack -> replay and
+ *       assert the TimingResult is bit-identical to interpreted
+ *       replay under every model (strict/epoch/strand/px86), then
+ *       report the .trc -> .ctc -> .ctp compression ratios. Exits
+ *       nonzero on any mismatch.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "bench_util/synthetic_trace.hh"
+#include "bench_util/table.hh"
+#include "memtrace/compiled_trace.hh"
+#include "memtrace/trace_io.hh"
+#include "persistency/compiled_replay.hh"
+#include "persistency/segment_compile.hh"
+
+using namespace persim;
+using namespace persim::bench;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " <subcommand> ...\n"
+        << "  compile <in.trc> <out.ctc> [--model=NAME] [--jobs=N]\n"
+        << "  pack <in.ctc> <out.ctp>\n"
+        << "  unpack <in.ctp> <out.ctc>\n"
+        << "  verify [--jobs=N] [--golden-dir=DIR]\n"
+        << "models: strict|epoch|strand|bpfs|px86 (spec default: "
+           "epoch)\n";
+    return 2;
+}
+
+/** --flag=value parsing helper: empty when @p arg is not @p name. */
+std::string
+flagValue(const std::string &arg, const char *name)
+{
+    const std::string prefix = std::string(name) + "=";
+    return arg.rfind(prefix, 0) == 0 ? arg.substr(prefix.size())
+                                     : std::string();
+}
+
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+int
+cmdCompile(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return 2;
+    TimingConfig config;
+    config.model = ModelConfig::epoch();
+    std::uint32_t jobs = 1;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+        if (!flagValue(args[i], "--model").empty())
+            config.model = modelByName(flagValue(args[i], "--model"));
+        else if (!flagValue(args[i], "--jobs").empty())
+            jobs = static_cast<std::uint32_t>(
+                std::stoul(flagValue(args[i], "--jobs")));
+        else
+            return 2;
+    }
+    MmapTraceReader reader(args[0]);
+    const auto events = reader.events();
+    const CompiledTrace trace = compileTrace(
+        events.data(), events.size(), config, effectiveJobs(jobs));
+    writeCompiledTrace(args[1], trace);
+    std::cout << args[0] << " (" << events.size() << " events, "
+              << fileBytes(args[0]) << " B) -> " << args[1] << " ("
+              << trace.view().micro_ops << " micro-ops, "
+              << fileBytes(args[1]) << " B)\n";
+    return 0;
+}
+
+int
+cmdPack(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return 2;
+    MmapCompiledTrace artifact(args[0], kMaxMicroOpKind);
+    writePackedTrace(args[1], artifact.view());
+    const std::uint64_t in_bytes = fileBytes(args[0]);
+    const std::uint64_t out_bytes = fileBytes(args[1]);
+    std::printf("%s (%llu B) -> %s (%llu B), %.2fx smaller\n",
+                args[0].c_str(), (unsigned long long)in_bytes,
+                args[1].c_str(), (unsigned long long)out_bytes,
+                out_bytes > 0
+                    ? double(in_bytes) / double(out_bytes)
+                    : 0.0);
+    return 0;
+}
+
+int
+cmdUnpack(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return 2;
+    const CompiledTrace trace = readPackedTrace(args[0]);
+    writeCompiledTrace(args[1], trace);
+    std::cout << args[0] << " (" << fileBytes(args[0]) << " B) -> "
+              << args[1] << " (" << trace.view().micro_ops
+              << " micro-ops, " << fileBytes(args[1]) << " B)\n";
+    return 0;
+}
+
+bool
+sameResult(const TimingResult &a, const TimingResult &b)
+{
+    return a.critical_path == b.critical_path &&
+        a.persists == b.persists && a.coalesced == b.coalesced &&
+        a.window_blocked == b.window_blocked && a.races == b.races &&
+        a.ops == b.ops && a.events == b.events &&
+        a.barriers == b.barriers && a.strands == b.strands &&
+        a.flushes == b.flushes && a.fences == b.fences &&
+        a.unflushed == b.unflushed;
+}
+
+/** One verify input: a name and its events (owned or mapped). */
+struct VerifyTrace
+{
+    std::string name;
+    std::vector<TraceEvent> events;
+};
+
+int
+cmdVerify(const std::vector<std::string> &args)
+{
+    std::uint32_t jobs = 1;
+    std::string golden_dir = "tests/persistency/golden";
+    for (const std::string &arg : args) {
+        if (!flagValue(arg, "--jobs").empty())
+            jobs = static_cast<std::uint32_t>(
+                std::stoul(flagValue(arg, "--jobs")));
+        else if (!flagValue(arg, "--golden-dir").empty())
+            golden_dir = flagValue(arg, "--golden-dir");
+        else
+            return 2;
+    }
+
+    std::vector<VerifyTrace> inputs;
+    for (const char *name : {"cwl1", "mixed", "strand1", "tlc2"}) {
+        const std::string path =
+            golden_dir + "/" + name + ".trc";
+        if (!std::filesystem::exists(path)) {
+            std::cerr << "missing golden fixture " << path
+                      << " (pass --golden-dir=DIR)\n";
+            return 2;
+        }
+        MmapTraceReader reader(path);
+        const auto view = reader.events();
+        inputs.push_back(
+            {name, std::vector<TraceEvent>(view.begin(), view.end())});
+    }
+    {
+        SyntheticTraceConfig synth;
+        InMemoryTrace trace = buildSyntheticTrace(synth);
+        inputs.push_back({"synthetic1M",
+                          std::vector<TraceEvent>(
+                              trace.events().begin(),
+                              trace.events().end())});
+    }
+
+    const std::vector<ModelConfig> models{
+        ModelConfig::strict(), ModelConfig::epoch(),
+        ModelConfig::strand(), ModelConfig::px86()};
+
+    TextTable table;
+    table.header({"trace", "events", "trc(B)", "ctc(B)", "ctp(B)",
+                  "ctc/ctp", "models", "round-trip"});
+    bool all_ok = true;
+    for (const VerifyTrace &input : inputs) {
+        const std::uint64_t trc_bytes =
+            input.events.size() * sizeof(TraceEvent);
+        std::uint64_t ctc_bytes = 0, ctp_bytes = 0;
+        bool ok = true;
+        for (const ModelConfig &model : models) {
+            TimingConfig config;
+            config.model = model;
+
+            PersistTimingEngine engine(config);
+            engine.onBatch(input.events.data(), input.events.size());
+            engine.onFinish();
+            const TimingResult want = engine.result();
+
+            // The full chain under test: compile -> pack -> unpack
+            // -> replay. The unpacked artifact must execute to the
+            // same TimingResult bit for bit.
+            const CompiledTrace compiled =
+                compileTrace(input.events.data(), input.events.size(),
+                             config, effectiveJobs(jobs));
+            const std::vector<std::uint8_t> packed =
+                packCompiledTrace(compiled.view());
+            CompiledTrace unpacked =
+                unpackCompiledTrace(packed.data(), packed.size());
+            const CompiledTraceHandle handle =
+                CompiledTraceHandle::fromMemory(std::move(unpacked));
+            const TimingResult got =
+                compiledReplay(handle.view(), config);
+
+            // .ctc size = header + 64B-aligned columns; measure via a
+            // real write once per trace (specs share column bytes).
+            if (ctc_bytes == 0) {
+                const std::string tmp =
+                    tempTracePath("trace_pack_verify") + ".ctc";
+                writeCompiledTrace(tmp, compiled);
+                ctc_bytes = fileBytes(tmp);
+                std::remove(tmp.c_str());
+                ctp_bytes = packed.size();
+            }
+            if (!sameResult(want, got)) {
+                std::cerr << "VERIFY FAIL: " << input.name << " under "
+                          << model.name()
+                          << ": compiled round-trip diverged from "
+                             "interpreted replay (critical path "
+                          << got.critical_path << " vs "
+                          << want.critical_path << ", persists "
+                          << got.persists << " vs " << want.persists
+                          << ")\n";
+                ok = false;
+            }
+        }
+        all_ok = all_ok && ok;
+        table.row({input.name, std::to_string(input.events.size()),
+                   std::to_string(trc_bytes),
+                   std::to_string(ctc_bytes),
+                   std::to_string(ctp_bytes),
+                   formatDouble(ctp_bytes > 0 ? double(ctc_bytes) /
+                                        double(ctp_bytes)
+                                              : 0.0,
+                                2),
+                   std::to_string(models.size()),
+                   ok ? "bit-identical" : "MISMATCH"});
+    }
+    std::cout << table.render();
+    std::cout << (all_ok ? "verify: all round-trips bit-identical\n"
+                         : "verify: FAILED\n");
+    return all_ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    int rc = 2;
+    if (cmd == "compile")
+        rc = cmdCompile(args);
+    else if (cmd == "pack")
+        rc = cmdPack(args);
+    else if (cmd == "unpack")
+        rc = cmdUnpack(args);
+    else if (cmd == "verify")
+        rc = cmdVerify(args);
+    if (rc == 2)
+        return usage(argv[0]);
+    return rc;
+}

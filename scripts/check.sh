@@ -4,7 +4,9 @@
 # px86 conformance report against its golden copy, run the analysis
 # stage (PersistRace detector + crash-state pruner tests and the
 # explore-scaling acceptance gate), run the kvstore stage (recovery
-# ladder + corruption fuzzer + load-driver gate), fuzz the timing
+# ladder + corruption fuzzer + load-driver gate), run the
+# compiled-trace stage (bit-identity + corrupt-artifact suite and the
+# trace_pack round-trip battery, instrumented), fuzz the timing
 # engine differentially (--fuzz-iters=N, default 500), and run the
 # perf-labeled replay-throughput regression.
 set -euo pipefail
@@ -116,7 +118,8 @@ cmake --build build-asan -j \
     log_test queue_test queue_negative_test differential_fuzz_test \
     persist_race_test pruned_cuts_test \
     kvstore_test kv_recovery_test kv_campaign_test \
-    kv_txn_test kv_router_fuzz_test kv_txn_campaign_test
+    kv_txn_test kv_router_fuzz_test kv_txn_campaign_test \
+    compiled_trace_test trace_pack
 ./build-asan/tests/faults_test
 ./build-asan/tests/fault_campaign_test
 ./build-asan/tests/recovery_test
@@ -144,6 +147,16 @@ PERSIM_GOLDEN_DIR=tests/persistency/golden \
 ./build-asan/tests/kv_txn_test
 ./build-asan/tests/kv_router_fuzz_test
 ./build-asan/tests/kv_txn_campaign_test
+
+# Compiled-trace stage: the artifact format does raw mmap'd column
+# slicing and varint decoding — run the full bit-identity +
+# corrupt-artifact suite instrumented (shrunken synthetic trace, the
+# identity must hold at any size), then the trace_pack round-trip
+# battery (compile -> pack -> unpack -> replay == interpreted on the
+# four goldens plus a 1M synthetic trace).
+PERSIM_SYNTH_EVENTS=150000 PERSIM_GOLDEN_DIR=tests/persistency/golden \
+    ./build-asan/tests/compiled_trace_test
+./build-asan/bench/trace_pack verify >/dev/null
 
 # Fuzz stage: the differential fuzzer at full depth, instrumented —
 # 500 seeded random programs (default) replayed under all three

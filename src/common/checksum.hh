@@ -1,0 +1,39 @@
+/**
+ * @file
+ * FNV-1a 64-bit checksum.
+ *
+ * Used by the compiled-trace container (memtrace/compiled_trace.hh)
+ * for header and payload integrity words, and for fingerprinting a
+ * source trace's raw bytes so a stale compiled artifact can never be
+ * replayed silently. Not cryptographic — it guards against
+ * truncation, bit rot, and mismatched inputs, like the rest of the
+ * repo's container checksums.
+ */
+
+#ifndef PERSIM_COMMON_CHECKSUM_HH
+#define PERSIM_COMMON_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace persim {
+
+constexpr std::uint64_t fnv1a64_seed = 0xcbf29ce484222325ULL;
+
+/** Fold @p size bytes at @p data into @p seed (chainable). */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t size,
+        std::uint64_t seed = fnv1a64_seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace persim
+
+#endif // PERSIM_COMMON_CHECKSUM_HH

@@ -15,6 +15,7 @@
 #ifndef PERSIM_COMMON_FLAT_MAP_HH
 #define PERSIM_COMMON_FLAT_MAP_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -151,6 +152,153 @@ class FlatIndexMap
 
     std::vector<Bucket> buckets_;
     std::size_t mask_ = 0;
+    std::uint32_t count_ = 0;
+    std::uint32_t max_slots_ = no_slot;
+};
+
+/**
+ * FlatIndexMap sharded by the high bits of the key hash.
+ *
+ * Same contract as FlatIndexMap — u64 keys to dense u32 slots handed
+ * out in global insertion order (the dense counter is shared across
+ * shards, so slot numbering is exactly what an unsharded map would
+ * produce and bank iteration order stays deterministic). The table is
+ * split into 2^shard_bits independent probe arrays selected by the
+ * top hash bits (the probe offset uses the low bits, so the selector
+ * and the probe are independent). Two wins over one big table for the
+ * multi-million-block address sets the compiled-trace path interns:
+ * rehashes move 1/16th of the keys at a time instead of stalling on
+ * one full-table copy, and a shard's probe array stays small enough
+ * to live in cache while a run of nearby addresses hammers it.
+ */
+class ShardedIndexMap
+{
+  public:
+    static constexpr std::uint64_t empty_key = FlatIndexMap::empty_key;
+    static constexpr std::uint32_t no_slot = FlatIndexMap::no_slot;
+    static constexpr unsigned shard_bits = 4;
+    static constexpr std::size_t shard_count =
+        std::size_t{1} << shard_bits;
+
+    explicit ShardedIndexMap(std::uint32_t max_slots = no_slot)
+        : max_slots_(max_slots)
+    {
+        for (Shard &shard : shards_)
+            shard.rehash(initial_buckets);
+    }
+
+    /** Number of distinct keys inserted (across all shards). */
+    std::uint32_t size() const { return count_; }
+
+    /**
+     * Slot of @p key, inserting the next dense slot if absent; sets
+     * @p inserted so the caller can extend its SoA banks in step.
+     */
+    std::uint32_t
+    findOrInsert(std::uint64_t key, bool &inserted)
+    {
+        PERSIM_REQUIRE(key != empty_key,
+                       "ShardedIndexMap: key ~0 is reserved as the "
+                       "empty-bucket sentinel");
+        const std::uint64_t hash = mix(key);
+        Shard &shard = shards_[hash >> (64 - shard_bits)];
+        std::size_t at = static_cast<std::size_t>(hash) & shard.mask;
+        while (true) {
+            Bucket &bucket = shard.buckets[at];
+            if (bucket.key == key) {
+                inserted = false;
+                return bucket.slot;
+            }
+            if (bucket.key == empty_key) {
+                if (count_ >= max_slots_)
+                    PERSIM_FATAL("ShardedIndexMap: slot capacity "
+                                 "exhausted (max_slots reached)");
+                inserted = true;
+                const std::uint32_t slot = count_++;
+                bucket.key = key;
+                bucket.slot = slot;
+                if (++shard.count * 10 >= (shard.mask + 1) * 7) {
+                    shard.rehash((shard.mask + 1) * 2);
+                }
+                return slot;
+            }
+            at = (at + 1) & shard.mask;
+        }
+    }
+
+    /** Slot of @p key, or no_slot when absent. */
+    std::uint32_t
+    find(std::uint64_t key) const
+    {
+        const std::uint64_t hash = mix(key);
+        const Shard &shard = shards_[hash >> (64 - shard_bits)];
+        std::size_t at = static_cast<std::size_t>(hash) & shard.mask;
+        while (true) {
+            const Bucket &bucket = shard.buckets[at];
+            if (bucket.key == key)
+                return bucket.slot;
+            if (bucket.key == empty_key)
+                return no_slot;
+            at = (at + 1) & shard.mask;
+        }
+    }
+
+    /** Drop every key; keeps the table storage. */
+    void
+    clear()
+    {
+        for (Shard &shard : shards_) {
+            shard.buckets.assign(shard.buckets.size(), Bucket{});
+            shard.count = 0;
+        }
+        count_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t initial_buckets = 16;
+
+    struct Bucket
+    {
+        std::uint64_t key = empty_key;
+        std::uint32_t slot = no_slot;
+    };
+
+    struct Shard
+    {
+        std::vector<Bucket> buckets;
+        std::size_t mask = 0;
+        std::size_t count = 0;
+
+        void
+        rehash(std::size_t size)
+        {
+            std::vector<Bucket> old = std::move(buckets);
+            buckets.assign(size, Bucket{});
+            mask = size - 1;
+            for (const Bucket &bucket : old) {
+                if (bucket.key == empty_key)
+                    continue;
+                std::size_t at = static_cast<std::size_t>(
+                                     mix(bucket.key)) &
+                    mask;
+                while (buckets[at].key != empty_key)
+                    at = (at + 1) & mask;
+                buckets[at] = bucket;
+            }
+        }
+    };
+
+    /** splitmix64 finalizer, identical to FlatIndexMap's. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    std::array<Shard, shard_count> shards_;
     std::uint32_t count_ = 0;
     std::uint32_t max_slots_ = no_slot;
 };

@@ -210,14 +210,17 @@ TraceFileWriter::onFinish()
                    "cannot finish trace file: " << path_);
 }
 
-TraceFileReader::TraceFileReader(const std::string &path)
+TraceFileReader::TraceFileReader(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "rb");
     PERSIM_REQUIRE(file_ != nullptr,
                    "cannot open trace file for reading: " << path);
     unsigned char header[header_size];
     const std::size_t got = std::fread(header, 1, header_size, file_);
-    PERSIM_REQUIRE(got == header_size, "trace file too short: " << path);
+    PERSIM_REQUIRE(got == header_size,
+                   "trace file too short: " << path << " ends at byte "
+                       << got << " inside the " << header_size
+                       << "-byte header");
     PERSIM_REQUIRE(
         std::memcmp(header, trace_magic.data(), trace_magic.size()) == 0,
         "bad trace file magic: " << path);
@@ -274,7 +277,11 @@ TraceFileReader::readNext(TraceEvent &event)
         return false;
     unsigned char record[record_size];
     const std::size_t got = std::fread(record, 1, record_size, file_);
-    PERSIM_REQUIRE(got == record_size, "truncated trace file");
+    PERSIM_REQUIRE(got == record_size,
+                   "truncated trace file: " << path_
+                       << " ends at byte "
+                       << header_size + events_read_ * record_size + got
+                       << " inside event record " << events_read_);
     unpackEvent(record, event);
     ++events_read_;
     return true;
@@ -300,7 +307,12 @@ TraceFileReader::readBatch(TraceEvent *out, std::size_t max)
     }
     const std::size_t bytes = want * record_size;
     const std::size_t got = std::fread(buffer_.get(), 1, bytes, file_);
-    PERSIM_REQUIRE(got == bytes, "truncated trace file");
+    PERSIM_REQUIRE(got == bytes,
+                   "truncated trace file: " << path_
+                       << " ends at byte "
+                       << header_size + events_read_ * record_size + got
+                       << " inside event record "
+                       << events_read_ + got / record_size);
     for (std::size_t i = 0; i < want; ++i)
         unpackEvent(buffer_.get() + i * record_size, out[i]);
     events_read_ += want;
@@ -339,7 +351,11 @@ MmapTraceReader::MmapTraceReader(const std::string &path)
     const auto file_size = static_cast<std::uint64_t>(st.st_size);
     if (file_size < header_size) {
         ::close(fd);
-        PERSIM_REQUIRE(false, "trace file too short: " << path);
+        PERSIM_REQUIRE(false,
+                       "trace file too short: " << path
+                           << " ends at byte " << file_size
+                           << " inside the " << header_size
+                           << "-byte header");
     }
 
     map_size_ = static_cast<std::size_t>(file_size);

@@ -109,6 +109,7 @@ class TraceFileReader
 
   private:
     std::FILE *file_ = nullptr;
+    std::string path_; //!< For byte-offset error reporting.
     std::uint64_t event_count_ = 0;
     std::uint64_t events_read_ = 0;
     ThreadId thread_count_ = 0;

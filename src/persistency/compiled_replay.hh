@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Compiled-trace replay: execute a persisted micro-op artifact
+ * (memtrace/compiled_trace.hh) through the timing engine with zero
+ * per-run prep (DESIGN.md Section 17).
+ *
+ * Interpreted replay spends a large share of every run re-deriving
+ * facts that depend only on the trace and the model configuration:
+ * event decode, the cache-line piece split, the conflict-scope
+ * filter, and the block-key hash probes. compileTrace() runs that
+ * pass once (in parallel, via the shared segment compiler) and
+ * renumbers the segment-local slots into one global first-touch
+ * order, producing a CompiledTrace whose columns the executor reads
+ * straight out of an mmap on every later run.
+ *
+ * Execution has two paths, both bit-identical to interpreted replay:
+ *
+ *  - a *fast* path for the paper's hot configurations (strict /
+ *    epoch / strand, Levels clock, unified granularity, all-address
+ *    scope, load tracking, no log / deps / races / plugins / window /
+ *    mutant): a templated loop over 24-byte src-free tags in private
+ *    banks. Nothing observable in these configurations reads
+ *    Tag::src, validity is equivalent to t > 0, and the dependence
+ *    summary always dominates the block's pending time, which
+ *    collapses the same-block serialization rule and reduces the
+ *    coalescing test to a closed form on the rare tmax == last_t
+ *    path (the full derivation is in DESIGN.md Section 17);
+ *  - a *generic* path for everything else (px86, stochastic clock,
+ *    record_log/record_deps, race detection, plugins, windows,
+ *    mutants, BPFS-style scopes): the engine's own inline handlers
+ *    driven by the run-length dispatch index, with every slot
+ *    pre-resolved — the engine is handed its slot tables up front in
+ *    the artifact's first-touch order, so identical slot numbering
+ *    (and therefore bit-identical results) is enforced, not hoped
+ *    for.
+ *
+ * loadOrCompileTrace() adds the cache discipline: artifacts are
+ * keyed by source-trace content hash and compile-spec fingerprint,
+ * and a cached file whose stored hash does not match the trace that
+ * is about to be replayed is recompiled in place — a stale artifact
+ * is never silently executed.
+ */
+
+#ifndef PERSIM_PERSISTENCY_COMPILED_REPLAY_HH
+#define PERSIM_PERSISTENCY_COMPILED_REPLAY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/task_pool.hh"
+#include "memtrace/compiled_trace.hh"
+#include "memtrace/sink.hh"
+#include "persistency/timing_engine.hh"
+
+namespace persim {
+
+/**
+ * Fingerprint of the compile-relevant slice of @p config (shifts,
+ * unified/scope/race flags, px86) plus the artifact ABI version.
+ * Two configs with equal fingerprints compile any trace to identical
+ * micro-op programs, so one artifact serves all of strict / epoch /
+ * strand at equal granularities.
+ */
+std::uint64_t compiledSpecFingerprint(const TimingConfig &config);
+
+/**
+ * True when compiledReplay would execute @p config on the fast
+ * template path rather than through the engine handlers.
+ */
+bool compiledFastEligible(const TimingConfig &config);
+
+/**
+ * Compile @p count events into a global-slot compiled trace for
+ * @p config. Segments compile in parallel on @p pool (or a transient
+ * pool of @p jobs workers); the slot renumbering and column append
+ * are serial. The result carries the source hash of the event bytes
+ * and the spec fingerprint of @p config.
+ */
+CompiledTrace compileTrace(const TraceEvent *events, std::size_t count,
+                           const TimingConfig &config,
+                           std::uint32_t jobs = 1,
+                           TaskPool *pool = nullptr);
+
+/** Knobs for compiledReplay. */
+struct CompiledReplayOptions
+{
+    /** Deferred-log materialization workers (fast path is serial). */
+    std::uint32_t jobs = 1;
+
+    /** Pool for the above; nullptr creates a transient one. */
+    TaskPool *pool = nullptr;
+};
+
+/** Optional instrumentation of one compiledReplay call. */
+struct CompiledReplayStats
+{
+    bool fast_path = false;     //!< Took the template executor.
+    std::uint64_t micro_ops = 0;
+    double exec_seconds = 0.0;
+};
+
+/**
+ * Execute @p view under @p config. Fatals if the view's spec
+ * fingerprint does not match @p config — an artifact compiled under
+ * a different scope/granularity must never be replayed silently.
+ * Bit-identical to interpreted replay of the source trace for every
+ * model and configuration.
+ *
+ * @p view must come from compileTrace() or a CompiledTraceHandle:
+ * the per-op replay invariants (piece slots and sizes, thread
+ * bounds) are validated once when an artifact is loaded, not on
+ * every call, so the executors index their state unchecked.
+ */
+TimingResult compiledReplay(const CompiledTraceView &view,
+                            const TimingConfig &config,
+                            const CompiledReplayOptions &options = {},
+                            PersistLog *log_out = nullptr,
+                            CompiledReplayStats *stats = nullptr);
+
+/**
+ * Owner of a compiled trace's storage: either an open mapping of a
+ * .ctc artifact or an in-memory CompiledTrace. Movable; the view is
+ * valid while the handle lives.
+ */
+class CompiledTraceHandle
+{
+  public:
+    CompiledTraceHandle() = default;
+
+    /** Adopt an in-memory compiled trace. */
+    static CompiledTraceHandle fromMemory(CompiledTrace trace);
+
+    /** Map (and fully validate) a .ctc artifact. */
+    static CompiledTraceHandle fromFile(const std::string &path);
+
+    const CompiledTraceView &view() const { return view_; }
+
+    /** True when backed by an mmap rather than owned vectors. */
+    bool mapped() const { return map_ != nullptr; }
+
+    bool valid() const { return map_ != nullptr || owned_ != nullptr; }
+
+  private:
+    std::unique_ptr<MmapCompiledTrace> map_;
+    std::unique_ptr<CompiledTrace> owned_;
+    CompiledTraceView view_;
+};
+
+/**
+ * Cached compile: look for
+ * `<cache_dir>/<tag or source-hash hex>.<spec-fp hex>.ctc`, verify
+ * its stored source hash against the events about to be replayed and
+ * its spec fingerprint against @p config, and return the mapping on
+ * a match. On a miss, a validation failure, or a stale hash (the
+ * file was compiled from different trace contents — possible when a
+ * caller-supplied @p tag names a regenerated trace), recompile and
+ * rewrite the artifact. @p cache_dir is created if absent.
+ * @p cache_hit, when non-null, reports whether the mapping came from
+ * a pre-existing valid artifact.
+ */
+CompiledTraceHandle loadOrCompileTrace(const TraceEvent *events,
+                                       std::size_t count,
+                                       const TimingConfig &config,
+                                       const std::string &cache_dir,
+                                       const std::string &tag = {},
+                                       std::uint32_t jobs = 1,
+                                       TaskPool *pool = nullptr,
+                                       bool *cache_hit = nullptr);
+
+} // namespace persim
+
+#endif // PERSIM_PERSISTENCY_COMPILED_REPLAY_HH

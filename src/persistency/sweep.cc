@@ -8,6 +8,7 @@
 #include "common/error.hh"
 #include "common/task_pool.hh"
 #include "memtrace/trace_io.hh"
+#include "persistency/compiled_replay.hh"
 
 namespace persim {
 
@@ -22,14 +23,14 @@ secondsSince(SteadyClock::time_point start)
         .count();
 }
 
-/** The engine bank of one sweep: one config per (model, knob) pair. */
-std::vector<std::unique_ptr<PersistTimingEngine>>
-buildEngines(const std::vector<ModelConfig> &models,
+/** The config bank of one sweep: one per (model, knob) pair. */
+std::vector<TimingConfig>
+buildConfigs(const std::vector<ModelConfig> &models,
              const std::vector<std::uint64_t> &granularities,
              GranularityKnob knob)
 {
-    std::vector<std::unique_ptr<PersistTimingEngine>> engines;
-    engines.reserve(models.size() * granularities.size());
+    std::vector<TimingConfig> configs;
+    configs.reserve(models.size() * granularities.size());
     for (const auto &base : models) {
         for (const auto gran : granularities) {
             ModelConfig model = base;
@@ -40,17 +41,62 @@ buildEngines(const std::vector<ModelConfig> &models,
             }
             TimingConfig config;
             config.model = model;
-            engines.push_back(
-                std::make_unique<PersistTimingEngine>(config));
+            configs.push_back(config);
         }
     }
+    return configs;
+}
+
+/** The engine bank of one sweep: one engine per config. */
+std::vector<std::unique_ptr<PersistTimingEngine>>
+buildEngines(const std::vector<TimingConfig> &configs)
+{
+    std::vector<std::unique_ptr<PersistTimingEngine>> engines;
+    engines.reserve(configs.size());
+    for (const TimingConfig &config : configs)
+        engines.push_back(std::make_unique<PersistTimingEngine>(config));
     return engines;
 }
 
-/** Gather the engine bank back into per-model series. */
+/**
+ * Compiled-path sweep body shared by the in-memory and file entry
+ * points: one compile + execute per config, serial or fanned out on a
+ * TaskPool. Configs differing only in model kind share one artifact
+ * in the cache (the spec fingerprint ignores the kind except Px86).
+ */
+std::vector<TimingResult>
+runCompiled(const TraceEvent *events, std::size_t count,
+            const std::vector<TimingConfig> &configs,
+            const SweepOptions &options,
+            std::vector<double> &wall_seconds)
+{
+    std::vector<TimingResult> results(configs.size());
+    auto run = [&](std::size_t i) {
+        const auto start = SteadyClock::now();
+        if (!options.compile_cache.empty()) {
+            const CompiledTraceHandle handle = loadOrCompileTrace(
+                events, count, configs[i], options.compile_cache);
+            results[i] = compiledReplay(handle.view(), configs[i]);
+        } else {
+            const CompiledTrace compiled =
+                compileTrace(events, count, configs[i]);
+            results[i] = compiledReplay(compiled.view(), configs[i]);
+        }
+        wall_seconds[i] = secondsSince(start);
+    };
+    if (options.jobs != 1) {
+        TaskPool pool(options.jobs);
+        pool.parallelFor(configs.size(), run);
+    } else {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            run(i);
+    }
+    return results;
+}
+
+/** Gather per-config results back into per-model series. */
 std::vector<SweepSeries>
-collectSeries(const std::vector<std::unique_ptr<PersistTimingEngine>>
-                  &engines,
+collectSeries(const std::vector<TimingResult> &results,
               const std::vector<ModelConfig> &models,
               const std::vector<std::uint64_t> &granularities,
               const std::vector<double> &wall_seconds)
@@ -65,7 +111,7 @@ collectSeries(const std::vector<std::unique_ptr<PersistTimingEngine>>
         for (const auto gran : granularities) {
             SweepPoint point;
             point.value = gran;
-            point.result = engines[index]->result();
+            point.result = results[index];
             point.wall_seconds = wall_seconds[index];
             entry.points.push_back(point);
             ++index;
@@ -73,6 +119,21 @@ collectSeries(const std::vector<std::unique_ptr<PersistTimingEngine>>
         series.push_back(std::move(entry));
     }
     return series;
+}
+
+/** As above, reading the results out of an engine bank. */
+std::vector<SweepSeries>
+collectSeries(const std::vector<std::unique_ptr<PersistTimingEngine>>
+                  &engines,
+              const std::vector<ModelConfig> &models,
+              const std::vector<std::uint64_t> &granularities,
+              const std::vector<double> &wall_seconds)
+{
+    std::vector<TimingResult> results;
+    results.reserve(engines.size());
+    for (const auto &engine : engines)
+        results.push_back(engine->result());
+    return collectSeries(results, models, granularities, wall_seconds);
 }
 
 } // namespace
@@ -86,7 +147,18 @@ granularitySweep(const InMemoryTrace &trace,
     PERSIM_REQUIRE(!models.empty() && !granularities.empty(),
                    "sweep needs at least one model and one value");
 
-    auto engines = buildEngines(models, granularities, knob);
+    const auto configs = buildConfigs(models, granularities, knob);
+
+    if (options.compiled) {
+        std::vector<double> wall_seconds(configs.size(), 0.0);
+        const auto results =
+            runCompiled(trace.events().data(), trace.events().size(),
+                        configs, options, wall_seconds);
+        return collectSeries(results, models, granularities,
+                             wall_seconds);
+    }
+
+    auto engines = buildEngines(configs);
     std::vector<double> wall_seconds(engines.size(), 0.0);
 
     if (options.jobs == 1) {
@@ -124,7 +196,21 @@ granularitySweepFile(const std::string &path,
     PERSIM_REQUIRE(options.chunk_events >= 1,
                    "streaming sweep needs a positive chunk size");
 
-    auto engines = buildEngines(models, granularities, knob);
+    const auto configs = buildConfigs(models, granularities, knob);
+
+    if (options.compiled) {
+        // The compiler needs the whole event span: map the file (the
+        // compiled sweep subsumes --mmap) and run the shared body.
+        MmapTraceReader reader(path);
+        const auto view = reader.events();
+        std::vector<double> wall_seconds(configs.size(), 0.0);
+        const auto results = runCompiled(view.data(), view.size(),
+                                         configs, options, wall_seconds);
+        return collectSeries(results, models, granularities,
+                             wall_seconds);
+    }
+
+    auto engines = buildEngines(configs);
     std::vector<double> wall_seconds(engines.size(), 0.0);
 
     if (options.mmap) {

@@ -57,6 +57,22 @@ struct SweepOptions
      * paths; peak memory is the map itself (shared, read-only).
      */
     bool mmap = false;
+
+    /**
+     * Run every config through the compiled-trace path
+     * (persistency/compiled_replay.hh) instead of interpreted replay;
+     * bit-identical results. granularitySweepFile maps the trace for
+     * this (the compiler needs the whole event span), so compiled
+     * sweeps ignore chunk_events.
+     */
+    bool compiled = false;
+
+    /**
+     * Compiled-artifact cache directory (empty = compile in memory
+     * each run). Distinct granularities compile under distinct spec
+     * fingerprints, so one sweep populates one .ctc per knob value.
+     */
+    std::string compile_cache;
 };
 
 /** One sweep sample: the knob value and the analysis result. */

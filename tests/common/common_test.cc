@@ -330,5 +330,62 @@ TEST(FlatIndexMap, CapacityBoundIsAHardError)
     EXPECT_TRUE(inserted);
 }
 
+TEST(ShardedIndexMap, MatchesFlatIndexMapSlotNumbering)
+{
+    // The sharded map must hand out the same dense insertion-order
+    // slots as the unsharded map — the timing engine's slot numbers
+    // are part of the bit-identity surface (compiled artifacts bake
+    // them in).
+    FlatIndexMap flat;
+    ShardedIndexMap sharded;
+    Rng rng(7);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 5000; ++i)
+        keys.push_back(rng.next() % 1024); // Dense keyspace: collisions.
+    bool fi = false, si = false;
+    for (const std::uint64_t key : keys) {
+        EXPECT_EQ(flat.findOrInsert(key, fi),
+                  sharded.findOrInsert(key, si));
+        EXPECT_EQ(fi, si);
+    }
+    EXPECT_EQ(flat.size(), sharded.size());
+    for (std::uint64_t key = 0; key < 1100; ++key)
+        EXPECT_EQ(flat.find(key), sharded.find(key));
+}
+
+TEST(ShardedIndexMap, SentinelAndCapacityMirrorFlatMap)
+{
+    ShardedIndexMap map(4);
+    bool inserted = false;
+    EXPECT_THROW(map.findOrInsert(ShardedIndexMap::empty_key, inserted),
+                 FatalError);
+    EXPECT_EQ(map.find(ShardedIndexMap::empty_key),
+              ShardedIndexMap::no_slot);
+    for (std::uint64_t key = 0; key < 4; ++key)
+        map.findOrInsert(key, inserted);
+    EXPECT_THROW(map.findOrInsert(99, inserted), FatalError);
+    map.clear();
+    EXPECT_EQ(map.findOrInsert(99, inserted), 0u);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(ShardedIndexMap, SurvivesPerShardRehash)
+{
+    // Far past the initial per-shard bucket count: every shard
+    // rehashes several times and lookups still resolve.
+    ShardedIndexMap map;
+    bool inserted = false;
+    constexpr std::uint64_t n = 100000;
+    for (std::uint64_t key = 0; key < n; ++key)
+        EXPECT_EQ(map.findOrInsert(key * 64 + 1, inserted),
+                  static_cast<std::uint32_t>(key));
+    EXPECT_EQ(map.size(), n);
+    for (std::uint64_t key = 0; key < n; ++key)
+        EXPECT_EQ(map.find(key * 64 + 1),
+                  static_cast<std::uint32_t>(key));
+    EXPECT_EQ(map.find(3), ShardedIndexMap::no_slot);
+}
+
 } // namespace
 } // namespace persim

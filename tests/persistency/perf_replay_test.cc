@@ -7,7 +7,9 @@
  * epoch, strand, and px86 persistency, and fails when the achieved
  * events/sec drops below half of the committed baseline in
  * BENCH_replay.json (env PERSIM_BENCH_BASELINE, wired by
- * tests/CMakeLists.txt to the repo-root copy).
+ * tests/CMakeLists.txt to the repo-root copy). The compiled-trace
+ * path gets the same treatment plus paired same-run speedup floors
+ * against interpreted serial replay (DESIGN.md §17).
  *
  * Wall-clock assertions are inherently machine-sensitive, so this
  * test is NOT part of the default tier-1 suite: it is registered
@@ -28,6 +30,7 @@
 #include "bench/bench_common.hh"
 #include "bench_util/bench_report.hh"
 #include "bench_util/synthetic_trace.hh"
+#include "persistency/compiled_replay.hh"
 #include "persistency/segment_replay.hh"
 #include "persistency/timing_engine.hh"
 
@@ -99,6 +102,124 @@ TEST(PerfReplay, SyntheticTraceHoldsBaselineThroughput)
             << entry.name << " replay dropped below 50% of the "
             << "committed baseline; investigate or refresh "
             << baseline_path << " with bench/replay_baseline";
+    }
+}
+
+namespace {
+
+/** Best-of-5 compiled-path execution (artifact built outside). */
+double
+bestCompiledSeconds(const CompiledTraceView &view,
+                    const TimingConfig &config)
+{
+    constexpr int reps = 5;
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        bench::Stopwatch watch;
+        (void)compiledReplay(view, config);
+        const double wall = watch.seconds();
+        if (rep == 0 || wall < best)
+            best = wall;
+    }
+    return best;
+}
+
+} // namespace
+
+/**
+ * Compiled-replay speedup gate: executing the persisted micro-op
+ * columns must beat interpreted serial replay of the same trace by a
+ * wide margin, or the compiled path has lost its reason to exist.
+ * Interpreted and compiled are measured back-to-back in this process
+ * (paired best-of-5), so the ratio cancels most machine noise; the
+ * floors sit under the ratios measured on the baseline machine
+ * (strict 4.5x, epoch 4.1x, strand 3.5x via the slot-free fast
+ * executor; px86 1.8x via the generic engine-backed executor —
+ * see EXPERIMENTS.md):
+ *
+ *  - strict: >= 4.0x (the headline fast-path gate);
+ *  - epoch:  >= 3.4x;
+ *  - strand: >= 2.8x (strand resets cost the run-loop more);
+ *  - px86:   >= 1.3x (generic path: decode/split/intern savings
+ *    only).
+ */
+TEST(PerfReplay, CompiledReplayBeatsInterpretedSerial)
+{
+    const InMemoryTrace trace =
+        buildSyntheticTrace(SyntheticTraceConfig{});
+
+    struct Gate
+    {
+        const char *name;
+        ModelConfig model;
+        double floor;
+    };
+    const Gate gates[] = {
+        {"strict", ModelConfig::strict(), 4.0},
+        {"epoch", ModelConfig::epoch(), 3.4},
+        {"strand", ModelConfig::strand(), 2.8},
+        {"px86", ModelConfig::px86(), 1.3},
+    };
+    for (const Gate &gate : gates) {
+        TimingConfig config;
+        config.model = gate.model;
+        const double serial = bestReplaySeconds(trace, gate.model);
+        const CompiledTrace compiled = compileTrace(
+            trace.events().data(), trace.events().size(), config);
+        const double fast =
+            bestCompiledSeconds(compiled.view(), config);
+        const double speedup = serial / fast;
+        std::cout << gate.name << ": interpreted " << serial
+                  << " s, compiled " << fast << " s, speedup "
+                  << speedup << "x (floor " << gate.floor << "x)\n";
+        EXPECT_GE(speedup, gate.floor)
+            << gate.name
+            << " compiled replay lost its edge over interpreted "
+            << "serial replay; profile the compiled executor";
+    }
+}
+
+/**
+ * The committed baseline also records absolute compiled throughput
+ * ("replay/synthetic/<model>/compiled" rows); hold the same 50%
+ * floor the serial rows get so a regression that slows both paths
+ * equally (and thus passes the ratio gate) still trips.
+ */
+TEST(PerfReplay, CompiledThroughputHoldsBaseline)
+{
+    const char *baseline_path = std::getenv("PERSIM_BENCH_BASELINE");
+    ASSERT_NE(baseline_path, nullptr)
+        << "PERSIM_BENCH_BASELINE not set (run via ctest -C perf)";
+    const std::map<std::string, BenchSample> baseline =
+        readBenchJson(baseline_path);
+
+    const InMemoryTrace trace =
+        buildSyntheticTrace(SyntheticTraceConfig{});
+    const ModelConfig models[] = {
+        ModelConfig::strict(), ModelConfig::epoch(),
+        ModelConfig::strand(), ModelConfig::px86()};
+    for (const ModelConfig &model : models) {
+        const auto it = baseline.find(std::string("replay/synthetic/") +
+                                      model.name() + "/compiled");
+        ASSERT_NE(it, baseline.end())
+            << "compiled baseline row missing for " << model.name()
+            << " (regenerate with bench/replay_baseline)";
+        TimingConfig config;
+        config.model = model;
+        const CompiledTrace compiled = compileTrace(
+            trace.events().data(), trace.events().size(), config);
+        const double wall =
+            bestCompiledSeconds(compiled.view(), config);
+        const double rate = static_cast<double>(trace.size()) / wall;
+        const double floor = 0.5 * it->second.events_per_sec;
+        std::cout << model.name() << "/compiled: " << rate / 1e6
+                  << " M events/s (baseline "
+                  << it->second.events_per_sec / 1e6 << ", floor "
+                  << floor / 1e6 << ")\n";
+        EXPECT_GE(rate, floor)
+            << model.name()
+            << " compiled replay dropped below 50% of the committed "
+            << "baseline; investigate or refresh " << baseline_path;
     }
 }
 
